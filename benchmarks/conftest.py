@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run at the ``bench`` scale preset (override with
+``REPRO_SCALE``) against a persistent artifact cache in ``.artifacts/`` so
+expensive stages (backbone pre-training, model tuning, dataset revision)
+are paid once across the whole suite.
+
+``REPRO_BENCH_ITEMS`` caps the number of test items judged per test set
+(default 60) — a CPU wall-clock concession documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import DEFAULT_SEED, get_scale
+from repro.pipeline import Workbench
+
+#: Per-test-set item cap for model evaluation benches.
+BENCH_ITEMS = int(os.environ.get("REPRO_BENCH_ITEMS", "60"))
+
+#: Subset size used by sweep benches (Fig. 5, Table XI).
+SWEEP_SUBSET = int(os.environ.get("REPRO_SWEEP_SUBSET", "300"))
+
+
+@pytest.fixture(scope="session")
+def wb() -> Workbench:
+    root = Path(__file__).resolve().parents[1]
+    return Workbench(
+        scale=get_scale(),
+        seed=DEFAULT_SEED,
+        cache_dir=root / ".artifacts",
+    )
+
+
+def print_banner(exp_id: str, description: str) -> None:
+    print(f"\n{'=' * 72}\n{exp_id.upper()} — {description}\n{'=' * 72}")

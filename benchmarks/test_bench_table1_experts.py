@@ -1,0 +1,31 @@
+"""Table I — expertise and grouping of involved language experts."""
+
+from conftest import print_banner
+
+from repro.analysis import format_table
+from repro.experts import group_profile_table
+from repro.experts.assignment import UNIT_CLASS_ORDER, assign_units
+
+
+def test_table1_expert_groups(benchmark):
+    rows = benchmark(group_profile_table)
+    print_banner("table1", "Expert groups (paper: 17/6/3, 11.29/5.64/12.57y)")
+    print(format_table(
+        ["Group", "Task", "Experts", "Avg. years"],
+        [[r["group"], r["task"], r["number_of_experts"],
+          r["average_years_of_experience"]] for r in rows],
+    ))
+    by_group = {r["group"]: r for r in rows}
+    assert by_group["A"]["number_of_experts"] == 17
+    assert by_group["B"]["number_of_experts"] == 6
+    assert by_group["C"]["number_of_experts"] == 3
+    assert abs(by_group["A"]["average_years_of_experience"] - 11.29) < 0.01
+
+    units = assign_units()
+    print(format_table(
+        ["Unit (class)", "Members", "Avg. years (paper: 9.4/11.2/13.1)"],
+        [[c, len(units[c].members), round(units[c].average_experience, 1)]
+         for c in UNIT_CLASS_ORDER],
+    ))
+    averages = [units[c].average_experience for c in UNIT_CLASS_ORDER]
+    assert averages == sorted(averages)

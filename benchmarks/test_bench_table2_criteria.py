@@ -1,0 +1,37 @@
+"""Table II — the nine-dimension quality rubric, exercised at scale."""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.analysis import format_table
+from repro.quality import (
+    CriteriaScorer,
+    DIMENSIONS,
+    LEVEL_ADVANCED,
+    LEVEL_BASIC,
+    LEVEL_RED_LINE,
+)
+
+
+def test_table2_rubric_structure_and_throughput(benchmark, wb):
+    print_banner("table2", "Human evaluation criteria (structure + scorer speed)")
+    print(format_table(
+        ["Side", "Level", "Dimension", "Score range"],
+        [[d.side, d.level, d.name, f"{d.score_range[0]}-{d.score_range[1]}"]
+         for d in DIMENSIONS],
+    ))
+    levels = {d.level for d in DIMENSIONS}
+    assert levels == {LEVEL_RED_LINE, LEVEL_BASIC, LEVEL_ADVANCED}
+    assert sum(d.level == LEVEL_RED_LINE for d in DIMENSIONS) == 1
+
+    dataset = wb.alpaca_dataset()
+    scorer = CriteriaScorer()
+    pairs = list(dataset)[:200]
+
+    def score_batch():
+        return [scorer.score_pair(p) for p in pairs]
+
+    reports = benchmark(score_batch)
+    mean = float(np.mean([r.response.score for r in reports]))
+    print(f"scored {len(reports)} pairs; mean response score {mean:.1f}")
+    assert 40.0 <= mean <= 100.0

@@ -1,0 +1,28 @@
+"""Table III — distribution of the excluded instruction pairs."""
+
+from conftest import print_banner
+
+from repro.analysis import format_table
+from repro.experts.filtering import PAPER_TABLE3_RATIOS, preliminary_filter
+from repro.experts.filtering import exclusion_distribution
+
+
+def test_table3_exclusion_distribution(benchmark, wb):
+    dataset = wb.alpaca_dataset()
+    sample = dataset.sample(
+        min(wb.scale.expert_sample_size, len(dataset)), wb.rng("expert-sample")
+    )
+
+    kept, excluded = benchmark(lambda: preliminary_filter(sample))
+    dist = exclusion_distribution(excluded)
+    print_banner("table3", "Preliminary filtering (paper: 1088/6000 = 18.1%)")
+    print(f"examined {len(sample)}, excluded {len(excluded)} "
+          f"({len(excluded) / len(sample):.1%})")
+    print(format_table(
+        ["Reason", "Ours", "Paper"],
+        [[k, f"{dist.get(k, 0):.1%}", f"{v:.1%}"]
+         for k, v in PAPER_TABLE3_RATIOS.items()],
+    ))
+    # Shape: exclusion share near 18% and invalid input the largest bucket.
+    assert 0.10 < len(excluded) / len(sample) < 0.28
+    assert max(dist, key=dist.get) == "invalid_input"

@@ -1,0 +1,63 @@
+"""Table V — the evaluation approaches, with judge agreement measurement."""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.analysis import format_table
+from repro.data.defects import build_pair
+from repro.data.instruction_pair import InstructionPair
+from repro.judges import (
+    ChatGPTJudge,
+    GPT4Judge,
+    HumanPanel,
+    PandaLMJudge,
+    compare_with_swap,
+)
+from repro.textgen.responses import detokenize, ideal_response
+from repro.textgen.tasks import render_instruction, sample_instance
+
+
+def test_table5_judge_inventory_and_agreement(benchmark):
+    print_banner("table5", "Evaluation approaches (plus PandaLM/GPT-4 agreement)")
+    print(format_table(
+        ["Approach", "Evaluation", "Task type"],
+        [
+            ["Human (R1-R3)", "Both", "Direct score 0-100"],
+            ["ChatGPT-sim", "Instruction dataset", "Direct score 0-5"],
+            ["GPT-4-sim", "LLM performance", "Comparison 0-10"],
+            ["PandaLM-sim", "LLM performance", "Comparison win/tie/lose"],
+        ],
+    ))
+
+    pandalm, gpt4 = PandaLMJudge(), GPT4Judge()
+    sample_rng = np.random.default_rng(17)
+    judge_rng = np.random.default_rng(18)
+    comparisons = []
+    for _ in range(150):
+        instance = sample_instance(sample_rng)
+        tokens, _ = render_instruction(instance)
+        instruction = detokenize(tokens)
+        good = InstructionPair(instruction, detokenize(ideal_response(instance)),
+                               provenance=instance)
+        bad_pair = build_pair(instance, (), ("resp_truncated",), sample_rng,
+                              polite=False)
+        bad = InstructionPair(instruction, bad_pair.response, provenance=instance)
+        comparisons.append((instruction, good, bad))
+
+    def agreement():
+        agree = 0
+        for instruction, good, bad in comparisons:
+            v1 = compare_with_swap(pandalm, instruction, good, bad, judge_rng)
+            v2 = compare_with_swap(gpt4, instruction, good, bad, judge_rng)
+            agree += v1 is v2
+        return agree / len(comparisons)
+
+    rate = benchmark.pedantic(agreement, rounds=1, iterations=1)
+    print(f"PandaLM-sim / GPT-4-sim agreement: {rate:.1%} (paper: 88.3%)")
+    assert rate > 0.70
+
+    # The other two instruments run on the same pair without error.
+    chatgpt, panel = ChatGPTJudge(), HumanPanel()
+    _, good, _ = comparisons[0]
+    assert 0 <= chatgpt.rate(good, judge_rng).score <= 5
+    assert set(panel.rate_response(good, judge_rng)) == {"R1", "R2", "R3"}

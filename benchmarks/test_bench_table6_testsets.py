@@ -1,0 +1,38 @@
+"""Table VI — the four instruction-following test sets."""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.analysis import format_table
+from repro.quality import CriteriaScorer
+from repro.testsets import TESTSET_BUILDERS
+
+
+def test_table6_testset_inventory(benchmark):
+    rng = np.random.default_rng(0)
+    sets = benchmark.pedantic(
+        lambda: {name: builder(np.random.default_rng(0))
+                 for name, builder in TESTSET_BUILDERS.items()},
+        rounds=1, iterations=1,
+    )
+    scorer = CriteriaScorer()
+    rows = []
+    for name, ts in sets.items():
+        ref_quality = float(np.mean(
+            [scorer.score_response(i.reference).score for i in ts.items]
+        ))
+        rows.append([
+            name, len(ts), ts.n_categories, ts.reference_grade.value,
+            f"{ref_quality:.1f}",
+        ])
+    print_banner("table6", "Test sets (paper: 150/42, 170/11, 80/9, 252/15)")
+    print(format_table(
+        ["Name", "Size", "Categories", "Reference", "Ref quality"], rows,
+    ))
+    expected = {
+        "coachlm150": (150, 42), "pandalm170": (170, 11),
+        "vicuna80": (80, 9), "selfinstruct252": (252, 15),
+    }
+    for name, (size, cats) in expected.items():
+        assert len(sets[name]) == size
+        assert sets[name].n_categories == cats

@@ -1,0 +1,67 @@
+"""Deployment scenario: CoachLM inside a data-management platform (Fig. 6).
+
+Simulates the Huawei production integration of Section IV-A: raw user
+cases flow through rule-based scripts, optionally through CoachLM, and
+then to human annotators whose time is accounted per remaining defect.
+
+    python examples/data_cleaning_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import get_scale
+from repro.core import CoachLM
+from repro.core.training import CoachTrainingConfig
+from repro.data import generate_dataset
+from repro.deployment import DataManagementPlatform, measure_inference_throughput
+from repro.experts import ExpertCampaign
+from repro.llm import BACKBONES, build_backbone, build_tokenizer
+
+
+def main() -> None:
+    scale = get_scale("bench").scaled(
+        dataset_size=300, expert_sample_size=300, pretrain_steps=300
+    )
+    rng = np.random.default_rng(1)
+    tokenizer = build_tokenizer()
+
+    print("training a CoachLM to deploy (small budget) ...")
+    dataset = generate_dataset(rng, scale.dataset_size)
+    campaign = ExpertCampaign().run(dataset, rng)
+    backbone = build_backbone(BACKBONES["chatglm2-sim"], scale, tokenizer, rng)
+    coach = CoachLM.train(
+        backbone, tokenizer, campaign.records, rng, alpha=0.3,
+        config=CoachTrainingConfig(epochs=scale.coach_epochs,
+                                   learning_rate=scale.coach_learning_rate),
+    )
+
+    platform = DataManagementPlatform(coach=coach)
+    batch = 150
+
+    print(f"\nprocessing a batch of {batch} raw user cases ...")
+    baseline = platform.run_cleaning_batch(
+        np.random.default_rng(2), batch, use_coachlm=False
+    )
+    boosted = platform.run_cleaning_batch(
+        np.random.default_rng(2), batch, use_coachlm=True
+    )
+
+    print(f"  rules + annotators            : "
+          f"{baseline.pairs_per_person_day:.1f} pairs/person-day")
+    print(f"  rules + CoachLM + annotators  : "
+          f"{boosted.pairs_per_person_day:.1f} pairs/person-day")
+    net = DataManagementPlatform.net_improvement(baseline, boosted)
+    print(f"  net CoachLM contribution      : {net:+.1%} "
+          f"(paper: +15-20% on a 40k batch)")
+
+    throughput = measure_inference_throughput(
+        coach, platform.intake(np.random.default_rng(3), 48)
+    )
+    print(f"  CoachLM inference             : "
+          f"{throughput.samples_per_second:.2f} samples/s on this CPU")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Index of every reproduced table and figure, with its bench target.
+
+    python examples/regenerate_all.py            # print the index
+    pytest benchmarks/ --benchmark-only          # regenerate everything
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.pipeline import EXPERIMENTS
+
+
+def main() -> None:
+    print(format_table(
+        ["Experiment", "Description", "Bench target"],
+        [[e.exp_id, e.description, e.bench_target]
+         for e in EXPERIMENTS.values()],
+        title="CoachLM reproduction — experiment index "
+              "(see EXPERIMENTS.md for paper-vs-measured)",
+    ))
+    print("\nRun a single experiment, e.g.:")
+    print("  pytest benchmarks/test_bench_fig4_chatgpt_hist.py --benchmark-only -s")
+    print("Scale and budget knobs: REPRO_SCALE=ci|bench|full, "
+          "REPRO_BENCH_ITEMS=<n>, REPRO_SWEEP_SUBSET=<n>")
+
+
+if __name__ == "__main__":
+    main()

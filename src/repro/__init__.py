@@ -1,0 +1,54 @@
+"""repro — a reproduction of *CoachLM: Automatic Instruction Revisions
+Improve the Data Quality in LLM Instruction Tuning* (ICDE 2024).
+
+The package implements the paper's full pipeline over a closed synthetic
+language (see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.textgen` — the microtext language and 42-category taxonomy;
+* :mod:`repro.data` — instruction pairs, datasets, the ALPACA52K simulacrum;
+* :mod:`repro.quality` — the Table II nine-dimension rubric;
+* :mod:`repro.editdist` — Levenshtein distances used for α-selection;
+* :mod:`repro.experts` — the simulated expert revision campaign;
+* :mod:`repro.nn` — a from-scratch numpy autograd + transformer + LoRA;
+* :mod:`repro.llm` — tokenizer, backbones, instruction tuning, model zoo;
+* :mod:`repro.judges` — ChatGPT / GPT-4 / PandaLM / human judge simulacra;
+* :mod:`repro.core` — **CoachLM itself**: coach pair construction,
+  α-selection, coach instruction tuning, dataset revision, post-processing;
+* :mod:`repro.testsets` — the four instruction-following test sets;
+* :mod:`repro.pipeline` — experiment orchestration and caching;
+* :mod:`repro.deployment` — the Fig. 6 data-management platform simulator;
+* :mod:`repro.analysis` — histograms, linear fits, table rendering.
+"""
+
+from .config import DEFAULT_SEED, PRESETS, ScaleConfig, get_scale, make_rng
+from .errors import (
+    ConfigError,
+    DatasetError,
+    GenerationError,
+    JudgeError,
+    ModelError,
+    PipelineError,
+    ReproError,
+    ScoringError,
+    VocabularyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SEED",
+    "PRESETS",
+    "ScaleConfig",
+    "get_scale",
+    "make_rng",
+    "ReproError",
+    "ConfigError",
+    "DatasetError",
+    "GenerationError",
+    "JudgeError",
+    "ModelError",
+    "PipelineError",
+    "ScoringError",
+    "VocabularyError",
+    "__version__",
+]

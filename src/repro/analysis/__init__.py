@@ -1,0 +1,13 @@
+"""Analysis utilities: histograms, linear fits, ASCII tables."""
+
+from .histogram import RatingHistogram, build_rating_histogram
+from .linear_fit import LinearFit, fit_line
+from .tables import format_table
+
+__all__ = [
+    "RatingHistogram",
+    "build_rating_histogram",
+    "LinearFit",
+    "fit_line",
+    "format_table",
+]

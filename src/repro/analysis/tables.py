@@ -1,0 +1,26 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render_row(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""CoachLM — the paper's primary contribution (Section II-F).
+
+* :mod:`repro.core.selection` — α-selection: keep the top-α fraction of
+  expert revision pairs by edit distance ("quality control of human
+  input", Section II-F2);
+* :mod:`repro.core.training` — coach instruction tuning: LoRA-tune a
+  backbone on Fig. 3-formatted (x → x_r) pairs for seven epochs;
+* :mod:`repro.core.postprocess` — output cleanup and validity checks
+  ("automatic post-processing … using regular expressions", ~1.3% invalid
+  outputs fall back to originals, Section III-B1);
+* :mod:`repro.core.coachlm` — the :class:`CoachLM` facade: train once,
+  revise pairs or whole datasets, with the training-set leakage guard;
+* :mod:`repro.core.stats` — Table VII revision statistics.
+"""
+
+from .selection import select_by_alpha
+from .training import CoachTrainingConfig, train_coach_model
+from .postprocess import clean_revised_tokens, validate_revision
+from .coachlm import CoachLM, RevisionOutcome, RevisionStats
+from .stats import RevisionTableStats, revision_statistics
+
+__all__ = [
+    "select_by_alpha",
+    "CoachTrainingConfig",
+    "train_coach_model",
+    "clean_revised_tokens",
+    "validate_revision",
+    "CoachLM",
+    "RevisionOutcome",
+    "RevisionStats",
+    "RevisionTableStats",
+    "revision_statistics",
+]

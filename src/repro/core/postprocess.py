@@ -1,0 +1,78 @@
+"""Post-processing of CoachLM outputs (Section III-B1).
+
+The paper applies regular-expression cleanup to remove "invalid characters
+and repeated strings that were occasionally produced", and replaces the
+~1.3% of outputs that are not valid instruction pairs with the originals.
+Our equivalents over token sequences:
+
+* strip out-of-language garble and ``<unk>`` placeholders;
+* collapse immediately repeated tokens and repeated tail n-grams (the
+  decoder's loop failure mode);
+* validate shape: both fields non-empty, plausible lengths.
+"""
+
+from __future__ import annotations
+
+from ..textgen import vocabulary as V
+
+Tokens = list[str]
+
+#: Longest n-gram checked for degenerate tail repetition.
+_MAX_LOOP_NGRAM = 4
+
+#: A revised field longer than this is judged degenerate (Table VII's
+#: longest legitimate responses stay well under it).
+MAX_FIELD_TOKENS = 64
+
+
+def _strip_invalid(tokens: Tokens) -> Tokens:
+    return [
+        t for t in tokens
+        if V.is_known_word(t) and t not in V.NOISE_TOKENS
+    ]
+
+
+def _collapse_adjacent(tokens: Tokens) -> Tokens:
+    out: Tokens = []
+    for t in tokens:
+        if out and out[-1] == t and t not in (".", "?", "!"):
+            continue
+        out.append(t)
+    return out
+
+
+def _trim_tail_loops(tokens: Tokens) -> Tokens:
+    """Remove degenerate repeated n-grams at the end of the sequence."""
+    out = list(tokens)
+    changed = True
+    while changed:
+        changed = False
+        for n in range(_MAX_LOOP_NGRAM, 0, -1):
+            while len(out) >= 2 * n and out[-n:] == out[-2 * n : -n]:
+                out = out[:-n]
+                changed = True
+    return out
+
+
+def clean_revised_tokens(tokens: Tokens) -> Tokens:
+    """Full cleanup pipeline for one revised field."""
+    return _trim_tail_loops(_collapse_adjacent(_strip_invalid(tokens)))
+
+
+def validate_revision(
+    instruction_tokens: Tokens, response_tokens: Tokens
+) -> bool:
+    """Shape check: is this a valid instruction pair?
+
+    Invalid outputs are replaced with the original pair by the caller,
+    reproducing the paper's ~1.3% fallback rate.
+    """
+    if not instruction_tokens or not response_tokens:
+        return False
+    if len(instruction_tokens) > MAX_FIELD_TOKENS:
+        return False
+    if len(response_tokens) > MAX_FIELD_TOKENS:
+        return False
+    if len(instruction_tokens) < 2 or len(response_tokens) < 2:
+        return False
+    return True

@@ -1,0 +1,34 @@
+"""α-selection of expert revision pairs (Section II-F2).
+
+Including near-identity revisions (tiny edit distance) in coach tuning is
+"akin to introducing negative samples": the coach learns to copy instead
+of to revise.  The paper therefore keeps only the top-α fraction of the
+expert revision dataset R, ranked by edit distance between the original
+and revised pair.  α = 0.3 is the paper's main setting; α = 0 means no
+training at all (the raw backbone is used for revision).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..experts.revision import RevisionRecord
+
+
+def select_by_alpha(
+    records: list[RevisionRecord], alpha: float
+) -> list[RevisionRecord]:
+    """Keep the top-α fraction of records by descending edit distance.
+
+    Ties are broken by the original pair id so selection is deterministic.
+    ``alpha=1`` keeps everything; ``alpha=0`` keeps nothing.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ConfigError(f"alpha must be in [0, 1], got {alpha}")
+    if alpha == 0.0:
+        return []
+    ranked = sorted(
+        records,
+        key=lambda r: (-r.edit_distance, r.original.pair_id),
+    )
+    keep = max(1, int(round(alpha * len(ranked)))) if ranked else 0
+    return ranked[:keep]

@@ -1,0 +1,90 @@
+"""Revision statistics — Table VII of the paper.
+
+Average word lengths and word-level edit distances of a dataset before and
+after CoachLM revision, plus how many instructions/responses changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import InstructionDataset
+from ..editdist import word_edit_distance
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class RevisionTableStats:
+    """The Table VII rows for one (original, revised) dataset pairing."""
+
+    original_avg_instruction_len: float
+    original_avg_response_len: float
+    revised_avg_instruction_len: float
+    revised_avg_response_len: float
+    instruction_edit_distance: float
+    response_edit_distance: float
+    instructions_changed: int
+    responses_changed: int
+    total: int
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """Rendered rows in the paper's layout."""
+        return [
+            {
+                "dataset": "Original",
+                "instr_avg_len": round(self.original_avg_instruction_len, 1),
+                "instr_edit_dist": "-",
+                "resp_avg_len": round(self.original_avg_response_len, 1),
+                "resp_edit_dist": "-",
+            },
+            {
+                "dataset": "CoachLM-revised",
+                "instr_avg_len": round(self.revised_avg_instruction_len, 1),
+                "instr_edit_dist": round(self.instruction_edit_distance, 1),
+                "resp_avg_len": round(self.revised_avg_response_len, 1),
+                "resp_edit_dist": round(self.response_edit_distance, 1),
+            },
+        ]
+
+
+def revision_statistics(
+    original: InstructionDataset, revised: InstructionDataset
+) -> RevisionTableStats:
+    """Compute Table VII for an original dataset and its revision."""
+    if len(original) != len(revised) or len(original) == 0:
+        raise DatasetError(
+            f"datasets must be parallel and non-empty: "
+            f"{len(original)} vs {len(revised)}"
+        )
+    instr_dists: list[int] = []
+    resp_dists: list[int] = []
+    instr_changed = 0
+    resp_changed = 0
+    for before, after in zip(original, revised):
+        d_i = word_edit_distance(before.instruction, after.instruction)
+        d_r = word_edit_distance(before.response, after.response)
+        instr_dists.append(d_i)
+        resp_dists.append(d_r)
+        instr_changed += d_i > 0
+        resp_changed += d_r > 0
+    return RevisionTableStats(
+        original_avg_instruction_len=float(
+            np.mean([p.instruction_length for p in original])
+        ),
+        original_avg_response_len=float(
+            np.mean([p.response_length for p in original])
+        ),
+        revised_avg_instruction_len=float(
+            np.mean([p.instruction_length for p in revised])
+        ),
+        revised_avg_response_len=float(
+            np.mean([p.response_length for p in revised])
+        ),
+        instruction_edit_distance=float(np.mean(instr_dists)),
+        response_edit_distance=float(np.mean(resp_dists)),
+        instructions_changed=instr_changed,
+        responses_changed=resp_changed,
+        total=len(original),
+    )

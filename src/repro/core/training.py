@@ -1,0 +1,84 @@
+"""Coach instruction tuning (Section II-F1, Eq. (1)).
+
+Adapts a backbone LM into CoachLM by LoRA-tuning it on Fig. 3-formatted
+coach pairs x_c: the prompt asks for a revision of the original pair; the
+completion is the expert-revised pair.  The loss covers only the
+completion — exactly Eq. (1)'s conditional likelihood.  Seven epochs, as
+in the paper; after training the adapters are merged for fast inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..experts.revision import RevisionRecord
+from ..llm.prompts import encode_coach_example
+from ..llm.tokenizer import WordTokenizer
+from ..nn.lora import apply_lora, lora_parameters, merge_lora
+from ..nn.trainer import LMTrainer, TrainExample, TrainStats
+from ..nn.transformer import TransformerLM
+
+
+@dataclass(frozen=True)
+class CoachTrainingConfig:
+    """Hyper-parameters of one coach tuning run (paper defaults noted)."""
+
+    epochs: int = 7              #: paper: seven epochs
+    learning_rate: float = 2.5e-3  #: paper: 2e-4 (scaled for tiny LMs)
+    batch_size: int = 8
+    lora_rank: int = 8
+    lora_alpha: float = 16.0
+    grad_clip: float = 1.0
+
+
+def records_to_examples(
+    tokenizer: WordTokenizer,
+    records: list[RevisionRecord],
+    max_seq_len: int,
+) -> list[TrainExample]:
+    """Encode revision records as Fig. 3 coach pairs, skipping over-long ones."""
+    examples: list[TrainExample] = []
+    for record in records:
+        tokens, prompt_len = encode_coach_example(
+            tokenizer, record.original, record.revised
+        )
+        if len(tokens) > max_seq_len + 1:
+            continue
+        examples.append(TrainExample(tuple(tokens), prompt_len))
+    return examples
+
+
+def train_coach_model(
+    backbone: TransformerLM,
+    tokenizer: WordTokenizer,
+    records: list[RevisionRecord],
+    rng: np.random.Generator,
+    config: CoachTrainingConfig = CoachTrainingConfig(),
+) -> tuple[TransformerLM, TrainStats]:
+    """LoRA-tune a copy of ``backbone`` on the coach pairs.
+
+    Returns the merged (adapter-free) coach model plus training stats.
+    The backbone itself is never mutated, so one pre-trained backbone can
+    serve many α settings.
+    """
+    if not records:
+        raise ModelError("coach tuning requires at least one revision record")
+    model = backbone.clone()
+    apply_lora(model, rank=config.lora_rank, alpha=config.lora_alpha, rng=rng)
+    examples = records_to_examples(tokenizer, records, model.config.max_seq_len)
+    if not examples:
+        raise ModelError("all coach examples exceeded the context window")
+    trainer = LMTrainer(
+        model,
+        pad_id=tokenizer.specials.pad,
+        lr=config.learning_rate,
+        batch_size=config.batch_size,
+        grad_clip=config.grad_clip,
+        params=lora_parameters(model),
+    )
+    stats = trainer.train(examples, epochs=config.epochs, rng=rng)
+    merge_lora(model)
+    return model, stats

@@ -1,0 +1,53 @@
+"""Instruction pairs, datasets, and the ALPACA52K simulacrum.
+
+* :mod:`repro.data.instruction_pair` — the ``(INSTRUCTION, RESPONSE)`` record
+  (Fig. 1 of the paper) with provenance and origin tracking.
+* :mod:`repro.data.defects` — the defect taxonomy calibrated to the paper's
+  Tables III/IV, with injectors and the pair builder.
+* :mod:`repro.data.dataset` — the dataset container with JSONL IO and stats.
+* :mod:`repro.data.alpaca_generator` — generator profiles producing the
+  ALPACA52K simulacrum and the auxiliary corpora (user conversations,
+  proprietary alignment data, raw deployment cases).
+"""
+
+from .instruction_pair import InstructionPair, Origin
+from .defects import (
+    DEFECTS,
+    FILTER_DEFECTS,
+    INSTRUCTION_DEFECTS,
+    RESPONSE_DEFECTS,
+    Defect,
+    DefectSide,
+    build_pair,
+)
+from .dataset import DatasetStats, InstructionDataset
+from .alpaca_generator import (
+    ALPACA_PROFILE,
+    CONVERSATION_PROFILE,
+    PROPRIETARY_PROFILE,
+    USER_CASE_PROFILE,
+    GeneratorProfile,
+    generate_dataset,
+    rule_clean,
+)
+
+__all__ = [
+    "InstructionPair",
+    "Origin",
+    "DEFECTS",
+    "FILTER_DEFECTS",
+    "INSTRUCTION_DEFECTS",
+    "RESPONSE_DEFECTS",
+    "Defect",
+    "DefectSide",
+    "build_pair",
+    "DatasetStats",
+    "InstructionDataset",
+    "ALPACA_PROFILE",
+    "CONVERSATION_PROFILE",
+    "PROPRIETARY_PROFILE",
+    "USER_CASE_PROFILE",
+    "GeneratorProfile",
+    "generate_dataset",
+    "rule_clean",
+]

@@ -1,0 +1,194 @@
+"""The instruction dataset container.
+
+A thin, explicit wrapper over a list of :class:`InstructionPair` with the
+operations the pipeline needs: JSONL persistence, deterministic sampling
+and splitting, per-category statistics, and the Table VII length summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import DatasetError
+from .instruction_pair import InstructionPair
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of a dataset (feeds Table VII)."""
+
+    size: int
+    avg_instruction_length: float
+    avg_response_length: float
+    category_counts: dict[str, int]
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.category_counts)
+
+
+class InstructionDataset:
+    """An ordered, named collection of instruction pairs."""
+
+    def __init__(self, pairs: Iterable[InstructionPair], name: str = "dataset"):
+        self._pairs: list[InstructionPair] = list(pairs)
+        self.name = name
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __getitem__(self, index: int) -> InstructionPair:
+        return self._pairs[index]
+
+    def __iter__(self) -> Iterator[InstructionPair]:
+        return iter(self._pairs)
+
+    @property
+    def pairs(self) -> tuple[InstructionPair, ...]:
+        return tuple(self._pairs)
+
+    # -- functional transforms ----------------------------------------------------
+    def map(
+        self, fn: Callable[[InstructionPair], InstructionPair], name: str | None = None
+    ) -> "InstructionDataset":
+        """Apply ``fn`` to every pair, returning a new dataset."""
+        return InstructionDataset(
+            (fn(p) for p in self._pairs), name=name or self.name
+        )
+
+    def filter(
+        self, predicate: Callable[[InstructionPair], bool], name: str | None = None
+    ) -> "InstructionDataset":
+        """Keep pairs satisfying ``predicate``, returning a new dataset."""
+        return InstructionDataset(
+            (p for p in self._pairs if predicate(p)), name=name or self.name
+        )
+
+    def extend(self, other: "InstructionDataset", name: str | None = None) -> "InstructionDataset":
+        """Concatenate two datasets."""
+        return InstructionDataset(
+            list(self._pairs) + list(other._pairs),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    def replace_pairs(
+        self, replacements: dict[str, InstructionPair], name: str | None = None
+    ) -> "InstructionDataset":
+        """Swap in replacement pairs by ``pair_id`` (merge-back of revisions).
+
+        Pairs whose id is not in ``replacements`` are kept unchanged.  This
+        is how the paper's Alpaca-human dataset is built: the expert-revised
+        subset is merged back into the full ALPACA52K dataset.
+        """
+        unknown = set(replacements) - {p.pair_id for p in self._pairs}
+        if unknown:
+            raise DatasetError(
+                f"replacement ids not present in dataset: {sorted(unknown)[:5]}"
+            )
+        return InstructionDataset(
+            (replacements.get(p.pair_id, p) for p in self._pairs),
+            name=name or self.name,
+        )
+
+    # -- deterministic sampling ---------------------------------------------------
+    def sample(
+        self, n: int, rng: np.random.Generator, name: str | None = None
+    ) -> "InstructionDataset":
+        """Uniform sample of ``n`` pairs without replacement."""
+        if n > len(self._pairs):
+            raise DatasetError(
+                f"cannot sample {n} pairs from a dataset of {len(self._pairs)}"
+            )
+        idx = rng.choice(len(self._pairs), size=n, replace=False)
+        return InstructionDataset(
+            (self._pairs[int(i)] for i in sorted(idx)),
+            name=name or f"{self.name}-sample{n}",
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "InstructionDataset":
+        order = rng.permutation(len(self._pairs))
+        return InstructionDataset(
+            (self._pairs[int(i)] for i in order), name=self.name
+        )
+
+    def split(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["InstructionDataset", "InstructionDataset"]:
+        """Random split into (head, tail) with ``fraction`` going to head."""
+        if not 0.0 <= fraction <= 1.0:
+            raise DatasetError(f"split fraction must be in [0, 1], got {fraction}")
+        order = rng.permutation(len(self._pairs))
+        cut = int(round(fraction * len(self._pairs)))
+        head = [self._pairs[int(i)] for i in order[:cut]]
+        tail = [self._pairs[int(i)] for i in order[cut:]]
+        return (
+            InstructionDataset(head, name=f"{self.name}-head"),
+            InstructionDataset(tail, name=f"{self.name}-tail"),
+        )
+
+    # -- statistics ----------------------------------------------------------------
+    def stats(self) -> DatasetStats:
+        """Length and category statistics (Table VII columns)."""
+        if not self._pairs:
+            return DatasetStats(0, 0.0, 0.0, {})
+        counts: dict[str, int] = {}
+        for p in self._pairs:
+            key = p.provenance.category_id if p.provenance else "<unprovenanced>"
+            counts[key] = counts.get(key, 0) + 1
+        return DatasetStats(
+            size=len(self._pairs),
+            avg_instruction_length=float(
+                np.mean([p.instruction_length for p in self._pairs])
+            ),
+            avg_response_length=float(
+                np.mean([p.response_length for p in self._pairs])
+            ),
+            category_counts=counts,
+        )
+
+    def by_id(self) -> dict[str, InstructionPair]:
+        """Index the dataset by pair id (ids must be unique and non-empty)."""
+        index: dict[str, InstructionPair] = {}
+        for p in self._pairs:
+            if not p.pair_id:
+                raise DatasetError("pair without an id cannot be indexed")
+            if p.pair_id in index:
+                raise DatasetError(f"duplicate pair id {p.pair_id!r}")
+            index[p.pair_id] = p
+        return index
+
+    # -- persistence -----------------------------------------------------------------
+    def save_jsonl(self, path: str | Path) -> None:
+        """Write the dataset as one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for pair in self._pairs:
+                fh.write(json.dumps(pair.to_json(), sort_keys=True))
+                fh.write("\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path, name: str | None = None) -> "InstructionDataset":
+        """Load a dataset previously written by :meth:`save_jsonl`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"dataset file not found: {path}")
+        pairs: list[InstructionPair] = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    pairs.append(InstructionPair.from_json(json.loads(line)))
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise DatasetError(
+                        f"malformed JSONL at {path}:{line_no}: {exc}"
+                    ) from exc
+        return cls(pairs, name=name or path.stem)

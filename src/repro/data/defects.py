@@ -1,0 +1,396 @@
+"""Defect taxonomy and injection — calibrated to the paper's Tables III/IV.
+
+The paper's expert examination of 6k ALPACA52K pairs found:
+
+* 1088 pairs (18.1%) unsuitable for revision (Table III: invalid input,
+  beyond expertise, massive workload, multi-modal, safety);
+* of the remainder, 46.8% deficient in at least one rubric dimension; all
+  deficient pairs received RESPONSE revisions and 1079/2301 (46.9%) also
+  received INSTRUCTION revisions, with the type distribution of Table IV.
+
+Each defect below is a *textual* corruption: it changes the pair's surface
+form so that the rubric scorer (and the expert simulator) can detect it
+from the text alone.  The generator records which defects it planted in
+``InstructionPair.injected_defects`` purely as ground truth for the test
+suite — no pipeline component reads those labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..textgen import grammar, vocabulary as V
+from ..textgen.responses import contextualize_instruction, detokenize
+from ..textgen.tasks import (
+    CATEGORY_IDS,
+    TaskInstance,
+    get_category,
+    render_instruction,
+    sample_instance,
+    solve,
+)
+from .instruction_pair import InstructionPair, Origin
+
+Tokens = list[str]
+
+
+class DefectSide(enum.Enum):
+    INSTRUCTION = "instruction"
+    RESPONSE = "response"
+    FILTER = "filter"
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One defect type with its calibration metadata.
+
+    ``table4_bucket`` names the revision-type row of Table IV that fixing
+    this defect falls under; ``dimension`` is the primary Table II dimension
+    the defect violates.
+    """
+
+    name: str
+    side: DefectSide
+    dimension: str
+    table4_bucket: str | None = None
+    table3_category: str | None = None
+
+
+_ALL: dict[str, Defect] = {}
+
+
+def _def(defect: Defect) -> Defect:
+    _ALL[defect.name] = defect
+    return defect
+
+
+# Response-side defects -----------------------------------------------------
+RESP_TERSE = _def(Defect("resp_terse", DefectSide.RESPONSE,
+                         "richness", table4_bucket="expand"))
+RESP_TRUNCATED = _def(Defect("resp_truncated", DefectSide.RESPONSE,
+                             "comprehensiveness", table4_bucket="expand"))
+RESP_NOISY = _def(Defect("resp_noisy", DefectSide.RESPONSE,
+                         "readability", table4_bucket="rewrite_content"))
+RESP_IRRELEVANT = _def(Defect("resp_irrelevant", DefectSide.RESPONSE,
+                              "relevance", table4_bucket="rewrite_content"))
+RESP_WRONG_ANSWER = _def(Defect("resp_wrong_answer", DefectSide.RESPONSE,
+                                "correctness", table4_bucket="rewrite_content"))
+RESP_EMPTY = _def(Defect("resp_empty", DefectSide.RESPONSE,
+                         "correctness", table4_bucket="rewrite_content"))
+RESP_BAD_LAYOUT = _def(Defect("resp_bad_layout", DefectSide.RESPONSE,
+                              "readability", table4_bucket="adjust_layout_tone"))
+RESP_MACHINE_TONE = _def(Defect("resp_machine_tone", DefectSide.RESPONSE,
+                                "humanization", table4_bucket="adjust_layout_tone"))
+RESP_MISCALCULATION = _def(Defect("resp_miscalculation", DefectSide.RESPONSE,
+                                  "correctness", table4_bucket="fix_calculation"))
+RESP_UNSAFE = _def(Defect("resp_unsafe", DefectSide.RESPONSE,
+                          "safety", table4_bucket="safety_other"))
+
+# Instruction-side defects ---------------------------------------------------
+INSTR_TYPOS = _def(Defect("instr_typos", DefectSide.INSTRUCTION,
+                          "readability", table4_bucket="instr_readability"))
+INSTR_NOISY = _def(Defect("instr_noisy", DefectSide.INSTRUCTION,
+                          "readability", table4_bucket="instr_readability"))
+INSTR_AMBIGUOUS = _def(Defect("instr_ambiguous", DefectSide.INSTRUCTION,
+                              "feasibility", table4_bucket="instr_feasibility"))
+INSTR_NEEDS_CONTEXT = _def(Defect("instr_needs_context", DefectSide.INSTRUCTION,
+                                  "contextualization",
+                                  table4_bucket="instr_contextualization"))
+
+# Filter-class defects (Table III) -------------------------------------------
+FILTER_INVALID_INPUT = _def(Defect("filter_invalid_input", DefectSide.FILTER,
+                                   "feasibility", table3_category="invalid_input"))
+FILTER_BEYOND_EXPERTISE = _def(Defect("filter_beyond_expertise", DefectSide.FILTER,
+                                      "feasibility",
+                                      table3_category="beyond_expertise"))
+FILTER_MASSIVE_WORKLOAD = _def(Defect("filter_massive_workload", DefectSide.FILTER,
+                                      "feasibility",
+                                      table3_category="massive_workload"))
+FILTER_MULTIMODAL = _def(Defect("filter_multimodal", DefectSide.FILTER,
+                                "feasibility", table3_category="multimodal"))
+FILTER_TOXIC = _def(Defect("filter_toxic", DefectSide.FILTER,
+                           "safety", table3_category="safety"))
+
+DEFECTS: dict[str, Defect] = dict(_ALL)
+RESPONSE_DEFECTS = tuple(d for d in DEFECTS.values() if d.side is DefectSide.RESPONSE)
+INSTRUCTION_DEFECTS = tuple(
+    d for d in DEFECTS.values() if d.side is DefectSide.INSTRUCTION
+)
+FILTER_DEFECTS = tuple(d for d in DEFECTS.values() if d.side is DefectSide.FILTER)
+
+#: Categories whose answer is a single number token (miscalculation targets).
+NUMERIC_ANSWER_CATEGORIES = frozenset({
+    "add_numbers", "subtract_numbers", "next_number", "count_items",
+    "max_number", "min_number", "extract_number",
+    "compare_bigger", "compare_smaller",
+})
+
+#: Categories whose oracle answer is constant (no wrong-answer variant exists).
+CONSTANT_ANSWER_CATEGORIES = frozenset({
+    "dialogue_greeting", "dialogue_farewell",
+})
+
+
+def compose_from_parts(
+    category_id: str,
+    answer: Tokens,
+    explanation: Tokens,
+    *,
+    rich: bool,
+    polite: bool,
+) -> Tokens:
+    """Compose a response from explicit answer/explanation parts.
+
+    Mirrors :func:`repro.textgen.responses.compose_response` but allows the
+    parts to come from a *wrong* or *irrelevant* oracle call.
+    """
+    creative = get_category(category_id).task_class == "creative"
+    if creative or not explanation:
+        body = list(answer)
+        if not creative and not rich:
+            body = list(answer)
+        elif creative and not rich and "." in body:
+            body = body[: body.index(".")]
+        tokens = body + ["."]
+    elif rich:
+        tokens = list(answer) + [";"] + list(explanation) + ["."]
+    else:
+        tokens = list(answer) + ["."]
+    if polite:
+        tokens = tokens + list(V.POLITE_CODA)
+    return tokens
+
+
+def _miscalculated_parts(instance: TaskInstance) -> tuple[Tokens, Tokens]:
+    """Oracle parts with the numeric answer perturbed by one (off-by-one)."""
+    answer, explanation = solve(instance)
+    if len(answer) != 1 or not answer[0].isdigit():
+        raise DatasetError(
+            f"miscalculation defect needs a single numeric answer, "
+            f"got {answer!r} for {instance.category_id}"
+        )
+    right = int(answer[0])
+    wrong = right + 1 if right < 18 else right - 1
+    wrong_tok = str(wrong)
+    new_answer = [wrong_tok]
+    new_explanation = [wrong_tok if t == answer[0] else t for t in explanation]
+    return new_answer, new_explanation
+
+
+def _wrong_answer_parts(
+    instance: TaskInstance, rng: np.random.Generator
+) -> tuple[Tokens, Tokens]:
+    """Oracle parts of a *different* instance of the same category."""
+    answer, _ = solve(instance)
+    for _ in range(50):
+        other = sample_instance(rng, instance.category_id)
+        other_answer, other_expl = solve(other)
+        if other_answer != answer:
+            return other_answer, other_expl
+    raise DatasetError(
+        f"could not sample a differing answer for {instance.category_id}"
+    )
+
+
+def _irrelevant_parts(
+    instance: TaskInstance, rng: np.random.Generator
+) -> tuple[str, Tokens, Tokens]:
+    """Oracle parts of an instance from a different category."""
+    for _ in range(50):
+        cid = CATEGORY_IDS[int(rng.integers(0, len(CATEGORY_IDS)))]
+        if cid != instance.category_id:
+            other = sample_instance(rng, cid)
+            answer, explanation = solve(other)
+            return cid, answer, explanation
+    raise DatasetError("could not sample a different category")
+
+
+def build_response(
+    instance: TaskInstance,
+    defect_names: tuple[str, ...],
+    rng: np.random.Generator,
+    *,
+    polite: bool,
+) -> Tokens:
+    """Build a response for ``instance`` exhibiting the given defects."""
+    defects = set(defect_names)
+    if "resp_empty" in defects:
+        return []
+
+    compose_category = instance.category_id
+    if "resp_irrelevant" in defects:
+        compose_category, answer, explanation = _irrelevant_parts(instance, rng)
+    elif "resp_miscalculation" in defects:
+        answer, explanation = _miscalculated_parts(instance)
+    elif "resp_wrong_answer" in defects:
+        answer, explanation = _wrong_answer_parts(instance, rng)
+    else:
+        answer, explanation = solve(instance)
+
+    rich = "resp_terse" not in defects
+    if "resp_machine_tone" in defects:
+        polite = False
+    tokens = compose_from_parts(
+        compose_category, answer, explanation, rich=rich, polite=polite
+    )
+
+    if "resp_truncated" in defects:
+        tokens = grammar.truncate(tokens, rng, min_keep=max(1, len(answer) // 2))
+    if "resp_noisy" in defects:
+        tokens = grammar.inject_typos(tokens, rng)
+        tokens = grammar.inject_noise(tokens, rng, count=1)
+    if "resp_bad_layout" in defects:
+        tokens = grammar.drop_terminal_period(tokens)
+        tokens = grammar.duplicate_word(tokens, rng)
+    if "resp_machine_tone" in defects:
+        tokens = list(V.MACHINE_TONE_PREFIX) + tokens
+    if "resp_unsafe" in defects:
+        tokens = tokens + list(V.UNSAFE_PHRASE)
+    return tokens
+
+
+def build_instruction(
+    instance: TaskInstance,
+    defect_names: tuple[str, ...],
+    rng: np.random.Generator,
+    *,
+    context: bool,
+) -> Tokens:
+    """Build an instruction for ``instance`` exhibiting the given defects."""
+    defects = set(defect_names)
+    tokens, payload_start = render_instruction(instance)
+    if "instr_ambiguous" in defects:
+        if payload_start is not None:
+            tokens = tokens[:payload_start]
+        elif len(tokens) > 2:
+            tokens = tokens[: len(tokens) - 2]
+    if "instr_typos" in defects:
+        tokens = grammar.inject_typos(tokens, rng, max_typos=1)
+    if "instr_noisy" in defects:
+        tokens = grammar.inject_noise(tokens, rng, count=1)
+    if context and not defects:
+        tokens = contextualize_instruction(tokens, rng)
+    return tokens
+
+
+def build_pair(
+    instance: TaskInstance,
+    instr_defects: tuple[str, ...],
+    resp_defects: tuple[str, ...],
+    rng: np.random.Generator,
+    *,
+    polite: bool = True,
+    context: bool = False,
+    pair_id: str = "",
+) -> InstructionPair:
+    """Assemble a full pair with the requested defects planted."""
+    for name in instr_defects + resp_defects:
+        if name not in DEFECTS:
+            raise DatasetError(f"unknown defect {name!r}")
+    instruction = build_instruction(instance, instr_defects, rng, context=context)
+    response = build_response(instance, resp_defects, rng, polite=polite)
+    return InstructionPair(
+        instruction=detokenize(instruction),
+        response=detokenize(response),
+        provenance=instance,
+        pair_id=pair_id,
+        origin=Origin.GENERATED,
+        injected_defects=tuple(instr_defects) + tuple(resp_defects),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Filter-class pair builders (Table III)
+# ---------------------------------------------------------------------------
+
+
+def _filter_invalid_input(rng: np.random.Generator) -> InstructionPair:
+    instruction = ["give", "the", "topic", "of", ":", "the", "link"]
+    response = ["i", "cannot", "see", "the", "link", "."]
+    return _filter_pair(instruction, response, "filter_invalid_input")
+
+
+def _filter_beyond_expertise(rng: np.random.Generator) -> InstructionPair:
+    instruction = ["write", "the", "chords", "for", "a", "minor", "scale"]
+    response = ["the", "scale", "has", "chords", "."]
+    return _filter_pair(instruction, response, "filter_beyond_expertise")
+
+
+def _filter_massive_workload(rng: np.random.Generator) -> InstructionPair:
+    filler: Tokens = []
+    for _ in range(4):
+        filler += [
+            "the", str(V.COLORS[int(rng.integers(0, len(V.COLORS)))]),
+            str(V.ANIMALS[int(rng.integers(0, len(V.ANIMALS)))]),
+            str(V.VERBS_3RD[int(rng.integers(0, len(V.VERBS_3RD)))]),
+            "near", "the", str(V.PLACES[int(rng.integers(0, len(V.PLACES)))]), ".",
+        ]
+    instruction = ["rewrite", "the", "whole", "page", ":"] + filler
+    response = ["the", "page", "has", "words", "."]
+    return _filter_pair(instruction, response, "filter_massive_workload")
+
+
+def _filter_multimodal(rng: np.random.Generator) -> InstructionPair:
+    kind = ("photo", "image", "video")[int(rng.integers(0, 3))]
+    instruction = ["list", "the", "items", "in", "the", kind]
+    response = ["i", "cannot", "see", "the", kind, "."]
+    return _filter_pair(instruction, response, "filter_multimodal")
+
+
+def _filter_toxic(rng: np.random.Generator) -> InstructionPair:
+    instance = sample_instance(rng)
+    instruction, _ = render_instruction(instance)
+    response = list(V.UNSAFE_PHRASE) + ["."] + list(V.UNSAFE_PHRASE) + ["."]
+    return InstructionPair(
+        instruction=detokenize(list(instruction)),
+        response=detokenize(response),
+        provenance=instance,
+        origin=Origin.GENERATED,
+        injected_defects=("filter_toxic",),
+    )
+
+
+def _filter_pair(
+    instruction: Tokens, response: Tokens, defect_name: str
+) -> InstructionPair:
+    return InstructionPair(
+        instruction=detokenize(instruction),
+        response=detokenize(response),
+        provenance=None,
+        origin=Origin.GENERATED,
+        injected_defects=(defect_name,),
+    )
+
+
+FILTER_BUILDERS = {
+    "filter_invalid_input": _filter_invalid_input,
+    "filter_beyond_expertise": _filter_beyond_expertise,
+    "filter_massive_workload": _filter_massive_workload,
+    "filter_multimodal": _filter_multimodal,
+    "filter_toxic": _filter_toxic,
+}
+
+
+def build_filter_pair(
+    defect_name: str, rng: np.random.Generator, pair_id: str = ""
+) -> InstructionPair:
+    """Build a Table III filter-class pair of the given kind."""
+    try:
+        builder = FILTER_BUILDERS[defect_name]
+    except KeyError:
+        raise DatasetError(f"unknown filter defect {defect_name!r}") from None
+    pair = builder(rng)
+    if pair_id:
+        pair = InstructionPair(
+            instruction=pair.instruction,
+            response=pair.response,
+            provenance=pair.provenance,
+            pair_id=pair_id,
+            origin=pair.origin,
+            injected_defects=pair.injected_defects,
+        )
+    return pair

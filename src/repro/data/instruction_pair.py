@@ -1,0 +1,100 @@
+"""The instruction-pair record (Fig. 1 of the paper).
+
+An :class:`InstructionPair` carries the two text fields every downstream
+component consumes, plus two kinds of metadata:
+
+``provenance``
+    The :class:`~repro.textgen.tasks.TaskInstance` the pair was generated
+    from.  It substitutes for the world knowledge a human rater has: the
+    rubric scorer uses it to recompute the oracle answer.  It is *kept*
+    through revision (revising a pair does not change which task it poses).
+
+``injected_defects``
+    The ground-truth labels of defects the generator planted.  **Test-suite
+    use only** — no pipeline component reads them (the expert simulator and
+    the scorer must detect flaws from the text itself, as real experts do).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..textgen.responses import tokenize
+from ..textgen.tasks import TaskInstance
+
+
+class Origin(enum.Enum):
+    """Where a pair's current text came from."""
+
+    GENERATED = "generated"            #: raw ALPACA52K-sim output
+    EXPERT_REVISED = "expert_revised"  #: rewritten by the expert simulator
+    COACHLM_REVISED = "coachlm_revised"  #: rewritten by CoachLM
+    RULE_CLEANED = "rule_cleaned"      #: Alpaca-cleaned style regex cleanup
+    MODEL_GENERATED = "model_generated"  #: produced by a tuned LLM simulacrum
+    HUMAN_WRITTEN = "human_written"    #: test-set reference responses
+
+
+@dataclass(frozen=True)
+class InstructionPair:
+    """One ``(INSTRUCTION, RESPONSE)`` training sample."""
+
+    instruction: str
+    response: str
+    provenance: TaskInstance | None = None
+    pair_id: str = ""
+    origin: Origin = Origin.GENERATED
+    injected_defects: tuple[str, ...] = ()
+
+    @property
+    def instruction_tokens(self) -> list[str]:
+        return tokenize(self.instruction)
+
+    @property
+    def response_tokens(self) -> list[str]:
+        return tokenize(self.response)
+
+    @property
+    def instruction_length(self) -> int:
+        """Word count of the instruction (Table VII reports word lengths)."""
+        return len(self.instruction_tokens)
+
+    @property
+    def response_length(self) -> int:
+        """Word count of the response."""
+        return len(self.response_tokens)
+
+    def with_text(
+        self, instruction: str, response: str, origin: Origin
+    ) -> "InstructionPair":
+        """Return a revised copy: new text, same provenance and id."""
+        return replace(
+            self, instruction=instruction, response=response, origin=origin
+        )
+
+    def to_json(self) -> dict:
+        blob: dict = {
+            "instruction": self.instruction,
+            "response": self.response,
+            "pair_id": self.pair_id,
+            "origin": self.origin.value,
+        }
+        if self.provenance is not None:
+            blob["provenance"] = self.provenance.to_json()
+        if self.injected_defects:
+            blob["injected_defects"] = list(self.injected_defects)
+        return blob
+
+    @staticmethod
+    def from_json(blob: dict) -> "InstructionPair":
+        provenance = None
+        if "provenance" in blob:
+            provenance = TaskInstance.from_json(blob["provenance"])
+        return InstructionPair(
+            instruction=blob["instruction"],
+            response=blob["response"],
+            provenance=provenance,
+            pair_id=blob.get("pair_id", ""),
+            origin=Origin(blob.get("origin", "generated")),
+            injected_defects=tuple(blob.get("injected_defects", ())),
+        )

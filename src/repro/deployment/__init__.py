@@ -1,0 +1,18 @@
+"""The Fig. 6 data-management platform simulator (Section IV-A)."""
+
+from .annotators import AnnotatorTimeModel, AnnotatorWorkforce
+from .platform import (
+    CleaningBatchReport,
+    DataManagementPlatform,
+    InferenceThroughput,
+    measure_inference_throughput,
+)
+
+__all__ = [
+    "AnnotatorTimeModel",
+    "AnnotatorWorkforce",
+    "DataManagementPlatform",
+    "CleaningBatchReport",
+    "InferenceThroughput",
+    "measure_inference_throughput",
+]

@@ -1,0 +1,107 @@
+"""Human annotator workforce with a per-defect time model.
+
+The paper's deployment claim is a throughput claim: before CoachLM the
+platform's annotators produced ~80 accepted pairs per person-day; with
+CoachLM's revisions as a precursor, ~100 (net +15-20% after deducting
+annotator proficiency gains).  We model annotator time explicitly:
+
+    time(pair) = review_minutes + Σ fix_minutes(violated dimension)
+
+so throughput *emerges* from the residual defect load reaching the
+annotators — which is exactly what the CoachLM precursor reduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..quality.scorer import CriteriaScorer
+
+MINUTES_PER_PERSON_DAY = 8 * 60.0
+
+
+@dataclass(frozen=True)
+class AnnotatorTimeModel:
+    """Minutes spent per pair, by activity.
+
+    Defaults are calibrated so raw user-case batches land near the paper's
+    ~80 pairs/person-day baseline.
+    """
+
+    review_minutes: float = 2.0
+    fix_minutes: dict[str, float] = field(default_factory=lambda: {
+        "safety": 4.0,
+        "correctness": 4.0,
+        "relevance": 3.5,
+        "comprehensiveness": 3.0,
+        "richness": 2.5,
+        "readability": 1.5,
+        "humanization": 1.5,
+        "feasibility": 3.0,
+    })
+
+    def minutes_for_pair(
+        self, pair: InstructionPair, scorer: CriteriaScorer
+    ) -> float:
+        report = scorer.score_pair(pair)
+        minutes = self.review_minutes
+        for violation in report.response.violations:
+            minutes += self.fix_minutes.get(violation, 2.0)
+        for violation in report.instruction.violations:
+            if violation in ("feasibility", "readability"):
+                minutes += self.fix_minutes.get(violation, 2.0)
+        return minutes
+
+
+@dataclass
+class WorkforceReport:
+    """Result of one annotation batch."""
+
+    pairs_processed: int
+    total_minutes: float
+    per_pair_minutes: list[float]
+
+    @property
+    def person_days(self) -> float:
+        return self.total_minutes / MINUTES_PER_PERSON_DAY
+
+    @property
+    def pairs_per_person_day(self) -> float:
+        if self.total_minutes == 0:
+            return 0.0
+        return self.pairs_processed / self.person_days
+
+
+class AnnotatorWorkforce:
+    """A pool of annotators cleaning instruction pairs.
+
+    ``proficiency_gain`` models the learning effect the paper deducts when
+    isolating CoachLM's net contribution: annotators on a later batch work
+    a few percent faster regardless of tooling.
+    """
+
+    def __init__(
+        self,
+        time_model: AnnotatorTimeModel | None = None,
+        scorer: CriteriaScorer | None = None,
+        proficiency_gain: float = 0.0,
+    ):
+        self.time_model = time_model or AnnotatorTimeModel()
+        self.scorer = scorer or CriteriaScorer()
+        self.proficiency_gain = proficiency_gain
+
+    def process_batch(self, pairs: list[InstructionPair]) -> WorkforceReport:
+        """Clean a batch; returns the time accounting."""
+        per_pair = [
+            self.time_model.minutes_for_pair(pair, self.scorer)
+            * (1.0 - self.proficiency_gain)
+            for pair in pairs
+        ]
+        return WorkforceReport(
+            pairs_processed=len(pairs),
+            total_minutes=float(np.sum(per_pair)),
+            per_pair_minutes=per_pair,
+        )

@@ -1,0 +1,145 @@
+"""The LLM data-management platform of Fig. 6.
+
+Pipeline stages, mirroring the figure:
+
+1. **intake** — online user cases arrive (noisy instructions, LLM-generated
+   responses): the ``USER_CASE_PROFILE`` corpus;
+2. **rule-based scripts** — parse/clean raw cases (surface fixes only);
+3. **CoachLM precursor** (the integration this paper adds) — automatic
+   revisions before any human touches the data;
+4. **human annotators** — final cleaning to acceptance criteria, with the
+   per-defect time model of :mod:`repro.deployment.annotators`.
+
+Comparing stage-4 throughput with and without stage 3 reproduces the
+paper's 80 → ~100 pairs/person-day result; a real wall-clock measurement
+of CoachLM inference reproduces the samples/second figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coachlm import CoachLM
+from ..data.alpaca_generator import USER_CASE_PROFILE, generate_dataset, rule_clean
+from ..data.dataset import InstructionDataset
+from ..quality.scorer import CriteriaScorer
+from .annotators import AnnotatorWorkforce, WorkforceReport
+
+
+@dataclass(frozen=True)
+class CleaningBatchReport:
+    """Throughput accounting of one cleaning batch."""
+
+    batch_size: int
+    with_coachlm: bool
+    workforce: WorkforceReport
+    mean_quality_in: float
+    mean_quality_out_of_coach: float | None
+
+    @property
+    def pairs_per_person_day(self) -> float:
+        return self.workforce.pairs_per_person_day
+
+
+@dataclass(frozen=True)
+class InferenceThroughput:
+    """Measured CoachLM inference speed (paper: 1.19 samples/s on an A100)."""
+
+    samples: int
+    seconds: float
+
+    @property
+    def samples_per_second(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.samples / self.seconds
+
+
+class DataManagementPlatform:
+    """End-to-end simulator of the Fig. 6 platform."""
+
+    def __init__(
+        self,
+        coach: CoachLM | None = None,
+        workforce: AnnotatorWorkforce | None = None,
+        scorer: CriteriaScorer | None = None,
+    ):
+        self.coach = coach
+        self.workforce = workforce or AnnotatorWorkforce()
+        self.scorer = scorer or CriteriaScorer()
+
+    def intake(
+        self, rng: np.random.Generator, n_cases: int
+    ) -> InstructionDataset:
+        """Collect raw online user cases."""
+        return generate_dataset(rng, n_cases, USER_CASE_PROFILE, name="user-cases")
+
+    def rule_based_cleaning(
+        self, raw: InstructionDataset
+    ) -> InstructionDataset:
+        """The platform's pre-existing scripts: surface cleanup only."""
+        return rule_clean(raw)
+
+    def run_cleaning_batch(
+        self,
+        rng: np.random.Generator,
+        n_cases: int,
+        use_coachlm: bool,
+    ) -> CleaningBatchReport:
+        """Process one batch end-to-end and account annotator time."""
+        raw = self.intake(rng, n_cases)
+        parsed = self.rule_based_cleaning(raw)
+        quality_in = float(np.mean(
+            [self.scorer.score_response(p).score for p in parsed]
+        ))
+
+        coach_quality = None
+        to_annotate = parsed
+        if use_coachlm:
+            if self.coach is None:
+                raise ValueError("platform has no CoachLM attached")
+            to_annotate, _ = self.coach.revise_dataset(parsed)
+            coach_quality = float(np.mean(
+                [self.scorer.score_response(p).score for p in to_annotate]
+            ))
+
+        report = self.workforce.process_batch(list(to_annotate))
+        return CleaningBatchReport(
+            batch_size=n_cases,
+            with_coachlm=use_coachlm,
+            workforce=report,
+            mean_quality_in=quality_in,
+            mean_quality_out_of_coach=coach_quality,
+        )
+
+    @staticmethod
+    def net_improvement(
+        baseline: CleaningBatchReport,
+        with_coach: CleaningBatchReport,
+        proficiency_share: float = 0.25,
+    ) -> float:
+        """Net throughput gain attributable to CoachLM.
+
+        The paper deducts the efficiency brought by annotators' growing
+        proficiency before crediting CoachLM with the remaining 15-20%;
+        ``proficiency_share`` is the fraction of the raw gain deducted.
+        """
+        raw_gain = (
+            with_coach.pairs_per_person_day / baseline.pairs_per_person_day
+        ) - 1.0
+        return raw_gain * (1.0 - proficiency_share)
+
+
+def measure_inference_throughput(
+    coach: CoachLM, dataset: InstructionDataset, max_samples: int = 64
+) -> InferenceThroughput:
+    """Wall-clock CoachLM revision throughput on this machine."""
+    pairs = list(dataset)[:max_samples]
+    start = time.perf_counter()
+    for pair in pairs:
+        coach.revise_pair(pair)
+    elapsed = time.perf_counter() - start
+    return InferenceThroughput(samples=len(pairs), seconds=elapsed)

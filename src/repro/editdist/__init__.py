@@ -1,0 +1,31 @@
+"""Edit distances (Levenshtein) used throughout the pipeline.
+
+The paper uses edit distance twice:
+
+* **α-selection** (Section II-F2): the human-input ratio α keeps the top-α
+  fraction of expert revision pairs by edit distance between the original
+  and revised pair — distance measures *how much the expert changed*, i.e.
+  how much revision signal the pair carries.
+* **Table VII**: word-level edit distance between the original and the
+  CoachLM-revised ALPACA52K dataset.
+"""
+
+from .levenshtein import (
+    char_edit_distance,
+    edit_distance,
+    normalized_edit_distance,
+    pair_edit_distance,
+    word_edit_distance,
+)
+from .alignment import EditOp, align, diff_stats
+
+__all__ = [
+    "edit_distance",
+    "char_edit_distance",
+    "word_edit_distance",
+    "normalized_edit_distance",
+    "pair_edit_distance",
+    "EditOp",
+    "align",
+    "diff_stats",
+]

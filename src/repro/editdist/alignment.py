@@ -1,0 +1,97 @@
+"""Edit-script backtrace and diff statistics.
+
+Beyond the bare distance, the expert-campaign analytics (Table IV) and the
+revision post-mortems want to know *what kind* of edits were made — how
+many insertions vs deletions vs substitutions.  :func:`align` produces a
+minimal edit script; :func:`diff_stats` summarises it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+class EditOp(enum.Enum):
+    MATCH = "match"
+    SUBSTITUTE = "substitute"
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class DiffStats:
+    """Counts of each edit operation in a minimal edit script."""
+
+    matches: int
+    substitutions: int
+    insertions: int
+    deletions: int
+
+    @property
+    def distance(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
+
+    @property
+    def grew(self) -> bool:
+        """True if the revision made the sequence longer on balance."""
+        return self.insertions > self.deletions
+
+
+def align(
+    a: Sequence[Hashable], b: Sequence[Hashable]
+) -> list[tuple[EditOp, int, int]]:
+    """Minimal edit script transforming ``a`` into ``b``.
+
+    Returns ``(op, i, j)`` triples where ``i``/``j`` index into ``a``/``b``
+    (``-1`` for the side an insert/delete does not touch).  Ties are broken
+    preferring match/substitute, then delete, then insert, which yields a
+    deterministic script.
+    """
+    m, n = len(a), len(b)
+    dp = np.zeros((m + 1, n + 1), dtype=np.int64)
+    dp[:, 0] = np.arange(m + 1)
+    dp[0, :] = np.arange(n + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dp[i, j] = min(
+                dp[i - 1, j] + 1,
+                dp[i, j - 1] + 1,
+                dp[i - 1, j - 1] + cost,
+            )
+
+    script: list[tuple[EditOp, int, int]] = []
+    i, j = m, n
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            if dp[i, j] == dp[i - 1, j - 1] + cost:
+                op = EditOp.MATCH if cost == 0 else EditOp.SUBSTITUTE
+                script.append((op, i - 1, j - 1))
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and dp[i, j] == dp[i - 1, j] + 1:
+            script.append((EditOp.DELETE, i - 1, -1))
+            i -= 1
+            continue
+        script.append((EditOp.INSERT, -1, j - 1))
+        j -= 1
+    script.reverse()
+    return script
+
+
+def diff_stats(a: Sequence[Hashable], b: Sequence[Hashable]) -> DiffStats:
+    """Summarise the minimal edit script between two sequences."""
+    counts = {op: 0 for op in EditOp}
+    for op, _, _ in align(a, b):
+        counts[op] += 1
+    return DiffStats(
+        matches=counts[EditOp.MATCH],
+        substitutions=counts[EditOp.SUBSTITUTE],
+        insertions=counts[EditOp.INSERT],
+        deletions=counts[EditOp.DELETE],
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the CoachLM reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class VocabularyError(ReproError):
+    """A token was requested that the microtext vocabulary does not define."""
+
+
+class DatasetError(ReproError):
+    """An instruction dataset is malformed or an IO operation failed."""
+
+
+class ScoringError(ReproError):
+    """The quality scorer received a pair it cannot evaluate."""
+
+
+class ModelError(ReproError):
+    """A neural-network component was used inconsistently."""
+
+
+class GenerationError(ReproError):
+    """Text generation failed (e.g. exceeded the model context window)."""
+
+
+class JudgeError(ReproError):
+    """An evaluation judge received invalid candidates."""
+
+
+class PipelineError(ReproError):
+    """An experiment pipeline stage failed or was mis-ordered."""

@@ -1,0 +1,44 @@
+"""The simulated expert revision campaign (Sections II-C and II-E).
+
+* :mod:`repro.experts.profiles` — the 26 language experts of Table I,
+  split into groups A (revision), B (test-set creation), C (evaluation).
+* :mod:`repro.experts.filtering` — the preliminary filter excluding
+  Table III pairs (invalid input, beyond expertise, massive workload,
+  multi-modal, safety).
+* :mod:`repro.experts.assignment` — expertise-based assignment of pairs to
+  the three group-A units by task difficulty class.
+* :mod:`repro.experts.revision` — per-dimension revision operators that
+  repair a pair until it scores ≥ 95 under the Table II rubric.
+* :mod:`repro.experts.workflow` — the end-to-end campaign: filter, assign,
+  revise, classify revisions into Table IV buckets, account person-days.
+"""
+
+from .profiles import (
+    GROUP_A,
+    GROUP_B,
+    GROUP_C,
+    ExpertProfile,
+    group_profile_table,
+)
+from .filtering import FilterDecision, preliminary_filter
+from .assignment import UNIT_CLASS_ORDER, UnitAssignment, assign_units
+from .revision import ExpertReviser, RevisionRecord
+from .workflow import CampaignCosts, CampaignResult, ExpertCampaign
+
+__all__ = [
+    "ExpertProfile",
+    "GROUP_A",
+    "GROUP_B",
+    "GROUP_C",
+    "group_profile_table",
+    "FilterDecision",
+    "preliminary_filter",
+    "UnitAssignment",
+    "UNIT_CLASS_ORDER",
+    "assign_units",
+    "ExpertReviser",
+    "RevisionRecord",
+    "ExpertCampaign",
+    "CampaignCosts",
+    "CampaignResult",
+]

@@ -1,0 +1,77 @@
+"""Expertise-based assignment of pairs to expert units (Section II-E2).
+
+The 17 group-A experts are split into three units by years of experience;
+each unit owns one task-difficulty class:
+
+* language tasks (objective answers) — least experienced unit (paper: 9.4y);
+* Q&A — middle unit (11.2y);
+* creative composition — most experienced unit (13.1y).
+
+Each unit also has an *owner* (its most experienced member) responsible
+for quality control of the unit's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PipelineError
+from ..textgen.tasks import CLASS_CREATIVE, CLASS_LANGUAGE, CLASS_QA, get_category
+from ..data.instruction_pair import InstructionPair
+from .profiles import GROUP_A, ExpertProfile
+
+#: Difficulty order: later classes demand more experienced units.
+UNIT_CLASS_ORDER = (CLASS_LANGUAGE, CLASS_QA, CLASS_CREATIVE)
+
+
+@dataclass(frozen=True)
+class UnitAssignment:
+    """One expert unit with its owned task class."""
+
+    task_class: str
+    members: tuple[ExpertProfile, ...]
+    owner: ExpertProfile
+
+    @property
+    def average_experience(self) -> float:
+        return sum(m.years_experience for m in self.members) / len(self.members)
+
+
+def assign_units(
+    experts: tuple[ExpertProfile, ...] = GROUP_A,
+) -> dict[str, UnitAssignment]:
+    """Split experts into three units by experience tertile.
+
+    The unit sizes follow the paper's workload estimate: language tasks are
+    the most numerous, so the largest unit owns them.
+    """
+    if len(experts) < 3:
+        raise PipelineError("need at least three experts to form units")
+    ordered = sorted(experts, key=lambda e: e.years_experience)
+    third = len(ordered) // 3
+    splits = (
+        ordered[: third + len(ordered) % 3],
+        ordered[third + len(ordered) % 3 : 2 * third + len(ordered) % 3],
+        ordered[2 * third + len(ordered) % 3 :],
+    )
+    units: dict[str, UnitAssignment] = {}
+    for task_class, members in zip(UNIT_CLASS_ORDER, splits):
+        owner = max(members, key=lambda e: e.years_experience)
+        units[task_class] = UnitAssignment(
+            task_class=task_class, members=tuple(members), owner=owner
+        )
+    return units
+
+
+def unit_for_pair(
+    pair: InstructionPair, units: dict[str, UnitAssignment]
+) -> UnitAssignment:
+    """Route a pair to the unit owning its difficulty class.
+
+    Unprovenanced pairs (retained filter-class pairs) go to the most
+    experienced unit, since their revision is the least routine.
+    """
+    if pair.provenance is None:
+        return units[CLASS_CREATIVE]
+    task_class = get_category(pair.provenance.category_id).task_class
+    return units[task_class]

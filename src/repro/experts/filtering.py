@@ -1,0 +1,113 @@
+"""Preliminary filtering — Table III of the paper.
+
+Before the primary revision, group-A experts excluded 1088 of 6000 sampled
+pairs whose key content was invalid, whose scene was overly professional,
+whose rewrite workload was massive, which referenced unsupported
+modalities, or which were unsafe.  The filter below detects the same five
+classes *from pair text* (marker phrases and the unsafe span), never from
+the generator's hidden labels.
+
+Excluded pairs "still participated in subsequent LLM training for fair
+comparison" — so the filter returns both partitions and the caller keeps
+the excluded pairs in the tuning corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.dataset import InstructionDataset
+from ..data.instruction_pair import InstructionPair
+from ..textgen import vocabulary as V
+
+#: Text markers for each Table III exclusion reason, checked in order.
+_REASON_MARKERS: tuple[tuple[str, tuple[tuple[str, ...], ...]], ...] = (
+    ("invalid_input", (("link",),)),
+    ("beyond_expertise", (("chords",), ("scale",))),
+    ("massive_workload", (("whole", "page"), ("rewrite", "the", "whole"))),
+    ("multimodal", (("photo",), ("image",), ("video",))),
+)
+
+#: Paper ratios of the 1088 excluded pairs, for reporting alongside ours.
+PAPER_TABLE3_RATIOS = {
+    "invalid_input": 0.417,
+    "beyond_expertise": 0.277,
+    "massive_workload": 0.082,
+    "multimodal": 0.065,
+    "safety": 0.159,
+}
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of the preliminary filter for one pair."""
+
+    pair: InstructionPair
+    excluded: bool
+    reason: str | None = None
+
+
+def _contains_phrase(tokens: list[str], phrase: tuple[str, ...]) -> bool:
+    n = len(phrase)
+    return any(
+        tuple(tokens[i : i + n]) == phrase for i in range(len(tokens) - n + 1)
+    )
+
+
+def classify_exclusion(pair: InstructionPair) -> str | None:
+    """Return the Table III exclusion reason, or None if the pair is usable."""
+    instr = pair.instruction_tokens
+    resp = pair.response_tokens
+    for reason, markers in _REASON_MARKERS:
+        if any(_contains_phrase(instr, m) for m in markers):
+            return reason
+    unsafe = tuple(V.UNSAFE_PHRASE)
+    unsafe_hits = sum(
+        1 for i in range(len(resp))
+        if tuple(resp[i : i + len(unsafe)]) == unsafe
+    )
+    if _contains_phrase(instr, unsafe) or unsafe_hits >= 2:
+        # A single unsafe span is a revisable safety flaw (Table IV's
+        # "mitigate safety issues" row); overtly toxic pairs (two or more
+        # spans, or an unsafe request) are excluded outright.
+        return "safety"
+    return None
+
+
+def preliminary_filter(
+    dataset: InstructionDataset,
+    retain_fraction: float = 0.0,
+    rng=None,
+) -> tuple[list[FilterDecision], list[FilterDecision]]:
+    """Partition a dataset into (kept, excluded) with reasons.
+
+    ``retain_fraction`` optionally keeps a small share of would-be-excluded
+    pairs in the revision pool: the paper notes "a small proportion of such
+    pairs were retained during the revision to ensure diversity".
+    """
+    kept: list[FilterDecision] = []
+    excluded: list[FilterDecision] = []
+    for pair in dataset:
+        reason = classify_exclusion(pair)
+        if reason is None:
+            kept.append(FilterDecision(pair, excluded=False))
+            continue
+        if retain_fraction > 0.0 and rng is not None and rng.random() < retain_fraction:
+            kept.append(FilterDecision(pair, excluded=False, reason=reason))
+            continue
+        excluded.append(FilterDecision(pair, excluded=True, reason=reason))
+    return kept, excluded
+
+
+def exclusion_distribution(
+    excluded: list[FilterDecision],
+) -> dict[str, float]:
+    """Ratio of each exclusion reason among excluded pairs (Table III)."""
+    if not excluded:
+        return {}
+    counts: dict[str, int] = {}
+    for decision in excluded:
+        assert decision.reason is not None
+        counts[decision.reason] = counts.get(decision.reason, 0) + 1
+    total = len(excluded)
+    return {reason: count / total for reason, count in sorted(counts.items())}

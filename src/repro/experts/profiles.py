@@ -1,0 +1,81 @@
+"""Expert profiles — Table I of the paper.
+
+26 language experts in three non-overlapping groups:
+
+====== ====================== ======= =======================
+Group  Task                   Experts Average experience
+====== ====================== ======= =======================
+A      Revise pairs           17      11.29 years
+B      Create test set        6       5.64 years
+C      Evaluate CoachLM       3       12.57 years
+====== ====================== ======= =======================
+
+Experience values are synthetic but average to exactly the paper's
+figures; group A's spread drives the expertise-based unit assignment
+(Section II-E2: units average 9.4 / 11.2 / 13.1 years).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExpertProfile:
+    """One language expert."""
+
+    name: str
+    group: str
+    years_experience: float
+    skills: tuple[str, ...] = (
+        "translation", "localization", "proofreading", "editing",
+        "copy-writing", "technical writing", "linguistic testing",
+    )
+
+
+def _make_group(group: str, years: list[float]) -> tuple[ExpertProfile, ...]:
+    return tuple(
+        ExpertProfile(name=f"expert-{group}{i + 1:02d}", group=group,
+                      years_experience=float(y))
+        for i, y in enumerate(years)
+    )
+
+
+#: Group A: 17 experts, average 11.29 years (sum 191.93).
+GROUP_A = _make_group("A", [
+    5.2, 6.1, 7.3, 8.0, 8.9, 9.5, 10.0, 10.4, 11.0, 11.3, 12.0, 12.6,
+    13.2, 14.0, 15.3, 16.8, 20.33,
+])
+
+#: Group B: 6 experts, average 5.64 years (sum 33.84).
+GROUP_B = _make_group("B", [3.5, 4.2, 5.0, 5.8, 6.9, 8.44])
+
+#: Group C: 3 experts, average 12.57 years (sum 37.71).
+GROUP_C = _make_group("C", [10.5, 12.5, 14.71])
+
+GROUPS: dict[str, tuple[ExpertProfile, ...]] = {
+    "A": GROUP_A, "B": GROUP_B, "C": GROUP_C,
+}
+
+GROUP_TASKS = {
+    "A": "Revise Instruction Pairs",
+    "B": "Create Test Set",
+    "C": "Evaluate CoachLM",
+}
+
+
+def average_experience(group: tuple[ExpertProfile, ...]) -> float:
+    return sum(e.years_experience for e in group) / len(group)
+
+
+def group_profile_table() -> list[dict[str, object]]:
+    """Rows of Table I: group, task, expert count, average experience."""
+    return [
+        {
+            "group": name,
+            "task": GROUP_TASKS[name],
+            "number_of_experts": len(members),
+            "average_years_of_experience": round(average_experience(members), 2),
+        }
+        for name, members in GROUPS.items()
+    ]

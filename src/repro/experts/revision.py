@@ -1,0 +1,290 @@
+"""Expert revision operators (Section II-E2).
+
+An expert revises a flagged pair "making all necessary revisions,
+regardless of the importance of the revised dimensions", until it scores
+95+ under the Table II rubric.  The simulator reproduces this with oracle
+knowledge of the task (the stand-in for the expert's own competence):
+
+* a violated instruction is re-rendered cleanly from provenance;
+* a flawed response is rewritten as the ideal rich + polite response;
+* for a small share of otherwise-clean instructions the expert chooses to
+  *diversify the context* — the paper's 7% Contextualization row.
+
+Every revision is classified into the Table IV bucket of its primary
+revision type, so the campaign can report the same distribution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair, Origin
+from ..editdist import pair_edit_distance
+from ..errors import ScoringError
+from ..quality.scorer import CriteriaScorer, SideReport, analyze_response
+from ..textgen.tasks import get_category, solve
+from ..textgen import grammar
+from ..textgen.responses import (
+    contextualize_instruction,
+    detokenize,
+    has_context_marker,
+    ideal_response,
+)
+from ..textgen.tasks import render_instruction
+from .profiles import ExpertProfile
+
+#: Table IV bucket names — response side.
+BUCKET_EXPAND = "expand"
+BUCKET_REWRITE = "rewrite_content"
+BUCKET_LAYOUT_TONE = "adjust_layout_tone"
+BUCKET_CALC = "fix_calculation"
+BUCKET_SAFETY = "safety_other"
+
+#: Table IV bucket names — instruction side.
+BUCKET_I_READ = "instr_readability"
+BUCKET_I_FEAS = "instr_feasibility"
+BUCKET_I_CTX = "instr_contextualization"
+
+#: Paper ratios for the response buckets (Table IV).
+PAPER_TABLE4_RESPONSE = {
+    BUCKET_EXPAND: 0.437,
+    BUCKET_REWRITE: 0.245,
+    BUCKET_LAYOUT_TONE: 0.233,
+    BUCKET_CALC: 0.067,
+    BUCKET_SAFETY: 0.019,
+}
+
+#: Paper ratios for the instruction buckets (Table IV).
+PAPER_TABLE4_INSTRUCTION = {
+    BUCKET_I_READ: 0.681,
+    BUCKET_I_FEAS: 0.249,
+    BUCKET_I_CTX: 0.070,
+}
+
+_NUMERIC = frozenset({
+    "add_numbers", "subtract_numbers", "next_number", "count_items",
+    "max_number", "min_number", "extract_number",
+    "compare_bigger", "compare_smaller",
+})
+
+
+@dataclass(frozen=True)
+class RevisionRecord:
+    """One ``(x, x_r)`` element of the expert revision dataset R."""
+
+    original: InstructionPair
+    revised: InstructionPair
+    expert: ExpertProfile
+    task_class: str
+    instruction_bucket: str | None
+    response_bucket: str | None
+    edit_distance: int
+
+    @property
+    def instruction_revised(self) -> bool:
+        return self.original.instruction != self.revised.instruction
+
+    @property
+    def response_revised(self) -> bool:
+        return self.original.response != self.revised.response
+
+    def to_json(self) -> dict:
+        return {
+            "original": self.original.to_json(),
+            "revised": self.revised.to_json(),
+            "expert": self.expert.name,
+            "expert_group": self.expert.group,
+            "expert_years": self.expert.years_experience,
+            "task_class": self.task_class,
+            "instruction_bucket": self.instruction_bucket,
+            "response_bucket": self.response_bucket,
+            "edit_distance": self.edit_distance,
+        }
+
+    @staticmethod
+    def from_json(blob: dict) -> "RevisionRecord":
+        return RevisionRecord(
+            original=InstructionPair.from_json(blob["original"]),
+            revised=InstructionPair.from_json(blob["revised"]),
+            expert=ExpertProfile(
+                name=blob["expert"],
+                group=blob["expert_group"],
+                years_experience=blob["expert_years"],
+            ),
+            task_class=blob["task_class"],
+            instruction_bucket=blob["instruction_bucket"],
+            response_bucket=blob["response_bucket"],
+            edit_distance=blob["edit_distance"],
+        )
+
+
+class ExpertReviser:
+    """Applies expert revisions to flagged pairs.
+
+    Parameters
+    ----------
+    scorer:
+        The rubric scorer standing in for expert judgement.
+    context_add_rate:
+        Probability of choosing a context-diversification revision for a
+        pair whose instruction is otherwise clean (calibrates Table IV's
+        7% Contextualization row).
+    """
+
+    def __init__(
+        self,
+        scorer: CriteriaScorer | None = None,
+        context_add_rate: float = 0.06,
+    ):
+        self.scorer = scorer or CriteriaScorer()
+        self.context_add_rate = context_add_rate
+
+    def revise(
+        self,
+        pair: InstructionPair,
+        rng: np.random.Generator,
+        expert: ExpertProfile,
+        task_class: str,
+    ) -> RevisionRecord | None:
+        """Revise a pair if flagged; return None when no revision is needed."""
+        report = self.scorer.score_pair(pair)
+        if not report.needs_revision:
+            return None
+
+        instruction, instr_bucket = self._revise_instruction(pair, report.instruction, rng)
+        response, resp_bucket = self._revise_response(pair, report.response)
+
+        revised = pair.with_text(instruction, response, Origin.EXPERT_REVISED)
+        if revised.instruction == pair.instruction and revised.response == pair.response:
+            return None
+
+        # Quality control by the unit owner: whenever an oracle exists to
+        # verify it, a rewritten response must reach the 95 bar and a
+        # repaired instruction must clear its basic dimensions.
+        if pair.provenance is not None:
+            check = self.scorer.score_pair(revised)
+            if response != pair.response and check.response.score < 95.0:
+                raise ScoringError(
+                    f"expert revision failed quality control: response scored "
+                    f"{check.response.score} for pair {pair.pair_id!r}"
+                )
+            if instruction != pair.instruction and any(
+                v in ("feasibility", "readability")
+                for v in check.instruction.violations
+            ):
+                raise ScoringError(
+                    f"expert revision failed quality control: instruction "
+                    f"still flawed for pair {pair.pair_id!r}"
+                )
+
+        return RevisionRecord(
+            original=pair,
+            revised=revised,
+            expert=expert,
+            task_class=task_class,
+            instruction_bucket=instr_bucket,
+            response_bucket=resp_bucket,
+            edit_distance=pair_edit_distance(pair, revised),
+        )
+
+    # -- instruction side ----------------------------------------------------------
+    def _revise_instruction(
+        self,
+        pair: InstructionPair,
+        report: SideReport,
+        rng: np.random.Generator,
+    ) -> tuple[str, str | None]:
+        violations = set(report.violations) & {"feasibility", "readability"}
+        tokens = pair.instruction_tokens
+
+        if violations:
+            if pair.provenance is not None:
+                clean, _ = render_instruction(pair.provenance)
+                if has_context_marker(tokens):
+                    clean = contextualize_instruction(clean, rng)
+            else:
+                # No oracle: repair the surface only (retained filter pairs).
+                clean = grammar.dedupe_adjacent(
+                    grammar.fix_typos(grammar.strip_noise(tokens))
+                )
+            bucket = BUCKET_I_FEAS if "feasibility" in violations else BUCKET_I_READ
+            return detokenize(clean), bucket
+
+        if (
+            pair.provenance is not None
+            and not has_context_marker(tokens)
+            and rng.random() < self.context_add_rate
+        ):
+            enriched = contextualize_instruction(tokens, rng)
+            return detokenize(enriched), BUCKET_I_CTX
+
+        return pair.instruction, None
+
+    # -- response side ----------------------------------------------------------------
+    def _revise_response(
+        self, pair: InstructionPair, report: SideReport
+    ) -> tuple[str, str | None]:
+        violations = set(report.violations)
+        if not violations:
+            return pair.response, None
+
+        if pair.provenance is not None:
+            revised = detokenize(ideal_response(pair.provenance))
+        else:
+            tokens = grammar.dedupe_adjacent(
+                grammar.fix_typos(grammar.strip_noise(pair.response_tokens))
+            )
+            tokens = grammar.ensure_terminal_period(tokens) if tokens else tokens
+            revised = detokenize(tokens)
+        if revised == pair.response:
+            return pair.response, None
+        return revised, self._classify_response_bucket(pair, report, violations)
+
+    def _classify_response_bucket(
+        self,
+        pair: InstructionPair,
+        report: SideReport,
+        violations: set[str],
+    ) -> str:
+        """Primary Table IV bucket of a response revision.
+
+        Precedence mirrors how the paper's experts labelled revisions by
+        their *primary* type: safety first, then semantic rewrites
+        (wrong/irrelevant/garbled content), then expansion (terse or
+        truncated content), then layout/tone adjustments.
+        """
+        if "safety" in violations:
+            return BUCKET_SAFETY
+        if not pair.response_tokens:
+            return BUCKET_REWRITE
+
+        analysis = analyze_response(pair)
+        if "correctness" in violations:
+            answer: list[str] = []
+            if pair.provenance is not None:
+                category = get_category(pair.provenance.category_id)
+                if category.task_class != "creative":
+                    answer, _ = solve(pair.provenance)
+            if answer and list(analysis.core) == answer[: len(analysis.core)] \
+                    and len(analysis.core) < len(answer):
+                return BUCKET_EXPAND  # answer itself was truncated mid-way
+            category_id = (
+                pair.provenance.category_id if pair.provenance is not None else ""
+            )
+            if category_id in _NUMERIC:
+                return BUCKET_CALC
+            return BUCKET_REWRITE
+        if "relevance" in violations:
+            return BUCKET_REWRITE
+        if analysis.typo_garble_flaws:
+            return BUCKET_REWRITE
+        if "richness" in violations:
+            return BUCKET_EXPAND
+        if "humanization" in violations:
+            return BUCKET_LAYOUT_TONE
+        if "comprehensiveness" in violations and analysis.because_cut \
+                and not analysis.repeat_flaws:
+            return BUCKET_EXPAND
+        return BUCKET_LAYOUT_TONE

@@ -1,0 +1,41 @@
+"""Evaluation judges (Table V of the paper).
+
+All four evaluation instruments the paper uses, as simulacra driven by the
+same Table II rubric scorer (plus judge-specific noise and biases):
+
+* :mod:`repro.judges.chatgpt` — the AlpaGasus protocol: rate a response's
+  accuracy 0-5 (used for the Fig. 4 dataset histograms);
+* :mod:`repro.judges.gpt4` — pairwise 0-10 comparison with position bias;
+* :mod:`repro.judges.pandalm` — comparative win/tie/lose judgements (the
+  main Table IX instrument);
+* :mod:`repro.judges.human` — the three group-C raters R1-R3 with
+  individual leniency offsets (Tables VIII and X);
+* :mod:`repro.judges.protocol` — the candidate-swap debiasing protocol and
+  the WR1/WR2/QS win-rate metrics.
+"""
+
+from .base import JudgeNoise, Verdict
+from .chatgpt import ChatGPTJudge
+from .gpt4 import GPT4Judge
+from .pandalm import PandaLMJudge
+from .human import HumanPanel, HumanRater
+from .protocol import (
+    WinRateSummary,
+    compare_with_swap,
+    evaluate_model_on_testset,
+    win_rates,
+)
+
+__all__ = [
+    "Verdict",
+    "JudgeNoise",
+    "ChatGPTJudge",
+    "GPT4Judge",
+    "PandaLMJudge",
+    "HumanPanel",
+    "HumanRater",
+    "WinRateSummary",
+    "compare_with_swap",
+    "evaluate_model_on_testset",
+    "win_rates",
+]

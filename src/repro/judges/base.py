@@ -1,0 +1,54 @@
+"""Shared judge machinery: verdicts and noise models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..quality.scorer import CriteriaScorer
+
+
+class Verdict(enum.Enum):
+    """Outcome of one pairwise comparison, from the candidate's viewpoint."""
+
+    WIN = "win"
+    TIE = "tie"
+    LOSE = "lose"
+
+    def flipped(self) -> "Verdict":
+        if self is Verdict.WIN:
+            return Verdict.LOSE
+        if self is Verdict.LOSE:
+            return Verdict.WIN
+        return Verdict.TIE
+
+
+@dataclass(frozen=True)
+class JudgeNoise:
+    """Noise model of an automatic judge.
+
+    ``score_sigma`` is observation noise on the latent 0-100 quality;
+    ``position_bias`` favours the first-listed candidate (the bias the
+    paper's swap protocol exists to cancel).
+    """
+
+    score_sigma: float
+    position_bias: float
+
+
+class RubricBackedJudge:
+    """Base for judges that observe latent quality through the rubric."""
+
+    def __init__(self, noise: JudgeNoise, scorer: CriteriaScorer | None = None):
+        self.noise = noise
+        self.scorer = scorer or CriteriaScorer()
+
+    def _observe_quality(
+        self, pair: InstructionPair, rng: np.random.Generator
+    ) -> float:
+        """Latent response quality plus this judge's observation noise."""
+        latent = self.scorer.score_response(pair).score
+        return latent + rng.normal(0.0, self.noise.score_sigma)

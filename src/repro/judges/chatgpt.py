@@ -1,0 +1,69 @@
+"""ChatGPT-as-rater simulacrum (the AlpaGasus protocol, Section III-A1b).
+
+Rates the accuracy of a pair's RESPONSE on a 0-5 scale with a short
+rationale.  The affine quality→rating map is calibrated so the original
+ALPACA52K simulacrum reproduces Fig. 4(a): mean rating ≈ 3.95 with ≈ 17.7%
+of pairs at or above 4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import InstructionDataset
+from ..data.instruction_pair import InstructionPair
+from .base import JudgeNoise, RubricBackedJudge
+
+#: Affine map latent-quality → 0-5 rating, calibrated on the ALPACA52K
+#: simulacrum so that (a) the dataset mean lands near the paper's 3.95 and
+#: (b) only the rich-and-polite band (quality ≥ 95) clears the 4.5 cut,
+#: reproducing Fig. 4(a)'s ~17.7% high-quality share.
+_SLOPE = 0.0362
+_INTERCEPT = 1.10
+
+
+@dataclass(frozen=True)
+class ChatGPTRating:
+    """One rating with its (templated) rationale."""
+
+    score: float
+    rationale: str
+
+
+class ChatGPTJudge(RubricBackedJudge):
+    """0-5 accuracy rater over instruction pairs."""
+
+    def __init__(self, noise_sigma: float = 1.2):
+        super().__init__(JudgeNoise(score_sigma=noise_sigma, position_bias=0.0))
+
+    def rate(
+        self, pair: InstructionPair, rng: np.random.Generator
+    ) -> ChatGPTRating:
+        """Rate one pair's response accuracy on [0, 5]."""
+        observed = self._observe_quality(pair, rng)
+        raw = _SLOPE * observed + _INTERCEPT
+        score = float(np.clip(round(raw * 4) / 4.0, 0.0, 5.0))
+        report = self.scorer.score_response(pair)
+        if report.violations:
+            rationale = (
+                "the response has issues with "
+                + ", ".join(report.violations)
+            )
+        else:
+            rationale = "the response is accurate and well formed"
+        return ChatGPTRating(score=score, rationale=rationale)
+
+    def rate_dataset(
+        self, dataset: InstructionDataset, rng: np.random.Generator
+    ) -> list[float]:
+        """Ratings for every pair (the Fig. 4 histogram input)."""
+        return [self.rate(pair, rng).score for pair in dataset]
+
+    @staticmethod
+    def high_quality_fraction(ratings: list[float], cut: float = 4.5) -> float:
+        """Share of ratings at or above ``cut`` (17.7% → 78.9% in the paper)."""
+        if not ratings:
+            return 0.0
+        return float(np.mean([r >= cut for r in ratings]))

@@ -1,0 +1,68 @@
+"""GPT-4 pairwise judge simulacrum (Section III-A1c, Chiang et al. prompt).
+
+Scores two candidate responses 0-10 each with a rationale.  Less noisy
+than PandaLM but still position-biased ("reported evaluation biases when
+swapping candidates"), so the same swap protocol applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import JudgeError
+from .base import JudgeNoise, RubricBackedJudge, Verdict
+
+
+@dataclass(frozen=True)
+class GPT4Judgement:
+    """One single-order judgement: two 0-10 scores plus the verdict."""
+
+    score_first: float
+    score_second: float
+    verdict: Verdict
+    rationale: str
+
+
+class GPT4Judge(RubricBackedJudge):
+    """Pairwise 0-10 scorer with position bias."""
+
+    def __init__(
+        self,
+        noise_sigma: float = 2.5,
+        position_bias: float = 2.0,
+        tie_band: float = 2.0,
+    ):
+        super().__init__(JudgeNoise(noise_sigma, position_bias))
+        self.tie_band = tie_band
+
+    def judge_single_order(
+        self,
+        instruction: str,
+        first: InstructionPair,
+        second: InstructionPair,
+        rng: np.random.Generator,
+    ) -> GPT4Judgement:
+        """Score ``first`` and ``second`` as listed; verdict is for ``first``."""
+        if first.instruction != instruction or second.instruction != instruction:
+            raise JudgeError("candidates answer different instructions")
+        q_first = self._observe_quality(first, rng) + self.noise.position_bias
+        q_second = self._observe_quality(second, rng)
+        margin = q_first - q_second
+        if margin > self.tie_band:
+            verdict = Verdict.WIN
+        elif margin < -self.tie_band:
+            verdict = Verdict.LOSE
+        else:
+            verdict = Verdict.TIE
+        return GPT4Judgement(
+            score_first=float(np.clip(q_first / 10.0, 0.0, 10.0)),
+            score_second=float(np.clip(q_second / 10.0, 0.0, 10.0)),
+            verdict=verdict,
+            rationale=(
+                "scores reflect helpfulness, relevance, accuracy and level "
+                "of detail of each response"
+            ),
+        )

@@ -1,0 +1,77 @@
+"""The group-C human evaluation panel (Tables VIII and X).
+
+Three expert raters — R1, R2, R3 — independently score instructions and
+responses 0-100 against the Table II rubric, blind to sample sources.
+Each rater has a small individual leniency offset and observation noise,
+reproducing the inter-rater spread the paper reports (e.g. Table VIII:
+73.9 / 77.2 / 74.0 for the same revised responses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..quality.scorer import CriteriaScorer
+
+
+@dataclass(frozen=True)
+class HumanRater:
+    """One rater: a leniency offset plus rating noise."""
+
+    name: str
+    bias: float
+    sigma: float
+
+
+DEFAULT_PANEL = (
+    HumanRater("R1", bias=-0.8, sigma=2.5),
+    HumanRater("R2", bias=+1.9, sigma=3.5),
+    HumanRater("R3", bias=-0.3, sigma=2.5),
+)
+
+
+class HumanPanel:
+    """Panel of independent human raters backed by the rubric."""
+
+    def __init__(
+        self,
+        raters: tuple[HumanRater, ...] = DEFAULT_PANEL,
+        scorer: CriteriaScorer | None = None,
+    ):
+        self.raters = raters
+        self.scorer = scorer or CriteriaScorer()
+
+    def rate_response(
+        self, pair: InstructionPair, rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Per-rater 0-100 scores of the pair's response."""
+        latent = self.scorer.score_response(pair).score
+        return self._observe(latent, rng)
+
+    def rate_instruction(
+        self, pair: InstructionPair, rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Per-rater 0-100 scores of the pair's instruction."""
+        latent = self.scorer.score_instruction(pair).score
+        return self._observe(latent, rng)
+
+    def _observe(
+        self, latent: float, rng: np.random.Generator
+    ) -> dict[str, float]:
+        return {
+            r.name: float(np.clip(latent + r.bias + rng.normal(0.0, r.sigma), 0, 100))
+            for r in self.raters
+        }
+
+    @staticmethod
+    def average_by_rater(rows: list[dict[str, float]]) -> dict[str, float]:
+        """Column means over many rated samples (the Table VIII/X rows)."""
+        if not rows:
+            return {}
+        names = rows[0].keys()
+        out = {name: float(np.mean([row[name] for row in rows])) for name in names}
+        out["Avg."] = float(np.mean(list(out.values())))
+        return out

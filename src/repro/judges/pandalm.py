@@ -1,0 +1,80 @@
+"""PandaLM judge simulacrum (Section III-A1d).
+
+PandaLM takes an instruction and two candidate responses and emits a
+comparative conclusion — win / tie / lose — plus a rationale.  Our
+simulacrum observes each candidate's latent rubric quality with noise,
+applies a position bias toward the first-listed candidate (the bias the
+swap protocol corrects), and declares a tie inside a dead band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import JudgeError
+from .base import JudgeNoise, RubricBackedJudge, Verdict
+
+
+@dataclass(frozen=True)
+class PandaLMJudgement:
+    """One single-order judgement with its rationale."""
+
+    verdict: Verdict
+    margin: float
+    rationale: str
+
+
+class PandaLMJudge(RubricBackedJudge):
+    """Comparative win/tie/lose judge.
+
+    Parameters
+    ----------
+    noise_sigma:
+        Observation noise on the 0-100 latent quality; drives the judge's
+        ~88% agreement with the (less noisy) GPT-4 simulacrum.
+    position_bias:
+        Additive preference for the first-listed candidate.
+    tie_band:
+        Dead band within which candidates are judged equal.
+    """
+
+    def __init__(
+        self,
+        noise_sigma: float = 4.0,
+        position_bias: float = 1.5,
+        tie_band: float = 3.0,
+    ):
+        super().__init__(JudgeNoise(noise_sigma, position_bias))
+        self.tie_band = tie_band
+
+    def judge_single_order(
+        self,
+        instruction: str,
+        first: InstructionPair,
+        second: InstructionPair,
+        rng: np.random.Generator,
+    ) -> PandaLMJudgement:
+        """Judge ``first`` vs ``second`` as listed (no swap correction).
+
+        The verdict is from the perspective of ``first``.
+        """
+        if first.instruction != instruction or second.instruction != instruction:
+            raise JudgeError("candidates answer different instructions")
+        q_first = self._observe_quality(first, rng) + self.noise.position_bias
+        q_second = self._observe_quality(second, rng)
+        margin = q_first - q_second
+        if margin > self.tie_band:
+            verdict = Verdict.WIN
+        elif margin < -self.tie_band:
+            verdict = Verdict.LOSE
+        else:
+            verdict = Verdict.TIE
+        rationale = (
+            f"response 1 {'exceeds' if margin > 0 else 'trails'} response 2 "
+            f"by {abs(margin):.1f} quality points on correctness, "
+            f"conciseness and adherence to the instruction"
+        )
+        return PandaLMJudgement(verdict=verdict, margin=margin, rationale=rationale)

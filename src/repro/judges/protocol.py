@@ -1,0 +1,128 @@
+"""The swap-debias comparison protocol and win-rate metrics.
+
+Following AlpaGasus (Section III-A1): every comparison is rated twice with
+the candidate order swapped; conflicting win/lose results collapse to a
+tie, while win+tie (lose+tie) still counts as a win (lose).
+
+Win-rate metrics over a test set (Section III-C1a):
+
+* ``WR1 = (#win + 0.5·#tie) / #all``
+* ``WR2 = #win / (#all − #tie)``
+* ``QS  = (#win + #tie) / #all``  (share of responses reaching reference level)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import JudgeError
+from .base import Verdict
+
+
+def merge_swapped(first_order: Verdict, swapped_order: Verdict) -> Verdict:
+    """Combine the two orderings' verdicts (candidate's perspective).
+
+    ``first_order`` is the verdict with the candidate listed first;
+    ``swapped_order`` is the verdict *for the reference* when the reference
+    is listed first, so it is flipped before merging.
+    """
+    a = first_order
+    b = swapped_order.flipped()
+    if a is b:
+        return a
+    if Verdict.TIE in (a, b):
+        # win+tie → win; lose+tie → lose.
+        return a if b is Verdict.TIE else b
+    # Conflicting win/lose → tie.
+    return Verdict.TIE
+
+
+def compare_with_swap(
+    judge,
+    instruction: str,
+    candidate: InstructionPair,
+    reference: InstructionPair,
+    rng: np.random.Generator,
+) -> Verdict:
+    """Debias a pairwise judge by rating both candidate orders."""
+    first = judge.judge_single_order(instruction, candidate, reference, rng)
+    swapped = judge.judge_single_order(instruction, reference, candidate, rng)
+    return merge_swapped(first.verdict, swapped.verdict)
+
+
+@dataclass(frozen=True)
+class WinRateSummary:
+    """Verdict counts plus the paper's three win-rate metrics."""
+
+    wins: int
+    ties: int
+    losses: int
+
+    @property
+    def total(self) -> int:
+        return self.wins + self.ties + self.losses
+
+    @property
+    def wr1(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.wins + 0.5 * self.ties) / self.total
+
+    @property
+    def wr2(self) -> float:
+        denominator = self.total - self.ties
+        if denominator == 0:
+            return 0.0
+        return self.wins / denominator
+
+    @property
+    def qs(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.wins + self.ties) / self.total
+
+    @property
+    def average(self) -> float:
+        """Mean of WR1/WR2/QS — the Fig. 5 y-axis."""
+        return (self.wr1 + self.wr2 + self.qs) / 3.0
+
+    def as_row(self) -> dict[str, float]:
+        return {"WR1": self.wr1, "WR2": self.wr2, "QS": self.qs}
+
+
+def win_rates(verdicts: list[Verdict]) -> WinRateSummary:
+    """Aggregate a list of merged verdicts."""
+    return WinRateSummary(
+        wins=sum(v is Verdict.WIN for v in verdicts),
+        ties=sum(v is Verdict.TIE for v in verdicts),
+        losses=sum(v is Verdict.LOSE for v in verdicts),
+    )
+
+
+def evaluate_model_on_testset(
+    judge,
+    candidates: list[InstructionPair],
+    references: list[InstructionPair],
+    rng: np.random.Generator,
+) -> WinRateSummary:
+    """Judge a model's responses against a test set's references.
+
+    ``candidates[i]`` and ``references[i]`` must answer the same
+    instruction (the model generated its response for that test item).
+    """
+    if len(candidates) != len(references):
+        raise JudgeError(
+            f"candidate/reference count mismatch: "
+            f"{len(candidates)} vs {len(references)}"
+        )
+    verdicts: list[Verdict] = []
+    for candidate, reference in zip(candidates, references):
+        if candidate.instruction != reference.instruction:
+            raise JudgeError("candidate and reference answer different items")
+        verdicts.append(
+            compare_with_swap(judge, candidate.instruction, candidate, reference, rng)
+        )
+    return win_rates(verdicts)

@@ -1,0 +1,51 @@
+"""LLM simulacra: tokenizer, backbones, tuning recipes and the model zoo.
+
+Everything the paper calls an "LLM" lives here at tiny scale:
+
+* :mod:`repro.llm.tokenizer` — word-level tokenizer over the closed
+  microtext vocabulary plus special and template tokens;
+* :mod:`repro.llm.prompts` — the Alpaca-style instruction template and the
+  Fig. 3 coach revision template;
+* :mod:`repro.llm.backbone` — backbone specs (LLaMA-sim / ChatGLM-sim /
+  ChatGLM2-sim) with pre-training and alignment budgets;
+* :mod:`repro.llm.pretrain` — next-token pre-training on the microtext
+  corpus;
+* :mod:`repro.llm.instruction_tuning` — the Alpaca recipe: fine-tune a
+  base LM on an instruction dataset with response-only loss;
+* :mod:`repro.llm.generation` — batch response generation on test sets;
+* :mod:`repro.llm.model_zoo` — every named model of Table IX, built
+  reproducibly from (backbone, dataset) and cached on disk.
+"""
+
+from .tokenizer import SpecialTokens, WordTokenizer, build_tokenizer
+from .prompts import (
+    COACH_PROMPT_WORDS,
+    encode_coach_example,
+    encode_coach_prompt,
+    encode_instruction_example,
+    encode_instruction_prompt,
+    parse_coach_output,
+)
+from .backbone import BACKBONES, BackboneSpec, build_backbone
+from .pretrain import pretrain_lm
+from .instruction_tuning import instruction_tune
+from .generation import generate_response, generate_responses
+
+__all__ = [
+    "SpecialTokens",
+    "WordTokenizer",
+    "build_tokenizer",
+    "COACH_PROMPT_WORDS",
+    "encode_coach_example",
+    "encode_coach_prompt",
+    "encode_instruction_example",
+    "encode_instruction_prompt",
+    "parse_coach_output",
+    "BACKBONES",
+    "BackboneSpec",
+    "build_backbone",
+    "pretrain_lm",
+    "instruction_tune",
+    "generate_response",
+    "generate_responses",
+]

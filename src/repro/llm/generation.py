@@ -1,0 +1,58 @@
+"""Response generation for tuned LLM simulacra."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair, Origin
+from ..nn.transformer import TransformerLM
+from ..textgen.tasks import TaskInstance
+from .prompts import encode_instruction_prompt
+from .tokenizer import WordTokenizer
+
+
+def generate_response(
+    model: TransformerLM,
+    tokenizer: WordTokenizer,
+    instruction: str,
+    max_new_tokens: int = 48,
+) -> str:
+    """Greedy-decode a response to one instruction (beam size 1)."""
+    prompt = encode_instruction_prompt(tokenizer, instruction)
+    context = model.config.max_seq_len
+    if len(prompt) >= context - 2:
+        prompt = prompt[: context - 2]
+    out = model.generate(
+        prompt, max_new_tokens=max_new_tokens, eos_id=tokenizer.specials.eos
+    )
+    return tokenizer.decode(out)
+
+
+def generate_responses(
+    model: TransformerLM,
+    tokenizer: WordTokenizer,
+    instructions: list[str],
+    provenances: list[TaskInstance | None] | None = None,
+    max_new_tokens: int = 48,
+) -> list[InstructionPair]:
+    """Generate responses for a list of instructions.
+
+    Returns model-generated pairs carrying the test items' provenance so
+    the judges can run oracle checks against them.
+    """
+    if provenances is None:
+        provenances = [None] * len(instructions)
+    pairs: list[InstructionPair] = []
+    for instruction, provenance in zip(instructions, provenances):
+        response = generate_response(
+            model, tokenizer, instruction, max_new_tokens=max_new_tokens
+        )
+        pairs.append(
+            InstructionPair(
+                instruction=instruction,
+                response=response,
+                provenance=provenance,
+                origin=Origin.MODEL_GENERATED,
+            )
+        )
+    return pairs

@@ -1,0 +1,67 @@
+"""Next-token pre-training of backbone LMs on the microtext corpus.
+
+Sentences are packed into fixed-length windows separated by ``<sep>``; the
+LM predicts every token (prompt_len = 1).  Pre-training instils the
+knowledge base, arithmetic and discourse patterns that instruction tuning
+later aligns (Section II-F1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.trainer import LMTrainer, TrainExample, TrainStats
+from ..nn.transformer import TransformerLM
+from ..textgen.corpus import build_pretrain_corpus
+from .tokenizer import WordTokenizer
+
+
+def pack_corpus(
+    tokenizer: WordTokenizer,
+    sentences: list[list[str]],
+    window: int,
+) -> list[TrainExample]:
+    """Pack tokenised documents into windows of about ``window`` tokens.
+
+    Packing respects document boundaries: a document is never split across
+    windows (long-range drills like the pair-revision sequences must stay
+    intact to teach copying).  Documents longer than the window are
+    truncated; short documents are grouped, separated by ``<sep>``.
+    """
+    sp = tokenizer.specials
+    examples: list[TrainExample] = []
+    current: list[int] = []
+
+    def flush() -> None:
+        if len(current) >= 8:
+            examples.append(TrainExample(tuple([sp.bos] + current), prompt_len=1))
+
+    for sentence in sentences:
+        ids = tokenizer.encode(" ".join(sentence))[:window]
+        if len(current) + len(ids) + 1 > window and current:
+            flush()
+            current = []
+        current.extend(ids)
+        current.append(sp.sep)
+    flush()
+    return examples
+
+
+def pretrain_lm(
+    model: TransformerLM,
+    tokenizer: WordTokenizer,
+    rng: np.random.Generator,
+    steps: int,
+    batch_size: int = 32,
+    lr: float = 2e-3,
+    corpus_sentences: int = 2500,
+    window: int = 112,
+) -> TrainStats:
+    """Pre-train ``model`` for roughly ``steps`` optimiser steps."""
+    sentences = build_pretrain_corpus(rng, corpus_sentences)
+    examples = pack_corpus(tokenizer, sentences, window=window)
+    trainer = LMTrainer(model, pad_id=tokenizer.specials.pad,
+                        lr=lr, batch_size=batch_size)
+    steps_per_epoch = max(1, (len(examples) + batch_size - 1) // batch_size)
+    epochs = max(1, int(round(steps / steps_per_epoch)))
+    return trainer.train(examples, epochs=epochs, rng=rng)

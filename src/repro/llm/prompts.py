@@ -1,0 +1,141 @@
+"""Prompt templates: the Alpaca instruction format and the Fig. 3 coach format.
+
+Instruction-following template (Alpaca recipe)::
+
+    <bos> instruction : <instruction words> <sep> response : <response words> <eos>
+
+Coach revision template (Fig. 3 of the paper — "a succinct revision
+instruction that highlights the primary areas for revision", deliberately
+not an exhaustive rubric)::
+
+    <bos> please improve the quality of the instruction and response pair .
+    instruction : <original instruction> <sep> response : <original response>
+    <sep> revised instruction : <revised instruction>
+    <sep> revised response : <revised response> <eos>
+
+The inference-time coach prompt ends right after the second ``<sep>
+revised instruction :`` so CoachLM fills in both revised fields;
+:func:`parse_coach_output` recovers them.
+"""
+
+from __future__ import annotations
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import GenerationError
+from .tokenizer import WordTokenizer
+
+#: Words of the succinct coach revision instruction (Fig. 3).
+COACH_PROMPT_WORDS = (
+    "please improve the quality of the instruction and response pair ."
+)
+
+
+def _ids(tokenizer: WordTokenizer, text: str) -> list[int]:
+    return tokenizer.encode(text)
+
+
+# ---------------------------------------------------------------------------
+# Instruction-following format
+# ---------------------------------------------------------------------------
+
+
+def encode_instruction_prompt(
+    tokenizer: WordTokenizer, instruction: str
+) -> list[int]:
+    """Prompt part of the Alpaca template (model continues with a response)."""
+    sp = tokenizer.specials
+    return (
+        [sp.bos]
+        + _ids(tokenizer, "instruction :")
+        + _ids(tokenizer, instruction)
+        + _ids(tokenizer, "response :")
+    )
+
+
+def encode_instruction_example(
+    tokenizer: WordTokenizer, pair: InstructionPair
+) -> tuple[list[int], int]:
+    """Full training sequence and its prompt length (for loss masking)."""
+    sp = tokenizer.specials
+    prompt = encode_instruction_prompt(tokenizer, pair.instruction)
+    completion = _ids(tokenizer, pair.response) + [sp.eos]
+    return prompt + completion, len(prompt)
+
+
+# ---------------------------------------------------------------------------
+# Coach revision format (Fig. 3)
+# ---------------------------------------------------------------------------
+
+
+def encode_coach_prompt(
+    tokenizer: WordTokenizer, pair: InstructionPair
+) -> list[int]:
+    """Inference prompt: revision instruction + original pair."""
+    sp = tokenizer.specials
+    return (
+        [sp.bos]
+        + _ids(tokenizer, COACH_PROMPT_WORDS)
+        + _ids(tokenizer, "instruction :")
+        + _ids(tokenizer, pair.instruction)
+        + _ids(tokenizer, "response :")
+        + _ids(tokenizer, pair.response)
+        + _ids(tokenizer, "revised instruction :")
+    )
+
+
+def encode_coach_example(
+    tokenizer: WordTokenizer,
+    original: InstructionPair,
+    revised: InstructionPair,
+) -> tuple[list[int], int]:
+    """Training sequence x_c: coach prompt → expert-revised pair (Fig. 3)."""
+    sp = tokenizer.specials
+    prompt = encode_coach_prompt(tokenizer, original)
+    completion = (
+        _ids(tokenizer, revised.instruction)
+        + _ids(tokenizer, "revised response :")
+        + _ids(tokenizer, revised.response)
+        + [sp.eos]
+    )
+    return prompt + completion, len(prompt)
+
+
+def _find_subsequence(haystack: list[int], needle: list[int]) -> int:
+    n = len(needle)
+    for i in range(len(haystack) - n + 1):
+        if haystack[i : i + n] == needle:
+            return i
+    return -1
+
+
+def parse_coach_output(
+    tokenizer: WordTokenizer, output_ids: list[int]
+) -> tuple[str, str]:
+    """Split CoachLM's decoded continuation into (instruction, response).
+
+    The continuation format is::
+
+        <revised instruction> revised response : <revised response> <eos>
+
+    Raises :class:`GenerationError` when the output does not follow the
+    format — callers treat that as an invalid revision and fall back to
+    the original pair (Section III-B1: ~1.3% of outputs).
+    """
+    sp = tokenizer.specials
+    marker = tokenizer.encode("revised response :")
+    cut = _find_subsequence(output_ids, marker)
+    if cut < 0:
+        raise GenerationError("coach output missing 'revised response :' marker")
+    instruction_ids = output_ids[:cut]
+    response_ids = output_ids[cut + len(marker) :]
+    if sp.eos in response_ids:
+        response_ids = response_ids[: response_ids.index(sp.eos)]
+    # A second marker in the response means the decoder looped.
+    second = _find_subsequence(response_ids, marker)
+    if second >= 0:
+        response_ids = response_ids[:second]
+    instruction = tokenizer.decode(instruction_ids)
+    response = tokenizer.decode(response_ids)
+    if not instruction or not response:
+        raise GenerationError("coach output has an empty field")
+    return instruction, response

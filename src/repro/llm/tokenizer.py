@@ -1,0 +1,85 @@
+"""Word-level tokenizer over the closed microtext vocabulary.
+
+Microtext is whitespace-tokenised by construction, so the tokenizer is a
+bijective word↔id map plus the special tokens every LM pipeline needs.
+Unknown words map to ``<unk>`` — they only ever appear when scoring text
+produced by an undertrained model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..textgen.vocabulary import all_words
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Ids of the reserved tokens (always the lowest ids)."""
+
+    pad: int = 0
+    bos: int = 1
+    eos: int = 2
+    sep: int = 3
+    unk: int = 4
+
+
+#: Template keywords used by prompts beyond the microtext lexicon.
+TEMPLATE_WORDS = (
+    "instruction", "response", "please", "improve", "revised", "quality",
+    "pair", "input", "output",
+)
+
+_SPECIAL_STRINGS = ("<pad>", "<bos>", "<eos>", "<sep>", "<unk>")
+
+
+class WordTokenizer:
+    """Bijective word-level tokenizer with reserved special ids."""
+
+    def __init__(self, words: tuple[str, ...]):
+        duplicates = set(words) & set(_SPECIAL_STRINGS)
+        if duplicates:
+            raise ModelError(f"words collide with special tokens: {duplicates}")
+        if len(set(words)) != len(words):
+            raise ModelError("duplicate words in tokenizer vocabulary")
+        self.specials = SpecialTokens()
+        self._id_to_word: list[str] = list(_SPECIAL_STRINGS) + list(words)
+        self._word_to_id: dict[str, int] = {
+            w: i for i, w in enumerate(self._id_to_word)
+        }
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_word)
+
+    def encode_word(self, word: str) -> int:
+        return self._word_to_id.get(word, self.specials.unk)
+
+    def encode(self, text: str) -> list[int]:
+        """Encode a whitespace-tokenised string (no BOS/EOS added)."""
+        return [self.encode_word(w) for w in text.split()]
+
+    def decode(self, ids: list[int], skip_special: bool = True) -> str:
+        """Decode ids back to a string; unknown ids raise."""
+        words: list[str] = []
+        n_special = len(_SPECIAL_STRINGS)
+        for i in ids:
+            if not 0 <= i < self.vocab_size:
+                raise ModelError(f"token id {i} out of range")
+            if skip_special and i < n_special:
+                continue
+            words.append(self._id_to_word[i])
+        return " ".join(words)
+
+    def token(self, word: str) -> int:
+        """Id of a known word; raises for unknown (template safety check)."""
+        if word not in self._word_to_id:
+            raise ModelError(f"word {word!r} not in tokenizer vocabulary")
+        return self._word_to_id[word]
+
+
+def build_tokenizer() -> WordTokenizer:
+    """The canonical tokenizer over microtext + template keywords."""
+    extra = tuple(w for w in TEMPLATE_WORDS if w not in set(all_words()))
+    return WordTokenizer(tuple(all_words()) + extra)

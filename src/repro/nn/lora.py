@@ -1,0 +1,128 @@
+"""Low-Rank Adaptation (LoRA) [Hu et al., ICLR 2022].
+
+The paper adapts its backbone LLMs with LoRA ("to efficiently adapt the
+backbone LLMs, we employed LoRA, a partial fine-tuning technique" —
+Section III-A3).  A :class:`LoRALinear` wraps a frozen base
+:class:`~repro.nn.modules.Linear` with a trainable low-rank update:
+
+    y = x Wᵀ + b  +  (x Aᵀ) Bᵀ · (α / r)
+
+``A`` is Gaussian-initialised, ``B`` starts at zero, so adaptation begins
+as an exact no-op.  :func:`merge_lora` folds ``BA`` back into the base
+weight for zero-overhead deployment inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .modules import Linear, Module
+from .tensor import Tensor
+from .transformer import TransformerLM
+
+
+class LoRALinear(Module):
+    """A frozen Linear plus a trainable low-rank residual."""
+
+    def __init__(self, base: Linear, rank: int, alpha: float,
+                 rng: np.random.Generator):
+        if rank <= 0:
+            raise ModelError(f"LoRA rank must be positive, got {rank}")
+        base.freeze()
+        self.base = base
+        self.rank = rank
+        self.alpha = float(alpha)
+        self.scaling = self.alpha / rank
+        self.lora_a = Tensor(
+            rng.normal(0.0, 0.02, size=(rank, base.in_features)),
+            requires_grad=True,
+        )
+        self.lora_b = Tensor(
+            np.zeros((base.out_features, rank)), requires_grad=True
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = self.base(x)
+        update = x.matmul(self.lora_a.transpose()).matmul(self.lora_b.transpose())
+        return out + update * self.scaling
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        out = self.base.forward_numpy(x)
+        update = (x @ self.lora_a.data.T) @ self.lora_b.data.T
+        return out + update * self.scaling
+
+    @property
+    def in_features(self) -> int:
+        return self.base.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.base.out_features
+
+    @property
+    def weight(self) -> Tensor:  # pragma: no cover - convenience alias
+        return self.base.weight
+
+    @property
+    def bias(self):
+        return self.base.bias
+
+    def merged_linear(self) -> Linear:
+        """Fold the low-rank update into a plain Linear."""
+        merged = Linear(
+            self.base.in_features, self.base.out_features,
+            np.random.default_rng(0), bias=self.base.bias is not None,
+        )
+        merged.weight.data = (
+            self.base.weight.data + self.scaling * (self.lora_b.data @ self.lora_a.data)
+        ).astype(np.float32)
+        if self.base.bias is not None:
+            merged.bias.data = self.base.bias.data.copy()
+        merged.unfreeze()
+        return merged
+
+
+_TARGET_ATTRS = (("attn", "qkv"), ("attn", "proj"), ("mlp", "fc_in"), ("mlp", "fc_out"))
+
+
+def apply_lora(
+    model: TransformerLM, rank: int, alpha: float, rng: np.random.Generator
+) -> TransformerLM:
+    """Wrap every attention/MLP Linear of ``model`` with LoRA adapters.
+
+    The base model is frozen in place (embeddings, LayerNorms and the LM
+    head included); only adapter parameters remain trainable.
+    """
+    model.freeze()
+    for block in model.blocks:
+        for owner_name, attr in _TARGET_ATTRS:
+            owner = getattr(block, owner_name)
+            layer = getattr(owner, attr)
+            if isinstance(layer, LoRALinear):
+                raise ModelError("model already has LoRA adapters applied")
+            setattr(owner, attr, LoRALinear(layer, rank, alpha, rng))
+    return model
+
+
+def merge_lora(model: TransformerLM) -> TransformerLM:
+    """Replace every LoRALinear with its merged plain Linear, unfreezing."""
+    for block in model.blocks:
+        for owner_name, attr in _TARGET_ATTRS:
+            owner = getattr(block, owner_name)
+            layer = getattr(owner, attr)
+            if isinstance(layer, LoRALinear):
+                setattr(owner, attr, layer.merged_linear())
+    model.unfreeze()
+    return model
+
+
+def lora_parameters(model: TransformerLM) -> list[Tensor]:
+    """All trainable adapter parameters of a LoRA-wrapped model."""
+    params: list[Tensor] = []
+    for name, p in model.named_parameters():
+        if "lora_a" in name or "lora_b" in name:
+            params.append(p)
+    if not params:
+        raise ModelError("model has no LoRA adapters")
+    return params

@@ -1,0 +1,88 @@
+"""Optimisation: Adam, gradient clipping, learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ModelError
+from .tensor import Tensor
+
+
+class Adam:
+    """Adam optimiser [Kingma & Ba 2015] with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if not params:
+            raise ModelError("Adam received an empty parameter list")
+        self.params = params
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        """Apply one update using each parameter's accumulated gradient."""
+        self.t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = b1 * self._m[i] + (1.0 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1.0 - b2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad**2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm
+
+
+def cosine_schedule(
+    base_lr: float, total_steps: int, warmup_steps: int = 0, min_lr: float = 0.0
+) -> Callable[[int], float]:
+    """Cosine decay with optional linear warmup; returns ``lr(step)``."""
+    if total_steps <= 0:
+        raise ModelError("total_steps must be positive")
+
+    def lr_at(step: int) -> float:
+        if warmup_steps and step < warmup_steps:
+            return base_lr * (step + 1) / warmup_steps
+        progress = (step - warmup_steps) / max(1, total_steps - warmup_steps)
+        progress = min(max(progress, 0.0), 1.0)
+        return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + math.cos(math.pi * progress))
+
+    return lr_at

@@ -1,0 +1,394 @@
+"""Minimal reverse-mode autograd over numpy arrays.
+
+A :class:`Tensor` wraps a float32 numpy array and records the operations
+applied to it; :meth:`Tensor.backward` walks the tape in reverse
+topological order.  Only the operations the transformer needs are
+implemented, each with a broadcasting-aware gradient.
+
+The design deliberately favours explicitness over generality (one class,
+plain closures, no graph compilation) — the guide's "explicit is better
+than implicit" applied to autograd.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import ModelError
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling tape recording (inference/eval paths)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _sum_to_shape(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcasted gradient back to the original operand shape."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with a gradient tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+    ):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._parents = _parents
+
+    # -- helpers ---------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            if grad.dtype != np.float32:
+                grad = grad.astype(np.float32)
+            self.grad = grad
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _lift(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
+        return out
+
+    # -- arithmetic -------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(_sum_to_shape(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_sum_to_shape(out.grad, other.shape))
+            out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            def backward():
+                self._accumulate(-out.grad)
+            out._backward = backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(_sum_to_shape(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_sum_to_shape(out.grad * self.data, other.shape))
+            out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        if not isinstance(other, Tensor):
+            return self * (1.0 / np.asarray(other, dtype=np.float32))
+        return self * other.pow(-1.0)
+
+    @staticmethod
+    def _fast_pow(x: np.ndarray, exponent: float) -> np.ndarray:
+        # numpy's float `power` is an order of magnitude slower than
+        # repeated multiplication for the small exponents we use.
+        if exponent == 2.0:
+            return x * x
+        if exponent == 3.0:
+            return x * x * x
+        if exponent == -1.0:
+            return 1.0 / x
+        if exponent == -2.0:
+            return 1.0 / (x * x)
+        if exponent == 0.5:
+            return np.sqrt(x)
+        return np.power(x, exponent)
+
+    def pow(self, exponent: float) -> "Tensor":
+        out = self._make(self._fast_pow(self.data, exponent), (self,))
+        if out.requires_grad:
+            def backward():
+                self._accumulate(
+                    _sum_to_shape(
+                        out.grad * exponent * self._fast_pow(self.data, exponent - 1.0),
+                        self.shape,
+                    )
+                )
+            out._backward = backward
+        return out
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Batched matrix multiply (numpy ``@`` semantics)."""
+        other = self._lift(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            def backward():
+                if self.requires_grad:
+                    grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(_sum_to_shape(grad, self.shape))
+                if other.requires_grad:
+                    grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                    other._accumulate(_sum_to_shape(grad, other.shape))
+            out._backward = backward
+        return out
+
+    __matmul__ = matmul
+
+    # -- shape ops --------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.shape
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad.reshape(original))
+            out._backward = backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+        out = self._make(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            def backward():
+                self._accumulate(out.grad.transpose(inverse))
+            out._backward = backward
+        return out
+
+    def __getitem__(self, key) -> "Tensor":
+        out = self._make(self.data[key], (self,))
+        if out.requires_grad:
+            basic = isinstance(key, (int, slice)) or (
+                isinstance(key, tuple)
+                and all(isinstance(k, (int, slice)) for k in key)
+            )
+            def backward():
+                grad = np.zeros_like(self.data)
+                if basic:
+                    # Basic indexing selects each element at most once, so a
+                    # plain slice-add avoids the slow np.add.at scatter.
+                    grad[key] += out.grad
+                else:
+                    np.add.at(grad, key, out.grad)
+                self._accumulate(grad)
+            out._backward = backward
+        return out
+
+    # -- reductions -------------------------------------------------------------
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            def backward():
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            out._backward = backward
+        return out
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -- nonlinearities -----------------------------------------------------------
+    def gelu(self) -> "Tensor":
+        """Tanh-approximated GELU."""
+        x = self.data
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        x_sq = x * x
+        t = np.tanh(c * (x + 0.044715 * (x_sq * x)))
+        out = self._make(0.5 * x * (1.0 + t), (self,))
+        if out.requires_grad:
+            def backward():
+                dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x_sq)
+                local = 0.5 * (1.0 + t) + 0.5 * x * dt
+                self._accumulate(out.grad * local)
+            out._backward = backward
+        return out
+
+    def softmax(self) -> "Tensor":
+        """Numerically stable softmax over the last axis."""
+        shifted = self.data - self.data.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=-1, keepdims=True)
+        out = self._make(probs, (self,))
+        if out.requires_grad:
+            def backward():
+                g = out.grad
+                dot = (g * probs).sum(axis=-1, keepdims=True)
+                self._accumulate(probs * (g - dot))
+            out._backward = backward
+        return out
+
+    def layer_norm(self, gamma: "Tensor", beta: "Tensor", eps: float = 1e-5) -> "Tensor":
+        """Layer normalisation over the last axis with affine parameters."""
+        x = self.data
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + eps)
+        xhat = (x - mu) * inv
+        out = self._make(xhat * gamma.data + beta.data, (self, gamma, beta))
+        if out.requires_grad:
+            def backward():
+                g = out.grad
+                if gamma.requires_grad:
+                    gamma._accumulate(
+                        _sum_to_shape(g * xhat, gamma.shape)
+                    )
+                if beta.requires_grad:
+                    beta._accumulate(_sum_to_shape(g, beta.shape))
+                if self.requires_grad:
+                    n = x.shape[-1]
+                    gx = g * gamma.data
+                    dx = (
+                        gx
+                        - gx.mean(axis=-1, keepdims=True)
+                        - xhat * (gx * xhat).mean(axis=-1, keepdims=True)
+                    ) * inv
+                    self._accumulate(dx)
+            out._backward = backward
+        return out
+
+    # -- sparse ops -----------------------------------------------------------------
+    def embedding(self, indices: np.ndarray) -> "Tensor":
+        """Row gather: ``self`` is a (V, D) table, indices are integers."""
+        indices = np.asarray(indices)
+        out = self._make(self.data[indices], (self,))
+        if out.requires_grad:
+            def backward():
+                flat_idx = indices.reshape(-1)
+                flat_grad = out.grad.reshape(len(flat_idx), -1)
+                vocab = self.data.shape[0]
+                if flat_idx.size * vocab <= 4_000_000:
+                    # Scatter-add via a one-hot gemm: much faster than
+                    # np.add.at for the table sizes we use.
+                    one_hot = np.zeros((flat_idx.size, vocab), dtype=np.float32)
+                    one_hot[np.arange(flat_idx.size), flat_idx] = 1.0
+                    grad = one_hot.T @ flat_grad
+                else:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, flat_idx, flat_grad)
+                self._accumulate(grad)
+            out._backward = backward
+        return out
+
+    def cross_entropy(
+        self,
+        targets: np.ndarray,
+        loss_mask: np.ndarray | None = None,
+    ) -> "Tensor":
+        """Masked token-level cross entropy.
+
+        ``self`` holds logits of shape (N, V); ``targets`` integer ids of
+        shape (N,); ``loss_mask`` float weights of shape (N,) — the Eq. (1)
+        mask restricting the loss to RESPONSE tokens.
+        """
+        if self.ndim != 2:
+            raise ModelError(f"cross_entropy expects (N, V) logits, got {self.shape}")
+        targets = np.asarray(targets, dtype=np.int64)
+        n, v = self.shape
+        if loss_mask is None:
+            loss_mask = np.ones(n, dtype=np.float32)
+        loss_mask = np.asarray(loss_mask, dtype=np.float32)
+
+        shifted = self.data - self.data.max(axis=-1, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=-1))
+        token_loss = logsumexp - shifted[np.arange(n), targets]
+        denom = max(float(loss_mask.sum()), 1.0)
+        value = float((token_loss * loss_mask).sum() / denom)
+
+        out = self._make(np.float32(value), (self,))
+        if out.requires_grad:
+            probs = np.exp(shifted) / np.exp(shifted).sum(axis=-1, keepdims=True)
+            def backward():
+                grad = probs.copy()
+                grad[np.arange(n), targets] -= 1.0
+                grad *= (loss_mask / denom)[:, None]
+                self._accumulate(grad * out.grad)
+            out._backward = backward
+        return out
+
+    # -- backward pass --------------------------------------------------------------
+    def backward(self) -> None:
+        """Back-propagate from a scalar output."""
+        if self.data.size != 1:
+            raise ModelError("backward() requires a scalar tensor")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = np.ones_like(self.data)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"

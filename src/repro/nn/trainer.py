@@ -1,0 +1,161 @@
+"""Masked-loss LM training on (prompt, completion) sequences.
+
+Implements the paper's Eq. (1): maximise the log-likelihood of RESPONSE
+tokens conditioned on the INSTRUCTION.  Prompt tokens contribute no loss —
+only positions whose *target* lies inside the completion are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from .optim import Adam, clip_grad_norm
+from .tensor import Tensor
+from .transformer import TransformerLM
+
+
+@dataclass(frozen=True)
+class TrainExample:
+    """One training sequence: full token ids plus the prompt length."""
+
+    tokens: tuple[int, ...]
+    prompt_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.prompt_len <= len(self.tokens):
+            raise ModelError(
+                f"prompt_len {self.prompt_len} invalid for sequence of "
+                f"{len(self.tokens)} tokens"
+            )
+
+
+@dataclass
+class TrainStats:
+    """Loss trajectory of one training run."""
+
+    step_losses: list[float] = field(default_factory=list)
+    epochs_completed: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.step_losses:
+            return float("nan")
+        tail = self.step_losses[-10:]
+        return float(np.mean(tail))
+
+    @property
+    def initial_loss(self) -> float:
+        if not self.step_losses:
+            return float("nan")
+        head = self.step_losses[:10]
+        return float(np.mean(head))
+
+
+class LMTrainer:
+    """Mini-batch Adam training of a TransformerLM.
+
+    Parameters
+    ----------
+    model:
+        The LM to train (possibly LoRA-wrapped).
+    pad_id:
+        Padding token id; padded positions never contribute loss.
+    params:
+        Parameter subset to optimise; defaults to all trainable parameters
+        (for LoRA models that is exactly the adapters).
+    """
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        pad_id: int,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        grad_clip: float = 1.0,
+        params: list[Tensor] | None = None,
+    ):
+        self.model = model
+        self.pad_id = pad_id
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        params = params if params is not None else model.trainable_parameters()
+        if not params:
+            raise ModelError("no trainable parameters")
+        self.optimizer = Adam(params, lr=lr)
+
+    # -- batching -------------------------------------------------------------
+    def _collate(
+        self, batch: list[TrainExample]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Right-pad a batch and build inputs/targets/loss-mask arrays."""
+        max_len = max(len(ex.tokens) for ex in batch)
+        max_len = min(max_len, self.model.config.max_seq_len + 1)
+        n = len(batch)
+        tokens = np.full((n, max_len), self.pad_id, dtype=np.int64)
+        prompt_lens = np.empty(n, dtype=np.int64)
+        for i, ex in enumerate(batch):
+            seq = ex.tokens[:max_len]
+            tokens[i, : len(seq)] = seq
+            prompt_lens[i] = ex.prompt_len
+        inputs = tokens[:, :-1]
+        targets = tokens[:, 1:]
+        # Position i predicts token i+1: count it only when token i+1 falls
+        # inside the completion and is not padding.
+        positions = np.arange(1, max_len)[None, :]
+        mask = (positions >= prompt_lens[:, None]) & (targets != self.pad_id)
+        return inputs, targets, mask.astype(np.float32)
+
+    def train(
+        self,
+        examples: list[TrainExample],
+        epochs: int,
+        rng: np.random.Generator,
+        lr_schedule=None,
+    ) -> TrainStats:
+        """Run ``epochs`` passes over ``examples`` with per-epoch shuffling."""
+        if not examples:
+            raise ModelError("no training examples")
+        stats = TrainStats()
+        step = 0
+        for _ in range(epochs):
+            order = rng.permutation(len(examples))
+            for start in range(0, len(examples), self.batch_size):
+                batch = [examples[int(i)] for i in order[start : start + self.batch_size]]
+                inputs, targets, mask = self._collate(batch)
+                if mask.sum() == 0:
+                    continue
+                self.model.zero_grad()
+                loss = self.model.loss(inputs, targets, mask)
+                loss.backward()
+                clip_grad_norm(self.optimizer.params, self.grad_clip)
+                if lr_schedule is not None:
+                    self.optimizer.lr = lr_schedule(step)
+                self.optimizer.step()
+                stats.step_losses.append(loss.item())
+                step += 1
+            stats.epochs_completed += 1
+        return stats
+
+    def evaluate(self, examples: list[TrainExample]) -> float:
+        """Mean masked loss without updating weights."""
+        if not examples:
+            raise ModelError("no evaluation examples")
+        losses: list[float] = []
+        for start in range(0, len(examples), self.batch_size):
+            batch = examples[start : start + self.batch_size]
+            inputs, targets, mask = self._collate(batch)
+            if mask.sum() == 0:
+                continue
+            logits = self.model.logits_numpy(inputs)
+            b, t, v = logits.shape
+            flat = logits.reshape(b * t, v)
+            tgt = targets.reshape(b * t)
+            m = mask.reshape(b * t)
+            shifted = flat - flat.max(axis=-1, keepdims=True)
+            logsumexp = np.log(np.exp(shifted).sum(axis=-1))
+            token_loss = logsumexp - shifted[np.arange(b * t), tgt]
+            losses.append(float((token_loss * m).sum() / max(m.sum(), 1.0)))
+        return float(np.mean(losses))

@@ -1,0 +1,285 @@
+"""A decoder-only transformer language model.
+
+Pre-LN GPT-style architecture: token + learned position embeddings, blocks
+of causal multi-head self-attention and a GELU MLP, final LayerNorm, and a
+vocabulary head.  Two forward paths:
+
+* the **autograd path** (`forward`, `loss`) used for pre-training, coach
+  instruction tuning and downstream instruction tuning;
+* the **numpy inference path** (`generate`) with a per-layer KV cache for
+  fast greedy/top-k decoding (verified against the autograd path in the
+  test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GenerationError, ModelError
+from .modules import Embedding, LayerNorm, Linear, Module
+from .tensor import Tensor
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyper-parameters of one tiny LM."""
+
+    vocab_size: int
+    d_model: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    max_seq_len: int = 192
+    mlp_ratio: int = 4
+    #: Share the token-embedding matrix with the LM head.  Tying improves
+    #: small-model copying substantially (the logit geometry matches the
+    #: input embedding geometry), which the coach's copy-and-edit task
+    #: depends on.
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ModelError(
+                f"d_model={self.d_model} not divisible by n_heads={self.n_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+
+class SelfAttention(Module):
+    """Causal multi-head self-attention."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        self.config = config
+        self.qkv = Linear(config.d_model, 3 * config.d_model, rng)
+        self.proj = Linear(config.d_model, config.d_model, rng)
+
+    def __call__(self, x: Tensor, causal_mask: np.ndarray) -> Tensor:
+        b, t, d = x.shape
+        cfg = self.config
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(b, t, 3, cfg.n_heads, cfg.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        scores = scores + Tensor(causal_mask[:t, :t])
+        attn = scores.softmax()
+        out = attn.matmul(v)  # (B, H, T, Dh)
+        out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.proj(out)
+
+    def forward_numpy(
+        self, x: np.ndarray, cache: dict | None
+    ) -> np.ndarray:
+        """Inference path; ``cache`` holds accumulated K/V per layer."""
+        b, t, d = x.shape
+        cfg = self.config
+        qkv = self.qkv.forward_numpy(x).reshape(b, t, 3, cfg.n_heads, cfg.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        if cache is not None:
+            if cache.get("k") is not None:
+                k = np.concatenate([cache["k"], k], axis=2)
+                v = np.concatenate([cache["v"], v], axis=2)
+            cache["k"], cache["v"] = k, v
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        scores = (q @ np.swapaxes(k, -1, -2)) * scale  # (B, H, T, Tk)
+        t_k = k.shape[2]
+        # Causal mask: query position i (offset by cached length) may attend
+        # to key positions <= i.
+        offset = t_k - t
+        mask = np.triu(np.full((t, t_k), -1e9, dtype=np.float32), k=offset + 1)
+        scores = scores + mask
+        scores -= scores.max(axis=-1, keepdims=True)
+        probs = np.exp(scores)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        out = probs @ v
+        out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.proj.forward_numpy(out)
+
+
+class MLP(Module):
+    """Two-layer GELU feed-forward block."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        hidden = config.mlp_ratio * config.d_model
+        self.fc_in = Linear(config.d_model, hidden, rng)
+        self.fc_out = Linear(hidden, config.d_model, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.fc_out(self.fc_in(x).gelu())
+
+    def forward_numpy(self, x: np.ndarray) -> np.ndarray:
+        h = self.fc_in.forward_numpy(x)
+        c = np.float32(np.sqrt(2.0 / np.pi))
+        h = 0.5 * h * (1.0 + np.tanh(c * (h + 0.044715 * (h * h * h))))
+        return self.fc_out.forward_numpy(h)
+
+
+class Block(Module):
+    """Pre-LN transformer block."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        self.ln1 = LayerNorm(config.d_model)
+        self.attn = SelfAttention(config, rng)
+        self.ln2 = LayerNorm(config.d_model)
+        self.mlp = MLP(config, rng)
+
+    def __call__(self, x: Tensor, causal_mask: np.ndarray) -> Tensor:
+        x = x + self.attn(self.ln1(x), causal_mask)
+        x = x + self.mlp(self.ln2(x))
+        return x
+
+    def forward_numpy(self, x: np.ndarray, cache: dict | None) -> np.ndarray:
+        x = x + self.attn.forward_numpy(self.ln1.forward_numpy(x), cache)
+        x = x + self.mlp.forward_numpy(self.ln2.forward_numpy(x))
+        return x
+
+
+class TransformerLM(Module):
+    """Decoder-only LM with training and cached-inference paths."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        self.config = config
+        self.tok_emb = Embedding(config.vocab_size, config.d_model, rng)
+        self.pos_emb = Embedding(config.max_seq_len, config.d_model, rng)
+        self.blocks = [Block(config, rng) for _ in range(config.n_layers)]
+        self.ln_f = LayerNorm(config.d_model)
+        self.head = (
+            None if config.tie_embeddings
+            else Linear(config.d_model, config.vocab_size, rng, bias=False)
+        )
+        self._causal_mask = np.triu(
+            np.full((config.max_seq_len, config.max_seq_len), -1e9, dtype=np.float32),
+            k=1,
+        )
+
+    # -- training path -----------------------------------------------------------
+    def forward(self, idx: np.ndarray) -> Tensor:
+        """Logits for a batch of token ids (B, T) → Tensor (B, T, V)."""
+        idx = np.asarray(idx)
+        b, t = idx.shape
+        if t > self.config.max_seq_len:
+            raise ModelError(
+                f"sequence length {t} exceeds context {self.config.max_seq_len}"
+            )
+        positions = np.arange(t)
+        x = self.tok_emb(idx) + self.pos_emb(positions)
+        for block in self.blocks:
+            x = block(x, self._causal_mask)
+        x = self.ln_f(x)
+        if self.head is None:
+            return x.reshape(b * t, self.config.d_model).matmul(
+                self.tok_emb.weight.transpose()
+            ).reshape(b, t, self.config.vocab_size)
+        return self.head(x)
+
+    def loss(
+        self,
+        idx: np.ndarray,
+        targets: np.ndarray,
+        loss_mask: np.ndarray,
+    ) -> Tensor:
+        """Masked next-token loss — Eq. (1): P(RESPONSE | INSTRUCTION)."""
+        logits = self.forward(idx)
+        b, t, v = logits.shape
+        return logits.reshape(b * t, v).cross_entropy(
+            np.asarray(targets).reshape(b * t),
+            np.asarray(loss_mask, dtype=np.float32).reshape(b * t),
+        )
+
+    # -- inference path ------------------------------------------------------------
+    def _forward_numpy(
+        self, idx: np.ndarray, caches: list[dict] | None, position_offset: int = 0
+    ) -> np.ndarray:
+        idx = np.asarray(idx)
+        b, t = idx.shape
+        positions = np.arange(position_offset, position_offset + t)
+        if positions[-1] >= self.config.max_seq_len:
+            raise GenerationError(
+                f"position {positions[-1]} exceeds context "
+                f"{self.config.max_seq_len}"
+            )
+        x = self.tok_emb.forward_numpy(idx) + self.pos_emb.forward_numpy(positions)
+        for i, block in enumerate(self.blocks):
+            x = block.forward_numpy(x, caches[i] if caches is not None else None)
+        x = self.ln_f.forward_numpy(x)
+        if self.head is None:
+            return x @ self.tok_emb.weight.data.T
+        return self.head.forward_numpy(x)
+
+    def generate(
+        self,
+        prompt_ids: list[int],
+        max_new_tokens: int,
+        eos_id: int | None = None,
+        top_k: int | None = None,
+        rng: np.random.Generator | None = None,
+        logit_bias: np.ndarray | None = None,
+    ) -> list[int]:
+        """Decode a continuation of ``prompt_ids`` with a KV cache.
+
+        Greedy decoding by default ("the beam size for decoding was set to
+        one for all models" — Section III-A3); pass ``top_k`` and ``rng``
+        for stochastic sampling.  ``logit_bias`` is an optional (V,) array
+        added to every step's logits — used by CoachLM's copy-biased
+        decoding (a pointer-network-style stand-in for the reliable
+        long-span copying a billion-parameter model has natively).
+        """
+        if not prompt_ids:
+            raise GenerationError("prompt must contain at least one token")
+        if top_k is not None and rng is None:
+            raise GenerationError("top_k sampling requires an rng")
+        if logit_bias is not None and logit_bias.shape != (self.config.vocab_size,):
+            raise GenerationError(
+                f"logit_bias must have shape ({self.config.vocab_size},)"
+            )
+        budget = self.config.max_seq_len - len(prompt_ids)
+        max_new_tokens = min(max_new_tokens, budget)
+        if max_new_tokens <= 0:
+            return []
+
+        caches: list[dict] = [{"k": None, "v": None} for _ in self.blocks]
+        idx = np.asarray([prompt_ids], dtype=np.int64)
+        logits = self._forward_numpy(idx, caches)[:, -1, :]
+        produced: list[int] = []
+        offset = len(prompt_ids)
+        for _ in range(max_new_tokens):
+            step_logits = logits[0]
+            if logit_bias is not None:
+                step_logits = step_logits + logit_bias
+            if top_k is not None:
+                token = _sample_top_k(step_logits, top_k, rng)
+            else:
+                token = int(step_logits.argmax())
+            produced.append(token)
+            if eos_id is not None and token == eos_id:
+                break
+            logits = self._forward_numpy(
+                np.asarray([[token]], dtype=np.int64), caches, position_offset=offset
+            )[:, -1, :]
+            offset += 1
+        return produced
+
+    def logits_numpy(self, idx: np.ndarray) -> np.ndarray:
+        """Full-sequence logits on the inference path (no cache)."""
+        return self._forward_numpy(np.asarray(idx), caches=None)
+
+    def clone(self) -> "TransformerLM":
+        """Deep copy: same config, copied weights, fresh tape."""
+        twin = TransformerLM(self.config, np.random.default_rng(0))
+        twin.load_state_dict(self.state_dict())
+        return twin
+
+
+def _sample_top_k(logits: np.ndarray, k: int, rng: np.random.Generator) -> int:
+    k = min(k, logits.shape[-1])
+    top = np.argpartition(logits, -k)[-k:]
+    top_logits = logits[top] - logits[top].max()
+    probs = np.exp(top_logits)
+    probs /= probs.sum()
+    return int(top[rng.choice(k, p=probs)])

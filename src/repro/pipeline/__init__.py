@@ -1,0 +1,7 @@
+"""Experiment orchestration: the workbench, artifact cache and registry."""
+
+from .cache import ArtifactCache
+from .workbench import MODEL_KEYS, Workbench
+from .registry import EXPERIMENTS, Experiment
+
+__all__ = ["ArtifactCache", "Workbench", "MODEL_KEYS", "EXPERIMENTS", "Experiment"]

@@ -1,0 +1,113 @@
+"""On-disk artifact cache.
+
+Benchmarks re-run the same expensive stages (backbone pre-training, model
+tuning, dataset revision); the cache keys every artifact by a stable
+content hash of its configuration, so a cold benchmark suite is paid once
+per scale preset.  Everything is stored as plain files (npz for weights,
+jsonl for datasets/records, json for summaries) — no pickling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.dataset import InstructionDataset
+from ..errors import PipelineError
+from ..experts.revision import RevisionRecord
+
+
+def config_hash(payload: dict) -> str:
+    """Stable short hash of a JSON-serialisable configuration."""
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+class ArtifactCache:
+    """A directory of cacheable experiment artifacts."""
+
+    def __init__(self, root: str | Path, enabled: bool = True):
+        self.root = Path(root)
+        self.enabled = enabled
+        if enabled:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, kind: str, key: str, suffix: str) -> Path:
+        return self.root / f"{kind}-{key}{suffix}"
+
+    # -- model weights --------------------------------------------------------
+    def has_weights(self, kind: str, key: str) -> bool:
+        return self.enabled and self._path(kind, key, ".npz").exists()
+
+    def save_weights(self, kind: str, key: str, state: dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+        np.savez(self._path(kind, key, ".npz"), **state)
+
+    def load_weights(self, kind: str, key: str) -> dict[str, np.ndarray]:
+        path = self._path(kind, key, ".npz")
+        if not path.exists():
+            raise PipelineError(f"no cached weights at {path}")
+        with np.load(path) as blob:
+            return {name: blob[name].copy() for name in blob.files}
+
+    # -- datasets --------------------------------------------------------------
+    def has_dataset(self, kind: str, key: str) -> bool:
+        return self.enabled and self._path(kind, key, ".jsonl").exists()
+
+    def save_dataset(self, kind: str, key: str, dataset: InstructionDataset) -> None:
+        if not self.enabled:
+            return
+        dataset.save_jsonl(self._path(kind, key, ".jsonl"))
+
+    def load_dataset(self, kind: str, key: str, name: str) -> InstructionDataset:
+        return InstructionDataset.load_jsonl(
+            self._path(kind, key, ".jsonl"), name=name
+        )
+
+    # -- revision records ---------------------------------------------------------
+    def has_records(self, kind: str, key: str) -> bool:
+        return self.enabled and self._path(kind, key, ".records.jsonl").exists()
+
+    def save_records(
+        self, kind: str, key: str, records: list[RevisionRecord]
+    ) -> None:
+        if not self.enabled:
+            return
+        path = self._path(kind, key, ".records.jsonl")
+        with path.open("w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_json(), sort_keys=True))
+                fh.write("\n")
+
+    def load_records(self, kind: str, key: str) -> list[RevisionRecord]:
+        path = self._path(kind, key, ".records.jsonl")
+        if not path.exists():
+            raise PipelineError(f"no cached records at {path}")
+        records: list[RevisionRecord] = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(RevisionRecord.from_json(json.loads(line)))
+        return records
+
+    # -- json blobs -------------------------------------------------------------------
+    def has_json(self, kind: str, key: str) -> bool:
+        return self.enabled and self._path(kind, key, ".json").exists()
+
+    def save_json(self, kind: str, key: str, payload: object) -> None:
+        if not self.enabled:
+            return
+        self._path(kind, key, ".json").write_text(
+            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+
+    def load_json(self, kind: str, key: str) -> object:
+        path = self._path(kind, key, ".json")
+        if not path.exists():
+            raise PipelineError(f"no cached json at {path}")
+        return json.loads(path.read_text(encoding="utf-8"))

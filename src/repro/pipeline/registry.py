@@ -1,0 +1,97 @@
+"""Experiment registry: every table/figure mapped to its bench target.
+
+The DESIGN.md per-experiment index, in code — used by the benchmark
+harness and by ``examples/regenerate_all.py`` to enumerate what exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    exp_id: str
+    description: str
+    modules: tuple[str, ...]
+    bench_target: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.exp_id: e
+    for e in (
+        Experiment(
+            "table1", "Expertise and grouping of involved language experts",
+            ("repro.experts.profiles",),
+            "benchmarks/test_bench_table1_experts.py",
+        ),
+        Experiment(
+            "table2", "Human evaluation criteria for instruction-pair quality",
+            ("repro.quality.dimensions",),
+            "benchmarks/test_bench_table2_criteria.py",
+        ),
+        Experiment(
+            "table3", "Distribution of the excluded instruction pairs",
+            ("repro.experts.filtering", "repro.data.defects"),
+            "benchmarks/test_bench_table3_filtering.py",
+        ),
+        Experiment(
+            "table4", "Statistics of expert revisions on instruction pairs",
+            ("repro.experts.revision", "repro.experts.workflow"),
+            "benchmarks/test_bench_table4_revisions.py",
+        ),
+        Experiment(
+            "table5", "Evaluation approaches utilised in the experiment",
+            ("repro.judges",),
+            "benchmarks/test_bench_table5_judges.py",
+        ),
+        Experiment(
+            "table6", "Test sets on instruction-following ability of LLMs",
+            ("repro.testsets.builders",),
+            "benchmarks/test_bench_table6_testsets.py",
+        ),
+        Experiment(
+            "table7", "Statistics of the CoachLM-revised ALPACA52K dataset",
+            ("repro.core.stats", "repro.editdist"),
+            "benchmarks/test_bench_table7_revision_stats.py",
+        ),
+        Experiment(
+            "table8", "Human ratings on a subset of the CoachLM-revised dataset",
+            ("repro.judges.human", "repro.core.coachlm"),
+            "benchmarks/test_bench_table8_human_data.py",
+        ),
+        Experiment(
+            "table9", "Win rates of LLMs against references on four test sets",
+            ("repro.pipeline.workbench", "repro.judges.pandalm",
+             "repro.judges.protocol"),
+            "benchmarks/test_bench_table9_winrates.py",
+        ),
+        Experiment(
+            "table10", "Human evaluation on Alpaca-CoachLM and Alpaca",
+            ("repro.judges.human", "repro.llm.generation"),
+            "benchmarks/test_bench_table10_human_llm.py",
+        ),
+        Experiment(
+            "table11", "Performance of CoachLM with varying backbone models",
+            ("repro.llm.backbone", "repro.core.training"),
+            "benchmarks/test_bench_table11_backbones.py",
+        ),
+        Experiment(
+            "fig4", "ChatGPT rating histogram before/after CoachLM revision",
+            ("repro.judges.chatgpt", "repro.analysis.histogram"),
+            "benchmarks/test_bench_fig4_chatgpt_hist.py",
+        ),
+        Experiment(
+            "fig5", "Win rate vs human-input ratio α (CoachLM and Alpaca-human)",
+            ("repro.core.selection", "repro.analysis.linear_fit"),
+            "benchmarks/test_bench_fig5_alpha_sweep.py",
+        ),
+        Experiment(
+            "fig6", "Deployment in an LLM data management system",
+            ("repro.deployment",),
+            "benchmarks/test_bench_fig6_deployment.py",
+        ),
+    )
+}

@@ -1,0 +1,47 @@
+"""The Table II quality rubric: nine dimensions, three levels, score caps.
+
+* :mod:`repro.quality.dimensions` — the rubric's structure (dimensions,
+  levels, score ranges) exactly as printed in Table II of the paper.
+* :mod:`repro.quality.scorer` — a deterministic scorer that detects rubric
+  violations from pair *text* (plus task provenance for oracle checks) and
+  produces 0-100 scores honouring the level caps: red-line violations cap
+  at 40, basic violations cap at 80, advanced dimensions claim the top 20.
+* :mod:`repro.quality.report` — dataset-level aggregation.
+"""
+
+from .dimensions import (
+    DIMENSIONS,
+    INSTRUCTION_DIMENSIONS,
+    LEVEL_ADVANCED,
+    LEVEL_BASIC,
+    LEVEL_RED_LINE,
+    RESPONSE_DIMENSIONS,
+    Dimension,
+)
+from .scorer import (
+    CriteriaScorer,
+    DimensionFinding,
+    PairReport,
+    ResponseAnalysis,
+    SideReport,
+    analyze_response,
+)
+from .report import DatasetQualityReport, dataset_quality_report
+
+__all__ = [
+    "DIMENSIONS",
+    "INSTRUCTION_DIMENSIONS",
+    "RESPONSE_DIMENSIONS",
+    "LEVEL_ADVANCED",
+    "LEVEL_BASIC",
+    "LEVEL_RED_LINE",
+    "Dimension",
+    "CriteriaScorer",
+    "DimensionFinding",
+    "PairReport",
+    "ResponseAnalysis",
+    "SideReport",
+    "analyze_response",
+    "DatasetQualityReport",
+    "dataset_quality_report",
+]

@@ -1,0 +1,112 @@
+"""Structure of the Table II evaluation criteria.
+
+The paper grades INSTRUCTION and RESPONSE independently on 0-100 with nine
+dimensions grouped into three importance levels:
+
+* **red line** — safety; any violation caps the score at 40;
+* **basic** — correctness, relevance, comprehensiveness, readability
+  (response) and feasibility, readability (instruction); flaws cap at 80;
+* **advanced** — richness, humanization (response) and contextualization
+  (instruction); these claim the top 20 points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LEVEL_RED_LINE = "red_line"
+LEVEL_BASIC = "basic"
+LEVEL_ADVANCED = "advanced"
+
+SIDE_INSTRUCTION = "instruction"
+SIDE_RESPONSE = "response"
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One rubric dimension exactly as listed in Table II."""
+
+    name: str
+    side: str
+    level: str
+    description: str
+    score_range: tuple[int, int]
+
+
+INSTRUCTION_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        "contextualization", SIDE_INSTRUCTION, LEVEL_ADVANCED,
+        "The instruction includes a rich context or effective prompting "
+        "skills to facilitate detailed and accurate responses.",
+        (80, 100),
+    ),
+    Dimension(
+        "feasibility", SIDE_INSTRUCTION, LEVEL_BASIC,
+        "The instruction is clear, specific, feasible, and easily "
+        "understandable.",
+        (0, 80),
+    ),
+    Dimension(
+        "readability", SIDE_INSTRUCTION, LEVEL_BASIC,
+        "The instruction adheres to the conventions and stylistic norms "
+        "of the target language.",
+        (0, 80),
+    ),
+)
+
+RESPONSE_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension(
+        "humanization", SIDE_RESPONSE, LEVEL_ADVANCED,
+        "Responses should be warm, empathetic, and engaging, tailored to "
+        "the user's background and preferences.",
+        (90, 100),
+    ),
+    Dimension(
+        "richness", SIDE_RESPONSE, LEVEL_ADVANCED,
+        "Responses should be diverse, informative, creative, and expanded.",
+        (80, 90),
+    ),
+    Dimension(
+        "readability", SIDE_RESPONSE, LEVEL_BASIC,
+        "Responses should use fluent, concise and correct language and be "
+        "properly structured.",
+        (40, 80),
+    ),
+    Dimension(
+        "comprehensiveness", SIDE_RESPONSE, LEVEL_BASIC,
+        "Responses comprehensively cover all necessary angles and "
+        "information.",
+        (40, 80),
+    ),
+    Dimension(
+        "relevance", SIDE_RESPONSE, LEVEL_BASIC,
+        "Responses should be effective and direct, and provide in-topic "
+        "solutions.",
+        (40, 80),
+    ),
+    Dimension(
+        "correctness", SIDE_RESPONSE, LEVEL_BASIC,
+        "Responses should be grounded in factual information, common "
+        "sense, and logical reasoning.",
+        (40, 80),
+    ),
+    Dimension(
+        "safety", SIDE_RESPONSE, LEVEL_RED_LINE,
+        "Responses should be harmless, protecting users' emotions, body "
+        "and property.",
+        (0, 40),
+    ),
+)
+
+DIMENSIONS: tuple[Dimension, ...] = INSTRUCTION_DIMENSIONS + RESPONSE_DIMENSIONS
+
+assert len(DIMENSIONS) == 10  # nine named dimensions; readability appears on both sides
+
+
+def dimensions_for_side(side: str) -> tuple[Dimension, ...]:
+    """All dimensions applying to ``instruction`` or ``response``."""
+    if side == SIDE_INSTRUCTION:
+        return INSTRUCTION_DIMENSIONS
+    if side == SIDE_RESPONSE:
+        return RESPONSE_DIMENSIONS
+    raise ValueError(f"unknown side {side!r}")

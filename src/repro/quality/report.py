@@ -1,0 +1,74 @@
+"""Dataset-level quality aggregation.
+
+Produces the numbers the paper reports about datasets as a whole: mean
+instruction/response scores (Table VIII), the share of pairs an expert
+would revise (Section I: 46.8%), and per-dimension violation rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import InstructionDataset
+from .scorer import CriteriaScorer, PairReport
+
+
+@dataclass(frozen=True)
+class DatasetQualityReport:
+    """Aggregated rubric results over a dataset."""
+
+    size: int
+    mean_instruction_score: float
+    mean_response_score: float
+    needs_revision_fraction: float
+    instruction_violation_rates: dict[str, float]
+    response_violation_rates: dict[str, float]
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"pairs scored            : {self.size}",
+            f"mean instruction score  : {self.mean_instruction_score:.1f}",
+            f"mean response score     : {self.mean_response_score:.1f}",
+            f"needs-revision fraction : {self.needs_revision_fraction:.1%}",
+        ]
+        for side, rates in (
+            ("instruction", self.instruction_violation_rates),
+            ("response", self.response_violation_rates),
+        ):
+            for dim, rate in sorted(rates.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {side}.{dim:<18}: {rate:.1%} violated")
+        return lines
+
+
+def dataset_quality_report(
+    dataset: InstructionDataset, scorer: CriteriaScorer | None = None
+) -> DatasetQualityReport:
+    """Score every pair in ``dataset`` and aggregate the findings."""
+    scorer = scorer or CriteriaScorer()
+    reports: list[PairReport] = [scorer.score_pair(p) for p in dataset]
+    if not reports:
+        return DatasetQualityReport(0, 0.0, 0.0, 0.0, {}, {})
+
+    instr_viol: dict[str, int] = {}
+    resp_viol: dict[str, int] = {}
+    for report in reports:
+        for finding in report.instruction.findings:
+            if not finding.satisfied:
+                instr_viol[finding.dimension] = instr_viol.get(finding.dimension, 0) + 1
+        for finding in report.response.findings:
+            if not finding.satisfied:
+                resp_viol[finding.dimension] = resp_viol.get(finding.dimension, 0) + 1
+
+    n = len(reports)
+    return DatasetQualityReport(
+        size=n,
+        mean_instruction_score=float(np.mean([r.instruction.score for r in reports])),
+        mean_response_score=float(np.mean([r.response.score for r in reports])),
+        needs_revision_fraction=float(
+            np.mean([r.needs_revision for r in reports])
+        ),
+        instruction_violation_rates={k: v / n for k, v in instr_viol.items()},
+        response_violation_rates={k: v / n for k, v in resp_viol.items()},
+    )

@@ -1,0 +1,480 @@
+"""Deterministic rubric scorer over instruction-pair text.
+
+The scorer plays the role of the paper's language experts when they grade
+pairs against Table II: it detects violations from the *surface text* (and
+recomputes the oracle answer from task provenance for correctness checks),
+then maps findings to a 0-100 score per side, honouring the level caps:
+
+* red-line (safety) violation → score ≤ 40;
+* any basic violation → score ≤ 80;
+* advanced dimensions (richness, humanization / contextualization) award
+  the final 20 points.
+
+Design rule (DESIGN.md §5): the scorer never reads
+``InstructionPair.injected_defects`` — everything is inferred from text,
+exactly as an expert would, so CoachLM-revised and model-generated text is
+scored by the same instrument as generated text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScoringError
+from ..textgen import vocabulary as V
+from ..textgen.responses import detokenize, has_context_marker
+from ..textgen.tasks import get_category, render_instruction, solve
+from ..data.instruction_pair import InstructionPair
+
+Tokens = list[str]
+
+#: Content lexicons used for relevance overlap checks.
+_CONTENT_WORDS = frozenset(
+    V.COLORS + V.ANIMALS + V.OBJECTS + V.ADJECTIVES + V.PLACES + V.NAMES
+    + V.SUM_DIGITS
+)
+
+_TERMINALS = frozenset({".", "?", "!"})
+_POLITE = tuple(V.POLITE_CODA)
+_MACHINE = tuple(V.MACHINE_TONE_PREFIX)
+_UNSAFE = tuple(V.UNSAFE_PHRASE)
+
+#: Instruction markers of infeasible requests (Table III kinds).
+_INFEASIBLE_MARKERS: tuple[tuple[str, ...], ...] = (
+    ("link",),
+    ("chords",),
+    ("whole", "page"),
+    ("photo",),
+    ("image",),
+    ("video",),
+)
+
+
+@dataclass(frozen=True)
+class DimensionFinding:
+    """Verdict for one rubric dimension on one side of a pair."""
+
+    dimension: str
+    satisfied: bool
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SideReport:
+    """Scored findings for one side (instruction or response)."""
+
+    side: str
+    score: float
+    findings: tuple[DimensionFinding, ...]
+
+    def violated(self, dimension: str) -> bool:
+        for finding in self.findings:
+            if finding.dimension == dimension:
+                return not finding.satisfied
+        raise ScoringError(f"no finding for dimension {dimension!r}")
+
+    def satisfied(self, dimension: str) -> bool:
+        return not self.violated(dimension)
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        return tuple(f.dimension for f in self.findings if not f.satisfied)
+
+
+@dataclass(frozen=True)
+class PairReport:
+    """Full rubric report: both sides of one pair."""
+
+    instruction: SideReport
+    response: SideReport
+
+    @property
+    def min_score(self) -> float:
+        return min(self.instruction.score, self.response.score)
+
+    @property
+    def needs_revision(self) -> bool:
+        """True when an expert following Table II would revise the pair.
+
+        Revision is triggered by detected *flaws*: any violated response
+        dimension (including a terse response lacking richness — Table IV's
+        dominant "expand" bucket — and a machine tone), or a violated basic
+        instruction dimension.  The mere absence of the advanced
+        contextualization bonus does not trigger revision (the paper adds
+        context in only 7% of instruction revisions).
+        """
+        if self.response.violations:
+            return True
+        basic_instruction = {"feasibility", "readability"}
+        return any(v in basic_instruction for v in self.instruction.violations)
+
+
+def _contains_phrase(tokens: Tokens, phrase: tuple[str, ...]) -> bool:
+    n = len(phrase)
+    return any(tuple(tokens[i : i + n]) == phrase for i in range(len(tokens) - n + 1))
+
+
+def _strip_phrase(tokens: Tokens, phrase: tuple[str, ...]) -> Tokens:
+    n = len(phrase)
+    out: Tokens = []
+    i = 0
+    while i < len(tokens):
+        if tuple(tokens[i : i + n]) == phrase:
+            i += n
+        else:
+            out.append(tokens[i])
+            i += 1
+    return out
+
+
+def _surface_flaws(
+    tokens: Tokens, allowed_typos: frozenset[str] = frozenset()
+) -> list[str]:
+    """Count language-surface flaws: typos, garble, unknown words, repeats.
+
+    ``allowed_typos`` whitelists misspellings that are legitimate content —
+    the ``spelling_fix`` task *quotes* a typo in both its instruction and
+    its explanation, which an expert would not count as a flaw.
+    """
+    flaws: list[str] = []
+    for t in tokens:
+        if t in V.TYPO_MAP:
+            if t not in allowed_typos:
+                flaws.append(f"typo:{t}")
+        elif t in V.NOISE_TOKENS or not V.is_known_word(t):
+            flaws.append(f"garble:{t}")
+    for a, b in zip(tokens, tokens[1:]):
+        if a == b and a not in _TERMINALS:
+            flaws.append(f"repeat:{a}")
+    return flaws
+
+
+def _allowed_typos(pair: InstructionPair) -> frozenset[str]:
+    if pair.provenance is not None and pair.provenance.category_id == "spelling_fix":
+        typo = pair.provenance.slots.get("typo")
+        if isinstance(typo, str):
+            return frozenset({typo})
+    return frozenset()
+
+
+def _normalise(tokens: Tokens, keep_typos: frozenset[str] = frozenset()) -> Tokens:
+    """Cleaned view used for oracle comparison (flaws are charged separately).
+
+    ``keep_typos`` prevents auto-correcting misspellings that are the very
+    subject of the task (``spelling_fix``): a response that fails to fix
+    the quoted typo must *not* be silently normalised into a correct one.
+    """
+    out: Tokens = []
+    for t in tokens:
+        if t not in keep_typos:
+            t = V.TYPO_MAP.get(t, t)
+        if t in V.NOISE_TOKENS or not V.is_known_word(t):
+            continue
+        if out and out[-1] == t and t not in _TERMINALS:
+            continue
+        out.append(t)
+    return out
+
+
+def _strip_context(tokens: Tokens) -> Tokens:
+    out = list(tokens)
+    for opener in V.CONTEXT_OPENERS:
+        out = _strip_phrase(out, tuple(opener))
+    return _strip_phrase(out, tuple(V.EXAMPLE_MARKER))
+
+
+def _core_answer(tokens: Tokens) -> Tokens:
+    """Answer segment: everything before the first ``;`` or ``.``."""
+    for i, t in enumerate(tokens):
+        if t in (";", ".", "?", "!"):
+            return tokens[:i]
+    return list(tokens)
+
+
+def _content_overlap(a: Tokens, b: Tokens) -> int:
+    return len((_CONTENT_WORDS & set(a)) & set(b))
+
+
+@dataclass(frozen=True)
+class ResponseAnalysis:
+    """Structural view of a response used by the scorer and the experts.
+
+    Exposes the signals an expert reads off the text before judging it:
+    the normalised body, the answer core, surface flaws split by kind,
+    tone and termination markers.
+    """
+
+    body: tuple[str, ...]          #: tokens with machine-tone prefix stripped
+    normalised: tuple[str, ...]    #: cleaned view for oracle comparison
+    core: tuple[str, ...]          #: answer segment before the first ; or .
+    typo_garble_flaws: tuple[str, ...]
+    repeat_flaws: tuple[str, ...]
+    polite: bool
+    machine_tone: bool
+    terminal_ok: bool
+
+    @property
+    def flaws(self) -> tuple[str, ...]:
+        return self.typo_garble_flaws + self.repeat_flaws
+
+    @property
+    def because_cut(self) -> bool:
+        """True when an explanation clause was started but cut short."""
+        if "because" not in self.normalised:
+            return False
+        idx = tuple(self.normalised).index("because")
+        tail = [t for t in self.normalised[idx + 1 :] if t not in _TERMINALS]
+        return len(tail) < 3 or not self.terminal_ok
+
+
+def analyze_response(pair: InstructionPair) -> ResponseAnalysis:
+    """Compute the structural response view for one pair."""
+    tokens = pair.response_tokens
+    allowed = _allowed_typos(pair)
+    machine_tone = _contains_phrase(tokens, _MACHINE)
+    body = _strip_phrase(tokens, _MACHINE) if machine_tone else list(tokens)
+    polite = _contains_phrase(body, _POLITE)
+    body_wo_coda = _strip_phrase(body, _POLITE) if polite else body
+    flaws = _surface_flaws(body_wo_coda, allowed)
+    typo_garble = tuple(f for f in flaws if not f.startswith("repeat:"))
+    repeats = tuple(f for f in flaws if f.startswith("repeat:"))
+    terminal_ok = bool(body_wo_coda) and body_wo_coda[-1] in _TERMINALS
+    normalised = _normalise(body_wo_coda, keep_typos=allowed)
+    core = _core_answer(normalised)
+    return ResponseAnalysis(
+        body=tuple(body_wo_coda),
+        normalised=tuple(normalised),
+        core=tuple(core),
+        typo_garble_flaws=typo_garble,
+        repeat_flaws=repeats,
+        polite=polite,
+        machine_tone=machine_tone,
+        terminal_ok=terminal_ok,
+    )
+
+
+class CriteriaScorer:
+    """Scores pairs against the Table II rubric.
+
+    Parameters
+    ----------
+    strict_context:
+        When True (default), instructions only reach the advanced band with
+        an explicit context marker, mirroring the rubric's 80-100 range for
+        Contextualization.
+    """
+
+    def __init__(self, strict_context: bool = True):
+        self.strict_context = strict_context
+
+    # -- instruction side --------------------------------------------------------
+    def score_instruction(self, pair: InstructionPair) -> SideReport:
+        tokens = pair.instruction_tokens
+        if not tokens:
+            findings = (
+                DimensionFinding("feasibility", False, "empty instruction"),
+                DimensionFinding("readability", False, "empty instruction"),
+                DimensionFinding("contextualization", False),
+            )
+            return SideReport("instruction", 15.0, findings)
+
+        allowed = _allowed_typos(pair)
+        stripped = _strip_context(tokens)
+        flaws = _surface_flaws(stripped, allowed)
+        readability_ok = not flaws
+
+        infeasible_notes: list[str] = []
+        for marker in _INFEASIBLE_MARKERS:
+            if _contains_phrase(stripped, marker):
+                infeasible_notes.append(f"marker:{' '.join(marker)}")
+        if _contains_phrase(stripped, _UNSAFE):
+            infeasible_notes.append("unsafe request")
+        normalised = _normalise(stripped, keep_typos=allowed)
+        if normalised and normalised[-1] == ":":
+            infeasible_notes.append("dangling payload separator")
+        if pair.provenance is not None and not infeasible_notes:
+            expected, payload_start = render_instruction(pair.provenance)
+            if payload_start is not None and ":" not in normalised:
+                infeasible_notes.append("payload missing entirely")
+            elif len(normalised) <= len(expected) - 2 and _is_prefix(
+                normalised, expected
+            ):
+                infeasible_notes.append("instruction cut short")
+        feasible = not infeasible_notes
+
+        context = has_context_marker(tokens)
+
+        if not feasible:
+            score = max(20.0, 48.0 - 6.0 * (len(infeasible_notes) - 1)
+                        - 5.0 * len(flaws))
+        elif not readability_ok:
+            score = max(50.0, 78.0 - 9.0 * len(flaws))
+        else:
+            score = 95.0 if context else 82.0
+
+        findings = (
+            DimensionFinding("feasibility", feasible, "; ".join(infeasible_notes)),
+            DimensionFinding("readability", readability_ok,
+                             "; ".join(flaws[:4])),
+            DimensionFinding("contextualization", context),
+        )
+        return SideReport("instruction", float(score), findings)
+
+    # -- response side -------------------------------------------------------------
+    def score_response(self, pair: InstructionPair) -> SideReport:
+        tokens = pair.response_tokens
+
+        if not tokens:
+            findings = (
+                DimensionFinding("safety", True),
+                DimensionFinding("correctness", False, "empty response"),
+                DimensionFinding("relevance", False, "empty response"),
+                DimensionFinding("comprehensiveness", False, "empty response"),
+                DimensionFinding("readability", False, "empty response"),
+                DimensionFinding("richness", False),
+                DimensionFinding("humanization", True),
+            )
+            return SideReport("response", 40.0, findings)
+
+        # Red line first: any unsafe content caps the score at 40.
+        unsafe_hits = sum(
+            1 for i in range(len(tokens))
+            if tuple(tokens[i : i + len(_UNSAFE)]) == _UNSAFE
+        )
+        if unsafe_hits:
+            findings = (
+                DimensionFinding("safety", False, f"{unsafe_hits} unsafe span(s)"),
+                DimensionFinding("correctness", True),
+                DimensionFinding("relevance", True),
+                DimensionFinding("comprehensiveness", True),
+                DimensionFinding("readability", True),
+                DimensionFinding("richness", False),
+                DimensionFinding("humanization", True),
+            )
+            return SideReport(
+                "response", max(10.0, 38.0 - 10.0 * (unsafe_hits - 1)), findings
+            )
+
+        analysis = analyze_response(pair)
+        machine_tone = analysis.machine_tone
+        polite = analysis.polite
+        flaws = list(analysis.flaws)
+        readability_ok = not flaws and analysis.terminal_ok
+
+        correctness_ok, relevance_ok, comprehensive_ok, rich = self._semantic_checks(
+            pair, list(analysis.normalised), list(analysis.core),
+            analysis.terminal_ok,
+        )
+
+        basic_violations = sum(
+            1 for ok in (correctness_ok, relevance_ok, comprehensive_ok,
+                         readability_ok) if not ok
+        )
+        # Humanization is *violated* only by a machine tone; a missing
+        # polite coda merely forgoes the advanced bonus (Table II: the
+        # 90-100 band rewards a humanised tone, it does not punish neutral
+        # tone as a flaw).
+        human_violated = machine_tone
+        human_bonus = polite and not machine_tone
+
+        if basic_violations:
+            score = max(
+                42.0,
+                76.0 - 9.0 * basic_violations - 2.0 * min(len(flaws), 4),
+            )
+        else:
+            score = 80.0 + (8.0 if rich else 0.0) + (7.0 if human_bonus else 0.0)
+            if machine_tone:
+                score = min(score, 84.0)
+
+        findings = (
+            DimensionFinding("safety", True),
+            DimensionFinding("correctness", correctness_ok),
+            DimensionFinding("relevance", relevance_ok),
+            DimensionFinding("comprehensiveness", comprehensive_ok),
+            DimensionFinding("readability", readability_ok,
+                             "; ".join(flaws[:4])),
+            DimensionFinding("richness", rich),
+            DimensionFinding("humanization", not human_violated,
+                             "machine tone" if human_violated else ""),
+        )
+        return SideReport("response", float(score), findings)
+
+    def _semantic_checks(
+        self,
+        pair: InstructionPair,
+        normalised: Tokens,
+        core: Tokens,
+        terminal_ok: bool,
+    ) -> tuple[bool, bool, bool, bool]:
+        """Correctness / relevance / comprehensiveness / richness checks."""
+        instance = pair.provenance
+        instruction_content = set(pair.instruction_tokens) & _CONTENT_WORDS
+
+        if instance is None:
+            # No oracle available (e.g. Table III filter pairs): only the
+            # checks that need no ground truth apply.
+            rich = self._is_rich(normalised, creative=False)
+            comprehensive_ok = terminal_ok
+            return True, True, comprehensive_ok, rich
+
+        creative = get_category(instance.category_id).task_class == "creative"
+        answer, explanation = solve(instance)
+
+        if creative:
+            overlap = _content_overlap(normalised, list(instruction_content))
+            relevance_ok = overlap >= 1 if instruction_content else len(normalised) >= 4
+            correctness_ok = relevance_ok and len(normalised) >= 4
+            comprehensive_ok = terminal_ok and len(normalised) >= 4
+            rich = self._is_rich(normalised, creative=True)
+            return correctness_ok, relevance_ok, comprehensive_ok, rich
+
+        correctness_ok = core == list(answer)
+        if correctness_ok:
+            relevance_ok = True
+        else:
+            # Wrong-but-on-topic (shares tokens with the oracle answer, the
+            # explanation, or the instruction's content words) is a
+            # correctness issue; zero overlap means it is off topic.  A
+            # numeric reply to a numeric question is always on topic even
+            # when the number is wrong (miscalculations are correctness
+            # flaws, not relevance flaws).
+            oracle_tokens = set(answer) | set(explanation) | instruction_content
+            numeric_on_topic = (
+                len(core) >= 1 and core[0].isdigit()
+                and len(answer) >= 1 and answer[0].isdigit()
+            )
+            relevance_ok = numeric_on_topic or bool(set(core) & oracle_tokens)
+        answer_complete = _contains_seq(normalised, list(answer))
+        started_because = "because" in normalised
+        comprehensive_ok = answer_complete and (not started_because or terminal_ok)
+        rich = self._is_rich(normalised, creative=False)
+        return correctness_ok, relevance_ok, comprehensive_ok, rich
+
+    @staticmethod
+    def _is_rich(normalised: Tokens, creative: bool) -> bool:
+        if creative:
+            return normalised.count(".") >= 2 and len(normalised) >= 10
+        if "because" not in normalised:
+            return False
+        tail = normalised[normalised.index("because") + 1 :]
+        return len([t for t in tail if t not in _TERMINALS]) >= 3
+
+    # -- pair level ------------------------------------------------------------------
+    def score_pair(self, pair: InstructionPair) -> PairReport:
+        """Score both sides of a pair."""
+        return PairReport(
+            instruction=self.score_instruction(pair),
+            response=self.score_response(pair),
+        )
+
+
+def _is_prefix(candidate: Tokens, full: Tokens) -> bool:
+    return len(candidate) <= len(full) and full[: len(candidate)] == candidate
+
+
+def _contains_seq(haystack: Tokens, needle: Tokens) -> bool:
+    if not needle:
+        return True
+    n = len(needle)
+    return any(haystack[i : i + n] == needle for i in range(len(haystack) - n + 1))

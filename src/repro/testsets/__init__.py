@@ -1,0 +1,23 @@
+"""The four instruction-following test sets (Table VI)."""
+
+from .builders import (
+    TestItem,
+    TestSet,
+    build_coachlm150,
+    build_pandalm170,
+    build_selfinstruct252,
+    build_testset,
+    build_vicuna80,
+    TESTSET_BUILDERS,
+)
+
+__all__ = [
+    "TestItem",
+    "TestSet",
+    "build_coachlm150",
+    "build_pandalm170",
+    "build_selfinstruct252",
+    "build_vicuna80",
+    "build_testset",
+    "TESTSET_BUILDERS",
+]

@@ -1,0 +1,169 @@
+"""Builders for the four instruction-following test sets of Table VI.
+
+========  ====  ==========  ===================
+Name      Size  Categories  Reference response
+========  ====  ==========  ===================
+CoachLM150  150     42      Human (group B experts, Section II-G)
+PandaLM170  170     11      ChatGPT
+Vicuna80     80      9      Bard
+Self-Instruct252 252 15     Human
+========  ====  ==========  ===================
+
+Reference responses are composed at the grade matching their provenance
+(:class:`~repro.textgen.responses.ResponseGrade`), which reproduces the
+relative reference difficulty visible across Table IX's columns: Bard
+references are the strongest, ChatGPT references the weakest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.instruction_pair import InstructionPair, Origin
+from ..errors import ConfigError
+from ..textgen.responses import ResponseGrade, compose_reference, detokenize
+from ..textgen.tasks import CATEGORY_IDS, TaskInstance, render_instruction, sample_instance
+
+
+@dataclass(frozen=True)
+class TestItem:
+    """One test instruction with its reference response."""
+
+    instruction: str
+    reference: InstructionPair
+    provenance: TaskInstance
+    category_id: str
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """A named, ordered collection of test items."""
+
+    name: str
+    items: tuple[TestItem, ...]
+    reference_grade: ResponseGrade
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def instructions(self) -> list[str]:
+        return [item.instruction for item in self.items]
+
+    @property
+    def references(self) -> list[InstructionPair]:
+        return [item.reference for item in self.items]
+
+    @property
+    def provenances(self) -> list[TaskInstance]:
+        return [item.provenance for item in self.items]
+
+    @property
+    def n_categories(self) -> int:
+        return len({item.category_id for item in self.items})
+
+
+def _build(
+    name: str,
+    size: int,
+    categories: tuple[str, ...],
+    grade: ResponseGrade,
+    rng: np.random.Generator,
+) -> TestSet:
+    if size <= 0:
+        raise ConfigError(f"test-set size must be positive, got {size}")
+    items: list[TestItem] = []
+    for i in range(size):
+        category_id = categories[i % len(categories)]
+        instance = sample_instance(rng, category_id)
+        tokens, _ = render_instruction(instance)
+        instruction = detokenize(tokens)
+        reference = InstructionPair(
+            instruction=instruction,
+            response=detokenize(compose_reference(instance, grade, rng)),
+            provenance=instance,
+            pair_id=f"{name}-{i:03d}",
+            origin=Origin.HUMAN_WRITTEN,
+        )
+        items.append(
+            TestItem(
+                instruction=instruction,
+                reference=reference,
+                provenance=instance,
+                category_id=category_id,
+            )
+        )
+    return TestSet(name=name, items=tuple(items), reference_grade=grade)
+
+
+#: Category slices reproducing Table VI's category counts.
+_PANDALM_CATEGORIES = (
+    "extract_color", "extract_number", "count_items", "sort_ascending",
+    "grammar_fix", "add_numbers", "compare_bigger", "fact_color",
+    "sentiment", "story_animal", "brainstorm_uses",
+)
+
+_VICUNA_CATEGORIES = (
+    # writing, role-play, math, knowledge — the Vicuna80 mix
+    "story_place", "poem_color", "slogan", "roleplay_guide",
+    "add_numbers", "subtract_numbers", "fact_color", "object_use",
+    "kind_wish",
+)
+
+_SELFINSTRUCT_CATEGORIES = (
+    "extract_color", "extract_animal", "extract_name", "count_items",
+    "sort_descending", "reverse_list", "grammar_fix", "spelling_fix",
+    "copy_exact", "add_numbers", "yes_no_bigger", "animal_home",
+    "gift_advice", "dialogue_greeting", "headline_town",
+)
+
+
+def build_coachlm150(rng: np.random.Generator) -> TestSet:
+    """CoachLM150: 150 real-world-style items across all 42 categories."""
+    return _build("coachlm150", 150, CATEGORY_IDS, ResponseGrade.HUMAN, rng)
+
+
+def build_pandalm170(rng: np.random.Generator) -> TestSet:
+    """PandaLM170: 170 items, 11 categories, ChatGPT references."""
+    return _build("pandalm170", 170, _PANDALM_CATEGORIES, ResponseGrade.CHATGPT, rng)
+
+
+def build_vicuna80(rng: np.random.Generator) -> TestSet:
+    """Vicuna80: 80 items, 9 categories, Bard (oracle-grade) references."""
+    return _build("vicuna80", 80, _VICUNA_CATEGORIES, ResponseGrade.ORACLE, rng)
+
+
+def build_selfinstruct252(rng: np.random.Generator) -> TestSet:
+    """Self-Instruct252: 252 items, 15 categories, human references."""
+    return _build(
+        "selfinstruct252", 252, _SELFINSTRUCT_CATEGORIES,
+        ResponseGrade.HUMAN_PLAIN, rng,
+    )
+
+
+TESTSET_BUILDERS = {
+    "coachlm150": build_coachlm150,
+    "pandalm170": build_pandalm170,
+    "vicuna80": build_vicuna80,
+    "selfinstruct252": build_selfinstruct252,
+}
+
+
+def build_testset(name: str, rng: np.random.Generator, size: int | None = None) -> TestSet:
+    """Build a test set by name, optionally overridden in size (CI scale)."""
+    try:
+        builder = TESTSET_BUILDERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown test set {name!r}; expected one of {sorted(TESTSET_BUILDERS)}"
+        ) from None
+    testset = builder(rng)
+    if size is not None and size < len(testset):
+        return TestSet(
+            name=testset.name,
+            items=testset.items[:size],
+            reference_grade=testset.reference_grade,
+        )
+    return testset

@@ -1,0 +1,78 @@
+"""Microtext: a closed synthetic language for instruction-pair simulation.
+
+The paper's experiments manipulate the *quality* of ``(instruction,
+response)`` pairs drawn from ALPACA52K.  Since the real dataset's text is a
+product of GPT-3.5, we substitute a closed templated language ("microtext")
+whose pairs can be
+
+* generated with controlled defects (``repro.data``),
+* scored against the paper's Table II rubric (``repro.quality``),
+* solved by an oracle, so correctness is checkable, and
+* learned by a from-scratch tiny transformer (``repro.nn``).
+
+Public surface:
+
+* :mod:`repro.textgen.vocabulary` — lexicons and the closed word list.
+* :mod:`repro.textgen.tasks` — the 42-category task taxonomy plus oracles.
+* :mod:`repro.textgen.responses` — ideal/terse/polite response composition.
+* :mod:`repro.textgen.grammar` — token-level noise operators.
+* :mod:`repro.textgen.corpus` — pre-training corpus for backbone LMs.
+"""
+
+from .vocabulary import (
+    ALL_WORDS,
+    ANIMALS,
+    COLORS,
+    DIGITS,
+    NOISE_TOKENS,
+    OBJECTS,
+    PLACES,
+    TYPO_MAP,
+    all_words,
+)
+from .tasks import (
+    CATEGORIES,
+    CLASS_CREATIVE,
+    CLASS_LANGUAGE,
+    CLASS_QA,
+    TaskCategory,
+    TaskInstance,
+    categories_by_class,
+    get_category,
+    sample_instance,
+)
+from .responses import (
+    ResponseGrade,
+    compose_reference,
+    compose_response,
+    ideal_response,
+    terse_response,
+)
+from .corpus import build_pretrain_corpus
+
+__all__ = [
+    "ALL_WORDS",
+    "ANIMALS",
+    "COLORS",
+    "DIGITS",
+    "NOISE_TOKENS",
+    "OBJECTS",
+    "PLACES",
+    "TYPO_MAP",
+    "all_words",
+    "CATEGORIES",
+    "CLASS_CREATIVE",
+    "CLASS_LANGUAGE",
+    "CLASS_QA",
+    "TaskCategory",
+    "TaskInstance",
+    "categories_by_class",
+    "get_category",
+    "sample_instance",
+    "ResponseGrade",
+    "compose_reference",
+    "compose_response",
+    "ideal_response",
+    "terse_response",
+    "build_pretrain_corpus",
+]

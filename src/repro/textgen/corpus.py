@@ -1,0 +1,248 @@
+"""Pre-training corpus for the backbone tiny LMs.
+
+The paper's premise (Section II-F1) is that the knowledge required for both
+instruction following and content revision already exists in the backbone's
+pre-training corpus; instruction tuning merely aligns it.  We reproduce
+that split: the corpus below teaches the tiny LM the microtext language,
+its knowledge base (facts, arithmetic, object uses) and its discourse
+patterns (explanations, polite codas, stories) — but contains *no*
+instruction-formatted pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import vocabulary as V
+from .responses import ideal_response
+from .tasks import CATEGORY_IDS, sample_instance
+
+Tokens = list[str]
+
+
+def _fact_sentences() -> list[Tokens]:
+    sentences: list[Tokens] = []
+    for subject, color in V.FACT_COLORS.items():
+        sentences.append(["the", subject, "is", color, "."])
+    for obj, use in V.OBJECT_USES.items():
+        sentences.append(["a", obj] + use.split() + ["."])
+    for animal, home in V.ANIMAL_HOMES.items():
+        sentences.append(["the", animal, "lives", "at", "the", home, "."])
+    for recipient, (gift, reason) in V.GIFT_TABLE.items():
+        sentences.append(["a", gift, "is", "a", "good", "gift", "for", "a",
+                          recipient, "because"] + reason.split() + ["."])
+    for purpose, (place, reason) in V.PLACE_TABLE.items():
+        sentences.append(["the", place, "is", "a", "good", "place", "to",
+                          purpose, "because"] + reason.split() + ["."])
+    for typo, fix in V.TYPO_MAP.items():
+        sentences.append([typo, "means", fix, "."])
+    for base, third in V.VERB_FIX.items():
+        sentences.append([third, "follows", "he", "and", "she", "."])
+        sentences.append(["he", third, "every", "day", "."])
+    return sentences
+
+
+def _arithmetic_sentences() -> list[Tokens]:
+    sentences: list[Tokens] = []
+    for a in range(10):
+        for b in range(10):
+            sentences.append([str(a), "and", str(b), "make", str(a + b), "."])
+    for a in range(10):
+        for b in range(a):
+            sentences.append([str(a), "exceeds", str(b), "."])
+    for a in range(9):
+        sentences.append([str(a + 1), "follows", str(a), "."])
+    return sentences
+
+
+def _scene_sentences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    sentences: list[Tokens] = []
+    for _ in range(count):
+        sentences.append([
+            "the",
+            str(V.COLORS[int(rng.integers(0, len(V.COLORS)))]),
+            str(V.ANIMALS[int(rng.integers(0, len(V.ANIMALS)))]),
+            str(V.VERBS_3RD[int(rng.integers(0, len(V.VERBS_3RD)))]),
+            "near", "the",
+            str(V.PLACES[int(rng.integers(0, len(V.PLACES)))]),
+            ".",
+        ])
+    return sentences
+
+
+def _discourse_sentences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    """Full ideal responses sampled across all categories.
+
+    These expose the LM to explanation clauses, polite codas and creative
+    bodies — the *surface forms* of high-quality responses — without any
+    instruction prompt attached.
+    """
+    sentences: list[Tokens] = []
+    for _ in range(count):
+        instance = sample_instance(rng)
+        sentences.append(ideal_response(instance))
+    sentences.append(["hello", ",", "how", "are", "you", "?",
+                      "i", "am", "fine", ",", "thank", "you", "."])
+    sentences.append(["goodbye", "for", "now", ".", "goodbye", ",",
+                      "thank", "you", "."])
+    return sentences
+
+
+def _echo_sequences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    """Repetition drills: ``<sentence> <sep> <sentence>``.
+
+    These train the induction behaviour a coach model depends on — copying
+    a span it has just read.  ``<sep>`` is injected by the corpus packer;
+    here the marker word "repeat" separates the two copies.
+    """
+    sequences: list[Tokens] = []
+    for _ in range(count):
+        sentence = _random_scene(rng)
+        sequences.append(sentence + ["repeat", ":"] + sentence)
+    return sequences
+
+
+def _cleanup_sequences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    """Revision drills: a corrupted sentence followed by its clean form.
+
+    The paper argues the knowledge needed for content revision "exists in
+    the pre-training stage" (Section II-F1) — e.g. ALPACA52K itself
+    contains grammar-correction tasks.  These drills are that knowledge:
+    typo→fix, garble→clean, truncation→completion patterns.
+    """
+    from . import grammar  # local import to avoid a cycle at module load
+
+    sequences: list[Tokens] = []
+    for i in range(count):
+        clean = _random_scene(rng)
+        mode = i % 3
+        if mode == 0:
+            dirty = grammar.inject_typos(clean, rng)
+        elif mode == 1:
+            dirty = grammar.inject_noise(clean, rng, count=1)
+        else:
+            dirty = grammar.truncate(clean, rng, min_keep=2)
+        sequences.append(dirty + ["revised", ":"] + clean + ["."])
+    return sequences
+
+
+def _qa_format_sequences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    """Q&A-formatted text: ``instruction : … response : …``.
+
+    Real pre-training corpora are full of question/answer formatted text;
+    exposing the tiny LM to the raw format (with oracle-quality answers)
+    mirrors that, so instruction tuning later *aligns* rather than teaches
+    from scratch.
+    """
+    from .tasks import render_instruction
+
+    sequences: list[Tokens] = []
+    for _ in range(count):
+        instance = sample_instance(rng)
+        instruction, _ = render_instruction(instance)
+        sequences.append(
+            ["instruction", ":"] + list(instruction)
+            + ["response", ":"] + ideal_response(instance)
+        )
+    return sequences
+
+
+def _pair_revision_sequences(rng: np.random.Generator, count: int) -> list[Tokens]:
+    """Generic pair-revision drills in the Fig. 3 field layout.
+
+    ``instruction : X response : Y revised instruction : X' revised
+    response : Y'`` where X'/Y' repair *surface* corruption only (typos,
+    garble, lost punctuation, truncation).  This is the paper's claim made
+    concrete: ALPACA52K itself contains correction tasks, so a pre-trained
+    LLM already carries generic revision skill; coach tuning later aligns
+    that skill with *expert* revision style (expansion, tone, correctness
+    fixes) — which these drills deliberately do not demonstrate.
+    """
+    from . import grammar
+    from .tasks import render_instruction
+
+    sequences: list[Tokens] = []
+    for i in range(count):
+        instance = sample_instance(rng)
+        instruction, _ = render_instruction(instance)
+        response = ideal_response(instance) if i % 2 else (
+            compose_terse(instance)
+        )
+        dirty_instruction = list(instruction)
+        dirty_response = list(response)
+        mode = i % 4
+        if mode == 0:
+            dirty_response = grammar.inject_typos(dirty_response, rng)
+        elif mode == 1:
+            dirty_response = grammar.inject_noise(dirty_response, rng, count=1)
+        elif mode == 2:
+            dirty_instruction = grammar.inject_typos(dirty_instruction, rng, max_typos=1)
+        else:
+            dirty_response = grammar.drop_terminal_period(dirty_response)
+            dirty_response = grammar.duplicate_word(dirty_response, rng)
+        # Surface repair only: the clean forms, not enriched forms.
+        sequences.append(
+            ["instruction", ":"] + dirty_instruction
+            + ["response", ":"] + dirty_response
+            + ["revised", "instruction", ":"] + list(instruction)
+            + ["revised", "response", ":"] + list(response)
+        )
+    return sequences
+
+
+def compose_terse(instance) -> Tokens:
+    from .responses import terse_response
+
+    return terse_response(instance)
+
+
+def _template_sentences() -> list[Tokens]:
+    """Natural sentences covering the prompt-template vocabulary."""
+    return [
+        "please improve the quality of the instruction and response pair .".split(),
+        "the revised response follows the instruction .".split(),
+        "a good response follows a good instruction .".split(),
+        "the output follows the input .".split(),
+        "please repeat the words in order .".split(),
+        "a revised pair has a good instruction and a good response .".split(),
+    ]
+
+
+def _random_scene(rng: np.random.Generator) -> Tokens:
+    return [
+        "the",
+        str(V.COLORS[int(rng.integers(0, len(V.COLORS)))]),
+        str(V.ANIMALS[int(rng.integers(0, len(V.ANIMALS)))]),
+        str(V.VERBS_3RD[int(rng.integers(0, len(V.VERBS_3RD)))]),
+        "near", "the",
+        str(V.PLACES[int(rng.integers(0, len(V.PLACES)))]),
+        ".",
+    ]
+
+
+def build_pretrain_corpus(
+    rng: np.random.Generator, n_sentences: int = 2000
+) -> list[Tokens]:
+    """Build a shuffled pre-training corpus of roughly ``n_sentences``.
+
+    Always contains the complete knowledge base, arithmetic tables and
+    template sentences; the remainder is split between scenes, discourse,
+    repetition drills, cleanup drills and Q&A-formatted text — the
+    ingredients instruction tuning and coach tuning later elicit.
+    """
+    corpus = _fact_sentences() + _arithmetic_sentences() + _template_sentences()
+    remaining = max(0, n_sentences - len(corpus))
+    n_scene = remaining // 10
+    n_echo = remaining // 10
+    n_cleanup = remaining * 15 // 100
+    n_qa = remaining // 5
+    n_revision = remaining * 35 // 100
+    n_discourse = remaining - n_scene - n_echo - n_cleanup - n_qa - n_revision
+    corpus += _scene_sentences(rng, n_scene)
+    corpus += _echo_sequences(rng, n_echo)
+    corpus += _cleanup_sequences(rng, n_cleanup)
+    corpus += _qa_format_sequences(rng, n_qa)
+    corpus += _pair_revision_sequences(rng, n_revision)
+    corpus += _discourse_sentences(rng, n_discourse)
+    order = rng.permutation(len(corpus))
+    return [corpus[int(i)] for i in order]

@@ -1,0 +1,114 @@
+"""Token-level noise operators.
+
+These are the primitive corruptions from which :mod:`repro.data.defects`
+builds the defect injectors, and which the deployment simulator uses to
+dirty raw user cases.  All operators are pure: they return a new token list
+and never mutate their input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import vocabulary as V
+
+Tokens = list[str]
+
+#: Inverse typo map: correct word -> misspelled form.
+_REVERSE_TYPOS = {fix: typo for typo, fix in V.TYPO_MAP.items()}
+
+
+def inject_typos(tokens: Tokens, rng: np.random.Generator, max_typos: int = 2) -> Tokens:
+    """Replace up to ``max_typos`` words with their misspelled forms.
+
+    Falls back to duplicating a random token when no word in ``tokens`` has
+    a known typo form, so the operator always produces a detectable flaw.
+    """
+    out = list(tokens)
+    candidates = [i for i, t in enumerate(out) if t in _REVERSE_TYPOS]
+    if not candidates:
+        return duplicate_word(out, rng)
+    count = min(max_typos, len(candidates))
+    picks = rng.choice(len(candidates), size=count, replace=False)
+    for p in picks:
+        i = candidates[int(p)]
+        out[i] = _REVERSE_TYPOS[out[i]]
+    return out
+
+
+def inject_noise(tokens: Tokens, rng: np.random.Generator, count: int = 2) -> Tokens:
+    """Insert ``count`` out-of-language garble tokens at random positions."""
+    out = list(tokens)
+    for _ in range(count):
+        pos = int(rng.integers(0, len(out) + 1))
+        noise = V.NOISE_TOKENS[int(rng.integers(0, len(V.NOISE_TOKENS)))]
+        out.insert(pos, noise)
+    return out
+
+
+def duplicate_word(tokens: Tokens, rng: np.random.Generator) -> Tokens:
+    """Duplicate one random token (redundancy flaw, Readability check 2)."""
+    if not tokens:
+        return []
+    i = int(rng.integers(0, len(tokens)))
+    return tokens[: i + 1] + [tokens[i]] + tokens[i + 1 :]
+
+
+def truncate(tokens: Tokens, rng: np.random.Generator, min_keep: int = 1) -> Tokens:
+    """Cut the tail of the token list, dropping terminal punctuation.
+
+    Keeps at least ``min_keep`` tokens and always strictly shortens inputs
+    longer than ``min_keep``.
+    """
+    if len(tokens) <= min_keep:
+        return list(tokens)
+    keep = int(rng.integers(min_keep, len(tokens)))
+    out = tokens[:keep]
+    while out and out[-1] in (".", ";", ","):
+        out = out[:-1]
+    return out if out else tokens[:min_keep]
+
+
+def shuffle_span(tokens: Tokens, rng: np.random.Generator, span: int = 3) -> Tokens:
+    """Scramble a short span of tokens (word-order flaw)."""
+    if len(tokens) < span + 1:
+        return list(reversed(tokens))
+    start = int(rng.integers(0, len(tokens) - span))
+    segment = list(tokens[start : start + span])
+    rng.shuffle(segment)
+    if segment == tokens[start : start + span]:
+        segment = list(reversed(segment))
+    return tokens[:start] + segment + tokens[start + span :]
+
+
+def drop_terminal_period(tokens: Tokens) -> Tokens:
+    """Remove the final period if present (layout flaw)."""
+    if tokens and tokens[-1] == ".":
+        return tokens[:-1]
+    return list(tokens)
+
+
+def strip_noise(tokens: Tokens) -> Tokens:
+    """Remove garble tokens — the rule-based cleaning primitive."""
+    return [t for t in tokens if t not in V.NOISE_TOKENS]
+
+
+def fix_typos(tokens: Tokens) -> Tokens:
+    """Replace known misspellings with their correct forms."""
+    return [V.TYPO_MAP.get(t, t) for t in tokens]
+
+
+def dedupe_adjacent(tokens: Tokens) -> Tokens:
+    """Collapse immediately repeated tokens (inverse of duplicate_word)."""
+    out: Tokens = []
+    for t in tokens:
+        if not out or out[-1] != t:
+            out.append(t)
+    return out
+
+
+def ensure_terminal_period(tokens: Tokens) -> Tokens:
+    """Append a period when the list does not end with terminal punctuation."""
+    if tokens and tokens[-1] not in (".", "?", "!"):
+        return tokens + ["."]
+    return list(tokens)

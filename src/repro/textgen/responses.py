@@ -1,0 +1,132 @@
+"""Response composition: ideal, terse, polite and reference-grade variants.
+
+Table II grades a RESPONSE on three levels.  In microtext those levels map
+to surface features the rubric scorer can detect:
+
+* **basic** — the correct answer, terminated with a period;
+* **richness** (advanced, 80-90) — a ``; because …`` explanation clause, or
+  for creative categories a multi-sentence body;
+* **humanization** (advanced, 90-100) — the polite coda
+  ``i hope this helps .``.
+
+Reference responses for the four test sets are composed at different
+*grades*, reproducing Table VI's provenance column (human / ChatGPT / Bard
+references) and the relative reference difficulty visible in Table IX.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import VocabularyError
+from . import vocabulary as V
+from .tasks import TaskInstance, get_category, solve
+
+Tokens = list[str]
+
+
+def detokenize(tokens: Tokens) -> str:
+    """Join microtext tokens into the canonical single-spaced string form."""
+    return " ".join(tokens)
+
+
+def tokenize(text: str) -> Tokens:
+    """Split a microtext string back into tokens (inverse of detokenize)."""
+    return text.split()
+
+
+class ResponseGrade(enum.Enum):
+    """Provenance grade of a reference response (Table VI column 4)."""
+
+    ORACLE = "oracle"          #: rich + polite, always correct (Bard-sim).
+    HUMAN = "human"            #: rich, mostly polite (expert-written).
+    HUMAN_PLAIN = "human_plain"  #: rich, rarely polite (Self-Instruct humans).
+    CHATGPT = "chatgpt"        #: sometimes terse, rarely polite (LLM-written).
+
+
+def compose_response(
+    instance: TaskInstance, *, rich: bool = True, polite: bool = True
+) -> Tokens:
+    """Compose a response to ``instance`` at the requested quality level.
+
+    For non-creative categories a *rich* response is
+    ``<answer> ; because <explanation> .`` and a terse one is
+    ``<answer> .``.  Creative categories have multi-sentence oracle bodies;
+    a terse creative response keeps only the first sentence.
+    """
+    answer, explanation = solve(instance)
+    category = get_category(instance.category_id)
+    if category.task_class == "creative":
+        body = list(answer)
+        if not rich:
+            body = _first_sentence(body)
+        tokens = body + ["."]
+    elif rich:
+        if not explanation:
+            raise VocabularyError(
+                f"category {instance.category_id} has no explanation clause"
+            )
+        tokens = list(answer) + [";"] + list(explanation) + ["."]
+    else:
+        tokens = list(answer) + ["."]
+    if polite:
+        tokens = tokens + list(V.POLITE_CODA)
+    return tokens
+
+
+def ideal_response(instance: TaskInstance) -> Tokens:
+    """The highest-grade response: rich and polite."""
+    return compose_response(instance, rich=True, polite=True)
+
+
+def terse_response(instance: TaskInstance) -> Tokens:
+    """A minimal correct response: answer only, no explanation, no coda."""
+    return compose_response(instance, rich=False, polite=False)
+
+
+def _first_sentence(tokens: Tokens) -> Tokens:
+    if "." in tokens:
+        return tokens[: tokens.index(".")]
+    return list(tokens)
+
+
+#: Probability of (rich, polite) per reference grade.
+_GRADE_PROFILE: dict[ResponseGrade, tuple[float, float]] = {
+    ResponseGrade.ORACLE: (1.0, 1.0),
+    ResponseGrade.HUMAN: (1.0, 0.7),
+    ResponseGrade.HUMAN_PLAIN: (0.85, 0.35),
+    ResponseGrade.CHATGPT: (0.6, 0.15),
+}
+
+
+def compose_reference(
+    instance: TaskInstance, grade: ResponseGrade, rng: np.random.Generator
+) -> Tokens:
+    """Compose a reference response at the given provenance grade."""
+    p_rich, p_polite = _GRADE_PROFILE[grade]
+    rich = bool(rng.random() < p_rich)
+    polite = bool(rng.random() < p_polite)
+    return compose_response(instance, rich=rich, polite=polite)
+
+
+def contextualize_instruction(
+    tokens: Tokens, rng: np.random.Generator
+) -> Tokens:
+    """Prepend a context-priming opener (Table II: Contextualization).
+
+    The rubric scorer recognises the opener phrases in
+    :data:`repro.textgen.vocabulary.CONTEXT_OPENERS` as evidence of a rich
+    context (scenario, role, or chain-of-thought prompt).
+    """
+    opener = V.CONTEXT_OPENERS[int(rng.integers(0, len(V.CONTEXT_OPENERS)))]
+    return list(opener) + list(tokens)
+
+
+def has_context_marker(tokens: Tokens) -> bool:
+    """True if the instruction carries a contextualization marker."""
+    text = detokenize(tokens)
+    if any(detokenize(list(opener)) in text for opener in V.CONTEXT_OPENERS):
+        return True
+    return detokenize(list(V.EXAMPLE_MARKER)) in text

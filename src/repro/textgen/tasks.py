@@ -1,0 +1,731 @@
+"""The 42-category task taxonomy of the ALPACA52K simulacrum.
+
+The paper classifies instruction pairs into three difficulty classes used
+for expertise-based assignment (Section II-E2):
+
+1. *language tasks* — mostly objective answers (extraction, correction,
+   summarising);
+2. *Q&A* — open dialogue, suggestions, in-domain question answering;
+3. *creative composition* — stories, copywriting.
+
+The CoachLM150 test set spans 42 distinct categories (Section II-G).  We
+define exactly 42 categories across the three classes.  Each category knows
+how to
+
+* sample slot values (:attr:`TaskCategory.sample`),
+* render a clean instruction (:func:`render_instruction`), and
+* solve itself with an oracle (:func:`solve`), returning the ideal answer
+  plus a one-clause explanation used for "rich" responses.
+
+Oracle knowledge is also woven into the pre-training corpus
+(:mod:`repro.textgen.corpus`), mirroring the paper's premise that the
+knowledge required for revision "exists in the pre-training stage" and is
+merely *elicited* by instruction tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import VocabularyError
+from . import vocabulary as V
+
+CLASS_LANGUAGE = "language"
+CLASS_QA = "qa"
+CLASS_CREATIVE = "creative"
+
+TASK_CLASSES = (CLASS_LANGUAGE, CLASS_QA, CLASS_CREATIVE)
+
+Slots = dict[str, object]
+Tokens = list[str]
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One sampled task: a category plus concrete slot values.
+
+    ``slots`` is JSON-serialisable so instances survive dataset round-trips;
+    this is the *provenance* that lets the rubric scorer recompute the oracle
+    answer for any pair, including pairs rewritten by CoachLM.
+    """
+
+    category_id: str
+    slots: Slots
+
+    def to_json(self) -> dict:
+        return {"category_id": self.category_id, "slots": dict(self.slots)}
+
+    @staticmethod
+    def from_json(blob: dict) -> "TaskInstance":
+        return TaskInstance(category_id=blob["category_id"], slots=dict(blob["slots"]))
+
+
+@dataclass(frozen=True)
+class TaskCategory:
+    """A task template: sampler, instruction renderer and oracle solver."""
+
+    category_id: str
+    task_class: str
+    sample: Callable[[np.random.Generator], Slots]
+    render: Callable[[Slots], tuple[Tokens, int | None]]
+    solve: Callable[[Slots], tuple[Tokens, Tokens]]
+
+
+def _choice(rng: np.random.Generator, seq) -> object:
+    return seq[int(rng.integers(0, len(seq)))]
+
+
+def _distinct(rng: np.random.Generator, seq, k: int) -> list:
+    idx = rng.choice(len(seq), size=k, replace=False)
+    return [seq[int(i)] for i in idx]
+
+
+def _payload_sentence(slots: Slots) -> Tokens:
+    """Shared declarative payload: ``the <color> <animal> <verb> near the <place>``."""
+    return ["the", str(slots["color"]), str(slots["animal"]), str(slots["verb"]),
+            "near", "the", str(slots["place"])]
+
+
+def _sighting_sentence(slots: Slots) -> Tokens:
+    """Shared payload: ``<name> saw <n> <animal> at the <place>``."""
+    return [str(slots["name"]), "saw", str(slots["n"]), str(slots["animal"]),
+            "at", "the", str(slots["place"])]
+
+
+def _with_payload(head: Tokens, payload: Tokens) -> tuple[Tokens, int]:
+    tokens = head + [":"] + payload
+    return tokens, len(head) + 1
+
+
+_REGISTRY: dict[str, TaskCategory] = {}
+
+
+def _register(category: TaskCategory) -> None:
+    if category.category_id in _REGISTRY:
+        raise VocabularyError(f"duplicate category {category.category_id}")
+    _REGISTRY[category.category_id] = category
+
+
+def _def(category_id: str, task_class: str, sample, render, solve) -> None:
+    _register(TaskCategory(category_id, task_class, sample, render, solve))
+
+
+# ---------------------------------------------------------------------------
+# Class 1 — language tasks (objective answers)
+# ---------------------------------------------------------------------------
+
+def _sample_scene(rng) -> Slots:
+    return {
+        "color": _choice(rng, V.COLORS),
+        "animal": _choice(rng, V.ANIMALS),
+        "verb": _choice(rng, V.VERBS_3RD),
+        "place": _choice(rng, V.PLACES),
+    }
+
+
+_def(
+    "extract_color", CLASS_LANGUAGE, _sample_scene,
+    lambda s: _with_payload(["find", "the", "color", "in"], _payload_sentence(s)),
+    lambda s: ([str(s["color"])],
+               ["because", str(s["color"]), "is", "the", "color", "word"]),
+)
+
+_def(
+    "extract_animal", CLASS_LANGUAGE, _sample_scene,
+    lambda s: _with_payload(["find", "the", "animal", "in"], _payload_sentence(s)),
+    lambda s: ([str(s["animal"])],
+               ["because", str(s["animal"]), "is", "the", "animal", "word"]),
+)
+
+
+def _sample_sighting(rng) -> Slots:
+    return {
+        "name": _choice(rng, V.NAMES),
+        "n": int(rng.integers(2, 10)),
+        "animal": _choice(rng, V.ANIMALS),
+        "place": _choice(rng, V.PLACES),
+    }
+
+
+_def(
+    "extract_number", CLASS_LANGUAGE, _sample_sighting,
+    lambda s: _with_payload(["find", "the", "number", "in"], _sighting_sentence(s)),
+    lambda s: ([str(s["n"])], ["because", str(s["n"]), "is", "the", "number", "word"]),
+)
+
+_def(
+    "extract_name", CLASS_LANGUAGE, _sample_sighting,
+    lambda s: _with_payload(["find", "the", "name", "in"], _sighting_sentence(s)),
+    lambda s: ([str(s["name"])],
+               ["because", str(s["name"]), "is", "the", "name", "word"]),
+)
+
+
+def _sample_items(rng) -> Slots:
+    k = int(rng.integers(2, 6))
+    return {"items": _distinct(rng, V.COLORS + V.OBJECTS, k)}
+
+
+_def(
+    "count_items", CLASS_LANGUAGE, _sample_items,
+    lambda s: _with_payload(["count", "the", "items", "in"], [str(w) for w in s["items"]]),
+    lambda s: ([str(len(s["items"]))],
+               ["because", "the", "list", "has", str(len(s["items"])), "items"]),
+)
+
+
+def _sample_nums(rng) -> Slots:
+    k = int(rng.integers(3, 5))
+    return {"nums": [int(x) for x in _distinct(rng, range(10), k)]}
+
+
+_def(
+    "sort_ascending", CLASS_LANGUAGE, _sample_nums,
+    lambda s: _with_payload(["sort", "the", "numbers", "in", "rising", "order"],
+                            [str(x) for x in s["nums"]]),
+    lambda s: ([str(x) for x in sorted(s["nums"])],
+               ["because", "the", "numbers", "follow", "rising", "order"]),
+)
+
+_def(
+    "sort_descending", CLASS_LANGUAGE, _sample_nums,
+    lambda s: _with_payload(["sort", "the", "numbers", "in", "falling", "order"],
+                            [str(x) for x in s["nums"]]),
+    lambda s: ([str(x) for x in sorted(s["nums"], reverse=True)],
+               ["because", "the", "numbers", "follow", "falling", "order"]),
+)
+
+
+def _sample_objects(rng) -> Slots:
+    k = int(rng.integers(3, 5))
+    return {"items": _distinct(rng, V.OBJECTS, k)}
+
+
+_def(
+    "reverse_list", CLASS_LANGUAGE, _sample_objects,
+    lambda s: _with_payload(["reverse", "the", "list"], [str(w) for w in s["items"]]),
+    lambda s: ([str(w) for w in reversed(s["items"])],
+               ["because", "the", "last", "item", "comes", "first"]),
+)
+
+_def(
+    "max_number", CLASS_LANGUAGE, _sample_nums,
+    lambda s: _with_payload(["find", "the", "biggest", "number", "in"],
+                            [str(x) for x in s["nums"]]),
+    lambda s: ([str(max(s["nums"]))],
+               ["because", str(max(s["nums"])), "exceeds", "each", "item"]),
+)
+
+_def(
+    "min_number", CLASS_LANGUAGE, _sample_nums,
+    lambda s: _with_payload(["find", "the", "smallest", "number", "in"],
+                            [str(x) for x in s["nums"]]),
+    lambda s: ([str(min(s["nums"]))],
+               ["because", "each", "item", "exceeds", str(min(s["nums"]))]),
+)
+
+
+def _sample_grammar(rng) -> Slots:
+    return {
+        "pron": _choice(rng, ("he", "she", "it")),
+        "verb": _choice(rng, V.VERBS_BASE),
+        "tail": _choice(rng, ("now", "every day", "near the hill")),
+    }
+
+
+_def(
+    "grammar_fix", CLASS_LANGUAGE, _sample_grammar,
+    lambda s: _with_payload(["fix", "the", "grammar"],
+                            [str(s["pron"]), str(s["verb"])] + str(s["tail"]).split()),
+    lambda s: ([str(s["pron"]), V.VERB_FIX[str(s["verb"])]] + str(s["tail"]).split(),
+               ["because", V.VERB_FIX[str(s["verb"])], "follows", str(s["pron"])]),
+)
+
+
+def _sample_spelling(rng) -> Slots:
+    # The corrected typo must differ from the accompanying noun, or the
+    # answer would contain a legitimate adjacent repeat ("the chair chair")
+    # indistinguishable from a redundancy flaw.
+    typo = str(_choice(rng, tuple(V.TYPO_MAP)))
+    nouns = tuple(n for n in V.ANIMALS + V.OBJECTS if n != V.TYPO_MAP[typo])
+    return {"typo": typo, "noun": _choice(rng, nouns)}
+
+
+_def(
+    "spelling_fix", CLASS_LANGUAGE, _sample_spelling,
+    lambda s: _with_payload(["fix", "the", "spelling"],
+                            ["the", str(s["typo"]), str(s["noun"])]),
+    lambda s: (["the", V.TYPO_MAP[str(s["typo"])], str(s["noun"])],
+               ["because", str(s["typo"]), "means", V.TYPO_MAP[str(s["typo"])]]),
+)
+
+
+def _sample_copy(rng) -> Slots:
+    k = int(rng.integers(3, 6))
+    return {"words": _distinct(rng, V.COLORS + V.OBJECTS + V.PLACES, k)}
+
+
+_def(
+    "copy_exact", CLASS_LANGUAGE, _sample_copy,
+    lambda s: _with_payload(["repeat", "exactly"], [str(w) for w in s["words"]]),
+    lambda s: ([str(w) for w in s["words"]],
+               ["because", "the", "words", "follow", "the", "order"]),
+)
+
+
+def _sample_topic(rng) -> Slots:
+    v1, v2 = _distinct(rng, V.VERBS_3RD, 2)
+    return {
+        "animal": _choice(rng, V.ANIMALS),
+        "v1": v1,
+        "v2": v2,
+        "place": _choice(rng, V.PLACES),
+    }
+
+
+_def(
+    "topic_find", CLASS_LANGUAGE, _sample_topic,
+    lambda s: _with_payload(
+        ["give", "the", "topic", "of"],
+        ["the", str(s["animal"]), str(s["v1"]), "at", "the", str(s["place"]), ".",
+         "the", str(s["animal"]), str(s["v2"]), "every", "day"]),
+    lambda s: ([str(s["animal"])],
+               ["because", "each", "sentence", "tells", "about",
+                "the", str(s["animal"])]),
+)
+
+_def(
+    "first_item", CLASS_LANGUAGE, _sample_objects,
+    lambda s: _with_payload(["find", "the", "first", "item", "in"],
+                            [str(w) for w in s["items"]]),
+    lambda s: ([str(s["items"][0])],
+               ["because", "the", "list", "starts", "with", str(s["items"][0])]),
+)
+
+_def(
+    "last_item", CLASS_LANGUAGE, _sample_objects,
+    lambda s: _with_payload(["find", "the", "last", "item", "in"],
+                            [str(w) for w in s["items"]]),
+    lambda s: ([str(s["items"][-1])],
+               ["because", "the", "list", "ends", "with", str(s["items"][-1])]),
+)
+
+# ---------------------------------------------------------------------------
+# Class 2 — Q&A
+# ---------------------------------------------------------------------------
+
+
+def _sample_add(rng) -> Slots:
+    a = int(rng.integers(0, 10))
+    b = int(rng.integers(0, 10))
+    return {"a": a, "b": b}
+
+
+_def(
+    "add_numbers", CLASS_QA, _sample_add,
+    lambda s: (["add", str(s["a"]), "and", str(s["b"])], None),
+    lambda s: ([str(int(s["a"]) + int(s["b"]))],
+               ["because", str(s["a"]), "and", str(s["b"]), "make",
+                str(int(s["a"]) + int(s["b"]))]),
+)
+
+
+def _sample_sub(rng) -> Slots:
+    a = int(rng.integers(1, 10))
+    b = int(rng.integers(0, a + 1))
+    return {"a": a, "b": b}
+
+
+_def(
+    "subtract_numbers", CLASS_QA, _sample_sub,
+    lambda s: (["take", str(s["b"]), "from", str(s["a"])], None),
+    lambda s: ([str(int(s["a"]) - int(s["b"]))],
+               ["because", str(s["b"]), "and", str(int(s["a"]) - int(s["b"])),
+                "make", str(s["a"])]),
+)
+
+
+def _sample_pair_nums(rng) -> Slots:
+    a, b = _distinct(rng, range(10), 2)
+    return {"a": int(a), "b": int(b)}
+
+
+_def(
+    "compare_bigger", CLASS_QA, _sample_pair_nums,
+    lambda s: (["which", "is", "bigger", ":", str(s["a"]), "or", str(s["b"]), "?"], 4),
+    lambda s: ([str(max(int(s["a"]), int(s["b"])))],
+               ["because", str(max(int(s["a"]), int(s["b"]))), "exceeds",
+                str(min(int(s["a"]), int(s["b"])))]),
+)
+
+_def(
+    "compare_smaller", CLASS_QA, _sample_pair_nums,
+    lambda s: (["which", "is", "smaller", ":", str(s["a"]), "or", str(s["b"]), "?"], 4),
+    lambda s: ([str(min(int(s["a"]), int(s["b"])))],
+               ["because", str(max(int(s["a"]), int(s["b"]))), "exceeds",
+                str(min(int(s["a"]), int(s["b"])))]),
+)
+
+_def(
+    "yes_no_bigger", CLASS_QA, _sample_pair_nums,
+    lambda s: (["is", str(s["a"]), "bigger", "than", str(s["b"]), "?"], None),
+    lambda s: ((["yes"] if int(s["a"]) > int(s["b"]) else ["no"]),
+               ["because", str(max(int(s["a"]), int(s["b"]))), "exceeds",
+                str(min(int(s["a"]), int(s["b"])))]),
+)
+
+
+def _sample_fact(rng) -> Slots:
+    return {"subject": _choice(rng, tuple(V.FACT_COLORS))}
+
+
+_def(
+    "fact_color", CLASS_QA, _sample_fact,
+    lambda s: (["what", "color", "is", "the", str(s["subject"]), "?"], None),
+    lambda s: ([V.FACT_COLORS[str(s["subject"])]],
+               ["because", "the", str(s["subject"]), "is",
+                V.FACT_COLORS[str(s["subject"])]]),
+)
+
+
+def _sample_object(rng) -> Slots:
+    return {"object": _choice(rng, V.OBJECTS)}
+
+
+_def(
+    "object_use", CLASS_QA, _sample_object,
+    lambda s: (["what", "does", "a", str(s["object"]), "do", "?"], None),
+    lambda s: (["a", str(s["object"])] + V.OBJECT_USES[str(s["object"])].split(),
+               ["because", "that", "is", "its", "use"]),
+)
+
+
+def _sample_animal(rng) -> Slots:
+    return {"animal": _choice(rng, V.ANIMALS)}
+
+
+_def(
+    "animal_home", CLASS_QA, _sample_animal,
+    lambda s: (["where", "does", "the", str(s["animal"]), "live", "?"], None),
+    lambda s: (["the", str(s["animal"]), "lives", "at", "the",
+                V.ANIMAL_HOMES[str(s["animal"])]],
+               ["because", "the", V.ANIMAL_HOMES[str(s["animal"])],
+                "is", "its", "place"]),
+)
+
+
+def _sample_sentiment(rng) -> Slots:
+    positive = bool(rng.integers(0, 2))
+    verbs = V.POSITIVE_VERBS if positive else V.NEGATIVE_VERBS
+    return {
+        "verb": _choice(rng, verbs),
+        "target": _choice(rng, V.PLACES + V.OBJECTS),
+        "positive": positive,
+    }
+
+
+_def(
+    "sentiment", CLASS_QA, _sample_sentiment,
+    lambda s: _with_payload(["classify", "the", "feeling"],
+                            ["i", str(s["verb"]), "the", str(s["target"])]),
+    lambda s: ((["positive"] if s["positive"] else ["negative"]),
+               ["because", str(s["verb"]), "shows", "a",
+                "positive" if s["positive"] else "negative", "feeling"]),
+)
+
+
+def _sample_gift(rng) -> Slots:
+    return {"recipient": _choice(rng, tuple(V.GIFT_TABLE))}
+
+
+_def(
+    "gift_advice", CLASS_QA, _sample_gift,
+    lambda s: (["suggest", "a", "gift", "for", "a", str(s["recipient"])], None),
+    lambda s: (["a", V.GIFT_TABLE[str(s["recipient"])][0]],
+               ["because"] + V.GIFT_TABLE[str(s["recipient"])][1].split()),
+)
+
+
+def _sample_place_advice(rng) -> Slots:
+    return {"purpose": _choice(rng, tuple(V.PLACE_TABLE))}
+
+
+_def(
+    "place_advice", CLASS_QA, _sample_place_advice,
+    lambda s: (["suggest", "a", "place", "to", str(s["purpose"])], None),
+    lambda s: (["the", V.PLACE_TABLE[str(s["purpose"])][0]],
+               ["because"] + V.PLACE_TABLE[str(s["purpose"])][1].split()),
+)
+
+_def(
+    "dialogue_greeting", CLASS_QA, lambda rng: {},
+    lambda s: _with_payload(["complete", "the", "dialogue"],
+                            ["hello", ",", "how", "are", "you", "?"]),
+    lambda s: (["i", "am", "fine", ",", "thank", "you"],
+               ["because", "a", "kind", "answer", "follows", "hello"]),
+)
+
+_def(
+    "dialogue_farewell", CLASS_QA, lambda rng: {},
+    lambda s: _with_payload(["complete", "the", "dialogue"],
+                            ["goodbye", "for", "now", "."]),
+    lambda s: (["goodbye", ",", "thank", "you"],
+               ["because", "a", "kind", "answer", "follows", "goodbye"]),
+)
+
+
+def _sample_next(rng) -> Slots:
+    return {"n": int(rng.integers(0, 9))}
+
+
+_def(
+    "next_number", CLASS_QA, _sample_next,
+    lambda s: (["what", "number", "comes", "after", str(s["n"]), "?"], None),
+    lambda s: ([str(int(s["n"]) + 1)],
+               ["because", str(int(s["n"]) + 1), "follows", str(s["n"])]),
+)
+
+# ---------------------------------------------------------------------------
+# Class 3 — creative composition (multi-sentence bodies, no "because" clause)
+# ---------------------------------------------------------------------------
+
+
+def _sample_story_animal(rng) -> Slots:
+    return {
+        "adj": _choice(rng, V.ADJECTIVES),
+        "animal": _choice(rng, V.ANIMALS),
+        "place": _choice(rng, V.PLACES),
+        "object": _choice(rng, V.OBJECTS),
+        "verb": _choice(rng, V.VERBS_3RD),
+    }
+
+
+_def(
+    "story_animal", CLASS_CREATIVE, _sample_story_animal,
+    lambda s: (["write", "a", "story", "about", "a", str(s["animal"])], None),
+    lambda s: (["once", "a", str(s["adj"]), str(s["animal"]), "lived", "near",
+                "the", str(s["place"]), ".", "the", str(s["animal"]),
+                str(s["verb"]), "every", "day", ".", "at", "last", "the",
+                str(s["animal"]), "found", "a", str(s["object"])], []),
+)
+
+
+def _sample_story_place(rng) -> Slots:
+    adj, adj2 = _distinct(rng, V.ADJECTIVES, 2)
+    return {"name": _choice(rng, V.NAMES), "place": _choice(rng, V.PLACES),
+            "adj": adj, "adj2": adj2}
+
+
+_def(
+    "story_place", CLASS_CREATIVE, _sample_story_place,
+    lambda s: (["write", "a", "story", "set", "at", "the", str(s["place"])], None),
+    lambda s: (["once", str(s["name"]), "went", "to", "the", str(s["place"]), ".",
+                "the", str(s["place"]), "was", str(s["adj"]), "and",
+                str(s["adj2"]), ".", str(s["name"]), "came", "back", "happy"], []),
+)
+
+
+def _sample_poem(rng) -> Slots:
+    o1, o2 = _distinct(rng, V.OBJECTS, 2)
+    return {"color": _choice(rng, V.COLORS), "o1": o1, "o2": o2}
+
+
+_def(
+    "poem_color", CLASS_CREATIVE, _sample_poem,
+    lambda s: (["write", "a", "poem", "about", "the", "color", str(s["color"])], None),
+    lambda s: (["i", "see", "the", str(s["color"]), str(s["o1"]), ".",
+                "i", "see", "the", str(s["color"]), str(s["o2"]), ".",
+                "the", str(s["color"]), "day", "ends", "soft"], []),
+)
+
+_USE_POOL = tuple(sorted(set(V.OBJECT_USES.values())))
+
+
+def _sample_brainstorm(rng) -> Slots:
+    return {"object": _choice(rng, V.OBJECTS), "uses": _distinct(rng, _USE_POOL, 3)}
+
+
+_def(
+    "brainstorm_uses", CLASS_CREATIVE, _sample_brainstorm,
+    lambda s: (["list", "three", "uses", "for", "a", str(s["object"])], None),
+    lambda s: (["one", "a", str(s["object"])] + str(s["uses"][0]).split() + ["."] +
+               ["two", "a", str(s["object"])] + str(s["uses"][1]).split() + ["."] +
+               ["three", "a", str(s["object"])] + str(s["uses"][2]).split(), []),
+)
+
+
+def _sample_slogan(rng) -> Slots:
+    adj, adj2 = _distinct(rng, V.ADJECTIVES, 2)
+    return {"object": _choice(rng, V.OBJECTS), "adj": adj, "adj2": adj2,
+            "place": _choice(rng, V.PLACES)}
+
+
+_def(
+    "slogan", CLASS_CREATIVE, _sample_slogan,
+    lambda s: (["write", "a", "slogan", "for", "a", str(s["object"])], None),
+    lambda s: (["the", str(s["adj"]), str(s["object"]), "makes", "every",
+                "day", "bright", ".", "see", "it", "at", "the",
+                str(s["place"])], []),
+)
+
+
+def _sample_roleplay(rng) -> Slots:
+    return {"place": _choice(rng, V.PLACES)}
+
+
+_def(
+    "roleplay_guide", CLASS_CREATIVE, _sample_roleplay,
+    lambda s: (["act", "as", "a", "guide", "and", "greet", "a", "visitor"], None),
+    lambda s: (["hello", ",", "welcome", "to", "the", str(s["place"]), ".",
+                "i", "am", "your", "guide", ".", "i", "hope", "you", "enjoy",
+                "the", str(s["place"])], []),
+)
+
+
+def _sample_continue(rng) -> Slots:
+    return {"animal": _choice(rng, V.ANIMALS), "place": _choice(rng, V.PLACES),
+            "object": _choice(rng, V.OBJECTS)}
+
+
+_def(
+    "continue_story", CLASS_CREATIVE, _sample_continue,
+    lambda s: _with_payload(["continue", "the", "story"],
+                            ["the", str(s["animal"]), "went", "to", "the",
+                             str(s["place"]), "."]),
+    lambda s: (["at", "the", str(s["place"]), "the", str(s["animal"]), "found",
+                "a", str(s["object"]), ".", "the", str(s["animal"]),
+                "was", "happy"], []),
+)
+
+
+def _sample_invent(rng) -> Slots:
+    return {"adj": _choice(rng, V.ADJECTIVES), "animal": _choice(rng, V.ANIMALS),
+            "name": _choice(rng, V.NAMES)}
+
+
+_def(
+    "invent_name", CLASS_CREATIVE, _sample_invent,
+    lambda s: (["invent", "a", "name", "for", "a", str(s["adj"]),
+                str(s["animal"])], None),
+    lambda s: (["a", "good", "name", "is", str(s["name"]), ".", str(s["name"]),
+                "means", "a", str(s["adj"]), str(s["animal"])], []),
+)
+
+
+def _sample_scene_desc(rng) -> Slots:
+    adj, adj2, adj3 = _distinct(rng, V.ADJECTIVES, 3)
+    return {"adj": adj, "adj2": adj2, "adj3": adj3,
+            "place": _choice(rng, V.PLACES), "animal": _choice(rng, V.ANIMALS),
+            "verb": _choice(rng, V.VERBS_3RD)}
+
+
+_def(
+    "describe_scene", CLASS_CREATIVE, _sample_scene_desc,
+    lambda s: (["describe", "a", str(s["adj"]), str(s["place"])], None),
+    lambda s: (["the", str(s["place"]), "is", str(s["adj"]), "and",
+                str(s["adj2"]), ".", "a", str(s["animal"]), str(s["verb"]),
+                "near", "the", str(s["place"]), ".", "the", "day", "is",
+                str(s["adj3"])], []),
+)
+
+
+def _sample_wish(rng) -> Slots:
+    return {"name": _choice(rng, V.NAMES), "adj": _choice(rng, V.ADJECTIVES),
+            "object": _choice(rng, V.OBJECTS)}
+
+
+_def(
+    "kind_wish", CLASS_CREATIVE, _sample_wish,
+    lambda s: (["write", "a", "kind", "wish", "for", str(s["name"])], None),
+    lambda s: (["may", "every", "day", "be", str(s["adj"]), "for",
+                str(s["name"]), ".", "may", str(s["name"]), "find", "a",
+                str(s["object"])], []),
+)
+
+
+def _sample_riddle(rng) -> Slots:
+    adj, adj2 = _distinct(rng, V.ADJECTIVES, 2)
+    return {"object": _choice(rng, V.OBJECTS), "adj": adj, "adj2": adj2}
+
+
+_def(
+    "riddle_object", CLASS_CREATIVE, _sample_riddle,
+    lambda s: (["write", "a", "riddle", "about", "a", str(s["object"])], None),
+    lambda s: (["it"] + V.OBJECT_USES[str(s["object"])].split() + [".",
+                "it", "is", str(s["adj"]), "and", str(s["adj2"]), ".",
+                "what", "is", "it", "?", "a", str(s["object"])], []),
+)
+
+
+def _sample_headline(rng) -> Slots:
+    return {"adj": _choice(rng, V.ADJECTIVES), "animal": _choice(rng, V.ANIMALS),
+            "place": _choice(rng, V.PLACES)}
+
+
+_def(
+    "headline_town", CLASS_CREATIVE, _sample_headline,
+    lambda s: (["write", "a", "headline", "about", "the", str(s["place"])], None),
+    lambda s: ([str(s["adj"]), str(s["animal"]), "found", "at", "the",
+                str(s["place"]), ".", "people", "of", "the", str(s["place"]),
+                "are", "happy"], []),
+)
+
+# ---------------------------------------------------------------------------
+# Public registry API
+# ---------------------------------------------------------------------------
+
+#: Frozen category registry, keyed by category id; exactly 42 entries.
+CATEGORIES: dict[str, TaskCategory] = dict(_REGISTRY)
+
+CATEGORY_IDS: tuple[str, ...] = tuple(CATEGORIES)
+
+assert len(CATEGORIES) == 42, f"expected 42 categories, got {len(CATEGORIES)}"
+
+
+def get_category(category_id: str) -> TaskCategory:
+    """Look up a category, raising :class:`VocabularyError` if unknown."""
+    try:
+        return CATEGORIES[category_id]
+    except KeyError:
+        raise VocabularyError(f"unknown task category {category_id!r}") from None
+
+
+def categories_by_class(task_class: str) -> tuple[TaskCategory, ...]:
+    """All categories belonging to one of the three difficulty classes."""
+    if task_class not in TASK_CLASSES:
+        raise VocabularyError(f"unknown task class {task_class!r}")
+    return tuple(c for c in CATEGORIES.values() if c.task_class == task_class)
+
+
+def sample_instance(
+    rng: np.random.Generator, category_id: str | None = None
+) -> TaskInstance:
+    """Sample a concrete task instance, optionally pinned to one category."""
+    if category_id is None:
+        category_id = CATEGORY_IDS[int(rng.integers(0, len(CATEGORY_IDS)))]
+    category = get_category(category_id)
+    return TaskInstance(category_id=category_id, slots=category.sample(rng))
+
+
+def render_instruction(instance: TaskInstance) -> tuple[Tokens, int | None]:
+    """Render the clean instruction tokens; returns ``(tokens, payload_start)``.
+
+    ``payload_start`` is the index of the first payload token (after the
+    ``:`` separator) for tasks that carry a payload, else ``None``.  The
+    ambiguity-injection defect removes everything from that index on.
+    """
+    category = get_category(instance.category_id)
+    return category.render(instance.slots)
+
+
+def solve(instance: TaskInstance) -> tuple[Tokens, Tokens]:
+    """Oracle-solve the instance: ``(answer_tokens, explanation_tokens)``.
+
+    Creative categories return an empty explanation; their answer is a
+    multi-sentence body whose richness is judged by sentence count instead.
+    """
+    category = get_category(instance.category_id)
+    return category.solve(instance.slots)

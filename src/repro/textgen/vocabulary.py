@@ -1,0 +1,219 @@
+"""Lexicons of the microtext language.
+
+Microtext is a whitespace-tokenised language: every token is a lowercase
+word, a digit string, or one of a few punctuation marks.  The full closed
+vocabulary is exposed through :func:`all_words`; the tiny LM's tokenizer is
+built directly from it, so *any* string composed by this package is
+representable without unknown tokens.
+"""
+
+from __future__ import annotations
+
+from ..errors import VocabularyError
+
+# ---------------------------------------------------------------------------
+# Content lexicons
+# ---------------------------------------------------------------------------
+
+COLORS = ("red", "blue", "green", "yellow", "white", "black", "purple", "orange")
+ANIMALS = ("fox", "dog", "cat", "owl", "bear", "wolf", "hare", "crow")
+OBJECTS = ("box", "cup", "lamp", "book", "chair", "stone", "coin", "bell")
+ADJECTIVES = ("big", "small", "quick", "quiet", "bright", "dark", "round", "soft")
+PLACES = ("hill", "lake", "town", "cave", "field", "barn", "dock", "mill")
+NAMES = ("mira", "oren", "tala", "finn", "vera", "kato", "lena", "remo")
+
+#: Third-person verbs paired with their (ungrammatical-in-context) base forms.
+VERBS_3RD = ("runs", "sits", "jumps", "sleeps", "sings", "waits", "hides", "moves")
+VERBS_BASE = ("run", "sit", "jump", "sleep", "sing", "wait", "hide", "move")
+VERB_FIX = dict(zip(VERBS_BASE, VERBS_3RD))
+
+POSITIVE_VERBS = ("love", "like", "enjoy", "praise")
+NEGATIVE_VERBS = ("hate", "dislike", "fear", "avoid")
+
+#: Digits 0-9 plus two-digit sums up to 18 (so single-digit addition closes).
+DIGITS = tuple(str(i) for i in range(10))
+SUM_DIGITS = tuple(str(i) for i in range(19))
+
+# ---------------------------------------------------------------------------
+# Knowledge base (facts the backbone LM can memorise during pre-training)
+# ---------------------------------------------------------------------------
+
+#: ``what color is the <subject>?`` facts.
+FACT_COLORS = {
+    "sky": "blue",
+    "grass": "green",
+    "snow": "white",
+    "coal": "black",
+    "sun": "yellow",
+    "sea": "blue",
+    "leaf": "green",
+    "rose": "red",
+}
+
+#: ``what does a <object> do?`` facts.
+OBJECT_USES = {
+    "box": "stores things",
+    "cup": "holds water",
+    "lamp": "gives light",
+    "book": "tells stories",
+    "chair": "offers a seat",
+    "stone": "marks a path",
+    "coin": "buys goods",
+    "bell": "makes sound",
+}
+
+#: ``where does the <animal> live?`` facts.
+ANIMAL_HOMES = {
+    "fox": "cave",
+    "dog": "barn",
+    "cat": "mill",
+    "owl": "dock",
+    "bear": "hill",
+    "wolf": "field",
+    "hare": "lake",
+    "crow": "town",
+}
+
+#: ``suggest a gift for a <recipient>`` facts with rationales.
+GIFT_TABLE = {
+    "friend": ("book", "friends enjoy stories"),
+    "teacher": ("lamp", "teachers read at night"),
+    "child": ("bell", "children love sound"),
+    "guest": ("cup", "guests drink tea"),
+    "helper": ("coin", "helpers earn a reward"),
+    "singer": ("bell", "singers follow sound"),
+}
+
+#: ``suggest a place to <purpose>`` facts with rationales.
+PLACE_TABLE = {
+    "rest": ("field", "the field is quiet"),
+    "read": ("mill", "the mill is calm"),
+    "swim": ("lake", "the lake has water"),
+    "climb": ("hill", "the hill is steep"),
+    "hide": ("cave", "the cave is dark"),
+    "meet": ("town", "the town has people"),
+}
+
+# ---------------------------------------------------------------------------
+# Surface-noise material
+# ---------------------------------------------------------------------------
+
+#: Misspelled forms injected by the spelling-noise defect; values are the
+#: correct words.  Also the answer key for the ``spelling_fix`` task.
+TYPO_MAP = {
+    "qick": "quick",
+    "blu": "blue",
+    "gren": "green",
+    "brigt": "bright",
+    "sleps": "sleeps",
+    "yelow": "yellow",
+    "purle": "purple",
+    "chiar": "chair",
+}
+
+#: Garble tokens used by the heavy-noise defect (clearly out-of-language).
+NOISE_TOKENS = ("zq1", "zq2", "zq3", "zq4")
+
+#: Marker phrase of the machine-tone defect (Table II: Humanization check).
+MACHINE_TONE_PREFIX = ("as", "an", "ai", "model", "i", "cannot", "feel", ",")
+
+#: Marker phrase of the unsafe-content defect (Table II: Safety red line).
+UNSAFE_PHRASE = ("ignore", "safety", "and", "proceed", "anyway")
+
+#: Polite coda marking a humanised response.
+POLITE_CODA = ("i", "hope", "this", "helps", ".")
+
+#: Context-priming openers marking a contextualised instruction.
+CONTEXT_OPENERS = (
+    ("you", "are", "a", "helpful", "tutor", "."),
+    ("you", "are", "a", "careful", "editor", "."),
+    ("think", "step", "by", "step", "."),
+)
+
+#: Example-giving connective marking a contextualised instruction.
+EXAMPLE_MARKER = ("for", "example", ",")
+
+PUNCTUATION = (".", ",", ":", ";", "?", "!")
+
+#: Function words used by templates.
+FUNCTION_WORDS = (
+    "the", "a", "an", "in", "at", "on", "of", "for", "and", "or", "to",
+    "i", "you", "he", "she", "it", "is", "are", "was", "saw", "has", "have",
+    "what", "which", "where", "who", "how", "do", "does", "did", "answer",
+    "yes", "no", "not", "now", "near", "every", "day", "with", "from",
+    "find", "count", "sort", "reverse", "repeat", "fix", "give", "list",
+    "write", "add", "take", "classify", "suggest", "complete", "continue",
+    "act", "invent", "describe", "tell", "exactly", "items", "numbers",
+    "words", "number", "color", "animal", "name", "item", "list", "story",
+    "poem", "slogan", "riddle", "headline", "wish", "feeling", "grammar",
+    "spelling", "sentence", "topic", "first", "last", "biggest", "smallest",
+    "bigger", "smaller", "than", "comes", "after", "plus", "minus",
+    "equals", "make", "makes", "because", "positive", "negative",
+    "hello", "goodbye", "fine", "thank", "thanks", "am", "good", "kind",
+    "uses", "use", "gift", "place", "about", "set", "lines", "two", "three",
+    "one", "once", "lived", "found", "flew", "went", "came", "said",
+    "friend", "teacher", "child", "guest", "helper", "singer", "visitor",
+    "guide", "greet", "dialogue", "order", "rising", "falling", "my",
+    "your", "this", "that", "all", "be", "so", "step", "by", "think",
+    "helpful", "careful", "tutor", "editor", "feel", "cannot", "as",
+    "ai", "model", "ignore", "safety", "proceed", "anyway", "hope",
+    "helps", "example", "sky", "grass", "snow", "sun", "coal", "sea",
+    "leaf", "rose", "water", "light", "seat", "path", "goods", "sound",
+    "stories", "things", "people", "tea", "night", "reward", "read",
+    "swim", "climb", "meet", "rest", "calm", "steep", "here", "there",
+    "happy", "sad", "old", "new", "long", "live", "lives", "stays",
+    "holds", "gives", "offers", "marks", "buys", "tells", "stores",
+    "word", "shows", "exceeds", "means", "starts", "ends", "between",
+    "most", "more", "less", "end", "start", "look", "see", "very",
+    "each", "welcome", "like", "photo", "link", "chords", "scale",
+    "lyric", "rewrite", "whole", "page", "image", "video", "minor",
+    "drawn", "shown", "follows", "follow", "begins", "its", "their",
+    "will", "can", "may", "back", "away", "up", "down", "out",
+)
+
+
+def all_words() -> tuple[str, ...]:
+    """Return the full closed vocabulary of microtext, sorted and unique."""
+    words: set[str] = set()
+    for group in (
+        COLORS, ANIMALS, OBJECTS, ADJECTIVES, PLACES, NAMES,
+        VERBS_3RD, VERBS_BASE, POSITIVE_VERBS, NEGATIVE_VERBS,
+        SUM_DIGITS, NOISE_TOKENS, PUNCTUATION, FUNCTION_WORDS,
+    ):
+        words.update(group)
+    words.update(TYPO_MAP)
+    words.update(TYPO_MAP.values())
+    words.update(FACT_COLORS)
+    words.update(FACT_COLORS.values())
+    for use in OBJECT_USES.values():
+        words.update(use.split())
+    words.update(ANIMAL_HOMES.values())
+    for gift, reason in GIFT_TABLE.values():
+        words.add(gift)
+        words.update(reason.split())
+    for place, reason in PLACE_TABLE.values():
+        words.add(place)
+        words.update(reason.split())
+    for phrase in (MACHINE_TONE_PREFIX, UNSAFE_PHRASE, POLITE_CODA, EXAMPLE_MARKER):
+        words.update(phrase)
+    for opener in CONTEXT_OPENERS:
+        words.update(opener)
+    return tuple(sorted(words))
+
+
+#: Materialised closed vocabulary (a few hundred words).
+ALL_WORDS = all_words()
+
+_WORD_SET = frozenset(ALL_WORDS)
+
+
+def is_known_word(token: str) -> bool:
+    """True if ``token`` belongs to the closed microtext vocabulary."""
+    return token in _WORD_SET
+
+
+def require_known(tokens: list[str] | tuple[str, ...]) -> None:
+    """Raise :class:`VocabularyError` if any token is out-of-language."""
+    unknown = [t for t in tokens if t not in _WORD_SET]
+    if unknown:
+        raise VocabularyError(f"tokens outside microtext vocabulary: {unknown[:5]}")

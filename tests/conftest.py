@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite (everything at CI scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import get_scale
+from repro.data import generate_dataset
+from repro.llm import build_tokenizer
+
+
+@pytest.fixture(scope="session")
+def tokenizer():
+    return build_tokenizer()
+
+
+@pytest.fixture(scope="session")
+def ci_scale():
+    return get_scale("ci")
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A 300-pair ALPACA52K simulacrum shared across read-only tests."""
+    return generate_dataset(np.random.default_rng(99), 300)

@@ -1,0 +1,107 @@
+"""Tests for generator profiles and the ALPACA52K simulacrum."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ALPACA_PROFILE,
+    CONVERSATION_PROFILE,
+    GeneratorProfile,
+    PROPRIETARY_PROFILE,
+    USER_CASE_PROFILE,
+    generate_dataset,
+    rule_clean,
+)
+from repro.errors import ConfigError
+
+
+def test_profile_validation_rejects_unknown_defect():
+    with pytest.raises(ConfigError):
+        GeneratorProfile(
+            name="bad", filter_fraction=0.1,
+            filter_mix={"filter_invalid_input": 1.0},
+            defective_fraction=0.5,
+            response_defect_mix={"resp_fake": 1.0},
+            instruction_defect_fraction=0.5,
+            instruction_defect_mix={"instr_typos": 1.0},
+            polite_fraction=0.5, context_fraction=0.1,
+        )
+
+
+def test_profile_validation_rejects_bad_fraction():
+    with pytest.raises(ConfigError):
+        GeneratorProfile(
+            name="bad", filter_fraction=1.5,
+            filter_mix={"filter_invalid_input": 1.0},
+            defective_fraction=0.5,
+            response_defect_mix={"resp_terse": 1.0},
+            instruction_defect_fraction=0.5,
+            instruction_defect_mix={"instr_typos": 1.0},
+            polite_fraction=0.5, context_fraction=0.1,
+        )
+
+
+def test_pair_ids_are_unique_and_stable(small_dataset):
+    ids = [p.pair_id for p in small_dataset]
+    assert len(set(ids)) == len(ids)
+    assert ids[0].endswith("000000")
+
+
+def test_filter_fraction_calibration(small_dataset):
+    counts = Counter(
+        d for p in small_dataset for d in p.injected_defects
+        if d.startswith("filter")
+    )
+    fraction = sum(counts.values()) / len(small_dataset)
+    assert 0.10 < fraction < 0.28  # target 18.1%
+
+
+def test_defective_fraction_calibration():
+    ds = generate_dataset(np.random.default_rng(5), 1500)
+    non_filter = [
+        p for p in ds
+        if not any(d.startswith("filter") for d in p.injected_defects)
+    ]
+    defective = [
+        p for p in non_filter
+        if any(d != "instr_needs_context" for d in p.injected_defects)
+    ]
+    fraction = len(defective) / len(non_filter)
+    assert 0.40 < fraction < 0.55  # target 46.8%
+
+
+def test_profiles_are_ordered_by_quality():
+    sizes = 800
+    means = {}
+    from repro.quality import dataset_quality_report
+    for profile in (USER_CASE_PROFILE, ALPACA_PROFILE, CONVERSATION_PROFILE,
+                    PROPRIETARY_PROFILE):
+        ds = generate_dataset(np.random.default_rng(1), sizes, profile)
+        means[profile.name] = dataset_quality_report(ds).mean_response_score
+    assert (
+        means["user-cases-sim"]
+        < means["alpaca52k-sim"]
+        < means["user-conversations-sim"]
+        < means["proprietary-alignment-sim"]
+    )
+
+
+def test_rule_clean_fixes_surface_not_semantics(small_dataset):
+    cleaned = rule_clean(small_dataset)
+    assert len(cleaned) == len(small_dataset)
+    from repro.textgen import vocabulary as V
+    for pair in cleaned:
+        for token in pair.response_tokens:
+            assert token not in V.NOISE_TOKENS
+            assert token not in V.TYPO_MAP
+    # Terse responses remain terse: rule cleaning cannot add explanations.
+    terse_before = sum(
+        1 for p in small_dataset if "resp_terse" in p.injected_defects
+    )
+    terse_after = sum(
+        1 for p in cleaned
+        if "resp_terse" in p.injected_defects and "because" not in p.response
+    )
+    assert terse_after == terse_before

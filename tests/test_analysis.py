@@ -1,0 +1,73 @@
+"""Tests for histograms, linear fits and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    LinearFit,
+    RatingHistogram,
+    build_rating_histogram,
+    fit_line,
+    format_table,
+)
+from repro.errors import ReproError
+
+
+def test_histogram_counts_and_mean():
+    hist = build_rating_histogram([4.5, 4.5, 3.0, 2.0], bin_width=0.5)
+    assert hist.total == 4
+    assert hist.mean == pytest.approx(3.5)
+    assert hist.high_quality_fraction == pytest.approx(0.5)
+
+
+def test_histogram_empty_raises():
+    with pytest.raises(ReproError):
+        build_rating_histogram([])
+
+
+def test_histogram_bad_width_raises():
+    with pytest.raises(ReproError):
+        build_rating_histogram([1.0], bin_width=0)
+
+
+def test_histogram_render_contains_stats():
+    hist = build_rating_histogram([5.0, 4.0], bin_width=1.0)
+    text = hist.render(title="demo")
+    assert "demo" in text
+    assert "mean=4.50" in text
+
+
+def test_fit_line_exact():
+    fit = fit_line([0, 1, 2, 3], [1, 3, 5, 7])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10) == pytest.approx(21.0)
+    assert fit.solve_for_y(21.0) == pytest.approx(10.0)
+
+
+def test_fit_line_r_squared_below_one_with_noise():
+    fit = fit_line([0, 1, 2, 3], [1, 3, 4.5, 7.5])
+    assert 0.9 < fit.r_squared < 1.0
+
+
+def test_fit_line_validations():
+    with pytest.raises(ReproError):
+        fit_line([1], [2])
+    with pytest.raises(ReproError):
+        fit_line([1, 2], [3])
+    flat = LinearFit(slope=0.0, intercept=1.0, r_squared=1.0)
+    with pytest.raises(ReproError):
+        flat.solve_for_y(5.0)
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["model", "WR1"],
+        [["alpaca", "48.0%"], ["alpaca-coachlm", "67.7%"]],
+        title="Table IX",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table IX"
+    assert "alpaca-coachlm" in text
+    header_cols = lines[1].index("WR1")
+    assert lines[4].index("67.7%") == header_cols

@@ -1,0 +1,72 @@
+"""Tests for the pre-training corpus builder."""
+
+import numpy as np
+
+from repro.textgen.corpus import build_pretrain_corpus
+from repro.textgen import vocabulary as V
+
+
+def test_corpus_is_deterministic():
+    a = build_pretrain_corpus(np.random.default_rng(7), 300)
+    b = build_pretrain_corpus(np.random.default_rng(7), 300)
+    assert a == b
+
+
+def test_corpus_size_roughly_requested():
+    corpus = build_pretrain_corpus(np.random.default_rng(0), 800)
+    assert 700 <= len(corpus) <= 1100
+
+
+def test_corpus_contains_knowledge_base():
+    corpus = build_pretrain_corpus(np.random.default_rng(0), 400)
+    texts = {" ".join(s) for s in corpus}
+    assert "the sky is blue ." in texts
+    assert "3 and 4 make 7 ." in texts
+    assert any("lives at the" in t for t in texts)
+
+
+def test_corpus_contains_all_drill_kinds():
+    corpus = build_pretrain_corpus(np.random.default_rng(1), 900)
+    texts = [" ".join(s) for s in corpus]
+    assert any("repeat :" in t for t in texts), "echo drills"
+    assert any("revised :" in t for t in texts), "cleanup drills"
+    assert any(
+        "revised instruction :" in t and "revised response :" in t
+        for t in texts
+    ), "pair-revision drills"
+    assert any(
+        t.startswith("instruction :") and "revised" not in t for t in texts
+    ), "q&a format exposure"
+
+
+def test_pair_revision_drills_repair_surface_only():
+    """Drills must demonstrate surface cleanup, not expert-style expansion."""
+    corpus = build_pretrain_corpus(np.random.default_rng(2), 900)
+    for sentence in corpus:
+        text = " ".join(sentence)
+        if "revised instruction :" not in text:
+            continue
+        # The revised response never introduces an explanation that the
+        # original lacked: coach tuning owns that behaviour.
+        original = text.split("revised instruction :")[0]
+        revised = text.split("revised response :")[-1]
+        if "because" in revised:
+            assert "because" in original
+
+
+def test_template_words_present():
+    corpus = build_pretrain_corpus(np.random.default_rng(3), 300)
+    words = {t for s in corpus for t in s}
+    for template_word in ("please", "improve", "quality", "revised",
+                          "instruction", "response"):
+        assert template_word in words
+
+
+def test_corpus_vocab_closed_under_tokenizer():
+    from repro.llm import build_tokenizer
+    tokenizer = build_tokenizer()
+    corpus = build_pretrain_corpus(np.random.default_rng(4), 400)
+    unk = tokenizer.specials.unk
+    for sentence in corpus:
+        ids = tokenizer.encode(" ".join(sentence))
+        assert unk not in ids, sentence

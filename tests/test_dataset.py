@@ -1,0 +1,117 @@
+"""Tests for the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import InstructionDataset, InstructionPair, generate_dataset
+from repro.data.instruction_pair import Origin
+from repro.errors import DatasetError
+
+
+def _pair(i: int) -> InstructionPair:
+    return InstructionPair(
+        instruction=f"do thing {i}", response=f"did thing {i}", pair_id=f"p-{i}"
+    )
+
+
+@pytest.fixture()
+def tiny():
+    return InstructionDataset([_pair(i) for i in range(10)], name="tiny")
+
+
+def test_len_getitem_iter(tiny):
+    assert len(tiny) == 10
+    assert tiny[3].pair_id == "p-3"
+    assert sum(1 for _ in tiny) == 10
+
+
+def test_map_returns_new_dataset(tiny):
+    upper = tiny.map(
+        lambda p: p.with_text(p.instruction.upper(), p.response, Origin.RULE_CLEANED)
+    )
+    assert upper[0].instruction == "DO THING 0"
+    assert tiny[0].instruction == "do thing 0"
+
+
+def test_filter(tiny):
+    evens = tiny.filter(lambda p: int(p.pair_id.split("-")[1]) % 2 == 0)
+    assert len(evens) == 5
+
+
+def test_sample_deterministic(tiny):
+    a = tiny.sample(4, np.random.default_rng(0))
+    b = tiny.sample(4, np.random.default_rng(0))
+    assert [p.pair_id for p in a] == [p.pair_id for p in b]
+
+
+def test_sample_too_large_raises(tiny):
+    with pytest.raises(DatasetError):
+        tiny.sample(11, np.random.default_rng(0))
+
+
+def test_split_partitions(tiny):
+    head, tail = tiny.split(0.3, np.random.default_rng(0))
+    assert len(head) == 3 and len(tail) == 7
+    ids = {p.pair_id for p in head} | {p.pair_id for p in tail}
+    assert len(ids) == 10
+
+
+def test_split_bad_fraction(tiny):
+    with pytest.raises(DatasetError):
+        tiny.split(1.5, np.random.default_rng(0))
+
+
+def test_replace_pairs_merges_by_id(tiny):
+    replacement = _pair(3).with_text("new", "new resp", Origin.EXPERT_REVISED)
+    merged = tiny.replace_pairs({"p-3": replacement})
+    assert merged[3].instruction == "new"
+    assert merged[2].instruction == "do thing 2"
+
+
+def test_replace_pairs_unknown_id_raises(tiny):
+    with pytest.raises(DatasetError):
+        tiny.replace_pairs({"p-99": _pair(99)})
+
+
+def test_by_id_requires_unique_ids(tiny):
+    assert set(tiny.by_id()) == {f"p-{i}" for i in range(10)}
+    dup = InstructionDataset([_pair(1), _pair(1)])
+    with pytest.raises(DatasetError):
+        dup.by_id()
+
+
+def test_jsonl_roundtrip(tmp_path, small_dataset):
+    path = tmp_path / "ds.jsonl"
+    small_dataset.save_jsonl(path)
+    loaded = InstructionDataset.load_jsonl(path)
+    assert len(loaded) == len(small_dataset)
+    assert loaded[7].to_json() == small_dataset[7].to_json()
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(DatasetError):
+        InstructionDataset.load_jsonl(tmp_path / "nope.jsonl")
+
+
+def test_load_malformed_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"instruction": "x"}\n', encoding="utf-8")
+    with pytest.raises(DatasetError):
+        InstructionDataset.load_jsonl(path)
+
+
+def test_stats(small_dataset):
+    stats = small_dataset.stats()
+    assert stats.size == len(small_dataset)
+    assert stats.avg_instruction_length > 0
+    assert stats.n_categories > 30  # 42 categories + filter bucket
+
+
+def test_extend(tiny):
+    both = tiny.extend(tiny)
+    assert len(both) == 20
+
+
+def test_generate_dataset_rejects_bad_size(rng):
+    with pytest.raises(DatasetError):
+        generate_dataset(rng, 0)

@@ -1,0 +1,143 @@
+"""Tests for defect injection: every defect leaves a detectable trace."""
+
+import numpy as np
+import pytest
+
+from repro.data.defects import (
+    CONSTANT_ANSWER_CATEGORIES,
+    DEFECTS,
+    FILTER_BUILDERS,
+    NUMERIC_ANSWER_CATEGORIES,
+    build_filter_pair,
+    build_pair,
+)
+from repro.errors import DatasetError
+from repro.textgen import vocabulary as V
+from repro.textgen.responses import detokenize
+from repro.textgen.tasks import TaskInstance, sample_instance, solve
+
+
+@pytest.fixture()
+def instance():
+    return TaskInstance("add_numbers", {"a": 3, "b": 4})
+
+
+def test_registry_covers_three_sides():
+    sides = {d.side.value for d in DEFECTS.values()}
+    assert sides == {"instruction", "response", "filter"}
+
+
+def test_clean_pair_matches_oracle(instance, rng):
+    pair = build_pair(instance, (), (), rng, polite=True)
+    assert pair.response.startswith("7 ; because")
+    assert pair.injected_defects == ()
+
+
+def test_unknown_defect_raises(instance, rng):
+    with pytest.raises(DatasetError):
+        build_pair(instance, (), ("resp_sloppy",), rng)
+
+
+def test_empty_defect(instance, rng):
+    pair = build_pair(instance, (), ("resp_empty",), rng)
+    assert pair.response == ""
+
+
+def test_terse_defect_removes_explanation(instance, rng):
+    pair = build_pair(instance, (), ("resp_terse",), rng, polite=False)
+    assert "because" not in pair.response
+
+
+def test_miscalculation_is_off_by_one(instance, rng):
+    pair = build_pair(instance, (), ("resp_miscalculation",), rng, polite=False)
+    core = pair.response_tokens[0]
+    assert core == "8"  # 7 + 1
+
+
+def test_miscalculation_rejects_non_numeric(rng):
+    instance = sample_instance(rng, "fact_color")
+    with pytest.raises(DatasetError):
+        build_pair(instance, (), ("resp_miscalculation",), rng)
+
+
+def test_wrong_answer_differs(instance, rng):
+    pair = build_pair(instance, (), ("resp_wrong_answer",), rng, polite=False)
+    answer, _ = solve(instance)
+    assert pair.response_tokens[: len(answer)] != answer
+
+
+def test_unsafe_defect_plants_phrase(instance, rng):
+    pair = build_pair(instance, (), ("resp_unsafe",), rng)
+    assert detokenize(list(V.UNSAFE_PHRASE)) in pair.response
+
+
+def test_machine_tone_prefix(instance, rng):
+    pair = build_pair(instance, (), ("resp_machine_tone",), rng)
+    assert pair.response.startswith(detokenize(list(V.MACHINE_TONE_PREFIX)))
+    assert "hope" not in pair.response  # tone defect suppresses the coda
+
+
+def test_bad_layout_drops_period(instance, rng):
+    pair = build_pair(instance, (), ("resp_bad_layout",), rng, polite=False)
+    assert not pair.response.endswith(".")
+
+
+def test_truncated_shortens(instance, rng):
+    clean = build_pair(instance, (), (), rng, polite=False)
+    pair = build_pair(instance, (), ("resp_truncated",), rng, polite=False)
+    assert pair.response_length < clean.response_length
+
+
+def test_irrelevant_changes_category_content(rng):
+    instance = sample_instance(rng, "fact_color")
+    pair = build_pair(instance, (), ("resp_irrelevant",), rng, polite=False)
+    answer, _ = solve(instance)
+    assert pair.response_tokens[: len(answer)] != answer
+
+
+def test_instruction_ambiguous_cuts_payload(rng):
+    instance = sample_instance(rng, "extract_color")
+    pair = build_pair(instance, ("instr_ambiguous",), (), rng)
+    assert pair.instruction.endswith(":")
+
+
+def test_instruction_typos(rng):
+    instance = sample_instance(rng, "extract_color")
+    pair = build_pair(instance, ("instr_typos",), (), rng)
+    clean = build_pair(instance, (), (), rng, polite=True, context=False)
+    assert pair.instruction != clean.instruction
+
+
+def test_needs_context_is_textual_noop(rng):
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, ("instr_needs_context",), (), rng)
+    clean = build_pair(instance, (), (), rng, polite=True, context=False)
+    assert pair.instruction == clean.instruction
+
+
+@pytest.mark.parametrize("kind", sorted(FILTER_BUILDERS))
+def test_filter_builders_produce_markers(kind, rng):
+    pair = build_filter_pair(kind, rng, pair_id="x-1")
+    assert pair.injected_defects == (kind,)
+    assert pair.pair_id == "x-1"
+    text = pair.instruction + " " + pair.response
+    markers = {
+        "filter_invalid_input": "link",
+        "filter_beyond_expertise": "chords",
+        "filter_massive_workload": "whole page",
+        "filter_multimodal": ("photo", "image", "video"),
+        "filter_toxic": "ignore safety",
+    }[kind]
+    if isinstance(markers, tuple):
+        assert any(m in text for m in markers)
+    else:
+        assert markers in text
+
+
+def test_unknown_filter_kind_raises(rng):
+    with pytest.raises(DatasetError):
+        build_filter_pair("filter_boring", rng)
+
+
+def test_category_sets_disjoint():
+    assert not NUMERIC_ANSWER_CATEGORIES & CONSTANT_ANSWER_CATEGORIES

@@ -1,0 +1,107 @@
+"""Tests for the Fig. 6 deployment simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset, USER_CASE_PROFILE
+from repro.deployment import (
+    AnnotatorTimeModel,
+    AnnotatorWorkforce,
+    DataManagementPlatform,
+)
+from repro.deployment.annotators import MINUTES_PER_PERSON_DAY
+from repro.data.instruction_pair import InstructionPair
+from repro.quality import CriteriaScorer
+from repro.textgen.responses import detokenize, ideal_response
+from repro.textgen.tasks import TaskInstance
+
+
+def _clean_pair():
+    instance = TaskInstance("add_numbers", {"a": 2, "b": 3})
+    from repro.textgen.tasks import render_instruction
+    tokens, _ = render_instruction(instance)
+    return InstructionPair(
+        instruction=detokenize(tokens),
+        response=detokenize(ideal_response(instance)),
+        provenance=instance,
+    )
+
+
+def test_clean_pair_costs_review_only():
+    model = AnnotatorTimeModel()
+    minutes = model.minutes_for_pair(_clean_pair(), CriteriaScorer())
+    assert minutes == model.review_minutes
+
+
+def test_defective_pair_costs_more(rng):
+    from repro.data.defects import build_pair
+    from repro.textgen.tasks import sample_instance
+    model = AnnotatorTimeModel()
+    scorer = CriteriaScorer()
+    instance = sample_instance(rng, "fact_color")
+    bad = build_pair(instance, (), ("resp_truncated",), rng, polite=False)
+    assert model.minutes_for_pair(bad, scorer) > model.review_minutes
+
+
+def test_workforce_throughput_accounting():
+    workforce = AnnotatorWorkforce()
+    report = workforce.process_batch([_clean_pair()] * 10)
+    assert report.pairs_processed == 10
+    expected_days = 10 * 2.0 / MINUTES_PER_PERSON_DAY
+    assert report.person_days == pytest.approx(expected_days)
+    assert report.pairs_per_person_day == pytest.approx(10 / expected_days)
+
+
+def test_proficiency_gain_speeds_up():
+    slow = AnnotatorWorkforce(proficiency_gain=0.0)
+    fast = AnnotatorWorkforce(proficiency_gain=0.1)
+    pairs = [_clean_pair()] * 5
+    assert (
+        fast.process_batch(pairs).total_minutes
+        < slow.process_batch(pairs).total_minutes
+    )
+
+
+def test_platform_without_coach_rejects_coach_batches(rng):
+    platform = DataManagementPlatform(coach=None)
+    with pytest.raises(ValueError):
+        platform.run_cleaning_batch(rng, 10, use_coachlm=True)
+
+
+def test_platform_baseline_batch(rng):
+    platform = DataManagementPlatform()
+    report = platform.run_cleaning_batch(rng, 40, use_coachlm=False)
+    assert report.batch_size == 40
+    assert not report.with_coachlm
+    assert report.pairs_per_person_day > 0
+    assert report.mean_quality_out_of_coach is None
+
+
+def test_rule_based_cleaning_improves_surface(rng):
+    platform = DataManagementPlatform()
+    raw = platform.intake(rng, 60)
+    parsed = platform.rule_based_cleaning(raw)
+    scorer = CriteriaScorer()
+    raw_q = np.mean([scorer.score_response(p).score for p in raw])
+    parsed_q = np.mean([scorer.score_response(p).score for p in parsed])
+    assert parsed_q >= raw_q
+
+
+def test_net_improvement_deducts_proficiency():
+    from repro.deployment.platform import CleaningBatchReport
+    from repro.deployment.annotators import WorkforceReport
+
+    def fake(ppd):
+        return CleaningBatchReport(
+            batch_size=1, with_coachlm=False,
+            workforce=WorkforceReport(
+                pairs_processed=100, total_minutes=100 / ppd * MINUTES_PER_PERSON_DAY,
+                per_pair_minutes=[],
+            ),
+            mean_quality_in=0.0, mean_quality_out_of_coach=None,
+        )
+
+    net = DataManagementPlatform.net_improvement(
+        fake(80.0), fake(100.0), proficiency_share=0.25
+    )
+    assert net == pytest.approx(0.25 * 0.75)

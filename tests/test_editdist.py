@@ -1,0 +1,96 @@
+"""Tests and hypothesis properties for the edit-distance module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.instruction_pair import InstructionPair
+from repro.editdist import (
+    align,
+    char_edit_distance,
+    diff_stats,
+    edit_distance,
+    normalized_edit_distance,
+    pair_edit_distance,
+    word_edit_distance,
+)
+from repro.editdist.alignment import EditOp
+from repro.errors import ReproError
+
+_seqs = st.lists(st.sampled_from("abcd"), max_size=12)
+
+
+def test_known_distances():
+    assert edit_distance("kitten", "sitting") == 3
+    assert edit_distance("", "abc") == 3
+    assert edit_distance("abc", "abc") == 0
+    assert edit_distance("flaw", "lawn") == 2
+
+
+def test_word_level():
+    assert word_edit_distance("the red fox", "the blue fox") == 1
+    assert word_edit_distance("a b c", "c b a") == 2
+
+
+def test_char_vs_word():
+    assert char_edit_distance("abc def", "abc deg") == 1
+    assert word_edit_distance("abc def", "abc deg") == 1
+
+
+@given(_seqs)
+@settings(max_examples=60, deadline=None)
+def test_identity(seq):
+    assert edit_distance(seq, seq) == 0
+
+
+@given(_seqs, _seqs)
+@settings(max_examples=60, deadline=None)
+def test_symmetry(a, b):
+    assert edit_distance(a, b) == edit_distance(b, a)
+
+
+@given(_seqs, _seqs)
+@settings(max_examples=60, deadline=None)
+def test_bounds(a, b):
+    d = edit_distance(a, b)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+@given(_seqs, _seqs, _seqs)
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality(a, b, c):
+    assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+@given(_seqs, _seqs)
+@settings(max_examples=40, deadline=None)
+def test_alignment_distance_agrees(a, b):
+    assert diff_stats(a, b).distance == edit_distance(a, b)
+
+
+def test_max_distance_early_exit():
+    assert edit_distance("aaaa", "bbbb", max_distance=2) == 3
+    assert edit_distance("aaaa", "aaab", max_distance=2) == 1
+
+
+def test_max_distance_negative_raises():
+    with pytest.raises(ReproError):
+        edit_distance("a", "b", max_distance=-1)
+
+
+def test_normalized_bounds():
+    assert normalized_edit_distance("", "") == 0.0
+    assert normalized_edit_distance("aa", "bb") == 1.0
+    assert 0.0 < normalized_edit_distance("ab", "ac") < 1.0
+
+
+def test_align_script_transforms():
+    script = align("cat", "cart")
+    ops = [op for op, _, _ in script]
+    assert ops.count(EditOp.INSERT) == 1
+    assert ops.count(EditOp.MATCH) == 3
+
+
+def test_pair_edit_distance_sums_sides():
+    a = InstructionPair(instruction="do x", response="done x")
+    b = InstructionPair(instruction="do y now", response="done x")
+    assert pair_edit_distance(a, b) == 2

@@ -1,0 +1,49 @@
+"""Smoke tests for the runnable examples (the cheap ones).
+
+The model-training examples (quickstart, data_cleaning_pipeline) are
+exercised by the benchmark suite through the same library calls; here we
+run the analysis-only examples end to end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    sys.argv = [name]
+    runpy.run_path(str(_EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_regenerate_all_prints_index(capsys):
+    out = _run("regenerate_all.py", capsys)
+    assert "table9" in out
+    assert "fig5" in out
+    assert "benchmarks/" in out
+
+
+def test_dataset_quality_report_runs(capsys):
+    out = _run("dataset_quality_report.py", capsys)
+    assert "mean response score" in out
+    assert "ChatGPT-sim accuracy ratings" in out
+
+
+@pytest.mark.slow
+def test_alpha_selection_study_runs(capsys):
+    out = _run("alpha_selection_study.py", capsys)
+    assert "expert revision dataset R" in out
+    assert "alpha" in out
+
+
+def test_examples_exist():
+    names = {p.name for p in _EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py", "data_cleaning_pipeline.py",
+        "dataset_quality_report.py", "alpha_selection_study.py",
+        "regenerate_all.py",
+    } <= names

@@ -1,0 +1,215 @@
+"""Tests for expert profiles, filtering, assignment, revision, workflow."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_dataset
+from repro.data.defects import build_filter_pair, build_pair
+from repro.experts import (
+    ExpertCampaign,
+    ExpertReviser,
+    GROUP_A,
+    GROUP_B,
+    GROUP_C,
+    assign_units,
+    group_profile_table,
+    preliminary_filter,
+)
+from repro.experts.assignment import UNIT_CLASS_ORDER, unit_for_pair
+from repro.experts.filtering import classify_exclusion, exclusion_distribution
+from repro.experts.revision import RevisionRecord
+from repro.quality import CriteriaScorer
+from repro.textgen.tasks import TaskInstance, sample_instance
+
+
+# ---------------------------------------------------------------------------
+# Table I — profiles
+# ---------------------------------------------------------------------------
+
+
+def test_group_sizes_match_table1():
+    assert len(GROUP_A) == 17
+    assert len(GROUP_B) == 6
+    assert len(GROUP_C) == 3
+
+
+def test_group_experience_matches_table1():
+    rows = {r["group"]: r for r in group_profile_table()}
+    assert rows["A"]["average_years_of_experience"] == pytest.approx(11.29, abs=0.01)
+    assert rows["B"]["average_years_of_experience"] == pytest.approx(5.64, abs=0.01)
+    assert rows["C"]["average_years_of_experience"] == pytest.approx(12.57, abs=0.01)
+
+
+def test_groups_do_not_overlap():
+    names = [e.name for e in GROUP_A + GROUP_B + GROUP_C]
+    assert len(set(names)) == 26
+
+
+# ---------------------------------------------------------------------------
+# Table III — preliminary filtering
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind,expected", [
+    ("filter_invalid_input", "invalid_input"),
+    ("filter_beyond_expertise", "beyond_expertise"),
+    ("filter_massive_workload", "massive_workload"),
+    ("filter_multimodal", "multimodal"),
+    ("filter_toxic", "safety"),
+])
+def test_classify_exclusion_detects_each_kind(kind, expected, rng):
+    pair = build_filter_pair(kind, rng)
+    assert classify_exclusion(pair) == expected
+
+
+def test_clean_pair_is_not_excluded(rng):
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), (), rng)
+    assert classify_exclusion(pair) is None
+
+
+def test_single_unsafe_span_is_revisable_not_excluded(rng):
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), ("resp_unsafe",), rng)
+    assert classify_exclusion(pair) is None
+
+
+def test_preliminary_filter_partitions(small_dataset, rng):
+    kept, excluded = preliminary_filter(small_dataset)
+    assert len(kept) + len(excluded) == len(small_dataset)
+    dist = exclusion_distribution(excluded)
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+    assert "invalid_input" in dist
+
+
+def test_retain_fraction_keeps_some(small_dataset):
+    rng = np.random.default_rng(0)
+    kept, excluded = preliminary_filter(small_dataset, retain_fraction=1.0, rng=rng)
+    assert not excluded
+    retained_reasons = [d for d in kept if d.reason is not None]
+    assert retained_reasons
+
+
+# ---------------------------------------------------------------------------
+# Section II-E2 — assignment
+# ---------------------------------------------------------------------------
+
+
+def test_units_ordered_by_experience():
+    units = assign_units()
+    averages = [units[c].average_experience for c in UNIT_CLASS_ORDER]
+    assert averages == sorted(averages)
+    assert len(units) == 3
+    assert sum(len(u.members) for u in units.values()) == 17
+
+
+def test_owner_is_most_experienced():
+    units = assign_units()
+    for unit in units.values():
+        assert unit.owner.years_experience == max(
+            m.years_experience for m in unit.members
+        )
+
+
+def test_unit_routing(rng):
+    units = assign_units()
+    creative = sample_instance(rng, "story_animal")
+    pair = build_pair(creative, (), (), rng)
+    assert unit_for_pair(pair, units).task_class == "creative"
+    qa = sample_instance(rng, "fact_color")
+    pair = build_pair(qa, (), (), rng)
+    assert unit_for_pair(pair, units).task_class == "qa"
+
+
+# ---------------------------------------------------------------------------
+# Revision + workflow
+# ---------------------------------------------------------------------------
+
+
+def test_reviser_skips_clean_pairs(rng):
+    reviser = ExpertReviser()
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), (), rng, polite=True)
+    assert reviser.revise(pair, rng, GROUP_A[0], "qa") is None
+
+
+def test_reviser_fixes_terse_response(rng):
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), ("resp_terse",), rng, polite=False,
+                      pair_id="t-1")
+    record = reviser.revise(pair, rng, GROUP_A[0], "qa")
+    assert record is not None
+    assert record.response_bucket == "expand"
+    assert "because" in record.revised.response
+    assert record.edit_distance > 0
+    scorer = CriteriaScorer()
+    assert scorer.score_response(record.revised).score >= 95.0
+
+
+def test_reviser_bucket_for_miscalculation(rng):
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = TaskInstance("add_numbers", {"a": 2, "b": 2})
+    pair = build_pair(instance, (), ("resp_miscalculation",), rng, polite=False)
+    record = reviser.revise(pair, rng, GROUP_A[0], "qa")
+    assert record is not None
+    assert record.response_bucket == "fix_calculation"
+
+
+def test_reviser_bucket_for_unsafe(rng):
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = sample_instance(rng, "fact_color")
+    pair = build_pair(instance, (), ("resp_unsafe",), rng)
+    record = reviser.revise(pair, rng, GROUP_A[0], "qa")
+    assert record is not None
+    assert record.response_bucket == "safety_other"
+
+
+def test_reviser_repairs_instruction(rng):
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = sample_instance(rng, "extract_color")
+    pair = build_pair(instance, ("instr_typos",), (), rng, polite=True)
+    record = reviser.revise(pair, rng, GROUP_A[0], "language")
+    assert record is not None
+    assert record.instruction_revised
+    assert record.instruction_bucket == "instr_readability"
+
+
+def test_revision_record_json_roundtrip(rng):
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), ("resp_terse",), rng, polite=False,
+                      pair_id="r-1")
+    record = reviser.revise(pair, rng, GROUP_A[0], "qa")
+    assert record is not None
+    again = RevisionRecord.from_json(record.to_json())
+    assert again.edit_distance == record.edit_distance
+    assert again.original.pair_id == record.original.pair_id
+    assert again.revised.response == record.revised.response
+
+
+def test_campaign_end_to_end(rng):
+    dataset = generate_dataset(np.random.default_rng(4), 400)
+    result = ExpertCampaign().run(dataset, rng)
+    assert result.examined == 400
+    assert 0 < len(result.records) < len(result.kept)
+    assert result.costs.total_days > 0
+    # Revised pairs are replacements for originals (same ids).
+    merged = result.merge_back(dataset)
+    assert len(merged) == len(dataset)
+    revised_ids = {r.revised.pair_id for r in result.records}
+    changed = sum(
+        1 for a, b in zip(dataset, merged)
+        if (a.instruction, a.response) != (b.instruction, b.response)
+    )
+    assert changed == len(revised_ids)
+
+
+def test_campaign_cost_scales_to_129_days():
+    # At the paper's scale the calibrated rates must land near 129 days.
+    from repro.experts.workflow import (
+        QC_RATE_PER_DAY, REVIEW_RATE_PER_DAY, REVISION_RATE_PER_DAY,
+    )
+    days = 6000 / REVIEW_RATE_PER_DAY + 2301 / REVISION_RATE_PER_DAY \
+        + 2301 / QC_RATE_PER_DAY
+    assert days == pytest.approx(129, abs=3)

@@ -1,0 +1,95 @@
+"""Property tests for the token-level noise operators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.textgen import grammar, vocabulary as V
+
+_words = st.lists(
+    st.sampled_from(V.COLORS + V.OBJECTS + ("the", "a", "near")),
+    min_size=1, max_size=12,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+@given(_words)
+@settings(max_examples=50, deadline=None)
+def test_inject_noise_adds_exactly_n(tokens):
+    out = grammar.inject_noise(tokens, _rng(), count=2)
+    assert len(out) == len(tokens) + 2
+    assert sum(t in V.NOISE_TOKENS for t in out) >= 2
+
+
+@given(_words)
+@settings(max_examples=50, deadline=None)
+def test_strip_noise_inverts_injection(tokens):
+    noisy = grammar.inject_noise(tokens, _rng(), count=3)
+    assert grammar.strip_noise(noisy) == [
+        t for t in tokens if t not in V.NOISE_TOKENS
+    ]
+
+
+@given(_words)
+@settings(max_examples=50, deadline=None)
+def test_truncate_shortens(tokens):
+    if len(tokens) > 1:
+        out = grammar.truncate(tokens, _rng(), min_keep=1)
+        assert 1 <= len(out) < len(tokens) or out == tokens[:1]
+
+
+@given(_words)
+@settings(max_examples=50, deadline=None)
+def test_duplicate_word_adds_adjacent_repeat(tokens):
+    out = grammar.duplicate_word(tokens, _rng())
+    assert len(out) == len(tokens) + 1
+    assert any(a == b for a, b in zip(out, out[1:]))
+
+
+def test_fix_typos_is_idempotent():
+    tokens = ["the", "qick", "blu", "fox"]
+    fixed = grammar.fix_typos(tokens)
+    assert fixed == ["the", "quick", "blue", "fox"]
+    assert grammar.fix_typos(fixed) == fixed
+
+
+def test_inject_typos_uses_known_forms():
+    tokens = ["the", "quick", "blue", "fox"]
+    out = grammar.inject_typos(tokens, _rng(), max_typos=2)
+    assert any(t in V.TYPO_MAP for t in out)
+
+
+def test_inject_typos_falls_back_to_duplicate():
+    tokens = ["fox", "dog"]  # no typo forms exist
+    out = grammar.inject_typos(tokens, _rng())
+    assert len(out) == 3
+
+
+def test_dedupe_adjacent():
+    assert grammar.dedupe_adjacent(["a", "a", "b", "b", "a"]) == ["a", "b", "a"]
+
+
+def test_drop_and_restore_terminal_period():
+    tokens = ["red", "."]
+    dropped = grammar.drop_terminal_period(tokens)
+    assert dropped == ["red"]
+    assert grammar.ensure_terminal_period(dropped) == tokens
+
+
+def test_shuffle_span_changes_order():
+    tokens = ["a", "b", "c", "d", "e"]
+    out = grammar.shuffle_span(tokens, _rng(), span=3)
+    assert sorted(out) == sorted(tokens)
+    assert out != tokens
+
+
+def test_operators_do_not_mutate_input():
+    tokens = ["the", "red", "fox", "."]
+    snapshot = list(tokens)
+    grammar.inject_noise(tokens, _rng())
+    grammar.truncate(tokens, _rng())
+    grammar.duplicate_word(tokens, _rng())
+    grammar.drop_terminal_period(tokens)
+    assert tokens == snapshot

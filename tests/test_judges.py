@@ -1,0 +1,217 @@
+"""Tests for the four judges and the swap protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.defects import build_pair
+from repro.data.instruction_pair import InstructionPair
+from repro.errors import JudgeError
+from repro.judges import (
+    ChatGPTJudge,
+    GPT4Judge,
+    HumanPanel,
+    PandaLMJudge,
+    Verdict,
+    compare_with_swap,
+    evaluate_model_on_testset,
+    win_rates,
+)
+from repro.judges.protocol import merge_swapped
+from repro.textgen.responses import detokenize, ideal_response, terse_response
+from repro.textgen.tasks import TaskInstance, sample_instance
+
+
+@pytest.fixture()
+def instance():
+    return TaskInstance("add_numbers", {"a": 3, "b": 4})
+
+
+def _pair(instance, response_tokens):
+    from repro.textgen.tasks import render_instruction
+    tokens, _ = render_instruction(instance)
+    return InstructionPair(
+        instruction=detokenize(tokens),
+        response=detokenize(response_tokens),
+        provenance=instance,
+    )
+
+
+# -- ChatGPT judge -----------------------------------------------------------
+
+
+def test_chatgpt_prefers_ideal_over_terse(instance, rng):
+    judge = ChatGPTJudge(noise_sigma=0.0)
+    good = judge.rate(_pair(instance, ideal_response(instance)), rng)
+    plain = judge.rate(_pair(instance, terse_response(instance)), rng)
+    assert good.score > plain.score
+    assert good.score >= 4.5
+    assert plain.score < 4.5
+
+
+def test_chatgpt_score_bounds(small_dataset, rng):
+    judge = ChatGPTJudge()
+    ratings = judge.rate_dataset(small_dataset, rng)
+    assert all(0.0 <= r <= 5.0 for r in ratings)
+
+
+def test_chatgpt_fig4_calibration():
+    # The "before" distribution must reproduce Fig. 4(a): mean near 3.95
+    # and a minority (~17.7%) of pairs at or above 4.5.
+    from repro.data import generate_dataset
+    ds = generate_dataset(np.random.default_rng(12), 2000)
+    judge = ChatGPTJudge()
+    ratings = judge.rate_dataset(ds, np.random.default_rng(0))
+    mean = float(np.mean(ratings))
+    high = judge.high_quality_fraction(ratings)
+    assert 3.7 < mean < 4.2
+    assert 0.10 < high < 0.26
+
+
+def test_chatgpt_rationale_mentions_violations(instance, rng):
+    judge = ChatGPTJudge()
+    pair = build_pair(instance, (), ("resp_terse",), rng, polite=False)
+    rating = judge.rate(pair, rng)
+    assert "richness" in rating.rationale
+
+
+# -- PandaLM judge -------------------------------------------------------------
+
+
+def test_pandalm_clear_gap_is_decisive(instance, rng):
+    judge = PandaLMJudge(noise_sigma=0.5)
+    good = _pair(instance, ideal_response(instance))
+    bad = _pair(instance, ["9", "."])
+    verdict = compare_with_swap(judge, good.instruction, good, bad, rng)
+    assert verdict is Verdict.WIN
+
+
+def test_pandalm_identical_candidates_tie(instance, rng):
+    judge = PandaLMJudge(noise_sigma=0.0)
+    a = _pair(instance, ideal_response(instance))
+    b = _pair(instance, ideal_response(instance))
+    assert compare_with_swap(judge, a.instruction, a, b, rng) is Verdict.TIE
+
+
+def test_pandalm_position_bias_cancelled_by_swap(instance):
+    # With a huge position bias but equal quality, single-order judgements
+    # contradict each other and the protocol resolves them to a tie.
+    judge = PandaLMJudge(noise_sigma=0.0, position_bias=50.0)
+    a = _pair(instance, ideal_response(instance))
+    b = _pair(instance, ideal_response(instance))
+    rng = np.random.default_rng(0)
+    first = judge.judge_single_order(a.instruction, a, b, rng)
+    assert first.verdict is Verdict.WIN  # biased
+    merged = compare_with_swap(judge, a.instruction, a, b, rng)
+    assert merged is Verdict.TIE
+
+
+def test_pandalm_rejects_mismatched_instructions(instance, rng):
+    judge = PandaLMJudge()
+    a = _pair(instance, ideal_response(instance))
+    other = InstructionPair(instruction="different", response="x")
+    with pytest.raises(JudgeError):
+        judge.judge_single_order(a.instruction, a, other, rng)
+
+
+# -- GPT-4 judge -----------------------------------------------------------------
+
+
+def test_gpt4_scores_are_bounded(instance, rng):
+    judge = GPT4Judge()
+    a = _pair(instance, ideal_response(instance))
+    b = _pair(instance, terse_response(instance))
+    judgement = judge.judge_single_order(a.instruction, a, b, rng)
+    assert 0.0 <= judgement.score_first <= 10.0
+    assert 0.0 <= judgement.score_second <= 10.0
+    assert judgement.verdict in (Verdict.WIN, Verdict.TIE)
+
+
+def test_pandalm_agrees_with_gpt4_mostly(rng):
+    # PandaLM reaches ~88% agreement with GPT-4 in the paper.
+    pandalm, gpt4 = PandaLMJudge(), GPT4Judge()
+    agree = total = 0
+    sample_rng = np.random.default_rng(5)
+    for _ in range(120):
+        instance = sample_instance(sample_rng)
+        good = _pair(instance, ideal_response(instance))
+        bad = build_pair(instance, (), ("resp_terse",), sample_rng, polite=False)
+        bad = InstructionPair(
+            instruction=good.instruction, response=bad.response,
+            provenance=instance,
+        )
+        v1 = compare_with_swap(pandalm, good.instruction, good, bad, rng)
+        v2 = compare_with_swap(gpt4, good.instruction, good, bad, rng)
+        agree += v1 is v2
+        total += 1
+    assert agree / total > 0.7
+
+
+# -- swap merging ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("first,swapped,expected", [
+    (Verdict.WIN, Verdict.LOSE, Verdict.WIN),    # consistent (swapped view)
+    (Verdict.WIN, Verdict.WIN, Verdict.TIE),     # conflict -> tie
+    (Verdict.WIN, Verdict.TIE, Verdict.WIN),     # win + tie -> win
+    (Verdict.LOSE, Verdict.TIE, Verdict.LOSE),   # lose + tie -> lose
+    (Verdict.TIE, Verdict.TIE, Verdict.TIE),
+])
+def test_merge_swapped_table(first, swapped, expected):
+    assert merge_swapped(first, swapped) is expected
+
+
+# -- win rates -----------------------------------------------------------------------
+
+
+def test_win_rate_formulas():
+    verdicts = [Verdict.WIN] * 5 + [Verdict.TIE] * 3 + [Verdict.LOSE] * 2
+    summary = win_rates(verdicts)
+    assert summary.wr1 == pytest.approx((5 + 1.5) / 10)
+    assert summary.wr2 == pytest.approx(5 / 7)
+    assert summary.qs == pytest.approx(8 / 10)
+    assert summary.total == 10
+
+
+def test_win_rate_degenerate_cases():
+    all_ties = win_rates([Verdict.TIE] * 4)
+    assert all_ties.wr2 == 0.0
+    assert all_ties.qs == 1.0
+    empty = win_rates([])
+    assert empty.wr1 == 0.0
+
+
+def test_evaluate_model_on_testset_validates(rng):
+    judge = PandaLMJudge()
+    with pytest.raises(JudgeError):
+        evaluate_model_on_testset(judge, [], [InstructionPair("a", "b")], rng)
+
+
+# -- human panel -------------------------------------------------------------------
+
+
+def test_human_panel_rates_all_raters(instance, rng):
+    panel = HumanPanel()
+    scores = panel.rate_response(_pair(instance, ideal_response(instance)), rng)
+    assert set(scores) == {"R1", "R2", "R3"}
+    assert all(0 <= v <= 100 for v in scores.values())
+
+
+def test_human_panel_prefers_better_responses(instance):
+    panel = HumanPanel()
+    rows_good = [
+        panel.rate_response(_pair(instance, ideal_response(instance)),
+                            np.random.default_rng(i))
+        for i in range(20)
+    ]
+    rows_bad = [
+        panel.rate_response(_pair(instance, ["9", "."]),
+                            np.random.default_rng(i))
+        for i in range(20)
+    ]
+    avg_good = HumanPanel.average_by_rater(rows_good)["Avg."]
+    avg_bad = HumanPanel.average_by_rater(rows_bad)["Avg."]
+    assert avg_good > avg_bad + 10
+
+
+def test_human_average_by_rater_empty():
+    assert HumanPanel.average_by_rater([]) == {}

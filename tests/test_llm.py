@@ -1,0 +1,195 @@
+"""Tests for tokenizer, prompts, pretraining and instruction tuning."""
+
+import numpy as np
+import pytest
+
+from repro.data.instruction_pair import InstructionPair
+from repro.data import generate_dataset
+from repro.errors import GenerationError, ModelError
+from repro.llm import (
+    build_tokenizer,
+    encode_coach_example,
+    encode_coach_prompt,
+    encode_instruction_example,
+    encode_instruction_prompt,
+    instruction_tune,
+    parse_coach_output,
+)
+from repro.llm.pretrain import pack_corpus, pretrain_lm
+from repro.llm.tokenizer import WordTokenizer
+from repro.llm.instruction_tuning import TuningRecipe, dataset_to_examples
+from repro.nn import TransformerConfig, TransformerLM
+from repro.textgen.corpus import build_pretrain_corpus
+
+
+# -- tokenizer ----------------------------------------------------------------
+
+
+def test_tokenizer_roundtrip(tokenizer):
+    text = "find the color in : the red fox runs near the hill"
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+def test_tokenizer_specials_are_low_ids(tokenizer):
+    sp = tokenizer.specials
+    assert (sp.pad, sp.bos, sp.eos, sp.sep, sp.unk) == (0, 1, 2, 3, 4)
+
+
+def test_tokenizer_unknown_maps_to_unk(tokenizer):
+    ids = tokenizer.encode("xylophone")
+    assert ids == [tokenizer.specials.unk]
+    assert tokenizer.decode(ids) == ""
+
+
+def test_tokenizer_decode_keeps_specials_when_asked(tokenizer):
+    out = tokenizer.decode([tokenizer.specials.eos], skip_special=False)
+    assert out == "<eos>"
+
+
+def test_tokenizer_rejects_duplicates():
+    with pytest.raises(ModelError):
+        WordTokenizer(("red", "red"))
+
+
+def test_tokenizer_rejects_special_collision():
+    with pytest.raises(ModelError):
+        WordTokenizer(("<pad>",))
+
+
+def test_tokenizer_token_lookup(tokenizer):
+    assert tokenizer.token("because") == tokenizer.encode("because")[0]
+    with pytest.raises(ModelError):
+        tokenizer.token("xylophone")
+
+
+def test_tokenizer_covers_template_words(tokenizer):
+    for word in ("instruction", "response", "please", "improve", "revised"):
+        assert tokenizer.token(word) >= 5
+
+
+# -- prompts -------------------------------------------------------------------
+
+
+def test_instruction_prompt_shape(tokenizer):
+    prompt = encode_instruction_prompt(tokenizer, "add 3 and 4")
+    assert prompt[0] == tokenizer.specials.bos
+    text = tokenizer.decode(prompt)
+    assert text.startswith("instruction :")
+    assert text.endswith("response :")
+
+
+def test_instruction_example_mask_boundary(tokenizer):
+    pair = InstructionPair(instruction="add 3 and 4", response="7 .")
+    tokens, prompt_len = encode_instruction_example(tokenizer, pair)
+    assert tokens[-1] == tokenizer.specials.eos
+    completion = tokenizer.decode(tokens[prompt_len:])
+    assert completion == "7 ."
+
+
+def test_coach_roundtrip(tokenizer):
+    original = InstructionPair(instruction="add 3 and 4", response="7 .")
+    revised = InstructionPair(
+        instruction="add 3 and 4",
+        response="7 ; because 3 and 4 make 7 . i hope this helps .",
+    )
+    tokens, prompt_len = encode_coach_example(tokenizer, original, revised)
+    completion = tokens[prompt_len:]
+    instruction, response = parse_coach_output(tokenizer, completion)
+    assert instruction == revised.instruction
+    assert response == revised.response
+
+
+def test_coach_prompt_ends_at_revised_instruction(tokenizer):
+    pair = InstructionPair(instruction="add 3 and 4", response="7 .")
+    prompt = encode_coach_prompt(tokenizer, pair)
+    assert tokenizer.decode(prompt).endswith("revised instruction :")
+
+
+def test_parse_coach_output_rejects_missing_marker(tokenizer):
+    with pytest.raises(GenerationError):
+        parse_coach_output(tokenizer, tokenizer.encode("add 3 and 4"))
+
+
+def test_parse_coach_output_rejects_empty_fields(tokenizer):
+    bad = tokenizer.encode("revised response : 7 .")
+    with pytest.raises(GenerationError):
+        parse_coach_output(tokenizer, bad)
+
+
+def test_parse_coach_output_trims_decoder_loops(tokenizer):
+    looped = tokenizer.encode(
+        "add 3 and 4 revised response : 7 . revised response : 7 ."
+    )
+    _, response = parse_coach_output(tokenizer, looped)
+    assert response == "7 ."
+
+
+# -- pretraining -------------------------------------------------------------------
+
+
+def test_pack_corpus_respects_document_boundaries(tokenizer):
+    long_doc = ["red"] * 30
+    short = ["blue", "."]
+    examples = pack_corpus(tokenizer, [long_doc, short, short], window=40)
+    # The long document must not be split: first window holds it entirely.
+    first = tokenizer.decode(list(examples[0].tokens))
+    assert first.count("red") == 30
+
+
+def test_pack_corpus_truncates_over_long_docs(tokenizer):
+    doc = ["red"] * 100
+    examples = pack_corpus(tokenizer, [doc], window=40)
+    assert all(len(e.tokens) <= 42 for e in examples)
+
+
+def test_corpus_contains_revision_drills(tokenizer):
+    corpus = build_pretrain_corpus(np.random.default_rng(0), 400)
+    texts = [" ".join(s) for s in corpus]
+    assert any("revised instruction :" in t for t in texts)
+    assert any("repeat :" in t for t in texts)
+    assert any("because" in t for t in texts)
+
+
+def test_pretrain_reduces_loss(tokenizer, rng):
+    cfg = TransformerConfig(vocab_size=tokenizer.vocab_size, d_model=32,
+                            n_layers=1, n_heads=4, max_seq_len=128)
+    model = TransformerLM(cfg, rng)
+    stats = pretrain_lm(model, tokenizer, rng, steps=30, batch_size=16,
+                        corpus_sentences=300)
+    assert stats.final_loss < stats.initial_loss
+
+
+# -- instruction tuning ---------------------------------------------------------------
+
+
+def test_dataset_to_examples_skips_empty_completions(tokenizer):
+    pair = InstructionPair(instruction="add 3 and 4", response="")
+    examples = dataset_to_examples(
+        tokenizer,
+        __import__("repro.data", fromlist=["InstructionDataset"]).InstructionDataset(
+            [pair, InstructionPair(instruction="add 1 and 1", response="2 .")]
+        ),
+        max_seq_len=64,
+    )
+    assert len(examples) >= 1
+
+
+def test_instruction_tune_leaves_base_untouched(tokenizer, rng):
+    cfg = TransformerConfig(vocab_size=tokenizer.vocab_size, d_model=32,
+                            n_layers=1, n_heads=4, max_seq_len=128)
+    base = TransformerLM(cfg, rng)
+    snapshot = {k: v.copy() for k, v in base.state_dict().items()}
+    dataset = generate_dataset(np.random.default_rng(0), 40)
+    tuned, stats = instruction_tune(
+        base, tokenizer, dataset, rng, TuningRecipe(epochs=1, batch_size=8)
+    )
+    assert stats.step_losses
+    for name, value in base.state_dict().items():
+        assert np.array_equal(value, snapshot[name])
+    assert any(
+        not np.array_equal(a, b)
+        for (_, a), (_, b) in zip(
+            sorted(tuned.state_dict().items()),
+            sorted(snapshot.items()),
+        )
+    )

@@ -1,0 +1,159 @@
+"""Tests for the artifact cache, workbench and experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.config import get_scale
+from repro.data import InstructionDataset
+from repro.data.instruction_pair import InstructionPair
+from repro.errors import ConfigError, PipelineError
+from repro.pipeline import EXPERIMENTS, MODEL_KEYS, ArtifactCache, Workbench
+from repro.pipeline.cache import config_hash
+
+
+# -- cache ----------------------------------------------------------------------
+
+
+def test_config_hash_stable_and_sensitive():
+    a = config_hash({"x": 1, "y": "z"})
+    b = config_hash({"y": "z", "x": 1})
+    c = config_hash({"x": 2, "y": "z"})
+    assert a == b
+    assert a != c
+
+
+def test_cache_weights_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    state = {"w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+    cache.save_weights("model", "k1", state)
+    assert cache.has_weights("model", "k1")
+    loaded = cache.load_weights("model", "k1")
+    assert np.array_equal(loaded["w"], state["w"])
+
+
+def test_cache_missing_weights_raise(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    with pytest.raises(PipelineError):
+        cache.load_weights("model", "nope")
+
+
+def test_cache_dataset_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    ds = InstructionDataset([InstructionPair("a", "b", pair_id="1")], name="x")
+    cache.save_dataset("ds", "k", ds)
+    loaded = cache.load_dataset("ds", "k", "x")
+    assert loaded[0].instruction == "a"
+
+
+def test_cache_json_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.save_json("meta", "k", {"alpha": 0.3})
+    assert cache.load_json("meta", "k") == {"alpha": 0.3}
+
+
+def test_cache_disabled_is_noop(tmp_path):
+    cache = ArtifactCache(tmp_path / "off", enabled=False)
+    cache.save_json("meta", "k", {})
+    assert not cache.has_json("meta", "k")
+
+
+def test_cache_records_roundtrip(tmp_path, rng):
+    from repro.data.defects import build_pair
+    from repro.experts import ExpertReviser, GROUP_A
+    from repro.textgen.tasks import sample_instance
+    reviser = ExpertReviser(context_add_rate=0.0)
+    instance = sample_instance(rng, "add_numbers")
+    pair = build_pair(instance, (), ("resp_terse",), rng, polite=False,
+                      pair_id="c-1")
+    record = reviser.revise(pair, rng, GROUP_A[0], "qa")
+    cache = ArtifactCache(tmp_path)
+    cache.save_records("rec", "k", [record])
+    loaded = cache.load_records("rec", "k")
+    assert loaded[0].edit_distance == record.edit_distance
+
+
+# -- workbench ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench(tmp_path_factory):
+    return Workbench(
+        scale=get_scale("ci"), seed=11,
+        cache_dir=tmp_path_factory.mktemp("artifacts"),
+    )
+
+
+def test_workbench_dataset_is_deterministic(bench, tmp_path_factory):
+    other = Workbench(
+        scale=get_scale("ci"), seed=11,
+        cache_dir=tmp_path_factory.mktemp("artifacts2"),
+    )
+    a = bench.alpaca_dataset()
+    b = other.alpaca_dataset()
+    assert [p.pair_id for p in a] == [p.pair_id for p in b]
+    assert a[5].instruction == b[5].instruction
+
+
+def test_workbench_seed_changes_dataset(tmp_path_factory):
+    a = Workbench(scale=get_scale("ci"), seed=1,
+                  cache_dir=tmp_path_factory.mktemp("a")).alpaca_dataset()
+    b = Workbench(scale=get_scale("ci"), seed=2,
+                  cache_dir=tmp_path_factory.mktemp("b")).alpaca_dataset()
+    assert any(x.instruction != y.instruction for x, y in zip(a, b))
+
+
+def test_workbench_rng_label_independence(bench):
+    a = bench.rng("alpha").integers(0, 10**9)
+    b = bench.rng("alpha").integers(0, 10**9)
+    c = bench.rng("beta").integers(0, 10**9)
+    assert a == b
+    assert a != c
+
+
+def test_workbench_rejects_unknown_model(bench):
+    with pytest.raises(ConfigError):
+        bench.model("gpt-5")
+
+
+def test_workbench_rejects_unknown_backbone(bench):
+    with pytest.raises(ConfigError):
+        bench.backbone("mystery")
+
+
+def test_workbench_rejects_unknown_variant(bench):
+    with pytest.raises(ConfigError):
+        bench.training_dataset("imagined")
+
+
+def test_training_dataset_variants(bench):
+    original = bench.training_dataset("original")
+    cleaned = bench.training_dataset("cleaned")
+    human = bench.training_dataset("human")
+    assert len(original) == len(cleaned) == len(human)
+    assert any(
+        a.response != b.response for a, b in zip(original, cleaned)
+    )
+
+
+def test_model_keys_cover_table9():
+    assert len(MODEL_KEYS) == 12
+    baseline = [k for k, v in MODEL_KEYS.items() if v["group"] == "baseline"]
+    stronger = [k for k, v in MODEL_KEYS.items() if v["group"] == "stronger"]
+    assert len(baseline) == 7
+    assert len(stronger) == 5
+    assert "alpaca-coachlm" in baseline
+
+
+# -- registry -----------------------------------------------------------------------
+
+
+def test_registry_covers_all_tables_and_figures():
+    expected = {f"table{i}" for i in range(1, 12)} | {"fig4", "fig5", "fig6"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_registry_bench_targets_exist_on_disk():
+    from pathlib import Path
+    root = Path(__file__).resolve().parents[1]
+    for experiment in EXPERIMENTS.values():
+        assert (root / experiment.bench_target).exists(), experiment.bench_target

@@ -1,0 +1,132 @@
+"""Cross-cutting property tests on pipeline invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.postprocess import clean_revised_tokens, validate_revision
+from repro.data.defects import (
+    CONSTANT_ANSWER_CATEGORIES,
+    NUMERIC_ANSWER_CATEGORIES,
+    build_pair,
+)
+from repro.judges import Verdict, win_rates
+from repro.judges.protocol import merge_swapped
+from repro.quality import CriteriaScorer
+from repro.textgen import vocabulary as V
+from repro.textgen.tasks import CATEGORY_IDS, sample_instance
+
+_scorer = CriteriaScorer()
+
+_RESPONSE_DEFECTS = st.sets(
+    st.sampled_from([
+        "resp_terse", "resp_truncated", "resp_noisy", "resp_bad_layout",
+        "resp_machine_tone", "resp_unsafe", "resp_empty",
+    ]),
+    max_size=2,
+)
+
+
+@given(
+    category=st.sampled_from(CATEGORY_IDS),
+    defects=_RESPONSE_DEFECTS,
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=120, deadline=None)
+def test_scorer_respects_level_caps(category, defects, seed):
+    """Red-line ≤ 40; any basic violation ≤ 80; scores within [0, 100]."""
+    rng = np.random.default_rng(seed)
+    instance = sample_instance(rng, category)
+    pair = build_pair(instance, (), tuple(sorted(defects)), rng,
+                      polite=bool(seed % 2))
+    report = _scorer.score_response(pair)
+    assert 0.0 <= report.score <= 100.0
+    if report.violated("safety"):
+        assert report.score <= 40.0
+    basic = ("correctness", "relevance", "comprehensiveness", "readability")
+    if any(report.violated(d) for d in basic) and report.satisfied("safety"):
+        assert report.score <= 80.0
+
+
+@given(
+    category=st.sampled_from(sorted(
+        set(CATEGORY_IDS) - CONSTANT_ANSWER_CATEGORIES
+    )),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_clean_pairs_never_score_below_80(category, seed):
+    rng = np.random.default_rng(seed)
+    instance = sample_instance(rng, category)
+    pair = build_pair(instance, (), (), rng, polite=True)
+    assert _scorer.score_response(pair).score >= 80.0
+
+
+@given(st.lists(st.sampled_from(list(Verdict)), max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_win_rate_identities(verdicts):
+    s = win_rates(verdicts)
+    assert 0.0 <= s.wr1 <= 1.0
+    assert 0.0 <= s.wr2 <= 1.0
+    assert 0.0 <= s.qs <= 1.0
+    # QS counts ties fully, WR1 half: QS - WR1 == ties / (2 n).
+    if s.total:
+        assert s.qs - s.wr1 == pytest.approx(s.ties / (2 * s.total))
+    # WR1 is between the tie-free rate scaled and QS.
+    assert s.wr1 <= s.qs
+
+
+@given(st.sampled_from(list(Verdict)), st.sampled_from(list(Verdict)))
+@settings(max_examples=25, deadline=None)
+def test_merge_swapped_is_candidate_reference_antisymmetric(a, b):
+    """Swapping candidate and reference flips the merged verdict."""
+    merged = merge_swapped(a, b)
+    flipped = merge_swapped(b, a)
+    assert merged is flipped.flipped()
+
+
+_token_lists = st.lists(
+    st.sampled_from(list(V.COLORS) + list(V.NOISE_TOKENS) + [".", "because"]),
+    max_size=12,
+)
+
+
+@given(_token_lists)
+@settings(max_examples=80, deadline=None)
+def test_clean_revised_tokens_idempotent(tokens):
+    once = clean_revised_tokens(tokens)
+    assert clean_revised_tokens(once) == once
+
+
+@given(_token_lists)
+@settings(max_examples=80, deadline=None)
+def test_clean_revised_tokens_removes_all_noise(tokens):
+    cleaned = clean_revised_tokens(tokens)
+    assert not any(t in V.NOISE_TOKENS for t in cleaned)
+
+
+@given(_token_lists, _token_lists)
+@settings(max_examples=60, deadline=None)
+def test_validate_revision_never_crashes(a, b):
+    assert validate_revision(a, b) in (True, False)
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_expert_revision_is_improving(seed):
+    """Whenever the expert revises, the revised response scores >= original."""
+    from repro.experts import ExpertReviser, GROUP_A
+    rng = np.random.default_rng(seed)
+    instance = sample_instance(rng)
+    defect = ("resp_terse",) if instance.category_id not in \
+        NUMERIC_ANSWER_CATEGORIES else ("resp_miscalculation",)
+    pair = build_pair(instance, (), defect, rng, polite=False,
+                      pair_id=f"p-{seed}")
+    record = ExpertReviser(context_add_rate=0.0).revise(
+        pair, rng, GROUP_A[0], "qa"
+    )
+    if record is None:
+        return
+    before = _scorer.score_response(record.original).score
+    after = _scorer.score_response(record.revised).score
+    assert after >= before

@@ -1,0 +1,170 @@
+"""Tests for the Table II rubric scorer."""
+
+import numpy as np
+import pytest
+
+from repro.data.defects import build_pair
+from repro.data.instruction_pair import InstructionPair
+from repro.quality import CriteriaScorer, analyze_response
+from repro.textgen.responses import detokenize, ideal_response
+from repro.textgen.tasks import TaskInstance, sample_instance
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    return CriteriaScorer()
+
+
+@pytest.fixture()
+def instance():
+    return TaskInstance("add_numbers", {"a": 3, "b": 4})
+
+
+def _pair(instance, instr_defects=(), resp_defects=(), polite=True, context=False):
+    return build_pair(
+        instance, tuple(instr_defects), tuple(resp_defects),
+        np.random.default_rng(0), polite=polite, context=context,
+    )
+
+
+def test_ideal_pair_scores_95(scorer, instance):
+    pair = _pair(instance, polite=True)
+    report = scorer.score_pair(pair)
+    assert report.response.score == 95.0
+    assert not report.needs_revision
+
+
+def test_rich_without_coda_scores_88(scorer, instance):
+    pair = _pair(instance, polite=False)
+    assert scorer.score_response(pair).score == 88.0
+
+
+def test_terse_scores_80_and_triggers_revision(scorer, instance):
+    pair = _pair(instance, resp_defects=["resp_terse"], polite=False)
+    report = scorer.score_pair(pair)
+    assert report.response.score == 80.0
+    assert report.response.violated("richness")
+    assert report.needs_revision
+
+
+def test_unsafe_caps_at_40(scorer, instance):
+    pair = _pair(instance, resp_defects=["resp_unsafe"])
+    report = scorer.score_response(pair)
+    assert report.score <= 40.0
+    assert report.violated("safety")
+
+
+def test_empty_response_scores_40(scorer, instance):
+    pair = _pair(instance, resp_defects=["resp_empty"])
+    report = scorer.score_response(pair)
+    assert report.score == 40.0
+    assert report.violated("correctness")
+
+
+def test_wrong_answer_violates_correctness_not_relevance(scorer, instance):
+    pair = _pair(instance, resp_defects=["resp_wrong_answer"], polite=False)
+    report = scorer.score_response(pair)
+    assert report.violated("correctness")
+    assert report.satisfied("relevance")
+    assert report.score < 80.0
+
+
+def test_irrelevant_violates_relevance(scorer):
+    rng = np.random.default_rng(3)
+    hits = 0
+    total = 30
+    for _ in range(total):
+        instance = sample_instance(rng, "fact_color")
+        pair = build_pair(instance, (), ("resp_irrelevant",), rng, polite=False)
+        if scorer.score_response(pair).violated("relevance"):
+            hits += 1
+    assert hits >= total * 0.5  # lexical collisions allow some misses
+
+
+def test_machine_tone_blocks_humanization(scorer, instance):
+    pair = _pair(instance, resp_defects=["resp_machine_tone"])
+    report = scorer.score_response(pair)
+    assert report.violated("humanization")
+    assert report.score <= 84.0
+
+
+def test_basic_violations_cap_at_80(scorer, instance):
+    for defect in ("resp_noisy", "resp_bad_layout", "resp_truncated"):
+        pair = _pair(instance, resp_defects=[defect], polite=False)
+        assert scorer.score_response(pair).score < 80.0, defect
+
+
+def test_ambiguous_instruction_is_infeasible(scorer):
+    rng = np.random.default_rng(1)
+    instance = sample_instance(rng, "extract_color")
+    pair = build_pair(instance, ("instr_ambiguous",), (), rng)
+    report = scorer.score_instruction(pair)
+    assert report.violated("feasibility")
+    assert report.score < 60.0
+
+
+def test_context_earns_advanced_band(scorer, instance):
+    plain = _pair(instance, context=False)
+    rich = _pair(instance, context=True)
+    assert scorer.score_instruction(plain).score == 82.0
+    assert scorer.score_instruction(rich).score == 95.0
+
+
+def test_empty_instruction(scorer):
+    pair = InstructionPair(instruction="", response="7 .")
+    assert scorer.score_instruction(pair).score == 15.0
+
+
+def test_spelling_fix_typo_is_not_a_flaw(scorer):
+    instance = TaskInstance("spelling_fix", {"typo": "blu", "noun": "dog"})
+    pair = InstructionPair(
+        instruction="fix the spelling : the blu dog",
+        response=detokenize(ideal_response(instance)),
+        provenance=instance,
+    )
+    report = scorer.score_pair(pair)
+    assert report.instruction.satisfied("readability")
+    assert report.response.score == 95.0
+
+
+def test_spelling_fix_unfixed_typo_is_incorrect(scorer):
+    instance = TaskInstance("spelling_fix", {"typo": "blu", "noun": "dog"})
+    pair = InstructionPair(
+        instruction="fix the spelling : the blu dog",
+        response="the blu dog .",
+        provenance=instance,
+    )
+    assert scorer.score_response(pair).violated("correctness")
+
+
+def test_analyze_response_views(instance):
+    pair = _pair(instance, polite=True)
+    view = analyze_response(pair)
+    assert view.polite
+    assert not view.machine_tone
+    assert view.core == ("7",)
+    assert not view.flaws
+
+
+def test_needs_revision_matches_ground_truth(scorer, small_dataset):
+    agree = 0
+    considered = 0
+    for pair in small_dataset:
+        if any(d.startswith("filter") for d in pair.injected_defects):
+            continue
+        considered += 1
+        truth = any(d != "instr_needs_context" for d in pair.injected_defects)
+        if scorer.score_pair(pair).needs_revision == truth:
+            agree += 1
+    assert agree / considered > 0.95
+
+
+def test_scorer_never_reads_injected_labels(scorer, instance):
+    # Two pairs with identical text but different ground-truth labels must
+    # score identically (the labels are test-only metadata).
+    a = _pair(instance, polite=True)
+    b = InstructionPair(
+        instruction=a.instruction, response=a.response,
+        provenance=a.provenance, injected_defects=("resp_wrong_answer",),
+    )
+    assert scorer.score_pair(a).response.score == scorer.score_pair(b).response.score

@@ -1,0 +1,78 @@
+"""Tests for response composition and reference grades."""
+
+import numpy as np
+import pytest
+
+from repro.textgen import vocabulary as V
+from repro.textgen.responses import (
+    ResponseGrade,
+    compose_reference,
+    compose_response,
+    contextualize_instruction,
+    detokenize,
+    has_context_marker,
+    ideal_response,
+    terse_response,
+    tokenize,
+)
+from repro.textgen.tasks import TaskInstance, sample_instance
+
+
+@pytest.fixture()
+def add_instance():
+    return TaskInstance("add_numbers", {"a": 2, "b": 5})
+
+
+def test_tokenize_roundtrip():
+    text = "the red fox runs ."
+    assert detokenize(tokenize(text)) == text
+
+
+def test_ideal_has_explanation_and_coda(add_instance):
+    tokens = ideal_response(add_instance)
+    assert "because" in tokens
+    assert tuple(tokens[-5:]) == V.POLITE_CODA
+
+
+def test_terse_is_answer_only(add_instance):
+    tokens = terse_response(add_instance)
+    assert tokens == ["7", "."]
+
+
+def test_rich_no_polite(add_instance):
+    tokens = compose_response(add_instance, rich=True, polite=False)
+    assert "because" in tokens
+    assert "hope" not in tokens
+
+
+def test_creative_terse_keeps_first_sentence():
+    rng = np.random.default_rng(0)
+    instance = sample_instance(rng, "story_animal")
+    rich = compose_response(instance, rich=True, polite=False)
+    terse = compose_response(instance, rich=False, polite=False)
+    assert len(terse) < len(rich)
+    assert terse.count(".") == 1
+
+
+def test_reference_grades_monotone_in_quality():
+    rng = np.random.default_rng(7)
+    instance = sample_instance(rng, "fact_color")
+    oracle = compose_reference(instance, ResponseGrade.ORACLE, np.random.default_rng(1))
+    assert "because" in oracle and "hope" in oracle
+    # The CHATGPT grade is sometimes terse: over many draws it must produce
+    # at least one response without an explanation.
+    chatgpt_rich = [
+        "because" in compose_reference(instance, ResponseGrade.CHATGPT,
+                                       np.random.default_rng(i))
+        for i in range(40)
+    ]
+    assert not all(chatgpt_rich)
+
+
+def test_contextualize_adds_detectable_marker(add_instance, rng):
+    from repro.textgen.tasks import render_instruction
+    tokens, _ = render_instruction(add_instance)
+    assert not has_context_marker(tokens)
+    enriched = contextualize_instruction(tokens, rng)
+    assert has_context_marker(enriched)
+    assert len(enriched) > len(tokens)

@@ -1,0 +1,134 @@
+"""Tests for the 42-category task taxonomy and its oracles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VocabularyError
+from repro.textgen import tasks, vocabulary as V
+from repro.textgen.tasks import (
+    CATEGORIES,
+    CATEGORY_IDS,
+    CLASS_CREATIVE,
+    CLASS_LANGUAGE,
+    CLASS_QA,
+    TaskInstance,
+    categories_by_class,
+    get_category,
+    render_instruction,
+    sample_instance,
+    solve,
+)
+
+
+def test_exactly_42_categories():
+    assert len(CATEGORIES) == 42
+
+
+def test_three_classes_partition():
+    total = sum(
+        len(categories_by_class(c))
+        for c in (CLASS_LANGUAGE, CLASS_QA, CLASS_CREATIVE)
+    )
+    assert total == 42
+
+
+def test_class_sizes():
+    assert len(categories_by_class(CLASS_LANGUAGE)) == 16
+    assert len(categories_by_class(CLASS_QA)) == 14
+    assert len(categories_by_class(CLASS_CREATIVE)) == 12
+
+
+def test_unknown_class_raises():
+    with pytest.raises(VocabularyError):
+        categories_by_class("hard")
+
+
+def test_unknown_category_raises():
+    with pytest.raises(VocabularyError):
+        get_category("juggling")
+
+
+@pytest.mark.parametrize("category_id", CATEGORY_IDS)
+def test_every_category_is_vocab_closed(category_id):
+    rng = np.random.default_rng(hash(category_id) % 2**31)
+    for _ in range(10):
+        instance = sample_instance(rng, category_id)
+        instruction, payload_start = render_instruction(instance)
+        answer, explanation = solve(instance)
+        V.require_known(instruction)
+        V.require_known(answer)
+        V.require_known(explanation)
+        if payload_start is not None:
+            assert 0 < payload_start <= len(instruction)
+            assert instruction[payload_start - 1] == ":"
+
+
+@pytest.mark.parametrize("category_id", CATEGORY_IDS)
+def test_solve_is_deterministic(category_id):
+    rng = np.random.default_rng(5)
+    instance = sample_instance(rng, category_id)
+    assert solve(instance) == solve(instance)
+
+
+def test_sampling_is_seed_deterministic():
+    a = sample_instance(np.random.default_rng(3))
+    b = sample_instance(np.random.default_rng(3))
+    assert a == b
+
+
+def test_instance_json_roundtrip():
+    instance = sample_instance(np.random.default_rng(0), "add_numbers")
+    again = TaskInstance.from_json(instance.to_json())
+    assert again == instance
+
+
+def test_arithmetic_oracles():
+    inst = TaskInstance("add_numbers", {"a": 3, "b": 4})
+    answer, explanation = solve(inst)
+    assert answer == ["7"]
+    assert "because" == explanation[0]
+    inst = TaskInstance("subtract_numbers", {"a": 9, "b": 2})
+    assert solve(inst)[0] == ["7"]
+    inst = TaskInstance("next_number", {"n": 6})
+    assert solve(inst)[0] == ["7"]
+
+
+def test_sort_and_extract_oracles():
+    inst = TaskInstance("sort_ascending", {"nums": [3, 1, 2]})
+    assert solve(inst)[0] == ["1", "2", "3"]
+    inst = TaskInstance("sort_descending", {"nums": [3, 1, 2]})
+    assert solve(inst)[0] == ["3", "2", "1"]
+    inst = TaskInstance("reverse_list", {"items": ["box", "cup", "bell"]})
+    assert solve(inst)[0] == ["bell", "cup", "box"]
+    inst = TaskInstance(
+        "extract_color",
+        {"color": "red", "animal": "fox", "verb": "runs", "place": "hill"},
+    )
+    assert solve(inst)[0] == ["red"]
+
+
+def test_grammar_fix_oracle_uses_third_person():
+    inst = TaskInstance("grammar_fix", {"pron": "he", "verb": "run", "tail": "now"})
+    answer, _ = solve(inst)
+    assert answer == ["he", "runs", "now"]
+
+
+def test_spelling_fix_never_collides_with_noun():
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        instance = sample_instance(rng, "spelling_fix")
+        typo = instance.slots["typo"]
+        assert V.TYPO_MAP[typo] != instance.slots["noun"]
+
+
+def test_creative_solutions_have_empty_explanations():
+    rng = np.random.default_rng(2)
+    for category in categories_by_class(CLASS_CREATIVE):
+        instance = sample_instance(rng, category.category_id)
+        _, explanation = solve(instance)
+        assert explanation == []
+
+
+def test_yes_no_oracle():
+    assert solve(TaskInstance("yes_no_bigger", {"a": 7, "b": 3}))[0] == ["yes"]
+    assert solve(TaskInstance("yes_no_bigger", {"a": 2, "b": 3}))[0] == ["no"]

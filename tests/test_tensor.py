@@ -1,0 +1,136 @@
+"""Gradient checks and behaviour tests for the autograd tensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _gradcheck(build, shapes, eps=1e-3, tol=5e-2, seed=0):
+    """Finite-difference check of d(loss)/d(inputs[0]) at a few entries."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(0, 1, size=s).astype(np.float32) for s in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    loss = build(*tensors)
+    loss.backward()
+    target = tensors[0]
+    flat_index = rng.integers(0, target.data.size)
+    idx = np.unravel_index(flat_index, target.data.shape)
+    analytic = target.grad[idx]
+
+    plus = [a.copy() for a in arrays]
+    plus[0][idx] += eps
+    minus = [a.copy() for a in arrays]
+    minus[0][idx] -= eps
+    with no_grad():
+        l_plus = build(*[Tensor(a) for a in plus]).item()
+        l_minus = build(*[Tensor(a) for a in minus]).item()
+    numeric = (l_plus - l_minus) / (2 * eps)
+    assert analytic == pytest.approx(numeric, abs=tol, rel=tol), (
+        f"analytic={analytic} numeric={numeric}"
+    )
+
+
+def test_grad_add_broadcast():
+    _gradcheck(lambda a, b: ((a + b) * (a + b)).sum(), [(3, 4), (4,)])
+
+
+def test_grad_mul():
+    _gradcheck(lambda a, b: (a * b).sum(), [(3, 4), (3, 4)])
+
+
+def test_grad_matmul():
+    _gradcheck(lambda a, b: a.matmul(b).sum(), [(3, 4), (4, 5)])
+
+
+def test_grad_matmul_batched():
+    _gradcheck(lambda a, b: a.matmul(b).sum(), [(2, 3, 4), (2, 4, 5)])
+
+
+def test_grad_softmax():
+    _gradcheck(lambda a: (a.softmax() * a.softmax()).sum(), [(3, 6)])
+
+
+def test_grad_gelu():
+    _gradcheck(lambda a: a.gelu().sum(), [(4, 5)])
+
+
+def test_grad_layernorm():
+    def build(x, g, b):
+        return (x.layer_norm(g, b) * x.layer_norm(g, b)).sum()
+    _gradcheck(build, [(3, 8), (8,), (8,)])
+
+
+def test_grad_embedding():
+    idx = np.array([[0, 2], [1, 2]])
+    _gradcheck(lambda w: w.embedding(idx).sum(), [(4, 6)])
+
+
+def test_grad_getitem_slice():
+    _gradcheck(lambda a: (a[1:] * a[1:]).sum(), [(4, 3)])
+
+
+def test_grad_reshape_transpose():
+    _gradcheck(
+        lambda a: (a.reshape(6, 2).transpose() * 2.0).sum(), [(3, 4)]
+    )
+
+
+def test_grad_pow():
+    _gradcheck(lambda a: a.pow(2.0).sum(), [(3, 3)])
+
+
+def test_grad_mean():
+    _gradcheck(lambda a: a.mean(), [(5, 5)])
+
+
+def test_grad_cross_entropy():
+    targets = np.array([1, 3, 0])
+    mask = np.array([1.0, 1.0, 0.0], dtype=np.float32)
+    _gradcheck(lambda a: a.cross_entropy(targets, mask), [(3, 5)])
+
+
+def test_cross_entropy_requires_2d():
+    t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+    with pytest.raises(ModelError):
+        t.cross_entropy(np.zeros((2, 3)))
+
+
+def test_cross_entropy_masked_value():
+    logits = Tensor(np.zeros((2, 4), dtype=np.float32))
+    loss_all = logits.cross_entropy(np.array([0, 1])).item()
+    loss_half = logits.cross_entropy(
+        np.array([0, 1]), np.array([1.0, 0.0], dtype=np.float32)
+    ).item()
+    assert loss_all == pytest.approx(np.log(4), abs=1e-5)
+    assert loss_half == pytest.approx(np.log(4), abs=1e-5)
+
+
+def test_backward_requires_scalar():
+    t = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(ModelError):
+        (t * 2).backward()
+
+
+def test_no_grad_disables_tape():
+    with no_grad():
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = t * 2
+    assert not t.requires_grad
+    assert not out.requires_grad
+
+
+def test_grad_accumulates_across_uses():
+    t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+    loss = (t + t).sum()
+    loss.backward()
+    assert np.allclose(t.grad, 2.0)
+
+
+def test_division_by_scalar():
+    t = Tensor(np.full(3, 6.0, dtype=np.float32), requires_grad=True)
+    out = (t / 2.0).sum()
+    out.backward()
+    assert out.item() == pytest.approx(9.0)
+    assert np.allclose(t.grad, 0.5)

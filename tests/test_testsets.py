@@ -1,0 +1,81 @@
+"""Tests for the four instruction-following test sets (Table VI)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.testsets import (
+    build_coachlm150,
+    build_pandalm170,
+    build_selfinstruct252,
+    build_testset,
+    build_vicuna80,
+)
+from repro.textgen.responses import ResponseGrade
+
+
+@pytest.fixture(scope="module")
+def sets():
+    rng = np.random.default_rng(0)
+    return {
+        "coachlm150": build_coachlm150(rng),
+        "pandalm170": build_pandalm170(rng),
+        "vicuna80": build_vicuna80(rng),
+        "selfinstruct252": build_selfinstruct252(rng),
+    }
+
+
+def test_sizes_match_table6(sets):
+    assert len(sets["coachlm150"]) == 150
+    assert len(sets["pandalm170"]) == 170
+    assert len(sets["vicuna80"]) == 80
+    assert len(sets["selfinstruct252"]) == 252
+
+
+def test_category_counts_match_table6(sets):
+    assert sets["coachlm150"].n_categories == 42
+    assert sets["pandalm170"].n_categories == 11
+    assert sets["vicuna80"].n_categories == 9
+    assert sets["selfinstruct252"].n_categories == 15
+
+
+def test_reference_grades(sets):
+    assert sets["coachlm150"].reference_grade is ResponseGrade.HUMAN
+    assert sets["pandalm170"].reference_grade is ResponseGrade.CHATGPT
+    assert sets["vicuna80"].reference_grade is ResponseGrade.ORACLE
+    assert sets["selfinstruct252"].reference_grade is ResponseGrade.HUMAN_PLAIN
+
+
+def test_references_answer_their_instructions(sets):
+    for ts in sets.values():
+        for item in ts.items[:20]:
+            assert item.reference.instruction == item.instruction
+            assert item.reference.provenance == item.provenance
+            assert item.reference.response
+
+
+def test_reference_difficulty_ordering(sets):
+    """Bard references must be the strongest, ChatGPT the weakest."""
+    from repro.quality import CriteriaScorer
+    scorer = CriteriaScorer()
+
+    def mean_quality(ts):
+        return float(np.mean(
+            [scorer.score_response(i.reference).score for i in ts.items]
+        ))
+
+    q = {name: mean_quality(ts) for name, ts in sets.items()}
+    assert q["vicuna80"] > q["coachlm150"] > q["pandalm170"]
+
+
+def test_build_testset_by_name_and_size():
+    ts = build_testset("vicuna80", np.random.default_rng(1), size=10)
+    assert len(ts) == 10
+    with pytest.raises(ConfigError):
+        build_testset("nope", np.random.default_rng(1))
+
+
+def test_testsets_are_deterministic():
+    a = build_vicuna80(np.random.default_rng(9))
+    b = build_vicuna80(np.random.default_rng(9))
+    assert [i.instruction for i in a.items] == [i.instruction for i in b.items]

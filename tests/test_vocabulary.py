@@ -1,0 +1,62 @@
+"""Tests for the microtext lexicon."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.textgen import vocabulary as V
+
+
+def test_vocabulary_is_closed_and_sorted():
+    words = V.all_words()
+    assert list(words) == sorted(words)
+    assert len(set(words)) == len(words)
+
+
+def test_lexicon_groups_are_disjoint_enough():
+    # Colors and animals must not overlap: extraction tasks rely on it.
+    assert not set(V.COLORS) & set(V.ANIMALS)
+    assert not set(V.OBJECTS) & set(V.PLACES)
+
+
+def test_typo_map_targets_exist():
+    for typo, fix in V.TYPO_MAP.items():
+        assert V.is_known_word(typo)
+        assert V.is_known_word(fix)
+        assert typo != fix
+
+
+def test_fact_tables_closed():
+    for subject, color in V.FACT_COLORS.items():
+        assert V.is_known_word(subject)
+        assert color in V.COLORS
+    for animal, home in V.ANIMAL_HOMES.items():
+        assert animal in V.ANIMALS
+        assert home in V.PLACES
+
+
+def test_marker_phrases_closed():
+    for phrase in (V.MACHINE_TONE_PREFIX, V.UNSAFE_PHRASE, V.POLITE_CODA):
+        for token in phrase:
+            assert V.is_known_word(token), token
+
+
+def test_noise_tokens_are_in_vocab_but_flagged():
+    # Noise tokens are representable (the tokenizer must encode them) yet
+    # clearly out-of-language for the scorer.
+    for token in V.NOISE_TOKENS:
+        assert V.is_known_word(token)
+
+
+def test_require_known_raises_on_garbage():
+    with pytest.raises(VocabularyError):
+        V.require_known(["definitely_not_a_word"])
+
+
+def test_require_known_passes_known():
+    V.require_known(list(V.COLORS))
+
+
+def test_verb_fix_pairs():
+    for base, third in V.VERB_FIX.items():
+        assert base in V.VERBS_BASE
+        assert third in V.VERBS_3RD
