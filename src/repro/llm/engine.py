@@ -1,0 +1,64 @@
+"""Text-level facade over the batched decoding engine.
+
+Inference engine
+----------------
+
+:class:`repro.nn.decoding.BatchedEngine` works in token-id space; this
+module binds it to a :class:`WordTokenizer` so pipeline stages can hand
+over plain strings.  :class:`TextEngine` owns one model + tokenizer and
+
+* ``complete(prompts)`` — decode continuations for pre-encoded prompts;
+* ``respond(instructions)`` — wrap instructions in the Alpaca template
+  (with the same context-window truncation as the sequential
+  :func:`repro.llm.generation.generate_response`) and decode responses.
+
+Both are greedy, EOS-terminated, and token-identical to their sequential
+counterparts; the fleet advances ``batch_size`` sequences per forward
+pass with continuous slot refill.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_GEN_BATCH_SIZE as DEFAULT_BATCH_SIZE
+from ..nn.decoding import BatchedEngine, GenerationRequest
+from ..nn.transformer import TransformerLM
+from .prompts import encode_truncated_instruction_prompt
+from .tokenizer import WordTokenizer
+
+
+class TextEngine:
+    """Batched greedy text generation bound to one (model, tokenizer)."""
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        tokenizer: WordTokenizer,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
+        self.model = model
+        self.tokenizer = tokenizer
+        self.engine = BatchedEngine(model, max_batch=batch_size)
+
+    def complete(
+        self, prompts: list[list[int]], max_new_tokens: int
+    ) -> list[list[int]]:
+        """Greedy EOS-terminated continuations for pre-encoded prompts."""
+        eos = self.tokenizer.specials.eos
+        return self.engine.generate(
+            [
+                GenerationRequest(prompt, max_new_tokens, eos_id=eos)
+                for prompt in prompts
+            ]
+        )
+
+    def respond(self, instructions: list[str], max_new_tokens: int = 48) -> list[str]:
+        """Responses to a batch of instructions (Alpaca template)."""
+        context = self.model.config.max_seq_len
+        prompts = [
+            encode_truncated_instruction_prompt(self.tokenizer, text, context)
+            for text in instructions
+        ]
+        return [
+            self.tokenizer.decode(out)
+            for out in self.complete(prompts, max_new_tokens)
+        ]

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..config import DEFAULT_GEN_BATCH_SIZE
 from ..data.instruction_pair import InstructionPair, Origin
 from ..nn.transformer import TransformerLM
 from ..textgen.tasks import TaskInstance
-from .prompts import encode_instruction_prompt
+from .prompts import encode_truncated_instruction_prompt
 from .tokenizer import WordTokenizer
 
 
@@ -18,10 +19,9 @@ def generate_response(
     max_new_tokens: int = 48,
 ) -> str:
     """Greedy-decode a response to one instruction (beam size 1)."""
-    prompt = encode_instruction_prompt(tokenizer, instruction)
-    context = model.config.max_seq_len
-    if len(prompt) >= context - 2:
-        prompt = prompt[: context - 2]
+    prompt = encode_truncated_instruction_prompt(
+        tokenizer, instruction, model.config.max_seq_len
+    )
     out = model.generate(
         prompt, max_new_tokens=max_new_tokens, eos_id=tokenizer.specials.eos
     )
@@ -34,25 +34,30 @@ def generate_responses(
     instructions: list[str],
     provenances: list[TaskInstance | None] | None = None,
     max_new_tokens: int = 48,
+    batch_size: int = DEFAULT_GEN_BATCH_SIZE,
 ) -> list[InstructionPair]:
     """Generate responses for a list of instructions.
 
-    Returns model-generated pairs carrying the test items' provenance so
-    the judges can run oracle checks against them.
+    Decoding runs through the batched engine (``batch_size`` sequences
+    per forward pass, continuous slot refill) and is token-identical to
+    calling :func:`generate_response` per instruction.  Returns
+    model-generated pairs carrying the test items' provenance so the
+    judges can run oracle checks against them.
     """
+    from .engine import TextEngine
+
     if provenances is None:
         provenances = [None] * len(instructions)
-    pairs: list[InstructionPair] = []
-    for instruction, provenance in zip(instructions, provenances):
-        response = generate_response(
-            model, tokenizer, instruction, max_new_tokens=max_new_tokens
+    engine = TextEngine(model, tokenizer, batch_size=batch_size)
+    responses = engine.respond(instructions, max_new_tokens=max_new_tokens)
+    return [
+        InstructionPair(
+            instruction=instruction,
+            response=response,
+            provenance=provenance,
+            origin=Origin.MODEL_GENERATED,
         )
-        pairs.append(
-            InstructionPair(
-                instruction=instruction,
-                response=response,
-                provenance=provenance,
-                origin=Origin.MODEL_GENERATED,
-            )
+        for instruction, response, provenance in zip(
+            instructions, responses, provenances
         )
-    return pairs
+    ]

@@ -52,6 +52,20 @@ def encode_instruction_prompt(
     )
 
 
+def encode_truncated_instruction_prompt(
+    tokenizer: WordTokenizer, instruction: str, context: int
+) -> list[int]:
+    """Alpaca prompt truncated to leave decode room in ``context``.
+
+    Both the sequential and batched response-generation paths share this
+    rule so they stay token-identical.
+    """
+    prompt = encode_instruction_prompt(tokenizer, instruction)
+    if len(prompt) >= context - 2:
+        prompt = prompt[: context - 2]
+    return prompt
+
+
 def encode_instruction_example(
     tokenizer: WordTokenizer, pair: InstructionPair
 ) -> tuple[list[int], int]:

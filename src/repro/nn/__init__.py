@@ -9,6 +9,9 @@ whole stack at laptop scale (DESIGN.md §2):
 * :mod:`repro.nn.transformer` — a decoder-only transformer LM with causal
   attention, an autograd training path and a fast numpy inference path
   with KV caching;
+* :mod:`repro.nn.decoding` — batched greedy decoding engine: ragged
+  per-sequence prefill, pre-allocated slot KV caches, continuous
+  batching with slot retirement/refill, per-sequence logit biases;
 * :mod:`repro.nn.lora` — Low-Rank Adaptation [Hu et al. 2021] with
   freeze/merge semantics, as the paper uses for coach instruction tuning;
 * :mod:`repro.nn.optim` — Adam, LR schedules, gradient clipping;
@@ -20,6 +23,12 @@ whole stack at laptop scale (DESIGN.md §2):
 from .tensor import Tensor, no_grad
 from .modules import Embedding, LayerNorm, Linear, Module
 from .transformer import TransformerConfig, TransformerLM
+from .decoding import (
+    BatchedEngine,
+    GenerationRequest,
+    InductionCopyBias,
+    SlotKVCaches,
+)
 from .lora import LoRALinear, apply_lora, lora_parameters, merge_lora
 from .optim import Adam, clip_grad_norm, cosine_schedule
 from .trainer import LMTrainer, TrainExample, TrainStats
@@ -33,6 +42,10 @@ __all__ = [
     "LayerNorm",
     "TransformerConfig",
     "TransformerLM",
+    "BatchedEngine",
+    "GenerationRequest",
+    "InductionCopyBias",
+    "SlotKVCaches",
     "LoRALinear",
     "apply_lora",
     "merge_lora",

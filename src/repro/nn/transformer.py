@@ -73,19 +73,31 @@ class SelfAttention(Module):
         return self.proj(out)
 
     def forward_numpy(
-        self, x: np.ndarray, cache: dict | None
+        self, x: np.ndarray, cache, key_mask: np.ndarray | None = None
     ) -> np.ndarray:
-        """Inference path; ``cache`` holds accumulated K/V per layer."""
+        """Inference path; ``cache`` holds accumulated K/V per layer.
+
+        ``cache`` is either the legacy per-layer dict (K/V grown by
+        concatenation) or any object with an ``update(k, v)`` method that
+        stores the new K/V and returns the full (k, v) to attend over —
+        the batched engine passes pre-allocated slot caches this way.
+        ``key_mask`` is an optional additive mask broadcastable to
+        ``(B, H, T, Tk)`` (0 for valid keys, ``-1e9`` for padded slots);
+        the engine uses it to hide stale columns of ragged slot caches.
+        """
         b, t, d = x.shape
         cfg = self.config
         qkv = self.qkv.forward_numpy(x).reshape(b, t, 3, cfg.n_heads, cfg.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)
         q, k, v = qkv[0], qkv[1], qkv[2]
         if cache is not None:
-            if cache.get("k") is not None:
-                k = np.concatenate([cache["k"], k], axis=2)
-                v = np.concatenate([cache["v"], v], axis=2)
-            cache["k"], cache["v"] = k, v
+            if isinstance(cache, dict):
+                if cache.get("k") is not None:
+                    k = np.concatenate([cache["k"], k], axis=2)
+                    v = np.concatenate([cache["v"], v], axis=2)
+                cache["k"], cache["v"] = k, v
+            else:
+                k, v = cache.update(k, v)
         scale = 1.0 / np.sqrt(cfg.head_dim)
         scores = (q @ np.swapaxes(k, -1, -2)) * scale  # (B, H, T, Tk)
         t_k = k.shape[2]
@@ -94,6 +106,8 @@ class SelfAttention(Module):
         offset = t_k - t
         mask = np.triu(np.full((t, t_k), -1e9, dtype=np.float32), k=offset + 1)
         scores = scores + mask
+        if key_mask is not None:
+            scores = scores + key_mask
         scores -= scores.max(axis=-1, keepdims=True)
         probs = np.exp(scores)
         probs /= probs.sum(axis=-1, keepdims=True)
@@ -134,8 +148,10 @@ class Block(Module):
         x = x + self.mlp(self.ln2(x))
         return x
 
-    def forward_numpy(self, x: np.ndarray, cache: dict | None) -> np.ndarray:
-        x = x + self.attn.forward_numpy(self.ln1.forward_numpy(x), cache)
+    def forward_numpy(
+        self, x: np.ndarray, cache, key_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        x = x + self.attn.forward_numpy(self.ln1.forward_numpy(x), cache, key_mask)
         x = x + self.mlp.forward_numpy(self.ln2.forward_numpy(x))
         return x
 
@@ -194,19 +210,42 @@ class TransformerLM(Module):
 
     # -- inference path ------------------------------------------------------------
     def _forward_numpy(
-        self, idx: np.ndarray, caches: list[dict] | None, position_offset: int = 0
+        self,
+        idx: np.ndarray,
+        caches: list | None,
+        position_offset: int | np.ndarray = 0,
+        key_mask: np.ndarray | None = None,
     ) -> np.ndarray:
+        """Inference forward.
+
+        ``position_offset`` is a scalar (all rows share one offset — the
+        legacy single-sequence path) or a ``(B,)`` array of per-sequence
+        offsets (the batched engine decodes rows at different depths).
+        ``key_mask`` is forwarded to every attention layer.
+        """
         idx = np.asarray(idx)
         b, t = idx.shape
-        positions = np.arange(position_offset, position_offset + t)
-        if positions[-1] >= self.config.max_seq_len:
+        offsets = np.asarray(position_offset, dtype=np.int64)
+        if offsets.ndim == 0:
+            positions = np.arange(int(offsets), int(offsets) + t)
+            last_position = int(offsets) + t - 1
+        else:
+            if offsets.shape != (b,):
+                raise GenerationError(
+                    f"position_offset shape {offsets.shape} != ({b},)"
+                )
+            positions = offsets[:, None] + np.arange(t)[None, :]
+            last_position = int(offsets.max()) + t - 1
+        if last_position >= self.config.max_seq_len:
             raise GenerationError(
-                f"position {positions[-1]} exceeds context "
+                f"position {last_position} exceeds context "
                 f"{self.config.max_seq_len}"
             )
         x = self.tok_emb.forward_numpy(idx) + self.pos_emb.forward_numpy(positions)
         for i, block in enumerate(self.blocks):
-            x = block.forward_numpy(x, caches[i] if caches is not None else None)
+            x = block.forward_numpy(
+                x, caches[i] if caches is not None else None, key_mask
+            )
         x = self.ln_f.forward_numpy(x)
         if self.head is None:
             return x @ self.tok_emb.weight.data.T

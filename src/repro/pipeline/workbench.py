@@ -210,7 +210,9 @@ class Workbench:
                 stats,
             )
         coach = self.coach(alpha=alpha, backbone_name=backbone_name)
-        revised, stats = coach.revise_dataset(self.alpaca_dataset())
+        revised, stats = coach.revise_dataset(
+            self.alpaca_dataset(), batch_size=self.scale.gen_batch_size
+        )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
         return revised, stats
@@ -356,7 +358,10 @@ class Workbench:
         """Cached generation of a model's responses on one test set.
 
         ``max_items`` caps the number of test items (benchmark wall-clock
-        budgets on CPU); the cap is part of the cache key.
+        budgets on CPU); the cap is part of the cache key.  A cached
+        response set that is *shorter* than ``n_items`` (e.g. written by
+        an interrupted run) is treated as a miss and re-generated; a
+        longer one is truncated.
         """
         testset = self.testset(testset_name)
         n_items = len(testset) if max_items is None else min(max_items, len(testset))
@@ -367,14 +372,15 @@ class Workbench:
             cached = self.cache.load_dataset(
                 "responses", key, f"{model_key}@{testset_name}"
             )
-            if len(cached) == n_items:
-                return list(cached)
+            if len(cached) >= n_items:
+                return list(cached)[:n_items]
         model = self.model(model_key)
         responses = generate_responses(
             model, self.tokenizer,
             testset.instructions[:n_items],
             testset.provenances[:n_items],
             max_new_tokens=self.scale.max_new_tokens,
+            batch_size=self.scale.gen_batch_size,
         )
         self.cache.save_dataset(
             "responses", key, InstructionDataset(responses, name="responses")

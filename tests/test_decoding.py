@@ -1,0 +1,250 @@
+"""Parity and behaviour tests for the batched decoding engine.
+
+The engine's contract is token-for-token greedy parity with the
+sequential paths (:meth:`TransformerLM.generate` and CoachLM's
+copy-assisted decode) on ragged prompt batches, EOS at different steps,
+per-sequence logit biases, and prompt-too-long edge cases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.coachlm import CoachLM
+from repro.data import generate_dataset
+from repro.errors import GenerationError
+from repro.llm import TextEngine, build_tokenizer, generate_response, generate_responses
+from repro.nn import (
+    BatchedEngine,
+    GenerationRequest,
+    InductionCopyBias,
+    TransformerConfig,
+    TransformerLM,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = TransformerConfig(
+        vocab_size=197, d_model=32, n_layers=2, n_heads=4, max_seq_len=80
+    )
+    return TransformerLM(config, np.random.default_rng(42))
+
+
+@pytest.fixture(scope="module")
+def ragged_prompts():
+    rng = np.random.default_rng(7)
+    return [
+        list(rng.integers(5, 197, size=int(rng.integers(2, 40))))
+        for _ in range(11)
+    ]
+
+
+def _sequential(model, prompts, max_new_tokens, eos_id, biases=None):
+    biases = biases or [None] * len(prompts)
+    return [
+        model.generate(p, max_new_tokens, eos_id=eos_id, logit_bias=b)
+        for p, b in zip(prompts, biases)
+    ]
+
+
+# -- plain greedy parity -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("max_batch", [1, 3, 8, 32])
+def test_engine_matches_sequential_on_ragged_batch(model, ragged_prompts, max_batch):
+    expected = _sequential(model, ragged_prompts, 20, eos_id=2)
+    engine = BatchedEngine(model, max_batch=max_batch)
+    got = engine.generate(
+        [GenerationRequest(p, 20, eos_id=2) for p in ragged_prompts]
+    )
+    assert got == expected
+
+
+def test_engine_eos_at_different_steps(model, ragged_prompts):
+    # Pick the most frequent generated token as the EOS id so sequences
+    # terminate at genuinely different depths (including step 0).
+    free_run = _sequential(model, ragged_prompts, 20, eos_id=None)
+    eos, _ = Counter(t for seq in free_run for t in seq).most_common(1)[0]
+    expected = _sequential(model, ragged_prompts, 20, eos_id=eos)
+    lengths = {len(seq) for seq in expected}
+    assert len(lengths) > 1, "EOS should fire at different steps"
+    got = BatchedEngine(model, max_batch=4).generate(
+        [GenerationRequest(p, 20, eos_id=eos) for p in ragged_prompts]
+    )
+    assert got == expected
+
+
+def test_engine_per_sequence_logit_bias(model, ragged_prompts):
+    rng = np.random.default_rng(13)
+    biases = [
+        None if i % 3 == 0 else rng.normal(scale=2.0, size=197).astype(np.float32)
+        for i in range(len(ragged_prompts))
+    ]
+    expected = _sequential(model, ragged_prompts, 12, eos_id=2, biases=biases)
+    got = BatchedEngine(model, max_batch=5).generate(
+        [
+            GenerationRequest(p, 12, eos_id=2, logit_bias=b)
+            for p, b in zip(ragged_prompts, biases)
+        ]
+    )
+    assert got == expected
+
+
+def test_engine_prompt_too_long_and_tiny_budget(model):
+    rng = np.random.default_rng(3)
+    context = model.config.max_seq_len
+    prompts = [
+        list(rng.integers(5, 197, size=context + 4)),   # budget < 0
+        list(rng.integers(5, 197, size=context)),       # budget = 0
+        list(rng.integers(5, 197, size=context - 1)),   # budget = 1
+        list(rng.integers(5, 197, size=6)),             # normal
+    ]
+    expected = _sequential(model, prompts, 16, eos_id=2)
+    assert expected[0] == [] and expected[1] == [] and len(expected[2]) == 1
+    got = BatchedEngine(model, max_batch=2).generate(
+        [GenerationRequest(p, 16, eos_id=2) for p in prompts]
+    )
+    assert got == expected
+
+
+def test_engine_rejects_bad_requests(model):
+    engine = BatchedEngine(model, max_batch=4)
+    with pytest.raises(GenerationError):
+        engine.generate([GenerationRequest([], 8)])
+    with pytest.raises(GenerationError):
+        engine.generate(
+            [GenerationRequest([5, 6], 8, logit_bias=np.zeros(3, np.float32))]
+        )
+    with pytest.raises(GenerationError):
+        BatchedEngine(model, max_batch=0)
+
+
+def test_engine_more_requests_than_slots_preserves_order(model):
+    rng = np.random.default_rng(5)
+    prompts = [list(rng.integers(5, 197, size=3 + i)) for i in range(17)]
+    expected = _sequential(model, prompts, 9, eos_id=2)
+    got = BatchedEngine(model, max_batch=4).generate(
+        [GenerationRequest(p, 9, eos_id=2) for p in prompts]
+    )
+    assert got == expected
+
+
+# -- induction bias index ----------------------------------------------------------
+
+
+def test_induction_copy_bias_matches_reference_scan():
+    rng = np.random.default_rng(23)
+    for _ in range(30):
+        prompt = list(rng.integers(0, 12, size=int(rng.integers(2, 40))))
+        produced = list(rng.integers(0, 12, size=int(rng.integers(1, 6))))
+        blocked = frozenset(int(t) for t in rng.integers(0, 12, size=3))
+        strength = 3.0
+        fast = np.zeros(12, dtype=np.float32)
+        InductionCopyBias(prompt, strength, blocked)(produced, fast)
+        slow = np.zeros(12, dtype=np.float32)
+        for follower, s in CoachLM._induction_followers(prompt, produced):
+            if follower not in blocked:
+                slow[follower] += strength * s
+        assert np.array_equal(fast, slow), (prompt, produced, blocked)
+
+
+def test_induction_copy_bias_noop_before_first_token():
+    row = np.zeros(8, dtype=np.float32)
+    InductionCopyBias([1, 2, 3], 2.0)([], row)
+    assert not row.any()
+
+
+# -- CoachLM through the engine ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def coach():
+    tokenizer = build_tokenizer()
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=32,
+        n_layers=1,
+        n_heads=4,
+        max_seq_len=192,
+    )
+    model = TransformerLM(config, np.random.default_rng(9))
+    return CoachLM(model, tokenizer)
+
+
+def test_copy_assist_engine_parity(coach):
+    dataset = generate_dataset(np.random.default_rng(31), 10)
+    prompts, requests, expected = [], [], []
+    for pair in dataset:
+        prompt, outcome = coach._pre_generate(pair)
+        if prompt is None:
+            continue
+        prompts.append(prompt)
+        requests.append(coach._revision_request(prompt, pair))
+        expected.append(coach._generate_with_copy_assist(prompt, pair))
+    assert requests, "fixture produced no eligible pairs"
+    got = BatchedEngine(coach.model, max_batch=4).generate(requests)
+    assert got == expected
+
+
+def test_revise_dataset_matches_pairwise_revision(coach):
+    dataset = generate_dataset(np.random.default_rng(77), 12)
+    expected = [coach.revise_pair(pair) for pair in dataset]
+    revised, stats = coach.revise_dataset(dataset, batch_size=5)
+    assert len(revised) == len(dataset)
+    for (exp_pair, exp_outcome), got_pair in zip(expected, revised):
+        assert got_pair.instruction == exp_pair.instruction
+        assert got_pair.response == exp_pair.response
+    counted = Counter(outcome.value for _, outcome in expected)
+    assert stats.outcomes == dict(counted)
+
+
+def test_blocked_ids_computed_once(tokenizer, monkeypatch):
+    calls = Counter()
+    original = CoachLM._blocked_ids
+
+    def counting(tok):
+        calls["n"] += 1
+        return original(tok)
+
+    monkeypatch.setattr(CoachLM, "_blocked_ids", staticmethod(counting))
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, d_model=32, n_layers=1, n_heads=4,
+        max_seq_len=160,
+    )
+    coach = CoachLM(TransformerLM(config, np.random.default_rng(0)), tokenizer)
+    dataset = generate_dataset(np.random.default_rng(2), 3)
+    for pair in dataset:
+        coach._copy_bias_vector(pair)
+        prompt, _ = coach._pre_generate(pair)
+        if prompt is not None:
+            coach._revision_request(prompt, pair)
+    assert calls["n"] == 1
+
+
+# -- text-level facade -------------------------------------------------------------
+
+
+def test_generate_responses_matches_sequential(tokenizer):
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, d_model=32, n_layers=1, n_heads=4,
+        max_seq_len=96,
+    )
+    model = TransformerLM(config, np.random.default_rng(4))
+    dataset = generate_dataset(np.random.default_rng(8), 9)
+    instructions = [pair.instruction for pair in dataset]
+    expected = [
+        generate_response(model, tokenizer, text, max_new_tokens=16)
+        for text in instructions
+    ]
+    batched = generate_responses(
+        model, tokenizer, instructions, max_new_tokens=16, batch_size=4
+    )
+    assert [pair.response for pair in batched] == expected
+    assert [pair.instruction for pair in batched] == instructions
+
+    engine = TextEngine(model, tokenizer, batch_size=3)
+    assert engine.respond(instructions, max_new_tokens=16) == expected

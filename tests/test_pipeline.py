@@ -157,3 +157,58 @@ def test_registry_bench_targets_exist_on_disk():
     root = Path(__file__).resolve().parents[1]
     for experiment in EXPERIMENTS.values():
         assert (root / experiment.bench_target).exists(), experiment.bench_target
+
+
+# -- model_responses cache handling -------------------------------------------------
+
+
+@pytest.fixture()
+def response_bench(tmp_path, monkeypatch):
+    """A Workbench whose model/testset stages are cheap stubs."""
+    from repro.nn import TransformerConfig, TransformerLM
+
+    wb = Workbench(scale=get_scale("ci"), seed=3, cache_dir=tmp_path)
+    config = TransformerConfig(
+        vocab_size=wb.tokenizer.vocab_size, d_model=32, n_layers=1,
+        n_heads=4, max_seq_len=160,
+    )
+    model = TransformerLM(config, np.random.default_rng(0))
+    monkeypatch.setattr(wb, "model", lambda key: model)
+    return wb
+
+
+def test_model_responses_regenerates_short_cache(response_bench):
+    wb = response_bench
+    full = wb.model_responses("alpaca", "vicuna80", max_items=6)
+    assert len(full) == 6
+
+    # Corrupt the cached artifact down to 2 items: a subsequent call must
+    # treat it as a miss and regenerate all 6, not return the stub.
+    key = wb._scale_key({
+        "responses": "alpaca", "testset": "vicuna80", "items": 6,
+    })
+    wb.cache.save_dataset(
+        "responses", key, InstructionDataset(list(full)[:2], name="stub")
+    )
+    assert len(wb.cache.load_dataset("responses", key, "stub")) == 2
+
+    again = wb.model_responses("alpaca", "vicuna80", max_items=6)
+    assert len(again) == 6
+    assert [p.response for p in again] == [p.response for p in full]
+    # The regenerated set replaces the short artifact on disk.
+    assert len(wb.cache.load_dataset("responses", key, "check")) == 6
+
+
+def test_model_responses_truncates_longer_cache(response_bench):
+    wb = response_bench
+    full = wb.model_responses("alpaca", "vicuna80", max_items=6)
+    key = wb._scale_key({
+        "responses": "alpaca", "testset": "vicuna80", "items": 4,
+    })
+    # A cached artifact longer than n_items is truncated, not regenerated.
+    wb.cache.save_dataset(
+        "responses", key, InstructionDataset(list(full), name="long")
+    )
+    four = wb.model_responses("alpaca", "vicuna80", max_items=4)
+    assert len(four) == 4
+    assert [p.response for p in four] == [p.response for p in full[:4]]
