@@ -1,0 +1,187 @@
+"""Serving load benchmark — Poisson arrivals through the RevisionServer.
+
+A load generator drives the online revision service with requests whose
+inter-arrival times are exponential (open-loop Poisson traffic, the
+standard serving-load model), sweeping the arrival rate from
+under-subscribed to saturating.  Per rate we record p50/p95 request
+latency and the *sustained* engine tokens/sec (tokens produced / engine
+busy time), and compare against the same engine driven offline at batch
+8 — the streaming scheduler must not give back the continuous-batching
+speedup that PR 1 bought.  A dedup pass then re-submits known content
+and asserts it is served entirely from the cache, with zero engine work.
+
+Results land in ``BENCH_serving.json`` at the repo root, the serving
+counterpart of ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_banner
+
+from repro.config import ServingConfig
+from repro.core.coachlm import CoachLM
+from repro.data import generate_dataset
+from repro.llm import build_tokenizer
+from repro.nn import BatchedEngine, TransformerConfig, TransformerLM
+from repro.serving import SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
+
+MAX_BATCH = 8
+N_CASES = 32
+MAX_NEW_TOKENS = 48
+#: Arrival-rate multipliers relative to the engine's service capacity.
+#: 0.5x is under-subscribed (latency ≈ decode time); 16x saturates the
+#: fleet almost immediately, so the sustained-throughput comparison is
+#: not diluted by the arrival ramp.
+LOAD_MULTIPLIERS = (0.5, 16.0)
+
+
+def _bench_coach(scale) -> tuple[CoachLM, list]:
+    tokenizer = build_tokenizer()
+    dims = scale.base_model
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=dims.d_model,
+        n_layers=dims.n_layers,
+        n_heads=dims.n_heads,
+        max_seq_len=dims.max_seq_len,
+    )
+    model = TransformerLM(config, np.random.default_rng(1234))
+    coach = CoachLM(model, tokenizer, max_new_tokens=MAX_NEW_TOKENS)
+    dataset = generate_dataset(np.random.default_rng(55), N_CASES)
+    # Only decode-eligible pairs: gated pairs never reach the engine and
+    # would dilute the throughput comparison.
+    eligible = [
+        pair for pair in dataset if coach._pre_generate(pair)[0] is not None
+    ]
+    return coach, eligible
+
+
+def _batch8_reference(coach: CoachLM, pairs: list) -> tuple[float, int]:
+    """Offline batch-8 revision throughput over the same requests."""
+    requests = []
+    for pair in pairs:
+        request, outcome = coach.prepare_revision(pair)
+        assert outcome is None
+        requests.append(request)
+    best = 0.0
+    tokens = 0
+    # Two timed runs, best-of: the first pays numpy/BLAS warmup and the
+    # comparison below should be against the engine's real speed.
+    for _ in range(2):
+        engine = BatchedEngine(coach.model, max_batch=MAX_BATCH)
+        start = time.perf_counter()
+        outputs = engine.generate(requests)
+        elapsed = time.perf_counter() - start
+        tokens = sum(len(seq) for seq in outputs)
+        best = max(best, tokens / elapsed)
+    return best, tokens
+
+
+def _poisson_load(coach: CoachLM, pairs: list, rate_per_s: float, seed: int):
+    """Open-loop load: submit each pair after an exponential gap."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=len(pairs))
+    server = RevisionServer(coach, ServingConfig(max_batch=MAX_BATCH))
+    with server:
+        futures = []
+        for pair, gap in zip(pairs, gaps):
+            time.sleep(float(gap))
+            futures.append(server.submit(pair))
+        results = [future.result(timeout=600.0) for future in futures]
+    latencies = sorted(result.latency_s for result in results)
+    return {
+        "rate_per_s": round(rate_per_s, 2),
+        "n_requests": len(results),
+        "p50_latency_s": round(float(np.percentile(latencies, 50)), 4),
+        "p95_latency_s": round(float(np.percentile(latencies, 95)), 4),
+        "sustained_tokens_per_sec": round(server.metrics.tokens_per_second(), 1),
+        "engine_tokens": server.metrics.engine_tokens,
+    }
+
+
+def _dedup_pass(coach: CoachLM, pairs: list) -> dict:
+    """Warm the cache, then re-submit everything: zero engine work."""
+    server = RevisionServer(coach, ServingConfig(max_batch=MAX_BATCH))
+    with server:
+        warm = [server.submit(pair) for pair in pairs]
+        for future in warm:
+            future.result(timeout=600.0)
+        tokens_after_warm = server.metrics.engine_tokens
+        repeat = [server.submit(pair) for pair in pairs]
+        results = [future.result(timeout=600.0) for future in repeat]
+    assert server.metrics.engine_tokens == tokens_after_warm, (
+        "dedup-cache hits must not touch the engine"
+    )
+    sources = {result.source for result in results}
+    assert sources <= {SOURCE_CACHE, SOURCE_DEDUP}, sources
+    return {
+        "repeats": len(results),
+        "cache_served": len(results),
+        "engine_tokens_saved": tokens_after_warm,
+    }
+
+
+def test_serving_sustains_batched_throughput(wb):
+    coach, pairs = _bench_coach(wb.scale)
+    ref_tokens_per_sec, ref_tokens = _batch8_reference(coach, pairs)
+    tokens_per_request = ref_tokens / len(pairs)
+    capacity_req_per_s = ref_tokens_per_sec / tokens_per_request
+
+    sweep = {}
+    for multiplier in LOAD_MULTIPLIERS:
+        sweep[f"{multiplier}x"] = _poisson_load(
+            coach, pairs, multiplier * capacity_req_per_s, seed=int(multiplier * 10)
+        )
+    dedup = _dedup_pass(coach, pairs)
+
+    saturated = sweep[f"{max(LOAD_MULTIPLIERS)}x"]
+    payload = {
+        "scale": wb.scale.name,
+        "model": {
+            "d_model": coach.model.config.d_model,
+            "n_layers": coach.model.config.n_layers,
+            "vocab_size": coach.model.config.vocab_size,
+        },
+        "max_batch": MAX_BATCH,
+        "max_new_tokens": MAX_NEW_TOKENS,
+        "reference_batch8_tokens_per_sec": round(ref_tokens_per_sec, 1),
+        "arrival_sweep": sweep,
+        "saturated_vs_batch8": round(
+            saturated["sustained_tokens_per_sec"] / ref_tokens_per_sec, 3
+        ),
+        "dedup": dedup,
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_banner("serving", "Poisson load through the online revision service")
+    print(
+        f"offline batch-{MAX_BATCH} reference: {ref_tokens_per_sec:.0f} tok/s "
+        f"({tokens_per_request:.0f} tok/req, capacity ~{capacity_req_per_s:.0f} req/s)"
+    )
+    for label, stats in sweep.items():
+        print(
+            f"load {label:>4} ({stats['rate_per_s']:.0f} req/s): "
+            f"p50 {1000 * stats['p50_latency_s']:.0f} ms, "
+            f"p95 {1000 * stats['p95_latency_s']:.0f} ms, "
+            f"sustained {stats['sustained_tokens_per_sec']:.0f} tok/s"
+        )
+    print(
+        f"dedup pass: {dedup['repeats']} repeats served from cache, "
+        f"{dedup['engine_tokens_saved']} engine tokens saved"
+    )
+
+    # Under saturating Poisson load the streaming scheduler must sustain
+    # the offline batch-8 throughput; asserted with a CI-noise guard band
+    # (the JSON records the exact ratio).
+    assert saturated["sustained_tokens_per_sec"] >= 0.85 * ref_tokens_per_sec, (
+        payload
+    )
+    # Under-subscribed load must have lower latency than saturation.
+    light = sweep[f"{min(LOAD_MULTIPLIERS)}x"]
+    assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload

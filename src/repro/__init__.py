@@ -16,12 +16,23 @@ language (see DESIGN.md for the substitution rationale):
   α-selection, coach instruction tuning, dataset revision, post-processing;
 * :mod:`repro.testsets` — the four instruction-following test sets;
 * :mod:`repro.pipeline` — experiment orchestration and caching;
+* :mod:`repro.serving` — the online revision service: asynchronous
+  request intake, streaming scheduler over the batched engine, HTTP
+  front-end;
 * :mod:`repro.deployment` — the Fig. 6 data-management platform simulator;
 * :mod:`repro.analysis` — histograms, linear fits, table rendering.
 """
 
-from .config import DEFAULT_SEED, PRESETS, ScaleConfig, get_scale, make_rng
+from .config import (
+    DEFAULT_SEED,
+    PRESETS,
+    ScaleConfig,
+    ServingConfig,
+    get_scale,
+    make_rng,
+)
 from .errors import (
+    AdmissionError,
     ConfigError,
     DatasetError,
     GenerationError,
@@ -30,6 +41,7 @@ from .errors import (
     PipelineError,
     ReproError,
     ScoringError,
+    ServingError,
     VocabularyError,
 )
 
@@ -39,9 +51,12 @@ __all__ = [
     "DEFAULT_SEED",
     "PRESETS",
     "ScaleConfig",
+    "ServingConfig",
     "get_scale",
     "make_rng",
     "ReproError",
+    "AdmissionError",
+    "ServingError",
     "ConfigError",
     "DatasetError",
     "GenerationError",

@@ -116,9 +116,83 @@ class ScaleConfig:
     #: forward pass).
     gen_batch_size: int = DEFAULT_GEN_BATCH_SIZE
 
+    def __post_init__(self) -> None:
+        # Fail at construction with a clear message instead of deep inside
+        # the decoding engine or the trainer.
+        if self.gen_batch_size < 1:
+            raise ConfigError(
+                f"gen_batch_size must be >= 1, got {self.gen_batch_size}"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_new_tokens < 1:
+            raise ConfigError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+            )
+
     def scaled(self, **overrides: object) -> "ScaleConfig":
         """Return a copy of this config with ``overrides`` applied."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the online revision service (:mod:`repro.serving`).
+
+    Attributes
+    ----------
+    max_batch:
+        Fleet width of the server's continuous-batching engine.
+    max_queue_depth:
+        Admission-control bound: :meth:`RevisionServer.submit` raises
+        :class:`~repro.errors.AdmissionError` when this many requests are
+        already queued (back-pressure, not silent buffering).
+    cache_capacity:
+        Entries of the content-hash LRU result cache (0 disables caching
+        and in-flight dedup).
+    default_deadline_s:
+        Per-request deadline applied when the caller supplies none;
+        ``None`` means requests never expire in the queue.
+    quality_gate_threshold:
+        Rubric score (0-100) above which a pair skips revision entirely,
+        mirroring the platform's rule-based precursor stage; ``None``
+        disables gating.
+    idle_wait_s:
+        How long the serving worker blocks on an empty queue before
+        re-checking for shutdown.
+    """
+
+    max_batch: int = DEFAULT_GEN_BATCH_SIZE
+    max_queue_depth: int = 256
+    cache_capacity: int = 1024
+    default_deadline_s: float | None = None
+    quality_gate_threshold: float | None = None
+    idle_wait_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.cache_capacity < 0:
+            raise ConfigError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ConfigError(
+                f"default_deadline_s must be > 0, got {self.default_deadline_s}"
+            )
+        if self.quality_gate_threshold is not None and not (
+            0.0 <= self.quality_gate_threshold <= 100.0
+        ):
+            raise ConfigError(
+                "quality_gate_threshold must be within [0, 100], got "
+                f"{self.quality_gate_threshold}"
+            )
+        if self.idle_wait_s <= 0:
+            raise ConfigError(f"idle_wait_s must be > 0, got {self.idle_wait_s}")
 
 
 _CI = ScaleConfig(

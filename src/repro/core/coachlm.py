@@ -42,12 +42,17 @@ class RevisionOutcome(enum.Enum):
 
 @dataclass
 class RevisionStats:
-    """Aggregate outcome counts of one dataset revision run."""
+    """Aggregate outcome counts of one dataset revision run.
+
+    Outcomes are keyed by string so the serving layer can record its own
+    terminal states (``expired``, ``quality_gated``) alongside the
+    :class:`RevisionOutcome` values.
+    """
 
     outcomes: dict[str, int] = field(default_factory=dict)
 
-    def record(self, outcome: RevisionOutcome) -> None:
-        key = outcome.value
+    def record(self, outcome: "RevisionOutcome | str") -> None:
+        key = outcome if isinstance(outcome, str) else outcome.value
         self.outcomes[key] = self.outcomes.get(key, 0) + 1
 
     @property
@@ -255,12 +260,20 @@ class CoachLM:
         return cls(model, tokenizer, trained)
 
     # -- revision ---------------------------------------------------------------
+    def is_leakage_gated(self, pair: InstructionPair) -> bool:
+        """True when the pair was seen during coach training (Eq. (2) guard).
+
+        The single source of the leakage predicate — shared by the batch
+        gate below and the serving layer's cache-bypass decision.
+        """
+        return bool(pair.pair_id) and pair.pair_id in self.trained_instructions
+
     def _pre_generate(
         self, pair: InstructionPair
     ) -> tuple[list[int] | None, RevisionOutcome | None]:
         """Gate one pair before decoding: (prompt, None) or (None, outcome)."""
         assert self.model is not None
-        if pair.pair_id and pair.pair_id in self.trained_instructions:
+        if self.is_leakage_gated(pair):
             return None, RevisionOutcome.LEAKAGE_SKIPPED
         prompt = encode_coach_prompt(self.tokenizer, pair)
         if len(prompt) >= self.model.config.max_seq_len - 4:
@@ -292,6 +305,27 @@ class CoachLM:
         ):
             return pair, RevisionOutcome.UNCHANGED
         return revised, RevisionOutcome.REVISED
+
+    # Public per-pair pipeline hooks used by the online revision service
+    # (:mod:`repro.serving`): gate → engine request → parse/clean/validate.
+    # They share the exact code paths of :meth:`revise_dataset`, which is
+    # what keeps served revisions token-for-token identical to batch runs.
+    def prepare_revision(
+        self, pair: InstructionPair
+    ) -> tuple[GenerationRequest | None, RevisionOutcome | None]:
+        """Gate one pair; return its engine request or a terminal outcome."""
+        if self.model is None:
+            raise ModelError("CoachLM has no model")
+        prompt, outcome = self._pre_generate(pair)
+        if prompt is None:
+            return None, outcome
+        return self._revision_request(prompt, pair), None
+
+    def finalize_revision(
+        self, pair: InstructionPair, output: list[int]
+    ) -> tuple[InstructionPair, RevisionOutcome]:
+        """Parse one decoded revision; falls back to ``pair`` on failure."""
+        return self._post_generate(pair, output)
 
     def revise_pair(
         self, pair: InstructionPair

@@ -13,12 +13,19 @@ Pipeline stages, mirroring the figure:
 Comparing stage-4 throughput with and without stage 3 reproduces the
 paper's 80 → ~100 pairs/person-day result; a real wall-clock measurement
 of CoachLM inference reproduces the samples/second figure.
+
+When a :class:`~repro.serving.server.RevisionServer` is attached, the
+CoachLM stage routes through it via the in-process client — the same
+admission control, dedup cache and streaming scheduler that serve
+external HTTP traffic — instead of calling
+:meth:`CoachLM.revise_dataset` directly.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +34,9 @@ from ..data.alpaca_generator import USER_CASE_PROFILE, generate_dataset, rule_cl
 from ..data.dataset import InstructionDataset
 from ..quality.scorer import CriteriaScorer
 from .annotators import AnnotatorWorkforce, WorkforceReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..serving.server import RevisionServer
 
 
 @dataclass(frozen=True)
@@ -46,28 +56,43 @@ class CleaningBatchReport:
 
 @dataclass(frozen=True)
 class InferenceThroughput:
-    """Measured CoachLM inference speed (paper: 1.19 samples/s on an A100)."""
+    """Measured CoachLM inference speed (paper: 1.19 samples/s on an A100).
+
+    ``seconds`` must come from a monotonic timer
+    (:func:`time.perf_counter`), never ``time.time()``: wall-clock
+    adjustments (NTP, DST) could otherwise make throughput negative or
+    arbitrarily inflated.
+    """
 
     samples: int
     seconds: float
 
     @property
     def samples_per_second(self) -> float:
-        if self.seconds == 0:
+        if self.seconds <= 0:
             return 0.0
         return self.samples / self.seconds
 
 
 class DataManagementPlatform:
-    """End-to-end simulator of the Fig. 6 platform."""
+    """End-to-end simulator of the Fig. 6 platform.
+
+    The CoachLM precursor stage runs through ``server`` (the online
+    revision service) when one is attached, and falls back to the
+    in-process ``coach`` otherwise.
+    """
 
     def __init__(
         self,
         coach: CoachLM | None = None,
         workforce: AnnotatorWorkforce | None = None,
         scorer: CriteriaScorer | None = None,
+        server: "RevisionServer | None" = None,
     ):
+        if coach is None and server is not None:
+            coach = server.coach
         self.coach = coach
+        self.server = server
         self.workforce = workforce or AnnotatorWorkforce()
         self.scorer = scorer or CriteriaScorer()
 
@@ -99,9 +124,7 @@ class DataManagementPlatform:
         coach_quality = None
         to_annotate = parsed
         if use_coachlm:
-            if self.coach is None:
-                raise ValueError("platform has no CoachLM attached")
-            to_annotate, _ = self.coach.revise_dataset(parsed)
+            to_annotate, _ = self._coach_revise(parsed)
             coach_quality = float(np.mean(
                 [self.scorer.score_response(p).score for p in to_annotate]
             ))
@@ -114,6 +137,16 @@ class DataManagementPlatform:
             mean_quality_in=quality_in,
             mean_quality_out_of_coach=coach_quality,
         )
+
+    def _coach_revise(self, parsed: InstructionDataset):
+        """Stage 3: through the online service when attached, else direct."""
+        if self.server is not None:
+            from ..serving.client import InProcessRevisionClient
+
+            return InProcessRevisionClient(self.server).revise_dataset(parsed)
+        if self.coach is None:
+            raise ValueError("platform has no CoachLM attached")
+        return self.coach.revise_dataset(parsed)
 
     @staticmethod
     def net_improvement(
@@ -134,12 +167,27 @@ class DataManagementPlatform:
 
 
 def measure_inference_throughput(
-    coach: CoachLM, dataset: InstructionDataset, max_samples: int = 64
+    coach: CoachLM,
+    dataset: InstructionDataset,
+    max_samples: int = 64,
+    batch_size: int | None = None,
 ) -> InferenceThroughput:
-    """Wall-clock CoachLM revision throughput on this machine."""
+    """Wall-clock CoachLM revision throughput on this machine.
+
+    Timed with :func:`time.perf_counter` — a monotonic clock — so system
+    clock adjustments can never produce negative elapsed time.
+    ``batch_size`` routes the measurement through the batched engine
+    (:meth:`CoachLM.revise_dataset`); ``None`` keeps the sequential
+    per-pair path the paper's 1.19 samples/s figure corresponds to.
+    """
     pairs = list(dataset)[:max_samples]
     start = time.perf_counter()
-    for pair in pairs:
-        coach.revise_pair(pair)
+    if batch_size is None:
+        for pair in pairs:
+            coach.revise_pair(pair)
+    else:
+        coach.revise_dataset(
+            InstructionDataset(pairs, name=dataset.name), batch_size=batch_size
+        )
     elapsed = time.perf_counter() - start
     return InferenceThroughput(samples=len(pairs), seconds=elapsed)

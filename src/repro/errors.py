@@ -41,3 +41,11 @@ class JudgeError(ReproError):
 
 class PipelineError(ReproError):
     """An experiment pipeline stage failed or was mis-ordered."""
+
+
+class ServingError(ReproError):
+    """The online revision service failed or was misused."""
+
+
+class AdmissionError(ServingError):
+    """A request was rejected by the serving queue's admission control."""

@@ -10,14 +10,20 @@ over plain strings.  :class:`TextEngine` owns one model + tokenizer and
 * ``complete(prompts)`` — decode continuations for pre-encoded prompts;
 * ``respond(instructions)`` — wrap instructions in the Alpaca template
   (with the same context-window truncation as the sequential
-  :func:`repro.llm.generation.generate_response`) and decode responses.
+  :func:`repro.llm.generation.generate_response`) and decode responses;
+* ``submit(text)`` / ``pump()`` / ``respond_iter(instructions)`` — the
+  streaming counterparts over the engine's incremental
+  ``submit``/``step``/``collect`` API: responses surface in *completion*
+  order as slots retire, which is what the serving layer builds on.
 
-Both are greedy, EOS-terminated, and token-identical to their sequential
-counterparts; the fleet advances ``batch_size`` sequences per forward
-pass with continuous slot refill.
+All paths are greedy, EOS-terminated, and token-identical to their
+sequential counterparts; the fleet advances ``batch_size`` sequences per
+forward pass with continuous slot refill.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
 
 from ..config import DEFAULT_GEN_BATCH_SIZE as DEFAULT_BATCH_SIZE
 from ..nn.decoding import BatchedEngine, GenerationRequest
@@ -62,3 +68,51 @@ class TextEngine:
             self.tokenizer.decode(out)
             for out in self.complete(prompts, max_new_tokens)
         ]
+
+    # -- streaming ---------------------------------------------------------------
+    def submit(self, instruction: str, max_new_tokens: int = 48) -> int:
+        """Enqueue one instruction (Alpaca template); returns its sequence id.
+
+        The request joins the decode fleet at the next :meth:`pump`, in
+        the first free or retiring slot — it does not wait for the
+        in-flight batch to drain.
+        """
+        context = self.model.config.max_seq_len
+        prompt = encode_truncated_instruction_prompt(
+            self.tokenizer, instruction, context
+        )
+        return self.engine.submit(
+            GenerationRequest(
+                prompt, max_new_tokens, eos_id=self.tokenizer.specials.eos
+            )
+        )
+
+    def pump(self) -> dict[int, str]:
+        """Advance the fleet one step; return newly finished ``{id: text}``.
+
+        The caller must be the engine's only driver (see
+        :class:`~repro.nn.decoding.BatchedEngine` on thread-safety).
+        """
+        self.engine.step()
+        return {
+            seq_id: self.tokenizer.decode(tokens)
+            for seq_id, tokens in self.engine.collect().items()
+        }
+
+    def respond_iter(
+        self, instructions: list[str], max_new_tokens: int = 48
+    ) -> Iterator[tuple[int, str]]:
+        """Yield ``(input_index, response)`` in completion order."""
+        index_of = {
+            self.submit(text, max_new_tokens): i
+            for i, text in enumerate(instructions)
+        }
+        remaining = len(index_of)
+        while remaining:
+            for seq_id, text in self.pump().items():
+                if seq_id not in index_of:
+                    # Residue from an earlier abandoned iterator on this
+                    # engine: its caller is gone, drop the result.
+                    continue
+                remaining -= 1
+                yield index_of[seq_id], text

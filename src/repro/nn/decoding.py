@@ -26,6 +26,12 @@ set response generation):
   budget) retires immediately; its slot is refilled from the pending
   queue, or the batch is compacted (swap-with-last) so stragglers never
   pay for dead slots.
+* **Streaming intake.**  The same machinery is exposed incrementally —
+  ``submit()`` enqueues a request at any time, ``step()`` advances the
+  fleet one token, ``collect()`` drains finished results — so callers
+  serving requests that arrive over time (:mod:`repro.serving`) can slip
+  new work into retiring slots mid-flight; ``generate()`` is the
+  run-to-completion loop layered on top.
 * **Per-sequence logit bias.**  Each request carries an optional static
   ``(V,)`` bias — together they form the batch's ``(B, V)`` bias matrix —
   plus an optional per-step hook for dynamic biases
@@ -228,7 +234,7 @@ class _StepSlot:
 class _SlotState:
     """Decode-time state of one occupied slot."""
 
-    index: int                      #: position of the request in the input list
+    seq_id: int                     #: engine-wide id assigned at submit()
     request: GenerationRequest
     budget: int
     produced: list[int] = field(default_factory=list)
@@ -237,10 +243,28 @@ class _SlotState:
 class BatchedEngine:
     """Continuous-batching greedy decoder over a :class:`TransformerLM`.
 
-    See the module docstring for the architecture.  ``generate`` consumes
-    a list of :class:`GenerationRequest` and returns the produced token
-    lists in input order; results are token-for-token identical to
-    calling :meth:`TransformerLM.generate` (greedy) per request.
+    See the module docstring for the architecture.  The engine can be
+    driven two ways:
+
+    * **Run to completion** — :meth:`generate` consumes a list of
+      :class:`GenerationRequest` and returns the produced token lists in
+      input order; results are token-for-token identical to calling
+      :meth:`TransformerLM.generate` (greedy) per request.
+    * **Streaming** — :meth:`submit` enqueues one request and returns its
+      sequence id, :meth:`step` advances the whole fleet one token
+      (admitting pending requests into free slots first, so a request
+      submitted mid-flight joins the batch as soon as a slot retires
+      instead of waiting for the batch to drain), and :meth:`collect`
+      pops finished ``{seq_id: tokens}`` results.  This is the substrate
+      of the online revision service (:mod:`repro.serving`).
+
+    The slot KV slabs are allocated lazily on first use and reused across
+    drains: a refilled slot overwrites from column zero and the key mask
+    hides stale columns, so results never depend on slot history.  The
+    engine is not thread-safe; a single driver (e.g. the serving worker
+    thread) must own all ``submit``/``step``/``collect`` calls, and
+    :meth:`generate` must not be interleaved with an external
+    :meth:`collect`.
     """
 
     def __init__(self, model: TransformerLM, max_batch: int = DEFAULT_GEN_BATCH_SIZE):
@@ -248,6 +272,13 @@ class BatchedEngine:
             raise GenerationError(f"max_batch must be >= 1, got {max_batch}")
         self.model = model
         self.max_batch = max_batch
+        self._caches: SlotKVCaches | None = None
+        self._bias: np.ndarray | None = None
+        self._slots: list[_SlotState | None] = [None] * max_batch
+        self._n_active = 0
+        self._pending: deque[tuple[int, GenerationRequest]] = deque()
+        self._finished: dict[int, list[int]] = {}
+        self._next_id = 0
 
     # -- request intake ----------------------------------------------------------
     def _validate(self, request: GenerationRequest) -> None:
@@ -256,6 +287,37 @@ class BatchedEngine:
         vocab = self.model.config.vocab_size
         if request.logit_bias is not None and request.logit_bias.shape != (vocab,):
             raise GenerationError(f"logit_bias must have shape ({vocab},)")
+
+    def submit(self, request: GenerationRequest) -> int:
+        """Enqueue one request; returns its sequence id.
+
+        The request is admitted into a KV slot by a later :meth:`step` —
+        immediately if a slot is free, otherwise as soon as one retires.
+        """
+        self._validate(request)
+        seq_id = self._next_id
+        self._next_id += 1
+        self._pending.append((seq_id, request))
+        return seq_id
+
+    @property
+    def n_active(self) -> int:
+        """Sequences currently decoding in KV slots."""
+        return self._n_active
+
+    @property
+    def n_pending(self) -> int:
+        """Submitted sequences not yet admitted into a slot."""
+        return len(self._pending)
+
+    @property
+    def free_capacity(self) -> int:
+        """Slots the engine can absorb before submissions queue behind others."""
+        return self.max_batch - self._n_active - len(self._pending)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._pending) or self._n_active > 0
 
     @staticmethod
     def _first_token(
@@ -274,98 +336,125 @@ class BatchedEngine:
             request.eos_id is not None and token == request.eos_id
         ) or len(state.produced) >= state.budget
 
-    # -- main loop ---------------------------------------------------------------
+    def _ensure_state(self) -> None:
+        if self._caches is None:
+            self._caches = SlotKVCaches(self.model, self.max_batch)
+            self._bias = np.zeros(
+                (self.max_batch, self.model.config.vocab_size), dtype=np.float32
+            )
+
+    def _fill(self, slot: int) -> bool:
+        """Prefill the next viable pending request into ``slot``."""
+        context = self.model.config.max_seq_len
+        caches, bias = self._caches, self._bias
+        while self._pending:
+            seq_id, request = self._pending.popleft()
+            budget = min(request.max_new_tokens, context - len(request.prompt_ids))
+            if budget <= 0:
+                self._finished[seq_id] = []
+                continue
+            state = _SlotState(seq_id, request, budget)
+            bias[slot] = (
+                request.logit_bias if request.logit_bias is not None else 0.0
+            )
+            logits = self.model._forward_numpy(
+                np.asarray([request.prompt_ids], dtype=np.int64),
+                caches.prefill_adapters(slot),
+            )[:, -1, :]
+            caches.lengths[slot] = len(request.prompt_ids)
+            if self._first_token(state, logits[0], bias[slot]):
+                self._finished[seq_id] = state.produced
+                continue
+            self._slots[slot] = state
+            return True
+        return False
+
+    # -- streaming loop ----------------------------------------------------------
+    def step(self) -> int:
+        """Admit pending requests, then advance every active slot one token.
+
+        Returns the number of sequences that finished during this call
+        (prefill-time instant finishes included); a no-op when idle.
+        """
+        if not self.has_work:
+            return 0
+        self._ensure_state()
+        before = len(self._finished)
+        while self._n_active < self.max_batch and self._pending:
+            if self._fill(self._n_active):
+                self._n_active += 1
+        n_active = self._n_active
+        if n_active == 0:
+            return len(self._finished) - before
+
+        # One batched decode step over the active slots.
+        caches, bias, slots = self._caches, self._bias, self._slots
+        last = np.asarray(
+            [[slots[b].produced[-1]] for b in range(n_active)], dtype=np.int64
+        )
+        lengths = caches.lengths[:n_active]
+        view_len = int(lengths.max()) + 1
+        key_mask = np.where(
+            np.arange(view_len)[None, :] <= lengths[:, None],
+            np.float32(0.0),
+            _NEG_INF,
+        )[:, None, None, :]
+        logits = self.model._forward_numpy(
+            last,
+            caches.step_adapters(n_active, view_len),
+            position_offset=lengths.copy(),
+            key_mask=key_mask,
+        )[:, -1, :]
+        caches.lengths[:n_active] += 1
+
+        step = logits + bias[:n_active]
+        finished: list[int] = []
+        for b in range(n_active):
+            state = slots[b]
+            if state.request.step_bias is not None:
+                state.request.step_bias(state.produced, step[b])
+            token = int(step[b].argmax())
+            state.produced.append(token)
+            eos = state.request.eos_id
+            if (eos is not None and token == eos) or len(
+                state.produced
+            ) >= state.budget:
+                finished.append(b)
+
+        # Retire finished slots; refill from pending or compact.
+        for b in reversed(finished):
+            state = slots[b]
+            self._finished[state.seq_id] = state.produced
+            if self._fill(b):
+                continue
+            tail = self._n_active - 1
+            if b != tail:
+                caches.move(tail, b)
+                bias[b] = bias[tail]
+                slots[b] = slots[tail]
+            slots[tail] = None
+            self._n_active -= 1
+
+        return len(self._finished) - before
+
+    def collect(self) -> dict[int, list[int]]:
+        """Pop every finished result as ``{seq_id: produced tokens}``."""
+        finished = self._finished
+        self._finished = {}
+        return finished
+
+    # -- run to completion -------------------------------------------------------
     def generate(self, requests: list[GenerationRequest]) -> list[list[int]]:
+        # Validate the whole list before enqueuing anything, so a bad
+        # request cannot strand its predecessors in the pending queue.
         for request in requests:
             self._validate(request)
-        model = self.model
-        context = model.config.max_seq_len
-        results: list[list[int] | None] = [None] * len(requests)
-        pending: deque[int] = deque(range(len(requests)))
-        caches = SlotKVCaches(model, self.max_batch)
-        bias = np.zeros(
-            (self.max_batch, model.config.vocab_size), dtype=np.float32
-        )
-        slots: list[_SlotState | None] = [None] * self.max_batch
-        n_active = 0
-
-        def fill(slot: int) -> bool:
-            """Prefill the next viable pending request into ``slot``."""
-            while pending:
-                index = pending.popleft()
-                request = requests[index]
-                budget = min(request.max_new_tokens, context - len(request.prompt_ids))
-                if budget <= 0:
-                    results[index] = []
-                    continue
-                state = _SlotState(index, request, budget)
-                bias[slot] = (
-                    request.logit_bias if request.logit_bias is not None else 0.0
+        ids = [self.submit(request) for request in requests]
+        remaining = set(ids)
+        while remaining - self._finished.keys():
+            if self.step() == 0 and not self.has_work:
+                raise GenerationError(
+                    "engine drained without finishing all requests "
+                    "(collect() called concurrently?)"
                 )
-                logits = model._forward_numpy(
-                    np.asarray([request.prompt_ids], dtype=np.int64),
-                    caches.prefill_adapters(slot),
-                )[:, -1, :]
-                caches.lengths[slot] = len(request.prompt_ids)
-                if self._first_token(state, logits[0], bias[slot]):
-                    results[index] = state.produced
-                    continue
-                slots[slot] = state
-                return True
-            return False
-
-        while True:
-            while n_active < self.max_batch and pending:
-                if fill(n_active):
-                    n_active += 1
-            if n_active == 0:
-                break
-
-            # One batched decode step over the active slots.
-            last = np.asarray(
-                [[slots[b].produced[-1]] for b in range(n_active)], dtype=np.int64
-            )
-            lengths = caches.lengths[:n_active]
-            view_len = int(lengths.max()) + 1
-            key_mask = np.where(
-                np.arange(view_len)[None, :] <= lengths[:, None],
-                np.float32(0.0),
-                _NEG_INF,
-            )[:, None, None, :]
-            logits = model._forward_numpy(
-                last,
-                caches.step_adapters(n_active, view_len),
-                position_offset=lengths.copy(),
-                key_mask=key_mask,
-            )[:, -1, :]
-            caches.lengths[:n_active] += 1
-
-            step = logits + bias[:n_active]
-            finished: list[int] = []
-            for b in range(n_active):
-                state = slots[b]
-                if state.request.step_bias is not None:
-                    state.request.step_bias(state.produced, step[b])
-                token = int(step[b].argmax())
-                state.produced.append(token)
-                eos = state.request.eos_id
-                if (eos is not None and token == eos) or len(
-                    state.produced
-                ) >= state.budget:
-                    finished.append(b)
-
-            # Retire finished slots; refill from pending or compact.
-            for b in reversed(finished):
-                state = slots[b]
-                results[state.index] = state.produced
-                if fill(b):
-                    continue
-                tail = n_active - 1
-                if b != tail:
-                    caches.move(tail, b)
-                    bias[b] = bias[tail]
-                    slots[b] = slots[tail]
-                slots[tail] = None
-                n_active -= 1
-
-        return results  # type: ignore[return-value]
+        return [self._finished.pop(seq_id) for seq_id in ids]

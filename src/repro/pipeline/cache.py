@@ -5,13 +5,22 @@ tuning, dataset revision); the cache keys every artifact by a stable
 content hash of its configuration, so a cold benchmark suite is paid once
 per scale preset.  Everything is stored as plain files (npz for weights,
 jsonl for datasets/records, json for summaries) — no pickling.
+
+All writes are atomic: content lands in a sibling ``.tmp`` file that is
+:func:`os.replace`-d over the final path, so concurrent workers (e.g.
+serving processes sharing one artifact directory) can never observe a
+half-written artifact — a reader sees either the old file or the new
+one, and a crashed writer leaves at worst a stale ``.tmp``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -24,6 +33,25 @@ def config_hash(payload: dict) -> str:
     """Stable short hash of a JSON-serialisable configuration."""
     canonical = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _atomic_write(path: Path, write: Callable[[Path], None]) -> None:
+    """Run ``write`` against a unique ``.tmp`` sibling, then rename into place.
+
+    The temp name is unique per call (:func:`tempfile.mkstemp`), so two
+    workers racing to save the same key each write their own file and the
+    final artifact is whichever rename lands last — never a mixture.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        write(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 class ArtifactCache:
@@ -45,7 +73,14 @@ class ArtifactCache:
     def save_weights(self, kind: str, key: str, state: dict[str, np.ndarray]) -> None:
         if not self.enabled:
             return
-        np.savez(self._path(kind, key, ".npz"), **state)
+
+        def write(tmp: Path) -> None:
+            # Write through a handle: np.savez would append ".npz" to a
+            # bare tmp path and break the rename.
+            with tmp.open("wb") as fh:
+                np.savez(fh, **state)
+
+        _atomic_write(self._path(kind, key, ".npz"), write)
 
     def load_weights(self, kind: str, key: str) -> dict[str, np.ndarray]:
         path = self._path(kind, key, ".npz")
@@ -61,7 +96,7 @@ class ArtifactCache:
     def save_dataset(self, kind: str, key: str, dataset: InstructionDataset) -> None:
         if not self.enabled:
             return
-        dataset.save_jsonl(self._path(kind, key, ".jsonl"))
+        _atomic_write(self._path(kind, key, ".jsonl"), dataset.save_jsonl)
 
     def load_dataset(self, kind: str, key: str, name: str) -> InstructionDataset:
         return InstructionDataset.load_jsonl(
@@ -77,11 +112,14 @@ class ArtifactCache:
     ) -> None:
         if not self.enabled:
             return
-        path = self._path(kind, key, ".records.jsonl")
-        with path.open("w", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(json.dumps(record.to_json(), sort_keys=True))
-                fh.write("\n")
+
+        def write(tmp: Path) -> None:
+            with tmp.open("w", encoding="utf-8") as fh:
+                for record in records:
+                    fh.write(json.dumps(record.to_json(), sort_keys=True))
+                    fh.write("\n")
+
+        _atomic_write(self._path(kind, key, ".records.jsonl"), write)
 
     def load_records(self, kind: str, key: str) -> list[RevisionRecord]:
         path = self._path(kind, key, ".records.jsonl")
@@ -102,8 +140,10 @@ class ArtifactCache:
     def save_json(self, kind: str, key: str, payload: object) -> None:
         if not self.enabled:
             return
-        self._path(kind, key, ".json").write_text(
-            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        _atomic_write(
+            self._path(kind, key, ".json"),
+            lambda tmp: tmp.write_text(text, encoding="utf-8"),
         )
 
     def load_json(self, kind: str, key: str) -> object:

@@ -1,0 +1,78 @@
+"""Online revision service: CoachLM as a streaming precursor stage.
+
+The paper's headline industrial result is CoachLM running *online*
+inside Huawei's LLM data-management platform, revising noisy user cases
+before human annotators see them (Fig. 6).  The offline reproduction
+(:mod:`repro.deployment.platform`) processes fully-materialised batches;
+this package serves requests that **arrive over time**, which is what
+the platform actually faces under heavy user traffic.
+
+Architecture (bottom up):
+
+* :mod:`repro.serving.scheduler` — :class:`StreamingScheduler`: feeds
+  jobs into the :class:`~repro.nn.decoding.BatchedEngine` incrementally
+  via its ``submit``/``step``/``collect`` API, so a late-arriving request
+  joins the in-flight batch at the first retired KV slot instead of
+  waiting for the batch to drain;
+* :mod:`repro.serving.queueing` — :class:`BoundedPriorityQueue` with
+  admission control (:class:`~repro.errors.AdmissionError` on overflow);
+* :mod:`repro.serving.cache` — content-hash dedup plus an LRU result
+  cache, keyed by :func:`repro.pipeline.cache.config_hash`; repeated
+  content is served without touching the engine;
+* :mod:`repro.serving.metrics` — queue depth, latency percentiles and
+  sustained tokens/sec, all on monotonic clocks;
+* :mod:`repro.serving.server` — :class:`RevisionServer`: per-request
+  futures, deadlines, optional :class:`~repro.quality.scorer.CriteriaScorer`
+  quality gating, one worker thread pumping the scheduler;
+* :mod:`repro.serving.client` — :class:`InProcessRevisionClient`: the
+  ``CoachLM.revise_dataset``-compatible façade used by the Fig. 6
+  platform simulator;
+* :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON
+  front-end (``POST /revise``, ``GET /metrics``, ``GET /healthz``).
+
+Served revisions are token-for-token identical to
+:meth:`CoachLM.revise_dataset` on the same inputs; the parity is pinned
+by ``tests/test_serving.py`` and throughput is tracked by
+``benchmarks/test_bench_serving.py`` (``BENCH_serving.json``).
+"""
+
+from .cache import CachedRevision, RevisionLRUCache, revision_key
+from .client import InProcessRevisionClient
+from .http import RevisionHTTPFrontend
+from .metrics import ServingMetrics
+from .queueing import BoundedPriorityQueue
+from .requests import (
+    OUTCOME_EXPIRED,
+    OUTCOME_QUALITY_GATED,
+    RevisionFuture,
+    RevisionResult,
+    SOURCE_CACHE,
+    SOURCE_DEADLINE,
+    SOURCE_DEDUP,
+    SOURCE_ENGINE,
+    SOURCE_GATE,
+)
+from .scheduler import EngineJob, StreamingScheduler
+from .server import RevisionServer
+
+__all__ = [
+    "BoundedPriorityQueue",
+    "CachedRevision",
+    "EngineJob",
+    "InProcessRevisionClient",
+    "OUTCOME_EXPIRED",
+    "OUTCOME_QUALITY_GATED",
+    "RevisionFuture",
+    "RevisionHTTPFrontend",
+    "RevisionLRUCache",
+    "RevisionResult",
+    "RevisionServer",
+    "ServingMetrics",
+    "SOURCE_CACHE",
+    "SOURCE_DEADLINE",
+    "SOURCE_DEDUP",
+    "SOURCE_ENGINE",
+    "SOURCE_GATE",
+    "StreamingScheduler",
+    "revision_key",
+]

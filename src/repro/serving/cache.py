@@ -1,0 +1,89 @@
+"""Content-hash dedup and LRU result cache for the revision service.
+
+Online traffic repeats itself (template instructions, retried uploads),
+and CoachLM's greedy revision is a pure function of the pair *text* plus
+the coach's decode knobs — so identical content can be served straight
+from a cache without touching the engine.  Keys reuse
+:func:`repro.pipeline.cache.config_hash`, the same stable hash the
+offline artifact cache is keyed by.
+
+Leakage gating is the one outcome that depends on ``pair_id`` rather
+than content; the server bypasses this cache entirely for such pairs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..data.instruction_pair import InstructionPair, Origin
+from ..pipeline.cache import config_hash
+
+
+def revision_key(pair: InstructionPair, max_new_tokens: int, copy_bias: float) -> str:
+    """Stable content hash identifying one revision computation."""
+    return config_hash({
+        "instruction": pair.instruction,
+        "response": pair.response,
+        "max_new_tokens": max_new_tokens,
+        "copy_bias": copy_bias,
+    })
+
+
+@dataclass(frozen=True)
+class CachedRevision:
+    """Terminal revision texts stored per content key."""
+
+    instruction: str
+    response: str
+    outcome: str    #: the ``RevisionOutcome`` (or serving outcome) value
+
+    def apply(self, pair: InstructionPair) -> InstructionPair:
+        """Re-bind the cached texts to ``pair``'s identity and provenance."""
+        from ..core.coachlm import RevisionOutcome
+
+        if self.outcome == RevisionOutcome.REVISED.value:
+            return pair.with_text(
+                self.instruction, self.response, Origin.COACHLM_REVISED
+            )
+        # Fallback / unchanged / gated outcomes keep the requester's text.
+        return pair
+
+
+class RevisionLRUCache:
+    """Thread-safe LRU of :class:`CachedRevision` entries.
+
+    ``capacity == 0`` disables the cache (every ``get`` misses, ``put``
+    is a no-op), which also switches off in-flight dedup in the server.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CachedRevision] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> CachedRevision | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, entry: CachedRevision) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)

@@ -1,0 +1,70 @@
+"""In-process client: dataset revision through a running RevisionServer.
+
+:class:`InProcessRevisionClient` gives callers the exact
+``CoachLM.revise_dataset`` signature — ``(InstructionDataset) ->
+(InstructionDataset, RevisionStats)`` — but routes every pair through the
+server, so the Fig. 6 platform's intake stage exercises the same
+admission control, cache and scheduler as external HTTP traffic.  Unlike
+raw :meth:`RevisionServer.submit`, the client absorbs back-pressure: on
+:class:`AdmissionError` it blocks on its oldest outstanding future before
+retrying, keeping at most one queue-full of requests in flight.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from ..core.coachlm import RevisionStats
+from ..data.dataset import InstructionDataset
+from ..data.instruction_pair import InstructionPair
+from ..errors import AdmissionError
+from .requests import RevisionFuture, RevisionResult
+from .server import RevisionServer
+
+
+class InProcessRevisionClient:
+    """CoachLM-compatible revision façade over a :class:`RevisionServer`."""
+
+    def __init__(self, server: RevisionServer, timeout_s: float = 300.0):
+        self.server = server
+        self.timeout_s = timeout_s
+
+    def revise_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
+        """Revise pairs in order, blocking on back-pressure as needed."""
+        self.server.start()
+        results: list[RevisionResult | None] = [None] * len(pairs)
+        outstanding: deque[tuple[int, RevisionFuture]] = deque()
+        for index, pair in enumerate(pairs):
+            while True:
+                try:
+                    future = self.server.submit(pair)
+                    break
+                except AdmissionError:
+                    if outstanding:
+                        oldest, oldest_future = outstanding.popleft()
+                        results[oldest] = oldest_future.result(self.timeout_s)
+                    else:
+                        # Queue filled by other clients: briefly yield.
+                        time.sleep(self.server.config.idle_wait_s)
+            outstanding.append((index, future))
+        for index, future in outstanding:
+            results[index] = future.result(self.timeout_s)
+        return results  # type: ignore[return-value]
+
+    def revise_dataset(
+        self, dataset: InstructionDataset
+    ) -> tuple[InstructionDataset, RevisionStats]:
+        """Drop-in for :meth:`CoachLM.revise_dataset`, served online."""
+        pairs = list(dataset)
+        results = self.revise_pairs(pairs)
+        stats = RevisionStats()
+        for result in results:
+            stats.record(result.outcome)
+        return (
+            InstructionDataset(
+                [result.pair for result in results],
+                name=f"{dataset.name}-coachlm",
+            ),
+            stats,
+        )

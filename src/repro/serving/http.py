@@ -1,0 +1,174 @@
+"""Stdlib JSON/HTTP front-end for the revision server.
+
+A thin :class:`ThreadingHTTPServer` adapter — each connection is handled
+on its own thread, submits into the shared :class:`RevisionServer` and
+blocks on its future, so concurrency is bounded by the serving queue and
+engine, not by HTTP.  Endpoints:
+
+``POST /revise``
+    Body ``{"instruction": str, "response": str, "pair_id"?, "priority"?,
+    "deadline_s"?, "timeout_s"?}``.  Replies ``200`` with
+    ``{"instruction", "response", "outcome", "source", "latency_s",
+    "generated_tokens"}``; ``400`` on a malformed payload; ``429`` when
+    admission control rejects; ``504`` when the result misses
+    ``timeout_s``.
+``GET /metrics``
+    The :meth:`ServingMetrics.snapshot` JSON (latency percentiles,
+    tokens/sec, per-source counts, queue depth).
+``GET /healthz``
+    ``{"status": "ok", "queue_depth": n}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import AdmissionError, ServingError
+from .server import RevisionServer
+
+
+def _make_handler(
+    revision_server: RevisionServer, default_timeout_s: float
+) -> type[BaseHTTPRequestHandler]:
+    class RevisionHandler(BaseHTTPRequestHandler):
+        server_version = "CoachLMRevision/1.0"
+
+        def log_message(self, *args: object) -> None:  # silence stderr
+            pass
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/metrics":
+                self._reply(
+                    200,
+                    revision_server.metrics.snapshot(
+                        queue_depth=revision_server.queue.depth
+                    ),
+                )
+            elif self.path == "/healthz":
+                self._reply(
+                    200,
+                    {"status": "ok", "queue_depth": revision_server.queue.depth},
+                )
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/revise":
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                blob = json.loads(self.rfile.read(length) or b"")
+            except (ValueError, json.JSONDecodeError):
+                self._reply(400, {"error": "body must be a JSON object"})
+                return
+            if (
+                not isinstance(blob, dict)
+                or not isinstance(blob.get("instruction"), str)
+                or not isinstance(blob.get("response"), str)
+            ):
+                self._reply(
+                    400,
+                    {"error": "required string fields: instruction, response"},
+                )
+                return
+            pair = InstructionPair(
+                instruction=blob["instruction"],
+                response=blob["response"],
+                pair_id=str(blob.get("pair_id", "")),
+            )
+            try:
+                priority = int(blob.get("priority", 0))
+                deadline_s = blob.get("deadline_s")
+                deadline_s = None if deadline_s is None else float(deadline_s)
+                timeout_s = float(blob.get("timeout_s", default_timeout_s))
+            except (TypeError, ValueError):
+                self._reply(400, {"error": "malformed numeric field"})
+                return
+            try:
+                future = revision_server.submit(
+                    pair, priority=priority, deadline_s=deadline_s
+                )
+            except AdmissionError as error:
+                self._reply(429, {"error": str(error)})
+                return
+            try:
+                result = future.result(timeout=timeout_s)
+            except ServingError as error:
+                self._reply(504, {"error": str(error)})
+                return
+            self._reply(200, {
+                "instruction": result.pair.instruction,
+                "response": result.pair.response,
+                "outcome": result.outcome,
+                "source": result.source,
+                "latency_s": round(result.latency_s, 6),
+                "generated_tokens": result.generated_tokens,
+            })
+
+    return RevisionHandler
+
+
+class RevisionHTTPFrontend:
+    """Owns a :class:`ThreadingHTTPServer` bound to one revision server.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  Starting the front-end also starts the underlying
+    revision server.  Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        revision_server: RevisionServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 60.0,
+    ):
+        self.revision_server = revision_server
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(revision_server, request_timeout_s)
+        )
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RevisionHTTPFrontend":
+        if self._thread is None:
+            self.revision_server.start()
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                name="revision-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join()
+        self._thread = None
+        self.revision_server.stop()
+
+    def __enter__(self) -> "RevisionHTTPFrontend":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,111 @@
+"""Serving metrics: counters, latency percentiles, decode throughput.
+
+Every quantity is recorded with monotonic clocks (``time.monotonic`` for
+latency anchors, ``time.perf_counter`` for engine busy time), so numbers
+cannot go negative under wall-clock adjustment.  ``tokens_per_second``
+is *sustained* engine throughput: tokens produced divided by the time
+the engine actually spent stepping, which is directly comparable to the
+offline numbers in ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .requests import (
+    RevisionResult,
+    SOURCE_CACHE,
+    SOURCE_DEADLINE,
+    SOURCE_DEDUP,
+    SOURCE_ENGINE,
+    SOURCE_GATE,
+)
+
+
+class ServingMetrics:
+    """Thread-safe metrics collector for one :class:`RevisionServer`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.by_source: dict[str, int] = {
+            SOURCE_ENGINE: 0,
+            SOURCE_CACHE: 0,
+            SOURCE_DEDUP: 0,
+            SOURCE_GATE: 0,
+            SOURCE_DEADLINE: 0,
+        }
+        self.engine_tokens = 0
+        self.engine_busy_s = 0.0
+        self._latencies: list[float] = []
+
+    # -- recording ---------------------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_result(self, result: RevisionResult) -> None:
+        with self._lock:
+            self.completed += 1
+            self.by_source[result.source] = (
+                self.by_source.get(result.source, 0) + 1
+            )
+            self._latencies.append(result.latency_s)
+
+    def record_engine_work(self, tokens: int, busy_s: float) -> None:
+        with self._lock:
+            self.engine_tokens += tokens
+            self.engine_busy_s += busy_s
+
+    # -- reading -----------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        with self._lock:
+            return self.by_source[SOURCE_CACHE] + self.by_source[SOURCE_DEDUP]
+
+    def latency_percentile(self, p: float) -> float:
+        """Latency percentile over all completed requests (0 when empty)."""
+        with self._lock:
+            if not self._latencies:
+                return 0.0
+            return float(np.percentile(self._latencies, p))
+
+    def tokens_per_second(self) -> float:
+        """Sustained engine decode throughput (tokens / engine busy time)."""
+        with self._lock:
+            if self.engine_busy_s == 0.0:
+                return 0.0
+            return self.engine_tokens / self.engine_busy_s
+
+    def snapshot(self, queue_depth: int | None = None) -> dict:
+        """JSON-serialisable view of every metric (the ``/metrics`` payload)."""
+        p50 = self.latency_percentile(50.0)
+        p95 = self.latency_percentile(95.0)
+        with self._lock:
+            snap: dict = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "by_source": dict(self.by_source),
+                "engine_tokens": self.engine_tokens,
+                "engine_busy_s": round(self.engine_busy_s, 6),
+                "latency_p50_s": round(p50, 6),
+                "latency_p95_s": round(p95, 6),
+            }
+            tokens_per_sec = (
+                self.engine_tokens / self.engine_busy_s
+                if self.engine_busy_s
+                else 0.0
+            )
+        snap["tokens_per_sec"] = round(tokens_per_sec, 1)
+        if queue_depth is not None:
+            snap["queue_depth"] = queue_depth
+        return snap

@@ -1,0 +1,77 @@
+"""Bounded priority queue with admission control.
+
+The serving layer never buffers unboundedly: when the queue is full,
+:meth:`BoundedPriorityQueue.put` raises
+:class:`~repro.errors.AdmissionError` so back-pressure propagates to the
+caller (the HTTP front-end turns it into ``429 Too Many Requests``).
+Lower priority values are served first; requests within one priority
+class stay FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Generic, TypeVar
+
+from ..errors import AdmissionError, ConfigError, ServingError
+
+T = TypeVar("T")
+
+
+class BoundedPriorityQueue(Generic[T]):
+    """Thread-safe bounded priority queue (lower value = higher priority)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, T]] = []
+        self._tiebreak = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued items."""
+        return len(self)
+
+    def put(self, item: T, priority: int = 0) -> None:
+        """Enqueue ``item``; raises :class:`AdmissionError` when full."""
+        with self._not_empty:
+            if self._closed:
+                raise ServingError("queue is closed")
+            if len(self._heap) >= self.capacity:
+                raise AdmissionError(
+                    f"queue full: depth {len(self._heap)} >= capacity "
+                    f"{self.capacity}"
+                )
+            heapq.heappush(self._heap, (priority, next(self._tiebreak), item))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None) -> T | None:
+        """Pop the highest-priority item; ``None`` on timeout or drained-closed."""
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Refuse new puts and wake blocked getters; queued items still drain."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def reopen(self) -> None:
+        """Accept puts again (a restarted server reuses its queue)."""
+        with self._not_empty:
+            self._closed = False

@@ -1,0 +1,78 @@
+"""Request records, results and futures of the online revision service.
+
+A client submits one :class:`~repro.data.instruction_pair.InstructionPair`
+and immediately receives a :class:`RevisionFuture`; the serving worker
+resolves it with a :class:`RevisionResult` once the request reaches a
+terminal state.  All timestamps use :func:`time.monotonic` so latencies
+survive wall-clock adjustments.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import ServingError
+
+#: ``RevisionResult.source`` values — which path produced the result.
+SOURCE_ENGINE = "engine"            #: decoded by the batched engine
+SOURCE_CACHE = "cache"              #: LRU hit, engine untouched
+SOURCE_DEDUP = "dedup"              #: attached to an identical in-flight request
+SOURCE_GATE = "quality_gate"        #: skipped: already above the rubric threshold
+SOURCE_DEADLINE = "deadline"        #: expired in the queue before decoding
+
+#: Serving-only terminal outcomes (alongside ``RevisionOutcome`` values).
+OUTCOME_EXPIRED = "expired"
+OUTCOME_QUALITY_GATED = "quality_gated"
+
+
+@dataclass(frozen=True)
+class RevisionResult:
+    """Terminal state of one revision request."""
+
+    pair: InstructionPair   #: the revised pair (or the original on fallback)
+    outcome: str            #: a ``RevisionOutcome`` value, or a serving outcome
+    source: str             #: one of the ``SOURCE_*`` constants
+    latency_s: float        #: submit → resolve, monotonic clock
+    generated_tokens: int = 0   #: decode tokens spent on this request
+
+
+class RevisionFuture:
+    """Write-once future resolved by the serving worker."""
+
+    __slots__ = ("_event", "_result")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: RevisionResult | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result: RevisionResult) -> None:
+        if self._event.is_set():
+            raise ServingError("revision future already resolved")
+        self._result = result
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> RevisionResult:
+        """Block until resolved; raises :class:`ServingError` on timeout."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"timed out after {timeout}s waiting for a revision result"
+            )
+        assert self._result is not None
+        return self._result
+
+
+@dataclass
+class RevisionTask:
+    """One queued revision request (internal to the server)."""
+
+    pair: InstructionPair
+    future: RevisionFuture
+    cache_key: str | None       #: None for leakage-gated pairs (id-dependent)
+    submitted_at: float         #: monotonic
+    deadline: float | None      #: monotonic, absolute; None = never expires
+    priority: int = 0

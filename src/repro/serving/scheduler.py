@@ -1,0 +1,90 @@
+"""Streaming scheduler: pumps revision jobs through the batched engine.
+
+The scheduler is the bridge between *requests that arrive over time* and
+the :class:`~repro.nn.decoding.BatchedEngine`'s slot fleet.  It owns no
+thread of its own — :meth:`pump` performs exactly one scheduling round
+(admit waiting jobs into free slots → one batched decode step → dispatch
+completions) and is driven either by the server's worker thread or
+directly by tests, which makes the late-join behaviour deterministic:
+
+* a job submitted while the fleet is mid-flight is prefilled into the
+  first slot that retires, so it **joins the in-flight batch** instead of
+  waiting for the whole batch to drain;
+* admission is capped at the engine's slot count, so jobs keep waiting in
+  the server's *priority* queue (not the engine's FIFO) until a slot is
+  actually imminent — priorities stay meaningful under load.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..nn.decoding import BatchedEngine, GenerationRequest
+from .metrics import ServingMetrics
+
+
+@dataclass
+class EngineJob:
+    """One decode job: an engine request plus its completion callback."""
+
+    request: GenerationRequest
+    on_done: Callable[[list[int]], None]
+
+
+class StreamingScheduler:
+    """Feeds :class:`EngineJob`s into a :class:`BatchedEngine` incrementally."""
+
+    def __init__(self, engine: BatchedEngine, metrics: ServingMetrics | None = None):
+        self.engine = engine
+        self.metrics = metrics
+        self._jobs: dict[int, EngineJob] = {}
+
+    @property
+    def free_capacity(self) -> int:
+        """Jobs the engine can absorb without queueing behind other jobs."""
+        return self.engine.free_capacity
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted to the engine and not yet dispatched."""
+        return len(self._jobs)
+
+    @property
+    def has_work(self) -> bool:
+        return self.engine.has_work
+
+    def submit(self, job: EngineJob) -> int:
+        """Hand one job to the engine; it joins the fleet at the next pump."""
+        seq_id = self.engine.submit(job.request)
+        self._jobs[seq_id] = job
+        return seq_id
+
+    def pump(self) -> int:
+        """One round: a single engine step plus completion dispatch.
+
+        Returns the number of jobs completed this round.  Engine busy
+        time and produced tokens are recorded into the metrics collector.
+        """
+        if not self.engine.has_work:
+            return 0
+        start = time.perf_counter()
+        self.engine.step()
+        busy = time.perf_counter() - start
+        done = self.engine.collect()
+        if self.metrics is not None:
+            self.metrics.record_engine_work(
+                sum(len(tokens) for tokens in done.values()), busy
+            )
+        for seq_id, tokens in done.items():
+            job = self._jobs.pop(seq_id)
+            job.on_done(tokens)
+        return len(done)
+
+    def drain(self) -> int:
+        """Pump until the engine is empty; returns total jobs completed."""
+        total = 0
+        while self.engine.has_work:
+            total += self.pump()
+        return total

@@ -1,0 +1,302 @@
+"""The online revision server: asynchronous CoachLM over the batched engine.
+
+:class:`RevisionServer` is the paper's deployment story (Fig. 6) made
+*online*: user cases arrive one at a time, are revised by CoachLM before
+any human sees them, and the fleet never waits for a batch boundary —
+the streaming scheduler slips each request into the first KV slot that
+retires.  Request lifecycle::
+
+    submit() ── leakage gate ──┐
+        │                      └─ resolved immediately (id-dependent)
+        ├─ LRU cache hit ───────── resolved immediately, engine untouched
+        ├─ in-flight dedup ─────── attached to the identical leader request
+        └─ bounded priority queue (AdmissionError when full)
+              └─ worker: deadline check → quality gate → prompt gate
+                    └─ streaming scheduler → batched engine → parse/validate
+                          └─ future resolved, result cached, followers fanned out
+
+Results are token-for-token identical to
+:meth:`CoachLM.revise_dataset` for the same inputs: both paths share
+``prepare_revision``/``finalize_revision`` and the same engine greedy
+decode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..config import ServingConfig
+from ..core.coachlm import CoachLM, RevisionOutcome
+from ..data.instruction_pair import InstructionPair
+from ..errors import AdmissionError, ModelError
+from ..nn.decoding import BatchedEngine
+from ..quality.scorer import CriteriaScorer
+from .cache import CachedRevision, RevisionLRUCache, revision_key
+from .metrics import ServingMetrics
+from .queueing import BoundedPriorityQueue
+from .requests import (
+    OUTCOME_EXPIRED,
+    OUTCOME_QUALITY_GATED,
+    RevisionFuture,
+    RevisionResult,
+    RevisionTask,
+    SOURCE_CACHE,
+    SOURCE_DEADLINE,
+    SOURCE_DEDUP,
+    SOURCE_ENGINE,
+    SOURCE_GATE,
+)
+from .scheduler import EngineJob, StreamingScheduler
+
+
+
+class RevisionServer:
+    """Accepts revision requests asynchronously; serves them via CoachLM.
+
+    The server owns one worker thread that pops the bounded priority
+    queue and pumps the streaming scheduler; everything up to the queue
+    (cache hits, dedup attachment, admission control) runs on the
+    caller's thread and never blocks on the engine.  Use as a context
+    manager or call :meth:`start`/:meth:`stop` explicitly; :meth:`stop`
+    drains outstanding work before returning.
+    """
+
+    def __init__(
+        self,
+        coach: CoachLM,
+        config: ServingConfig | None = None,
+        scorer: CriteriaScorer | None = None,
+    ):
+        if coach.model is None:
+            raise ModelError("RevisionServer needs a CoachLM with a model")
+        self.coach = coach
+        self.config = config or ServingConfig()
+        if self.config.quality_gate_threshold is not None and scorer is None:
+            scorer = CriteriaScorer()
+        self.scorer = scorer
+        self.queue: BoundedPriorityQueue[RevisionTask] = BoundedPriorityQueue(
+            self.config.max_queue_depth
+        )
+        self.cache = RevisionLRUCache(self.config.cache_capacity)
+        self.metrics = ServingMetrics()
+        self.scheduler = StreamingScheduler(
+            BatchedEngine(coach.model, max_batch=self.config.max_batch),
+            self.metrics,
+        )
+        self._state_lock = threading.Lock()    # guards cache fill + dedup map
+        #: Content key → follower tasks attached to the in-flight leader.
+        self._inflight: dict[str, list[RevisionTask]] = {}
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "RevisionServer":
+        """Start the worker thread (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self.queue.reopen()
+            self._thread = threading.Thread(
+                target=self._run, name="revision-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding work, then stop and join the worker."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self.queue.close()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "RevisionServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- client API --------------------------------------------------------------
+    def submit(
+        self,
+        pair: InstructionPair,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> RevisionFuture:
+        """Enqueue one pair for revision; returns a future.
+
+        Raises :class:`AdmissionError` when the queue is full — the
+        caller decides whether to retry, shed, or block (see
+        :class:`~repro.serving.client.InProcessRevisionClient`).
+        """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.monotonic()
+        future = RevisionFuture()
+        self.metrics.record_submitted()
+
+        # Leakage gating depends on pair identity, not content: keep such
+        # pairs away from the content-keyed cache and dedup map.
+        key = (
+            None
+            if self.coach.is_leakage_gated(pair)
+            else revision_key(pair, self.coach.max_new_tokens, self.coach.copy_bias)
+        )
+        task = RevisionTask(
+            pair=pair,
+            future=future,
+            cache_key=key,
+            submitted_at=now,
+            deadline=now + deadline_s if deadline_s is not None else None,
+            priority=priority,
+        )
+        if key is None or self.cache.capacity <= 0:
+            return self._enqueue(task)
+        with self._state_lock:
+            entry = self.cache.get(key)
+            if entry is not None:
+                self._resolve(
+                    future, entry.apply(pair), entry.outcome, SOURCE_CACHE, now
+                )
+                return future
+            followers = self._inflight.get(key)
+            if followers is not None:
+                followers.append(task)
+                return future
+            # New leader: enqueue while still holding the lock, so a
+            # rejected put can never leave (or strand followers on) a
+            # half-registered in-flight entry.
+            self._enqueue(task)
+            self._inflight[key] = []
+        return future
+
+    def _enqueue(self, task: RevisionTask) -> RevisionFuture:
+        try:
+            self.queue.put(task, task.priority)
+        except AdmissionError:
+            self.metrics.record_rejected()
+            raise
+        return task.future
+
+    def revise(
+        self, pair: InstructionPair, timeout: float | None = None
+    ) -> RevisionResult:
+        """Synchronous helper: submit one pair and wait for its result."""
+        return self.submit(pair).result(timeout)
+
+    # -- worker ------------------------------------------------------------------
+    def _run(self) -> None:
+        scheduler = self.scheduler
+        queue = self.queue
+        while True:
+            # Admit queued tasks only while the engine has room: requests
+            # wait under the *priority* discipline, not the engine FIFO.
+            while scheduler.free_capacity > 0:
+                task = queue.get(timeout=0.0)
+                if task is None:
+                    break
+                self._admit(task)
+            if scheduler.has_work:
+                scheduler.pump()
+                continue
+            if self._stop.is_set() and queue.depth == 0:
+                break
+            task = queue.get(timeout=self.config.idle_wait_s)
+            if task is not None:
+                self._admit(task)
+
+    def _admit(self, task: RevisionTask) -> None:
+        """Gate one dequeued task; hand survivors to the scheduler."""
+        while task.deadline is not None and time.monotonic() > task.deadline:
+            # Expiry is per-request: resolve this task alone and promote
+            # its oldest follower (whose own deadline may be laxer) to
+            # leader rather than fanning the expiry out to all of them.
+            promoted: RevisionTask | None = None
+            if task.cache_key is not None:
+                with self._state_lock:
+                    followers = self._inflight.pop(task.cache_key, [])
+                    if followers:
+                        promoted, rest = followers[0], followers[1:]
+                        self._inflight[task.cache_key] = rest
+            self._resolve(
+                task.future, task.pair, OUTCOME_EXPIRED, SOURCE_DEADLINE,
+                task.submitted_at,
+            )
+            if promoted is None:
+                return
+            task = promoted
+        threshold = self.config.quality_gate_threshold
+        if threshold is not None and self.scorer is not None:
+            report = self.scorer.score_pair(task.pair)
+            if report.min_score >= threshold:
+                self._finish(
+                    task, task.pair, OUTCOME_QUALITY_GATED, SOURCE_GATE,
+                    cacheable=True,
+                )
+                return
+        request, outcome = self.coach.prepare_revision(task.pair)
+        if request is None:
+            assert outcome is not None
+            self._finish(
+                task, task.pair, outcome.value, SOURCE_ENGINE,
+                cacheable=outcome is RevisionOutcome.PROMPT_TOO_LONG,
+            )
+            return
+
+        def on_done(tokens: list[int], task: RevisionTask = task) -> None:
+            revised, out = self.coach.finalize_revision(task.pair, tokens)
+            self._finish(
+                task, revised, out.value, SOURCE_ENGINE,
+                cacheable=True, generated=len(tokens),
+            )
+
+        self.scheduler.submit(EngineJob(request, on_done))
+
+    def _finish(
+        self,
+        task: RevisionTask,
+        result_pair: InstructionPair,
+        outcome: str,
+        source: str,
+        cacheable: bool,
+        generated: int = 0,
+    ) -> None:
+        """Resolve a task terminally: cache, fan out to followers, notify."""
+        entry = CachedRevision(
+            result_pair.instruction, result_pair.response, outcome
+        )
+        followers: list[RevisionTask] = []
+        if task.cache_key is not None:
+            with self._state_lock:
+                if cacheable:
+                    self.cache.put(task.cache_key, entry)
+                followers = self._inflight.pop(task.cache_key, [])
+        self._resolve(
+            task.future, result_pair, outcome, source, task.submitted_at,
+            generated,
+        )
+        for follower in followers:
+            self._resolve(
+                follower.future, entry.apply(follower.pair), outcome,
+                SOURCE_DEDUP, follower.submitted_at,
+            )
+
+    def _resolve(
+        self,
+        future: RevisionFuture,
+        pair: InstructionPair,
+        outcome: str,
+        source: str,
+        submitted_at: float,
+        generated: int = 0,
+    ) -> None:
+        result = RevisionResult(
+            pair=pair,
+            outcome=outcome,
+            source=source,
+            latency_s=time.monotonic() - submitted_at,
+            generated_tokens=generated,
+        )
+        self.metrics.record_result(result)
+        future.set_result(result)

@@ -71,6 +71,16 @@ def test_model_scale_validates_heads():
         ModelScale(d_model=30, n_layers=1, n_heads=4, max_seq_len=32, lora_rank=2)
 
 
+def test_scale_config_validates_batch_sizes():
+    with pytest.raises(ConfigError, match="gen_batch_size"):
+        get_scale("ci").scaled(gen_batch_size=0)
+    with pytest.raises(ConfigError, match="batch_size"):
+        get_scale("ci").scaled(batch_size=0)
+    with pytest.raises(ConfigError, match="max_new_tokens"):
+        get_scale("ci").scaled(max_new_tokens=0)
+    assert get_scale("ci").scaled(gen_batch_size=1).gen_batch_size == 1
+
+
 def test_scaled_override():
     cfg = get_scale("ci").scaled(dataset_size=17)
     assert cfg.dataset_size == 17

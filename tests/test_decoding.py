@@ -123,6 +123,16 @@ def test_engine_rejects_bad_requests(model):
         BatchedEngine(model, max_batch=0)
 
 
+def test_engine_failed_generate_leaves_no_residue(model):
+    """A generate() rejected mid-list must not strand earlier requests."""
+    engine = BatchedEngine(model, max_batch=2)
+    good = GenerationRequest([5, 6, 7], 6, eos_id=2)
+    with pytest.raises(GenerationError):
+        engine.generate([good, GenerationRequest([], 6)])
+    assert engine.n_pending == 0 and not engine.has_work
+    assert engine.generate([good]) == [model.generate([5, 6, 7], 6, eos_id=2)]
+
+
 def test_engine_more_requests_than_slots_preserves_order(model):
     rng = np.random.default_rng(5)
     prompts = [list(rng.integers(5, 197, size=3 + i)) for i in range(17)]
@@ -248,3 +258,45 @@ def test_generate_responses_matches_sequential(tokenizer):
 
     engine = TextEngine(model, tokenizer, batch_size=3)
     assert engine.respond(instructions, max_new_tokens=16) == expected
+
+
+def test_text_engine_streaming_matches_batch(tokenizer):
+    """respond_iter yields every response (completion order) with the
+    same text the batch path produces for the same instruction."""
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, d_model=32, n_layers=1, n_heads=4,
+        max_seq_len=96,
+    )
+    model = TransformerLM(config, np.random.default_rng(4))
+    dataset = generate_dataset(np.random.default_rng(8), 7)
+    instructions = [pair.instruction for pair in dataset]
+    engine = TextEngine(model, tokenizer, batch_size=3)
+    expected = engine.respond(instructions, max_new_tokens=12)
+    streamed = dict(engine.respond_iter(instructions, max_new_tokens=12))
+    assert [streamed[i] for i in range(len(instructions))] == expected
+
+
+# -- streaming engine API ----------------------------------------------------------
+
+
+def test_engine_submit_step_collect_matches_generate(model, ragged_prompts):
+    expected = _sequential(model, ragged_prompts, 14, eos_id=2)
+    engine = BatchedEngine(model, max_batch=4)
+    # Submit the first half up front, the rest only after decoding starts —
+    # late submissions must produce identical tokens.
+    ids = [
+        engine.submit(GenerationRequest(p, 14, eos_id=2))
+        for p in ragged_prompts[:5]
+    ]
+    for _ in range(3):
+        engine.step()
+    ids += [
+        engine.submit(GenerationRequest(p, 14, eos_id=2))
+        for p in ragged_prompts[5:]
+    ]
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    assert [results[i] for i in ids] == expected
+    assert engine.n_active == 0 and engine.n_pending == 0

@@ -40,10 +40,19 @@ def test_alpha_selection_study_runs(capsys):
     assert "alpha" in out
 
 
+def test_online_revision_service_runs(capsys):
+    out = _run("online_revision_service.py", capsys)
+    assert "revision service listening on http://" in out
+    assert "latency p50" in out
+    assert "engine tokens/sec" in out
+    # The duplicate request must be served from the cache.
+    assert "source=cache" in out
+
+
 def test_examples_exist():
     names = {p.name for p in _EXAMPLES.glob("*.py")}
     assert {
         "quickstart.py", "data_cleaning_pipeline.py",
         "dataset_quality_report.py", "alpha_selection_study.py",
-        "regenerate_all.py",
+        "regenerate_all.py", "online_revision_service.py",
     } <= names

@@ -57,6 +57,40 @@ def test_cache_disabled_is_noop(tmp_path):
     assert not cache.has_json("meta", "k")
 
 
+def test_cache_writes_are_atomic(tmp_path, monkeypatch):
+    """A writer crashing mid-save must leave the previous artifact intact
+    (and no stray ``.tmp`` files) — concurrent serving workers sharing an
+    artifact directory read these files at any time."""
+    cache = ArtifactCache(tmp_path)
+    cache.save_json("meta", "k", {"version": 1})
+    ds = InstructionDataset([InstructionPair("a", "b", pair_id="1")], name="x")
+    cache.save_dataset("ds", "k", ds)
+
+    def exploding_save(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"instruction": "half-writ')
+        raise OSError("disk full")
+
+    monkeypatch.setattr(InstructionDataset, "save_jsonl", exploding_save)
+    with pytest.raises(OSError):
+        cache.save_dataset("ds", "k", ds)
+    monkeypatch.undo()
+
+    # The original artifact survives the failed overwrite untouched.
+    loaded = cache.load_dataset("ds", "k", "x")
+    assert loaded[0].instruction == "a"
+    assert cache.load_json("meta", "k") == {"version": 1}
+    assert not list(tmp_path.glob("*.tmp"))
+
+    # Overwrites replace the whole file in one rename.
+    cache.save_json("meta", "k", {"version": 2})
+    assert cache.load_json("meta", "k") == {"version": 2}
+    state = {"w": np.arange(4, dtype=np.float32)}
+    cache.save_weights("model", "k", state)
+    assert np.array_equal(cache.load_weights("model", "k")["w"], state["w"])
+    assert not list(tmp_path.glob("*.tmp"))
+
+
 def test_cache_records_roundtrip(tmp_path, rng):
     from repro.data.defects import build_pair
     from repro.experts import ExpertReviser, GROUP_A

@@ -1,0 +1,511 @@
+"""Tests for the online revision service (repro.serving).
+
+The service's contract has two halves: *parity* — a served revision is
+token-for-token identical to :meth:`CoachLM.revise_dataset` on the same
+input — and *streaming* — a late-arriving request joins the in-flight
+batch at the first retired slot instead of waiting for a drain.  Both
+are pinned here, along with the queue/cache/metrics/HTTP plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.config import ServingConfig
+from repro.core.coachlm import CoachLM, RevisionOutcome
+from repro.data import generate_dataset
+from repro.data.instruction_pair import InstructionPair
+from repro.deployment import DataManagementPlatform
+from repro.errors import AdmissionError, ConfigError, ServingError
+from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, TransformerLM
+from repro.serving import (
+    BoundedPriorityQueue,
+    CachedRevision,
+    EngineJob,
+    InProcessRevisionClient,
+    OUTCOME_EXPIRED,
+    OUTCOME_QUALITY_GATED,
+    RevisionHTTPFrontend,
+    RevisionLRUCache,
+    RevisionServer,
+    ServingMetrics,
+    SOURCE_CACHE,
+    SOURCE_DEADLINE,
+    SOURCE_DEDUP,
+    SOURCE_ENGINE,
+    SOURCE_GATE,
+    StreamingScheduler,
+)
+from repro.serving.requests import RevisionResult
+from repro.textgen.responses import detokenize, ideal_response
+from repro.textgen.tasks import TaskInstance, render_instruction
+
+
+@pytest.fixture(scope="module")
+def coach(tokenizer):
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=32,
+        n_layers=1,
+        n_heads=4,
+        max_seq_len=192,
+    )
+    model = TransformerLM(config, np.random.default_rng(9))
+    return CoachLM(model, tokenizer)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(np.random.default_rng(77), 10)
+
+
+def _clean_pair() -> InstructionPair:
+    instance = TaskInstance("add_numbers", {"a": 2, "b": 3})
+    tokens, _ = render_instruction(instance)
+    return InstructionPair(
+        instruction=detokenize(tokens),
+        response=detokenize(ideal_response(instance)),
+        provenance=instance,
+    )
+
+
+# -- bounded priority queue --------------------------------------------------------
+
+
+def test_queue_priority_order_and_fifo_within_class():
+    queue = BoundedPriorityQueue(capacity=8)
+    queue.put("b0", priority=1)
+    queue.put("a0", priority=0)
+    queue.put("b1", priority=1)
+    queue.put("a1", priority=0)
+    assert [queue.get(0) for _ in range(4)] == ["a0", "a1", "b0", "b1"]
+    assert queue.get(timeout=0) is None
+
+
+def test_queue_admission_control():
+    queue = BoundedPriorityQueue(capacity=2)
+    queue.put(1)
+    queue.put(2)
+    with pytest.raises(AdmissionError):
+        queue.put(3)
+    assert queue.depth == 2
+
+
+def test_queue_close_drains_then_rejects():
+    queue = BoundedPriorityQueue(capacity=4)
+    queue.put("x")
+    queue.close()
+    with pytest.raises(ServingError):
+        queue.put("y")
+    assert queue.get(0) == "x"      # queued items still drain
+    assert queue.get(0) is None     # then closed-and-empty
+
+    with pytest.raises(ConfigError):
+        BoundedPriorityQueue(capacity=0)
+
+
+def test_queue_get_wakes_on_cross_thread_put():
+    queue = BoundedPriorityQueue(capacity=2)
+    got = []
+    thread = threading.Thread(target=lambda: got.append(queue.get(timeout=5.0)))
+    thread.start()
+    queue.put("item")
+    thread.join(timeout=5.0)
+    assert got == ["item"]
+
+
+# -- LRU cache ---------------------------------------------------------------------
+
+
+def test_lru_cache_hit_miss_and_eviction():
+    cache = RevisionLRUCache(capacity=2)
+    entry = CachedRevision("i", "r", RevisionOutcome.REVISED.value)
+    assert cache.get("a") is None
+    cache.put("a", entry)
+    cache.put("b", entry)
+    assert cache.get("a") is entry      # refreshes a
+    cache.put("c", entry)               # evicts b (LRU)
+    assert cache.get("b") is None
+    assert cache.get("a") is entry and cache.get("c") is entry
+    assert cache.hits == 3 and cache.misses == 2
+
+    disabled = RevisionLRUCache(capacity=0)
+    disabled.put("a", entry)
+    assert disabled.get("a") is None and len(disabled) == 0
+
+
+def test_cached_revision_rebinds_identity():
+    pair = _clean_pair()
+    revised = CachedRevision("new instruction", "new response",
+                             RevisionOutcome.REVISED.value)
+    out = revised.apply(pair)
+    assert out.instruction == "new instruction"
+    assert out.provenance is pair.provenance
+    fallback = CachedRevision("x", "y", RevisionOutcome.INVALID_OUTPUT.value)
+    assert fallback.apply(pair) is pair
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_metrics_percentiles_and_throughput():
+    metrics = ServingMetrics()
+    pair = _clean_pair()
+    for latency in (0.1, 0.2, 0.3, 0.4):
+        metrics.record_result(
+            RevisionResult(pair, "revised", SOURCE_ENGINE, latency)
+        )
+    metrics.record_engine_work(tokens=500, busy_s=0.25)
+    assert metrics.latency_percentile(50) == pytest.approx(0.25)
+    assert metrics.tokens_per_second() == pytest.approx(2000.0)
+    snap = metrics.snapshot(queue_depth=3)
+    assert snap["completed"] == 4
+    assert snap["queue_depth"] == 3
+    assert snap["latency_p95_s"] <= 0.4
+
+
+# -- streaming scheduler (deterministic, no threads) -------------------------------
+
+
+def _no_eos_job(model, prompt, budget, done):
+    request = GenerationRequest(prompt, budget, eos_id=None)
+    return EngineJob(request, lambda tokens: done.append(tokens))
+
+
+def test_late_arrival_joins_in_flight_batch(coach):
+    """A request submitted mid-flight must finish while the original
+    batch is still decoding — it never waits for the batch to drain."""
+    model = coach.model
+    rng = np.random.default_rng(3)
+    scheduler = StreamingScheduler(BatchedEngine(model, max_batch=3))
+    long_done: list[list[int]] = []
+    prompt_a = list(rng.integers(5, 100, size=12))
+    prompt_b = list(rng.integers(5, 100, size=7))
+    scheduler.submit(_no_eos_job(model, prompt_a, 40, long_done))
+    scheduler.submit(_no_eos_job(model, prompt_b, 40, long_done))
+    for _ in range(5):
+        scheduler.pump()
+    assert scheduler.engine.n_active == 2 and not long_done
+
+    late_done: list[list[int]] = []
+    prompt_c = list(rng.integers(5, 100, size=5))
+    scheduler.submit(_no_eos_job(model, prompt_c, 3, late_done))
+    pumps_until_late = 0
+    while not late_done:
+        scheduler.pump()
+        pumps_until_late += 1
+    # The late job completed while both long jobs are still in flight.
+    assert not long_done
+    assert scheduler.engine.n_active == 2
+    assert pumps_until_late <= 4
+    assert len(late_done[0]) == 3
+
+    scheduler.drain()
+    assert len(long_done) == 2
+    assert scheduler.engine.n_active == 0 and not scheduler.engine.has_work
+
+
+def test_scheduler_reports_tokens_and_busy_time(coach):
+    metrics = ServingMetrics()
+    scheduler = StreamingScheduler(
+        BatchedEngine(coach.model, max_batch=2), metrics
+    )
+    done: list[list[int]] = []
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        prompt = list(rng.integers(5, 100, size=6))
+        scheduler.submit(_no_eos_job(coach.model, prompt, 4, done))
+    completed = scheduler.drain()
+    assert completed == 3
+    assert metrics.engine_tokens == sum(len(tokens) for tokens in done) == 12
+    assert metrics.engine_busy_s > 0
+
+
+# -- engine streaming edge cases the scheduler depends on --------------------------
+
+
+def test_engine_all_slots_eos_same_step_refills_pending(coach, tokenizer):
+    """Every slot retiring on the same step must refill from pending."""
+    model = coach.model
+    rng = np.random.default_rng(11)
+    prompt = list(rng.integers(5, 100, size=9))
+    probe = model.generate(prompt, 8, eos_id=None)
+    # Declare "EOS" the first token that doesn't already occur earlier in
+    # the continuation: every (identical) sequence then survives prefill
+    # and hits EOS on the same later step, retiring the whole fleet at once.
+    eos = next(t for k, t in enumerate(probe) if k >= 1 and t not in probe[:k])
+    expected = model.generate(prompt, 8, eos_id=eos)
+    assert 2 <= len(expected) <= 8
+
+    engine = BatchedEngine(model, max_batch=4)
+    ids = [engine.submit(GenerationRequest(prompt, 8, eos_id=eos))
+           for _ in range(7)]
+    mass_retire_seen = False
+    total_finished = 0
+    while engine.has_work:
+        finished = engine.step()
+        total_finished += finished
+        if finished == 4 and total_finished < len(ids):
+            mass_retire_seen = True
+            # Retired slots refilled from pending within the same step:
+            # the next wave (3 remaining) is already active.
+            assert engine.n_active == 3 and engine.n_pending == 0
+    results = engine.collect()
+    assert mass_retire_seen
+    assert [results[i] for i in ids] == [expected] * 7
+
+
+def test_engine_submit_after_drain_reuses_retired_slots(coach):
+    """A drained engine must serve a fresh fleet from its stale slots."""
+    model = coach.model
+    rng = np.random.default_rng(13)
+    first = [list(rng.integers(5, 100, size=int(n))) for n in
+             rng.integers(4, 30, size=5)]
+    second = [list(rng.integers(5, 100, size=int(n))) for n in
+              rng.integers(4, 30, size=5)]
+    engine = BatchedEngine(model, max_batch=2)
+    got_first = engine.generate(
+        [GenerationRequest(p, 10, eos_id=2) for p in first]
+    )
+    assert not engine.has_work
+    got_second = engine.generate(
+        [GenerationRequest(p, 10, eos_id=2) for p in second]
+    )
+    expected = [model.generate(p, 10, eos_id=2) for p in first + second]
+    assert got_first + got_second == expected
+
+
+# -- the revision server -----------------------------------------------------------
+
+
+def test_server_parity_with_revise_dataset(coach, dataset):
+    expected, expected_stats = coach.revise_dataset(dataset, batch_size=5)
+    with RevisionServer(coach, ServingConfig(max_batch=4)) as server:
+        got, got_stats = InProcessRevisionClient(server).revise_dataset(dataset)
+    assert len(got) == len(expected)
+    for exp, pair in zip(expected, got):
+        assert pair.instruction == exp.instruction
+        assert pair.response == exp.response
+        assert pair.pair_id == exp.pair_id
+    assert got_stats.outcomes == expected_stats.outcomes
+
+
+def test_server_leakage_gating_matches_coach(tokenizer, dataset):
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size, d_model=32, n_layers=1, n_heads=4,
+        max_seq_len=192,
+    )
+    model = TransformerLM(config, np.random.default_rng(9))
+    leaky_ids = frozenset({dataset[0].pair_id, dataset[3].pair_id})
+    leaky_coach = CoachLM(model, tokenizer, trained_instructions=leaky_ids)
+    expected, expected_stats = leaky_coach.revise_dataset(dataset)
+    with RevisionServer(leaky_coach) as server:
+        got, got_stats = InProcessRevisionClient(server).revise_dataset(dataset)
+    assert got_stats.outcomes == expected_stats.outcomes
+    assert got_stats.outcomes[RevisionOutcome.LEAKAGE_SKIPPED.value] == 2
+    for exp, pair in zip(expected, got):
+        assert (pair.instruction, pair.response) == (
+            exp.instruction, exp.response
+        )
+
+
+def test_server_dedup_and_cache(coach, dataset):
+    pair = dataset[0]
+    server = RevisionServer(coach, ServingConfig(max_batch=2))
+    # Submit duplicates before the worker starts: one leader enters the
+    # queue, the rest attach in flight.
+    futures = [server.submit(pair) for _ in range(4)]
+    assert server.queue.depth == 1
+    with server:
+        results = [future.result(timeout=60.0) for future in futures]
+    sources = Counter(result.source for result in results)
+    assert sources == {SOURCE_ENGINE: 1, SOURCE_DEDUP: 3}
+    texts = {(r.pair.instruction, r.pair.response) for r in results}
+    assert len(texts) == 1
+
+    # A later identical submission is an LRU hit: engine untouched.
+    tokens_before = server.metrics.engine_tokens
+    with server:
+        hit = server.revise(pair, timeout=60.0)
+    assert hit.source == SOURCE_CACHE
+    assert hit.generated_tokens == 0
+    assert server.metrics.engine_tokens == tokens_before
+    assert (hit.pair.instruction, hit.pair.response) in texts
+
+
+def test_server_quality_gate_skips_good_pairs(coach):
+    config = ServingConfig(max_batch=2, quality_gate_threshold=80.0)
+    with RevisionServer(coach, config) as server:
+        result = server.revise(_clean_pair(), timeout=60.0)
+    assert result.outcome == OUTCOME_QUALITY_GATED
+    assert result.source == SOURCE_GATE
+    assert result.pair.instruction == _clean_pair().instruction
+    assert server.metrics.engine_tokens == 0
+
+
+def test_server_deadline_expiry(coach, dataset):
+    server = RevisionServer(coach, ServingConfig(max_batch=2))
+    future = server.submit(dataset[1], deadline_s=1e-4)
+    time.sleep(0.01)     # expire while the worker is not yet running
+    with server:
+        result = future.result(timeout=60.0)
+    assert result.outcome == OUTCOME_EXPIRED
+    assert result.source == SOURCE_DEADLINE
+    assert result.pair is dataset[1]
+
+
+def test_server_expired_leader_promotes_follower(coach, dataset):
+    """A follower with a laxer deadline must not inherit the leader's
+    expiry: it is promoted to leader and revised normally."""
+    pair = dataset[6]
+    server = RevisionServer(coach, ServingConfig(max_batch=2))
+    leader = server.submit(pair, deadline_s=1e-4)
+    follower = server.submit(pair)           # no deadline: never expires
+    time.sleep(0.01)
+    with server:
+        leader_result = leader.result(timeout=60.0)
+        follower_result = follower.result(timeout=60.0)
+    assert leader_result.outcome == OUTCOME_EXPIRED
+    assert follower_result.outcome != OUTCOME_EXPIRED
+    assert follower_result.source == SOURCE_ENGINE
+    expected_pair, expected_outcome = coach.revise_pair(pair)
+    assert follower_result.outcome == expected_outcome.value
+    assert follower_result.pair.response == expected_pair.response
+
+
+def test_server_submit_when_stopped_leaves_no_poison_key(coach, dataset):
+    """A submit rejected because the server is stopped must not leave a
+    dangling in-flight entry that strands later identical requests."""
+    pair = dataset[7]
+    server = RevisionServer(coach, ServingConfig(max_batch=2))
+    with server:
+        pass                                  # start + drain + stop
+    with pytest.raises(ServingError):
+        server.submit(pair)
+    with server:                              # restart: same content serves
+        result = server.revise(pair, timeout=60.0)
+    assert result.source == SOURCE_ENGINE
+
+
+def test_server_admission_control_rejects_when_full(coach, dataset):
+    server = RevisionServer(
+        coach, ServingConfig(max_batch=2, max_queue_depth=1)
+    )
+    first = server.submit(dataset[2])
+    with pytest.raises(AdmissionError):
+        server.submit(dataset[4])
+    assert server.metrics.rejected == 1
+    with server:
+        first.result(timeout=60.0)
+    # The rejected pair's dedup slot was released: resubmission works.
+    with server:
+        assert server.revise(dataset[4], timeout=60.0).outcome
+
+
+def test_serving_config_validation():
+    with pytest.raises(ConfigError):
+        ServingConfig(max_batch=0)
+    with pytest.raises(ConfigError):
+        ServingConfig(max_queue_depth=0)
+    with pytest.raises(ConfigError):
+        ServingConfig(cache_capacity=-1)
+    with pytest.raises(ConfigError):
+        ServingConfig(default_deadline_s=0.0)
+    with pytest.raises(ConfigError):
+        ServingConfig(quality_gate_threshold=101.0)
+    with pytest.raises(ConfigError):
+        ServingConfig(idle_wait_s=0.0)
+
+
+# -- platform integration ----------------------------------------------------------
+
+
+def test_platform_routes_through_server(coach):
+    rng_a = np.random.default_rng(21)
+    rng_b = np.random.default_rng(21)
+    direct = DataManagementPlatform(coach=coach)
+    with RevisionServer(coach, ServingConfig(max_batch=4)) as server:
+        served = DataManagementPlatform(server=server)
+        report_served = served.run_cleaning_batch(rng_b, 12, use_coachlm=True)
+    report_direct = direct.run_cleaning_batch(rng_a, 12, use_coachlm=True)
+    assert served.coach is coach
+    assert report_served.pairs_per_person_day == pytest.approx(
+        report_direct.pairs_per_person_day
+    )
+    assert report_served.mean_quality_out_of_coach == pytest.approx(
+        report_direct.mean_quality_out_of_coach
+    )
+    assert server.metrics.completed >= 12
+
+
+# -- HTTP front-end ----------------------------------------------------------------
+
+
+def _post_json(url: str, payload: dict, timeout: float = 60.0) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def test_http_revise_metrics_and_errors(coach, dataset):
+    server = RevisionServer(coach, ServingConfig(max_batch=4))
+    with RevisionHTTPFrontend(server) as frontend:
+        base = frontend.address
+        pair = dataset[5]
+        blob = _post_json(
+            base + "/revise",
+            {"instruction": pair.instruction, "response": pair.response},
+        )
+        expected_pair, expected_outcome = coach.revise_pair(
+            InstructionPair(pair.instruction, pair.response)
+        )
+        assert blob["outcome"] == expected_outcome.value
+        assert blob["instruction"] == expected_pair.instruction
+        assert blob["response"] == expected_pair.response
+        assert blob["source"] == SOURCE_ENGINE
+        assert blob["latency_s"] >= 0
+
+        # Identical content → cache, engine untouched.
+        again = _post_json(
+            base + "/revise",
+            {"instruction": pair.instruction, "response": pair.response},
+        )
+        assert again["source"] == SOURCE_CACHE
+
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+            metrics = json.load(response)
+        assert metrics["completed"] == 2
+        assert metrics["by_source"][SOURCE_CACHE] == 1
+        assert metrics["tokens_per_sec"] > 0
+
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as response:
+            health = json.load(response)
+        assert health["status"] == "ok"
+
+        for bad_body, expect in (
+            (b"not json", 400),
+            (json.dumps({"instruction": "x"}).encode(), 400),
+        ):
+            request = urllib.request.Request(
+                base + "/revise", data=bad_body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == expect
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(base + "/nope", timeout=10)
+        assert excinfo.value.code == 404
