@@ -27,12 +27,18 @@ from repro.config import ServingConfig
 from repro.core.coachlm import CoachLM
 from repro.data import generate_dataset
 from repro.llm import build_tokenizer
-from repro.nn import BatchedEngine, TransformerConfig, TransformerLM
+from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, TransformerLM
 from repro.serving import SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
 
 MAX_BATCH = 8
 N_CASES = 32
 MAX_NEW_TOKENS = 48
+#: One config for the whole bench: the offline batch-8 reference below is
+#: re-derived from an engine built with *these exact knobs* on every run
+#: (never a number hard-coded from a prior engine generation), so engine
+#: improvements — ragged batched prefill, chunked refill — propagate into
+#: both sides of the saturation ratio instead of silently inflating it.
+SERVING_CONFIG = ServingConfig(max_batch=MAX_BATCH)
 #: Arrival-rate multipliers relative to the engine's service capacity.
 #: 0.5x is under-subscribed (latency ≈ decode time); 16x saturates the
 #: fleet almost immediately, so the sustained-throughput comparison is
@@ -62,7 +68,16 @@ def _bench_coach(scale) -> tuple[CoachLM, list]:
 
 
 def _batch8_reference(coach: CoachLM, pairs: list) -> tuple[float, int]:
-    """Offline batch-8 revision throughput over the same requests."""
+    """Offline batch-8 revision throughput over the same requests.
+
+    Re-derived from the *current* engine on every run (never a number
+    hard-coded from a prior engine generation), at the offline batch
+    path's own configuration — :data:`SERVING_CONFIG`'s fleet width but
+    *unchunked* prefill, exactly like ``CoachLM.revise_dataset``.  The
+    server's chunked refill cost therefore shows up in the
+    ``saturated_vs_batch8`` ratio instead of cancelling out of both
+    sides of it.
+    """
     requests = []
     for pair in pairs:
         request, outcome = coach.prepare_revision(pair)
@@ -73,7 +88,7 @@ def _batch8_reference(coach: CoachLM, pairs: list) -> tuple[float, int]:
     # Two timed runs, best-of: the first pays numpy/BLAS warmup and the
     # comparison below should be against the engine's real speed.
     for _ in range(2):
-        engine = BatchedEngine(coach.model, max_batch=MAX_BATCH)
+        engine = BatchedEngine(coach.model, max_batch=SERVING_CONFIG.max_batch)
         start = time.perf_counter()
         outputs = engine.generate(requests)
         elapsed = time.perf_counter() - start
@@ -82,11 +97,64 @@ def _batch8_reference(coach: CoachLM, pairs: list) -> tuple[float, int]:
     return best, tokens
 
 
+def _long_prompt_stall(coach: CoachLM) -> dict:
+    """Worst decode-step stall when a near-context prompt joins mid-flight.
+
+    This is the scenario chunked prefill exists for: a fleet of short
+    requests is decoding when one long prompt arrives in a freed slot.
+    Unchunked, the admitting step pays the whole prompt-length forward
+    before any in-flight slot advances; chunked, each step pays at most
+    one ``prefill_chunk_tokens`` forward.  Reported as the maximum
+    single ``step()`` wall time between the long prompt's submission and
+    the end of its prefill (best of three trials to damp scheduler
+    noise).  The gap widens with context length — at bench scale the
+    whole-prompt forward is only ~3x the chunk forward — but the bound
+    itself is the contract: unchunked stall grows O(context), chunked
+    stays O(chunk).
+    """
+    context = coach.model.config.max_seq_len
+    rng = np.random.default_rng(77)
+    short_prompts = [
+        list(map(int, rng.integers(5, 300, size=12))) for _ in range(MAX_BATCH - 1)
+    ]
+    long_prompt = list(map(int, rng.integers(5, 300, size=context - 6)))
+
+    def worst_step(chunk: int | None) -> float:
+        best = float("inf")
+        for _ in range(3):
+            engine = BatchedEngine(
+                coach.model, max_batch=MAX_BATCH, prefill_chunk_tokens=chunk
+            )
+            for prompt in short_prompts:
+                engine.submit(GenerationRequest(prompt, MAX_NEW_TOKENS))
+            engine.step()  # fleet in flight, one slot free
+            seq_id = engine.submit(GenerationRequest(long_prompt, 4))
+            worst = 0.0
+            while seq_id not in engine.collect():
+                start = time.perf_counter()
+                engine.step()
+                worst = max(worst, time.perf_counter() - start)
+                if not engine.has_work:
+                    break
+            best = min(best, worst)
+        return best
+
+    unchunked = worst_step(None)
+    chunked = worst_step(SERVING_CONFIG.prefill_chunk_tokens)
+    return {
+        "long_prompt_tokens": len(long_prompt),
+        "chunk_tokens": SERVING_CONFIG.prefill_chunk_tokens,
+        "unchunked_max_step_ms": round(unchunked * 1e3, 2),
+        "chunked_max_step_ms": round(chunked * 1e3, 2),
+        "stall_ratio": round(chunked / unchunked, 3),
+    }
+
+
 def _poisson_load(coach: CoachLM, pairs: list, rate_per_s: float, seed: int):
     """Open-loop load: submit each pair after an exponential gap."""
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(1.0 / rate_per_s, size=len(pairs))
-    server = RevisionServer(coach, ServingConfig(max_batch=MAX_BATCH))
+    server = RevisionServer(coach, SERVING_CONFIG)
     with server:
         futures = []
         for pair, gap in zip(pairs, gaps):
@@ -106,7 +174,7 @@ def _poisson_load(coach: CoachLM, pairs: list, rate_per_s: float, seed: int):
 
 def _dedup_pass(coach: CoachLM, pairs: list) -> dict:
     """Warm the cache, then re-submit everything: zero engine work."""
-    server = RevisionServer(coach, ServingConfig(max_batch=MAX_BATCH))
+    server = RevisionServer(coach, SERVING_CONFIG)
     with server:
         warm = [server.submit(pair) for pair in pairs]
         for future in warm:
@@ -138,6 +206,7 @@ def test_serving_sustains_batched_throughput(wb):
             coach, pairs, multiplier * capacity_req_per_s, seed=int(multiplier * 10)
         )
     dedup = _dedup_pass(coach, pairs)
+    stall = _long_prompt_stall(coach)
 
     saturated = sweep[f"{max(LOAD_MULTIPLIERS)}x"]
     payload = {
@@ -149,12 +218,14 @@ def test_serving_sustains_batched_throughput(wb):
         },
         "max_batch": MAX_BATCH,
         "max_new_tokens": MAX_NEW_TOKENS,
+        "prefill_chunk_tokens": SERVING_CONFIG.prefill_chunk_tokens,
         "reference_batch8_tokens_per_sec": round(ref_tokens_per_sec, 1),
         "arrival_sweep": sweep,
         "saturated_vs_batch8": round(
             saturated["sustained_tokens_per_sec"] / ref_tokens_per_sec, 3
         ),
         "dedup": dedup,
+        "long_prompt_stall": stall,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -175,13 +246,25 @@ def test_serving_sustains_batched_throughput(wb):
         f"dedup pass: {dedup['repeats']} repeats served from cache, "
         f"{dedup['engine_tokens_saved']} engine tokens saved"
     )
+    print(
+        f"long-prompt stall ({stall['long_prompt_tokens']} tokens joining "
+        f"mid-flight): worst step {stall['unchunked_max_step_ms']:.1f} ms "
+        f"unchunked → {stall['chunked_max_step_ms']:.1f} ms chunked "
+        f"(chunk={stall['chunk_tokens']})"
+    )
 
-    # Under saturating Poisson load the streaming scheduler must sustain
-    # the offline batch-8 throughput; asserted with a CI-noise guard band
-    # (the JSON records the exact ratio).
-    assert saturated["sustained_tokens_per_sec"] >= 0.85 * ref_tokens_per_sec, (
+    # Under saturating Poisson load the streaming scheduler must stay
+    # close to the *unchunked* offline batch-8 throughput.  The guard
+    # band allows for CI timer noise plus the deliberate cost of chunked
+    # prefill interleaving — a cost the long-prompt stall numbers below
+    # justify; the JSON records the exact ratio.
+    assert saturated["sustained_tokens_per_sec"] >= 0.82 * ref_tokens_per_sec, (
         payload
     )
+    # Chunking must deliver the thing it costs throughput for: a long
+    # prompt joining a busy fleet may never stall in-flight decodes for
+    # anything close to a whole prompt-length forward pass.
+    assert stall["chunked_max_step_ms"] < stall["unchunked_max_step_ms"], payload
     # Under-subscribed load must have lower latency than saturation.
     light = sweep[f"{min(LOAD_MULTIPLIERS)}x"]
     assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload

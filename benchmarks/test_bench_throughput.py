@@ -8,8 +8,18 @@ batched numbers run the same requests through the continuous-batching
 engine, which is token-identical (asserted below) but amortises per-step
 numpy overhead across the fleet.
 
+A third, *prompt-heavy* scenario (prompt ≫ max_new_tokens — the shape of
+Reflection-Tuning-style repeated re-revision sweeps, where the Fig. 3
+template dominates every request) splits throughput into its prefill and
+decode phases: prefill-phase tokens/sec is isolated by decoding exactly
+one token per sequence, so the measurement compares one ragged batched
+prefill forward against the per-request prefill loop directly.
+
 Results land in ``BENCH_throughput.json`` at the repo root so the perf
-trajectory of the engine is tracked across PRs.
+trajectory of the engine is tracked across PRs.  Two regression floors
+are asserted: batched decode speedup at batch 8 must not drop below the
+PR-1 floor (>= 3.4x), and ragged batched prefill must hold >= 2x over
+per-request prefill at batch 8.
 """
 
 from __future__ import annotations
@@ -31,6 +41,13 @@ from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, Transf
 BATCH_SIZES = (8, 16)
 N_SEQUENCES = 32
 MAX_NEW_TOKENS = 48
+#: PR-1 recorded 3.48x (revision) / 3.89x (responses) at batch 8; the
+#: batched-prefill engine must never fall back below this floor.
+PR1_BATCH8_FLOOR = 3.4
+#: Prompt-heavy scenario: long prompts, almost no decode.
+HEAVY_MAX_NEW_TOKENS = 8
+#: Acceptance bar for ragged batched prefill at batch 8.
+PREFILL_BATCH8_FLOOR = 2.0
 
 
 def _bench_model(scale) -> tuple[TransformerLM, "WordTokenizer"]:
@@ -52,9 +69,20 @@ def _time_tokens(fn) -> tuple[list[list[int]], float]:
     return outputs, time.perf_counter() - start
 
 
+def _best_of(fn, repeats: int = 3) -> tuple[list[list[int]], float]:
+    """Best-of-N timing: the first run pays numpy/BLAS warmup and page
+    faults; the comparison should be between the paths' real speeds."""
+    outputs, best = _time_tokens(fn)
+    for _ in range(repeats - 1):
+        again, elapsed = _time_tokens(fn)
+        assert again == outputs
+        best = min(best, elapsed)
+    return outputs, best
+
+
 def _stage(name, requests, sequential_fn, model) -> dict:
     """Time one stage sequentially and at each fleet width."""
-    expected, seq_elapsed = _time_tokens(sequential_fn)
+    expected, seq_elapsed = _best_of(sequential_fn)
     n_tokens = sum(len(seq) for seq in expected)
     stage = {
         "n_sequences": len(requests),
@@ -63,12 +91,87 @@ def _stage(name, requests, sequential_fn, model) -> dict:
         "batched": {},
     }
     for batch in BATCH_SIZES:
-        engine = BatchedEngine(model, max_batch=batch)
-        got, elapsed = _time_tokens(lambda: engine.generate(requests))
+        got, elapsed = _best_of(
+            lambda: BatchedEngine(model, max_batch=batch).generate(requests)
+        )
         assert got == expected, f"{name}: batched tokens diverge at batch={batch}"
         stage["batched"][str(batch)] = {
             "tokens_per_sec": round(n_tokens / elapsed, 1),
             "speedup": round(seq_elapsed / elapsed, 2),
+        }
+    return stage
+
+
+def _long_prompts(tokenizer, model, dataset) -> list[list[int]]:
+    """Near-context-length prompts: tiled instruction text, ragged tails."""
+    context = model.config.max_seq_len
+    prompts = []
+    for i, pair in enumerate(dataset):
+        base = encode_truncated_instruction_prompt(
+            tokenizer, pair.instruction, context
+        )
+        target = context - HEAVY_MAX_NEW_TOKENS - 1 - (i % 7)
+        tiled = (base * (target // len(base) + 1))[:target]
+        prompts.append(tiled)
+    return prompts
+
+
+def _prompt_heavy_stage(model, prompts) -> dict:
+    """Prefill-vs-decode tokens/sec split for prompt-dominated requests.
+
+    Prefill throughput is isolated with one-token budgets (the request
+    finishes on the prefill's own first token, so no decode step runs);
+    decode throughput is the residual of the full run.
+    """
+    prompt_tokens = sum(len(p) for p in prompts)
+    prefill_requests = [GenerationRequest(p, 1, eos_id=None) for p in prompts]
+    full_requests = [
+        GenerationRequest(p, HEAVY_MAX_NEW_TOKENS, eos_id=None) for p in prompts
+    ]
+
+    # Per-request prefill baseline: the pre-batched-prefill engine path
+    # (and TransformerLM.generate) prefill prompts one at a time.
+    expected_first, seq_prefill_s = _best_of(
+        lambda: [model.generate(p, 1) for p in prompts]
+    )
+    expected_full, seq_full_s = _best_of(
+        lambda: [model.generate(p, HEAVY_MAX_NEW_TOKENS) for p in prompts]
+    )
+    decode_tokens = sum(len(seq) for seq in expected_full) - len(prompts)
+    stage = {
+        "n_sequences": len(prompts),
+        "prompt_tokens": prompt_tokens,
+        "max_new_tokens": HEAVY_MAX_NEW_TOKENS,
+        "sequential": {
+            "prefill_tokens_per_sec": round(prompt_tokens / seq_prefill_s, 1),
+            "decode_tokens_per_sec": round(
+                decode_tokens / max(seq_full_s - seq_prefill_s, 1e-9), 1
+            ),
+        },
+        "batched": {},
+    }
+    for batch in BATCH_SIZES:
+        got_first, prefill_s = _best_of(
+            lambda: BatchedEngine(model, max_batch=batch).generate(
+                prefill_requests
+            )
+        )
+        assert got_first == expected_first, (
+            f"prompt-heavy: prefill first tokens diverge at batch={batch}"
+        )
+        got_full, full_s = _best_of(
+            lambda: BatchedEngine(model, max_batch=batch).generate(full_requests)
+        )
+        assert got_full == expected_full, (
+            f"prompt-heavy: tokens diverge at batch={batch}"
+        )
+        stage["batched"][str(batch)] = {
+            "prefill_tokens_per_sec": round(prompt_tokens / prefill_s, 1),
+            "prefill_speedup": round(seq_prefill_s / prefill_s, 2),
+            "decode_tokens_per_sec": round(
+                decode_tokens / max(full_s - prefill_s, 1e-9), 1
+            ),
+            "overall_speedup": round(seq_full_s / full_s, 2),
         }
     return stage
 
@@ -115,6 +218,9 @@ def test_throughput_sequential_vs_batched(wb):
         model,
     )
 
+    # -- stage 3: prompt-heavy (prefill-bound) ---------------------------------
+    heavy_stage = _prompt_heavy_stage(model, _long_prompts(tokenizer, model, dataset))
+
     payload = {
         "scale": wb.scale.name,
         "model": {
@@ -125,6 +231,7 @@ def test_throughput_sequential_vs_batched(wb):
         "max_new_tokens": MAX_NEW_TOKENS,
         "response_generation": response_stage,
         "revision": revision_stage,
+        "prompt_heavy": heavy_stage,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -140,9 +247,23 @@ def test_throughput_sequential_vs_batched(wb):
             f"{stage_name}: seq {stage['sequential_tokens_per_sec']:.0f} tok/s "
             f"over {stage['tokens']} tokens → {line}"
         )
+    heavy_line = ", ".join(
+        f"B={batch}: prefill {info['prefill_tokens_per_sec']:.0f} tok/s "
+        f"({info['prefill_speedup']:.2f}x), decode "
+        f"{info['decode_tokens_per_sec']:.0f} tok/s"
+        for batch, info in heavy_stage["batched"].items()
+    )
+    print(
+        f"prompt_heavy: seq prefill "
+        f"{heavy_stage['sequential']['prefill_tokens_per_sec']:.0f} tok/s over "
+        f"{heavy_stage['prompt_tokens']} prompt tokens → {heavy_line}"
+    )
 
-    # The engine must beat the sequential loop comfortably; the 3x
-    # acceptance bar is asserted loosely (2x) to absorb CI timer noise.
+    # Perf-regression floors.  The engine must not give back PR-1's
+    # continuous-batching decode speedup, and the ragged batched prefill
+    # must clear its own acceptance bar.
     for stage in (response_stage, revision_stage):
-        best = max(info["speedup"] for info in stage["batched"].values())
-        assert best >= 2.0, stage
+        assert stage["batched"]["8"]["speedup"] >= PR1_BATCH8_FLOOR, stage
+    assert (
+        heavy_stage["batched"]["8"]["prefill_speedup"] >= PREFILL_BATCH8_FLOOR
+    ), heavy_stage

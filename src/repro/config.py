@@ -115,6 +115,11 @@ class ScaleConfig:
     #: test-set response generation decode this many sequences per
     #: forward pass).
     gen_batch_size: int = DEFAULT_GEN_BATCH_SIZE
+    #: Chunk size (prompt tokens) of the engine's interleaved prefill:
+    #: while a fleet is decoding, a refill prompt advances by at most
+    #: this many tokens per engine step, bounding the prefill stall seen
+    #: by in-flight sequences.  ``None`` prefills refill prompts whole.
+    prefill_chunk_tokens: int | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction with a clear message instead of deep inside
@@ -122,6 +127,11 @@ class ScaleConfig:
         if self.gen_batch_size < 1:
             raise ConfigError(
                 f"gen_batch_size must be >= 1, got {self.gen_batch_size}"
+            )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ConfigError(
+                "prefill_chunk_tokens must be >= 1, got "
+                f"{self.prefill_chunk_tokens}"
             )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
@@ -160,6 +170,15 @@ class ServingConfig:
     idle_wait_s:
         How long the serving worker blocks on an empty queue before
         re-checking for shutdown.
+    prefill_chunk_tokens:
+        Chunked-prefill interleaving of the server's engine: a
+        late-arriving prompt advances by at most this many tokens per
+        engine step while the fleet is decoding, so long prompts cannot
+        stall in-flight requests for a whole prompt-length forward pass.
+        Bounding the stall costs some saturated throughput (refills
+        trickle in one chunk per step instead of arriving in one ragged
+        batched prefill); ``BENCH_serving.json`` tracks the ratio.
+        ``None`` disables chunking (refill prompts prefill whole).
     """
 
     max_batch: int = DEFAULT_GEN_BATCH_SIZE
@@ -168,10 +187,16 @@ class ServingConfig:
     default_deadline_s: float | None = None
     quality_gate_threshold: float | None = None
     idle_wait_s: float = 0.005
+    prefill_chunk_tokens: int | None = 64
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ConfigError(
+                "prefill_chunk_tokens must be >= 1, got "
+                f"{self.prefill_chunk_tokens}"
+            )
         if self.max_queue_depth < 1:
             raise ConfigError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"

@@ -341,13 +341,19 @@ class CoachLM:
         return self._post_generate(pair, output)
 
     def revise_dataset(
-        self, dataset: InstructionDataset, batch_size: int = DEFAULT_GEN_BATCH_SIZE
+        self,
+        dataset: InstructionDataset,
+        batch_size: int = DEFAULT_GEN_BATCH_SIZE,
+        prefill_chunk_tokens: int | None = None,
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
 
         Decoding runs through the batched engine — ``batch_size``
-        sequences per forward pass with continuous slot refill — and is
-        token-identical to calling :meth:`revise_pair` per pair.
+        sequences per forward pass, with ragged batched prefill and
+        continuous slot refill — and is token-identical to calling
+        :meth:`revise_pair` per pair.  ``prefill_chunk_tokens`` caps how
+        much refill-prompt prefill a single engine step may do (mostly a
+        serving-path knob; offline runs usually leave it off).
         """
         if self.model is None:
             raise ModelError("CoachLM has no model")
@@ -359,7 +365,11 @@ class CoachLM:
             for pair, (prompt, _) in zip(pairs, gated)
             if prompt is not None
         ]
-        engine = BatchedEngine(self.model, max_batch=batch_size)
+        engine = BatchedEngine(
+            self.model,
+            max_batch=batch_size,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+        )
         outputs = iter(engine.generate(requests))
 
         stats = RevisionStats()

@@ -16,14 +16,21 @@ over plain strings.  :class:`TextEngine` owns one model + tokenizer and
   ``submit``/``step``/``collect`` API: responses surface in *completion*
   order as slots retire, which is what the serving layer builds on.
 
-All paths are greedy, EOS-terminated, and token-identical to their
-sequential counterparts; the fleet advances ``batch_size`` sequences per
-forward pass with continuous slot refill.
+All paths are EOS-terminated and token-identical to their sequential
+counterparts — greedy by default, or seeded top-k sampling when
+``top_k`` is passed (each sequence draws from its own spawned rng
+stream, matching :meth:`TransformerLM.generate` under the same seed);
+the fleet advances ``batch_size`` sequences per forward pass with
+continuous slot refill, and ``prefill_chunk_tokens`` bounds how long a
+refill prompt may stall in-flight decodes (see
+:class:`~repro.nn.decoding.BatchedEngine`).
 """
 
 from __future__ import annotations
 
 from typing import Iterator
+
+import numpy as np
 
 from ..config import DEFAULT_GEN_BATCH_SIZE as DEFAULT_BATCH_SIZE
 from ..nn.decoding import BatchedEngine, GenerationRequest
@@ -33,31 +40,66 @@ from .tokenizer import WordTokenizer
 
 
 class TextEngine:
-    """Batched greedy text generation bound to one (model, tokenizer)."""
+    """Batched text generation bound to one (model, tokenizer)."""
 
     def __init__(
         self,
         model: TransformerLM,
         tokenizer: WordTokenizer,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        prefill_chunk_tokens: int | None = None,
     ):
         self.model = model
         self.tokenizer = tokenizer
-        self.engine = BatchedEngine(model, max_batch=batch_size)
+        self.engine = BatchedEngine(
+            model,
+            max_batch=batch_size,
+            prefill_chunk_tokens=prefill_chunk_tokens,
+        )
+
+    @staticmethod
+    def _sampling_rngs(
+        n: int, top_k: int | None, seed: int | None
+    ) -> list[np.random.Generator | None]:
+        """One private rng stream per sequence when sampling, else Nones."""
+        if top_k is None:
+            return [None] * n
+        return [
+            np.random.default_rng(ss)
+            for ss in np.random.SeedSequence(seed).spawn(n)
+        ]
 
     def complete(
-        self, prompts: list[list[int]], max_new_tokens: int
+        self,
+        prompts: list[list[int]],
+        max_new_tokens: int,
+        top_k: int | None = None,
+        seed: int | None = None,
     ) -> list[list[int]]:
-        """Greedy EOS-terminated continuations for pre-encoded prompts."""
+        """EOS-terminated continuations for pre-encoded prompts.
+
+        Greedy by default; with ``top_k`` each prompt samples from its
+        own rng stream spawned off ``seed``, so results are reproducible
+        and independent of batch composition.
+        """
         eos = self.tokenizer.specials.eos
+        rngs = self._sampling_rngs(len(prompts), top_k, seed)
         return self.engine.generate(
             [
-                GenerationRequest(prompt, max_new_tokens, eos_id=eos)
-                for prompt in prompts
+                GenerationRequest(
+                    prompt, max_new_tokens, eos_id=eos, top_k=top_k, rng=rng
+                )
+                for prompt, rng in zip(prompts, rngs)
             ]
         )
 
-    def respond(self, instructions: list[str], max_new_tokens: int = 48) -> list[str]:
+    def respond(
+        self,
+        instructions: list[str],
+        max_new_tokens: int = 48,
+        top_k: int | None = None,
+        seed: int | None = None,
+    ) -> list[str]:
         """Responses to a batch of instructions (Alpaca template)."""
         context = self.model.config.max_seq_len
         prompts = [
@@ -66,7 +108,7 @@ class TextEngine:
         ]
         return [
             self.tokenizer.decode(out)
-            for out in self.complete(prompts, max_new_tokens)
+            for out in self.complete(prompts, max_new_tokens, top_k, seed)
         ]
 
     # -- streaming ---------------------------------------------------------------

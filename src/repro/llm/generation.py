@@ -35,20 +35,26 @@ def generate_responses(
     provenances: list[TaskInstance | None] | None = None,
     max_new_tokens: int = 48,
     batch_size: int = DEFAULT_GEN_BATCH_SIZE,
+    prefill_chunk_tokens: int | None = None,
 ) -> list[InstructionPair]:
     """Generate responses for a list of instructions.
 
     Decoding runs through the batched engine (``batch_size`` sequences
-    per forward pass, continuous slot refill) and is token-identical to
-    calling :func:`generate_response` per instruction.  Returns
-    model-generated pairs carrying the test items' provenance so the
-    judges can run oracle checks against them.
+    per forward pass, ragged batched prefill, continuous slot refill)
+    and is token-identical to calling :func:`generate_response` per
+    instruction.  Returns model-generated pairs carrying the test items'
+    provenance so the judges can run oracle checks against them.
     """
     from .engine import TextEngine
 
     if provenances is None:
         provenances = [None] * len(instructions)
-    engine = TextEngine(model, tokenizer, batch_size=batch_size)
+    engine = TextEngine(
+        model,
+        tokenizer,
+        batch_size=batch_size,
+        prefill_chunk_tokens=prefill_chunk_tokens,
+    )
     responses = engine.respond(instructions, max_new_tokens=max_new_tokens)
     return [
         InstructionPair(

@@ -9,9 +9,12 @@ whole stack at laptop scale (DESIGN.md §2):
 * :mod:`repro.nn.transformer` — a decoder-only transformer LM with causal
   attention, an autograd training path and a fast numpy inference path
   with KV caching;
-* :mod:`repro.nn.decoding` — batched greedy decoding engine: ragged
-  per-sequence prefill, pre-allocated slot KV caches, continuous
-  batching with slot retirement/refill, per-sequence logit biases;
+* :mod:`repro.nn.decoding` — batched decoding engine: ragged batched
+  prefill (one forward pass admits a whole fleet of uneven prompts),
+  chunked prefill/decode interleaving for streaming late-joins,
+  pre-allocated slot KV caches, continuous batching with slot
+  retirement/refill, per-sequence logit biases, and in-engine seeded
+  top-k sampling;
 * :mod:`repro.nn.lora` — Low-Rank Adaptation [Hu et al. 2021] with
   freeze/merge semantics, as the paper uses for coach instruction tuning;
 * :mod:`repro.nn.optim` — Adam, LR schedules, gradient clipping;

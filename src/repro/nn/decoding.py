@@ -1,4 +1,4 @@
-"""Batched greedy decoding engine over :class:`TransformerLM`.
+"""Batched decoding engine over :class:`TransformerLM`.
 
 Inference engine
 ----------------
@@ -9,23 +9,42 @@ step is a handful of tiny GEMMs whose cost is dominated by per-call
 overhead.  This module amortises that overhead across a *fleet* of
 sequences — the shape of both heavy stages of the pipeline (Eq. (2)
 dataset revision over the whole ALPACA52K simulacrum, and Table IX test
-set response generation):
+set response generation).
 
-* **Per-sequence prefill.**  Prompts are ragged; each is prefilled
-  individually with exactly the shapes of the sequential path, so
-  prefill is bit-for-bit identical to :meth:`TransformerLM.generate`
-  (same GEMM shapes → same BLAS kernels → same floats) and no prompt
-  padding is ever computed.  The first generated token therefore always
-  matches the sequential path exactly.
-* **Batched decode.**  All active sequences advance one token per
-  forward pass through shared pre-allocated slot KV caches
-  (:class:`SlotKVCaches`).  Attention over ragged cache lengths uses an
-  additive key mask; masked scores underflow to exactly ``0.0`` after
-  softmax, so padded slots contribute nothing to the float sums.
-* **Continuous batching.**  A sequence that hits EOS (or its token
-  budget) retires immediately; its slot is refilled from the pending
-  queue, or the batch is compacted (swap-with-last) so stragglers never
-  pay for dead slots.
+Engine phases
+~~~~~~~~~~~~~
+
+Every request moves through three phases; each :meth:`BatchedEngine.step`
+runs them in order:
+
+1. **Prefill** — pending prompts are admitted into free KV slots.  Up to
+   ``max_batch`` ragged prompts are prefilled in **one** forward pass:
+   prompts are *right-aligned* into a padded ``(B, T_max)`` batch, each
+   row carries a negative ``position_offset`` so its real tokens sit on
+   positions ``0..len-1``, and the attention core runs per row over each
+   sequence's valid slice, so pad columns never enter any float sum and
+   score temporaries stay cache-resident while the projection GEMMs
+   around them stay batched.  Last-token logits agree with
+   prefilling each prompt alone to within BLAS kernel-selection noise —
+   an ulp or two, orders of magnitude inside greedy argmax margins — and
+   the resulting *first tokens* are pinned bitwise-identical to the
+   per-request path by the parity suite.  With ``prefill_chunk_tokens``
+   set and a fleet already decoding, admission is *chunked* instead: one
+   prompt advances by at most one fixed-size chunk per step, so a
+   late-arriving long prompt delays in-flight decode slots by a bounded
+   chunk forward rather than a whole prompt-length forward (the serving
+   path's latency lever).
+2. **Decode** — all active sequences advance one token per forward pass
+   through shared pre-allocated slot KV caches (:class:`SlotKVCaches`);
+   attention over ragged cache lengths uses an additive key mask.  Token
+   selection is vectorised: one batched ``argmax`` plus vectorised
+   EOS/budget masks, with per-row handling only for slots carrying a
+   ``step_bias`` hook or a ``top_k`` sampler.
+3. **Retire/refill** — a sequence that hits EOS (or its token budget)
+   retires immediately; its slot is compacted away (swap-with-last) and
+   refilled from the pending queue at the next step's prefill phase, so
+   stragglers never pay for dead slots (continuous batching).
+
 * **Streaming intake.**  The same machinery is exposed incrementally —
   ``submit()`` enqueues a request at any time, ``step()`` advances the
   fleet one token, ``collect()`` drains finished results — so callers
@@ -37,14 +56,18 @@ set response generation):
   plus an optional per-step hook for dynamic biases
   (:class:`InductionCopyBias` implements CoachLM's copy-assist with a
   prompt index precomputed once instead of an O(prompt) scan per step).
+* **In-engine sampling.**  Decoding is greedy by default (the paper sets
+  beam size to one for all models); a request may instead carry
+  ``top_k`` plus its own seeded rng stream, reproducing
+  :meth:`TransformerLM.generate`'s top-k sampling inside the batch — a
+  request's draws depend only on its own rng, never on its batch-mates.
 
-Decoding is greedy (the paper sets beam size to one for all models);
-stochastic top-k sampling stays on the sequential path.  Batched GEMMs
-round differently from single-row GEMMs at the last ulp, so logits are
-not bit-identical across batch sizes — but greedy argmax margins are
-many orders of magnitude wider, and the test suite pins token-for-token
-parity with the sequential path on every edge case (ragged prompts,
-EOS at different steps, prompt-too-long, per-sequence biases).
+Batched decode GEMMs round differently from single-row GEMMs at the last
+ulp, so decode logits are not bit-identical across batch sizes — but
+greedy argmax margins are many orders of magnitude wider, and the test
+suite pins token-for-token parity with the sequential path on every edge
+case (ragged prompts, EOS at different steps, prompt-too-long,
+per-sequence biases, chunked vs unchunked prefill, seeded top-k).
 """
 
 from __future__ import annotations
@@ -57,7 +80,7 @@ import numpy as np
 
 from ..config import DEFAULT_GEN_BATCH_SIZE
 from ..errors import GenerationError
-from .transformer import TransformerLM
+from .transformer import TransformerLM, _sample_top_k
 
 #: Additive mask value for invalid key slots (matches the causal mask).
 _NEG_INF = np.float32(-1e9)
@@ -74,6 +97,11 @@ class GenerationRequest:
     before each argmax and may add dynamic bias in place (it sees the
     tokens produced *so far*, i.e. it is a no-op opportunity on the first
     token when ``produced`` is empty).
+
+    ``top_k`` switches the request from greedy argmax to top-k sampling
+    drawn from ``rng`` — the request's private generator stream, so its
+    tokens match :meth:`TransformerLM.generate` under the same seed
+    regardless of how the batch around it is composed.
     """
 
     prompt_ids: list[int]
@@ -81,6 +109,8 @@ class GenerationRequest:
     eos_id: int | None = None
     logit_bias: np.ndarray | None = None
     step_bias: Callable[[list[int], np.ndarray], None] | None = None
+    top_k: int | None = None
+    rng: np.random.Generator | None = None
 
     def __post_init__(self) -> None:
         if self.logit_bias is not None and self.logit_bias.dtype != np.float32:
@@ -168,8 +198,21 @@ class SlotKVCaches:
         self.lengths = np.zeros(max_batch, dtype=np.int64)
         self.max_batch = max_batch
 
-    def prefill_adapters(self, slot: int) -> list["_PrefillSlot"]:
-        return [_PrefillSlot(self, layer, slot) for layer in range(len(self.k))]
+    def ragged_prefill_adapters(
+        self, slots: list[int], pads: np.ndarray
+    ) -> list["_RaggedPrefillSlots"]:
+        return [
+            _RaggedPrefillSlots(self, layer, slots, pads)
+            for layer in range(len(self.k))
+        ]
+
+    def chunk_prefill_adapters(
+        self, slot: int, start: int
+    ) -> list["_ChunkPrefillSlot"]:
+        return [
+            _ChunkPrefillSlot(self, layer, slot, start)
+            for layer in range(len(self.k))
+        ]
 
     def step_adapters(self, n_active: int, view_len: int) -> list["_StepSlot"]:
         return [
@@ -184,26 +227,70 @@ class SlotKVCaches:
             self.v[layer][dst] = self.v[layer][src]
         self.lengths[dst] = self.lengths[src]
 
+    def move_prefix(self, src: int, dst: int, length: int) -> None:
+        """Copy only columns ``[0, length)`` of slot ``src`` over ``dst``.
 
-class _PrefillSlot:
-    """Cache adapter for single-sequence prefill into one slot.
+        Used to shift a partially prefilled (parked) slot, whose columns
+        beyond ``length`` hold no data worth a full-capacity copy.
+        """
+        for layer in range(len(self.k)):
+            self.k[layer][dst, :, :length] = self.k[layer][src, :, :length]
+            self.v[layer][dst, :, :length] = self.v[layer][src, :, :length]
 
-    Returns the fresh K/V unchanged so prefill attention is exactly the
-    legacy empty-cache path (bitwise), while copying them into the slab.
+
+class _RaggedPrefillSlots:
+    """Cache adapter for one ragged right-aligned prefill batch.
+
+    Returns the fresh right-aligned K/V unchanged (attention sees exactly
+    the batch it computed, with pads hidden by the key mask) while
+    scattering each row's valid ``[pad:, :]`` suffix into its slot's
+    left-aligned slab columns ``[0, len)`` for the decode phase.
     """
 
-    __slots__ = ("caches", "layer", "slot")
+    __slots__ = ("caches", "layer", "slots", "pads")
 
-    def __init__(self, caches: SlotKVCaches, layer: int, slot: int):
+    def __init__(
+        self, caches: SlotKVCaches, layer: int, slots: list[int], pads: np.ndarray
+    ):
         self.caches = caches
         self.layer = layer
-        self.slot = slot
+        self.slots = slots
+        self.pads = pads
 
     def update(self, k: np.ndarray, v: np.ndarray):
         t = k.shape[2]
-        self.caches.k[self.layer][self.slot, :, :t] = k[0]
-        self.caches.v[self.layer][self.slot, :, :t] = v[0]
+        for row, slot in enumerate(self.slots):
+            pad = int(self.pads[row])
+            self.caches.k[self.layer][slot, :, : t - pad] = k[row, :, pad:]
+            self.caches.v[self.layer][slot, :, : t - pad] = v[row, :, pad:]
         return k, v
+
+
+class _ChunkPrefillSlot:
+    """Cache adapter for one prompt chunk appended to a single slot.
+
+    Writes the chunk's K/V into slab columns ``[start, start + t)`` and
+    returns a view over the whole written prefix ``[0, start + t)`` —
+    chunk queries attend over every key prefilled so far.
+    """
+
+    __slots__ = ("caches", "layer", "slot", "start")
+
+    def __init__(self, caches: SlotKVCaches, layer: int, slot: int, start: int):
+        self.caches = caches
+        self.layer = layer
+        self.slot = slot
+        self.start = start
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        c = self.caches
+        end = self.start + k.shape[2]
+        c.k[self.layer][self.slot, :, self.start : end] = k[0]
+        c.v[self.layer][self.slot, :, self.start : end] = v[0]
+        return (
+            c.k[self.layer][self.slot : self.slot + 1, :, :end],
+            c.v[self.layer][self.slot : self.slot + 1, :, :end],
+        )
 
 
 class _StepSlot:
@@ -238,18 +325,20 @@ class _SlotState:
     request: GenerationRequest
     budget: int
     produced: list[int] = field(default_factory=list)
+    prefilled: int = 0              #: prompt tokens written (chunked admission)
 
 
 class BatchedEngine:
-    """Continuous-batching greedy decoder over a :class:`TransformerLM`.
+    """Continuous-batching decoder over a :class:`TransformerLM`.
 
-    See the module docstring for the architecture.  The engine can be
-    driven two ways:
+    See the module docstring for the architecture (the prefill → decode →
+    retire/refill phase loop).  The engine can be driven two ways:
 
     * **Run to completion** — :meth:`generate` consumes a list of
       :class:`GenerationRequest` and returns the produced token lists in
       input order; results are token-for-token identical to calling
-      :meth:`TransformerLM.generate` (greedy) per request.
+      :meth:`TransformerLM.generate` per request (greedy, or seeded
+      top-k).
     * **Streaming** — :meth:`submit` enqueues one request and returns its
       sequence id, :meth:`step` advances the whole fleet one token
       (admitting pending requests into free slots first, so a request
@@ -257,6 +346,14 @@ class BatchedEngine:
       instead of waiting for the batch to drain), and :meth:`collect`
       pops finished ``{seq_id: tokens}`` results.  This is the substrate
       of the online revision service (:mod:`repro.serving`).
+
+    ``prefill_chunk_tokens`` bounds how much prefill work a single
+    :meth:`step` may do while other slots are decoding: a refill prompt
+    advances by at most one chunk per step (one prompt at a time, parked
+    one slot past the decode fleet), so in-flight decodes are never
+    stalled behind a whole prompt-length forward.  When the fleet is idle
+    there is nothing to stall and admission always uses the full ragged
+    batched prefill.
 
     The slot KV slabs are allocated lazily on first use and reused across
     drains: a refilled slot overwrites from column zero and the key mask
@@ -267,11 +364,21 @@ class BatchedEngine:
     :meth:`collect`.
     """
 
-    def __init__(self, model: TransformerLM, max_batch: int = DEFAULT_GEN_BATCH_SIZE):
+    def __init__(
+        self,
+        model: TransformerLM,
+        max_batch: int = DEFAULT_GEN_BATCH_SIZE,
+        prefill_chunk_tokens: int | None = None,
+    ):
         if max_batch < 1:
             raise GenerationError(f"max_batch must be >= 1, got {max_batch}")
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens < 1:
+            raise GenerationError(
+                f"prefill_chunk_tokens must be >= 1, got {prefill_chunk_tokens}"
+            )
         self.model = model
         self.max_batch = max_batch
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self._caches: SlotKVCaches | None = None
         self._bias: np.ndarray | None = None
         self._slots: list[_SlotState | None] = [None] * max_batch
@@ -279,6 +386,17 @@ class BatchedEngine:
         self._pending: deque[tuple[int, GenerationRequest]] = deque()
         self._finished: dict[int, list[int]] = {}
         self._next_id = 0
+        #: Mid-prefill request (chunked admission), parked at slot
+        #: ``self._n_active`` — one past the decode fleet.
+        self._prefilling: _SlotState | None = None
+        # Vectorised decode bookkeeping, maintained per occupied slot.
+        self._eos = np.full(max_batch, -1, dtype=np.int64)
+        self._budget = np.zeros(max_batch, dtype=np.int64)
+        self._count = np.zeros(max_batch, dtype=np.int64)
+        #: Active slots carrying a step_bias hook / a top_k sampler; the
+        #: decode loop takes the pure-vectorised path when both are zero.
+        self._n_hooked = 0
+        self._n_sampled = 0
 
     # -- request intake ----------------------------------------------------------
     def _validate(self, request: GenerationRequest) -> None:
@@ -287,6 +405,11 @@ class BatchedEngine:
         vocab = self.model.config.vocab_size
         if request.logit_bias is not None and request.logit_bias.shape != (vocab,):
             raise GenerationError(f"logit_bias must have shape ({vocab},)")
+        if request.top_k is not None:
+            if request.top_k < 1:
+                raise GenerationError(f"top_k must be >= 1, got {request.top_k}")
+            if request.rng is None:
+                raise GenerationError("top_k sampling requires an rng")
 
     def submit(self, request: GenerationRequest) -> int:
         """Enqueue one request; returns its sequence id.
@@ -306,6 +429,11 @@ class BatchedEngine:
         return self._n_active
 
     @property
+    def n_prefilling(self) -> int:
+        """Sequences mid-way through chunked prompt prefill (0 or 1)."""
+        return 0 if self._prefilling is None else 1
+
+    @property
     def n_pending(self) -> int:
         """Submitted sequences not yet admitted into a slot."""
         return len(self._pending)
@@ -313,29 +441,22 @@ class BatchedEngine:
     @property
     def free_capacity(self) -> int:
         """Slots the engine can absorb before submissions queue behind others."""
-        return self.max_batch - self._n_active - len(self._pending)
+        return (
+            self.max_batch
+            - self._n_active
+            - self.n_prefilling
+            - len(self._pending)
+        )
 
     @property
     def has_work(self) -> bool:
-        return bool(self._pending) or self._n_active > 0
-
-    @staticmethod
-    def _first_token(
-        state: _SlotState, logits_row: np.ndarray, bias_row: np.ndarray
-    ) -> bool:
-        """Apply biases, argmax, record; return True when finished."""
-        request = state.request
-        step = logits_row
-        if request.logit_bias is not None or request.step_bias is not None:
-            step = step + bias_row
-            if request.step_bias is not None:
-                request.step_bias(state.produced, step)
-        token = int(step.argmax())
-        state.produced.append(token)
         return (
-            request.eos_id is not None and token == request.eos_id
-        ) or len(state.produced) >= state.budget
+            bool(self._pending)
+            or self._n_active > 0
+            or self._prefilling is not None
+        )
 
+    # -- slot bookkeeping --------------------------------------------------------
     def _ensure_state(self) -> None:
         if self._caches is None:
             self._caches = SlotKVCaches(self.model, self.max_batch)
@@ -343,35 +464,196 @@ class BatchedEngine:
                 (self.max_batch, self.model.config.vocab_size), dtype=np.float32
             )
 
-    def _fill(self, slot: int) -> bool:
-        """Prefill the next viable pending request into ``slot``."""
+    def _install(self, slot: int, state: _SlotState) -> None:
+        """Occupy ``slot`` with a fully prefilled sequence."""
+        request = state.request
+        self._slots[slot] = state
+        self._bias[slot] = (
+            request.logit_bias if request.logit_bias is not None else 0.0
+        )
+        self._eos[slot] = -1 if request.eos_id is None else request.eos_id
+        self._budget[slot] = state.budget
+        self._count[slot] = 0
+        if request.step_bias is not None:
+            self._n_hooked += 1
+        if request.top_k is not None:
+            self._n_sampled += 1
+
+    def _retire(self, slot: int) -> None:
+        """Finish ``slot``'s sequence and compact the fleet (swap-with-last)."""
+        state = self._slots[slot]
+        self._finished[state.seq_id] = state.produced
+        if state.request.step_bias is not None:
+            self._n_hooked -= 1
+        if state.request.top_k is not None:
+            self._n_sampled -= 1
+        caches = self._caches
+        tail = self._n_active - 1
+        if slot != tail:
+            caches.move(tail, slot)
+            self._bias[slot] = self._bias[tail]
+            self._eos[slot] = self._eos[tail]
+            self._budget[slot] = self._budget[tail]
+            self._count[slot] = self._count[tail]
+            self._slots[slot] = self._slots[tail]
+        self._slots[tail] = None
+        self._n_active -= 1
+
+    def _choose_token(self, request: GenerationRequest, logits_row: np.ndarray) -> int:
+        if request.top_k is not None:
+            return _sample_top_k(logits_row, request.top_k, request.rng)
+        return int(logits_row.argmax())
+
+    def _first_token(self, state: _SlotState, logits_row: np.ndarray, slot: int) -> bool:
+        """Apply biases, select, record; return True when finished."""
+        request = state.request
+        step = logits_row
+        if request.logit_bias is not None or request.step_bias is not None:
+            step = step + self._bias[slot]
+            if request.step_bias is not None:
+                request.step_bias(state.produced, step)
+        token = self._choose_token(request, step)
+        state.produced.append(token)
+        self._count[slot] = 1
+        return (
+            request.eos_id is not None and token == request.eos_id
+        ) or len(state.produced) >= state.budget
+
+    # -- prefill phase -----------------------------------------------------------
+    def _pop_viable(self) -> _SlotState | None:
+        """Pop the next pending request with a positive token budget."""
         context = self.model.config.max_seq_len
-        caches, bias = self._caches, self._bias
         while self._pending:
             seq_id, request = self._pending.popleft()
             budget = min(request.max_new_tokens, context - len(request.prompt_ids))
             if budget <= 0:
                 self._finished[seq_id] = []
                 continue
-            state = _SlotState(seq_id, request, budget)
-            bias[slot] = (
-                request.logit_bias if request.logit_bias is not None else 0.0
-            )
-            logits = self.model._forward_numpy(
-                np.asarray([request.prompt_ids], dtype=np.int64),
-                caches.prefill_adapters(slot),
-            )[:, -1, :]
-            caches.lengths[slot] = len(request.prompt_ids)
-            if self._first_token(state, logits[0], bias[slot]):
-                self._finished[seq_id] = state.produced
-                continue
-            self._slots[slot] = state
-            return True
-        return False
+            return _SlotState(seq_id, request, budget)
+        return None
+
+    def _ragged_prefill(
+        self, states: list[_SlotState], slots: list[int]
+    ) -> np.ndarray:
+        """One right-aligned ragged forward; returns ``(B, V)`` last-token logits.
+
+        Writes each sequence's K/V into its slot slab and sets the slot
+        lengths.  The projection GEMMs run fused over the whole padded
+        batch; the attention core runs per row over each sequence's valid
+        slice (see :meth:`SelfAttention._ragged_attention`), so pad
+        columns never enter any float sum and score temporaries stay
+        cache-resident.  Each row's last-token logits agree with a lone
+        prefill of that prompt to within BLAS kernel-selection noise (an
+        ulp or two — far inside greedy argmax margins), and the *first
+        tokens* are pinned identical to the per-request path by the
+        parity suite.
+        """
+        caches = self._caches
+        prompts = [state.request.prompt_ids for state in states]
+        t_max = max(len(prompt) for prompt in prompts)
+        n = len(prompts)
+        idx = np.zeros((n, t_max), dtype=np.int64)
+        pads = np.empty(n, dtype=np.int64)
+        for row, prompt in enumerate(prompts):
+            pads[row] = t_max - len(prompt)
+            idx[row, pads[row]:] = prompt
+        logits = self.model._forward_numpy(
+            idx,
+            caches.ragged_prefill_adapters(slots, pads),
+            position_offset=-pads,
+            pad_lens=pads,
+            last_only=True,
+        )[:, -1, :]
+        for row, slot in enumerate(slots):
+            caches.lengths[slot] = len(prompts[row])
+        return logits
+
+    def _batch_admit(self) -> bool:
+        """Prefill up to the free slot count of pending prompts in one pass.
+
+        Returns True when at least one sequence was admitted (it may also
+        have finished instantly on its first token and retired).
+        """
+        states: list[_SlotState] = []
+        while self._pending and self._n_active + len(states) < self.max_batch:
+            state = self._pop_viable()
+            if state is None:
+                break
+            states.append(state)
+        if not states:
+            return False
+        slots = list(range(self._n_active, self._n_active + len(states)))
+        logits = self._ragged_prefill(states, slots)
+        finished: list[int] = []
+        for row, (state, slot) in enumerate(zip(states, slots)):
+            self._install(slot, state)
+            self._n_active += 1
+            if self._first_token(state, logits[row], slot):
+                finished.append(slot)
+        for slot in reversed(finished):
+            self._retire(slot)
+        return True
+
+    def _chunk_admit(self, chunk: int) -> None:
+        """Advance prompt prefill by at most one chunk (late-join path).
+
+        One prompt prefills at a time, parked at slot ``n_active``; each
+        call costs the in-flight decode slots at most a ``chunk``-token
+        forward pass of latency instead of a whole prompt-length one.
+        """
+        if self._prefilling is None:
+            if self._n_active >= self.max_batch:
+                return
+            self._prefilling = self._pop_viable()
+            if self._prefilling is None:
+                return
+        state = self._prefilling
+        slot = self._n_active
+        prompt = state.request.prompt_ids
+        start = state.prefilled
+        if self._n_active == 0:
+            # The fleet emptied mid-prefill: nothing left to stall, so
+            # finish the whole remainder in one forward instead of
+            # trickling it out chunk by chunk.
+            end = len(prompt)
+        else:
+            end = min(start + chunk, len(prompt))
+        logits = self.model._forward_numpy(
+            np.asarray([prompt[start:end]], dtype=np.int64),
+            self._caches.chunk_prefill_adapters(slot, start),
+            position_offset=start,
+            last_only=True,
+        )[:, -1, :]
+        state.prefilled = end
+        if end < len(prompt):
+            return
+        # Prompt complete: first token, then join the decode fleet.
+        self._caches.lengths[slot] = len(prompt)
+        self._prefilling = None
+        self._install(slot, state)
+        self._n_active += 1
+        if self._first_token(state, logits[0], slot):
+            self._retire(slot)
+
+    def _admit(self) -> None:
+        """Prefill phase: move pending work into KV slots.
+
+        Without chunking — or with an idle fleet, where there is nothing
+        to stall — all free slots are filled by ragged batched prefill;
+        with chunking and in-flight decodes, at most one chunk of one
+        prompt advances per step.
+        """
+        chunk = self.prefill_chunk_tokens
+        if chunk is not None and (self._n_active > 0 or self._prefilling is not None):
+            self._chunk_admit(chunk)
+            return
+        while self._pending and self._n_active < self.max_batch:
+            if not self._batch_admit():
+                break
 
     # -- streaming loop ----------------------------------------------------------
     def step(self) -> int:
-        """Admit pending requests, then advance every active slot one token.
+        """Run one engine round: prefill, decode, retire.
 
         Returns the number of sequences that finished during this call
         (prefill-time instant finishes included); a no-op when idle.
@@ -380,15 +662,13 @@ class BatchedEngine:
             return 0
         self._ensure_state()
         before = len(self._finished)
-        while self._n_active < self.max_batch and self._pending:
-            if self._fill(self._n_active):
-                self._n_active += 1
+        self._admit()
         n_active = self._n_active
         if n_active == 0:
             return len(self._finished) - before
 
         # One batched decode step over the active slots.
-        caches, bias, slots = self._caches, self._bias, self._slots
+        caches, slots = self._caches, self._slots
         last = np.asarray(
             [[slots[b].produced[-1]] for b in range(n_active)], dtype=np.int64
         )
@@ -407,34 +687,50 @@ class BatchedEngine:
         )[:, -1, :]
         caches.lengths[:n_active] += 1
 
-        step = logits + bias[:n_active]
-        finished: list[int] = []
+        step = logits + self._bias[:n_active]
+        sampled: list[int] = []
+        if self._n_hooked or self._n_sampled:
+            # Per-row handling only for slots that need it: dynamic bias
+            # hooks mutate their row in place before selection; sampled
+            # rows are collected for the batched top-k pass below.
+            for b in range(n_active):
+                request = slots[b].request
+                if request.step_bias is not None:
+                    request.step_bias(slots[b].produced, step[b])
+                if request.top_k is not None:
+                    sampled.append(b)
+        tokens = step.argmax(axis=-1)
+        for b in sampled:
+            # The exact sampler of TransformerLM.generate, fed from the
+            # request's private rng stream: draw-for-draw parity with the
+            # sequential path holds by construction, whatever the batch.
+            request = slots[b].request
+            tokens[b] = _sample_top_k(step[b], request.top_k, request.rng)
         for b in range(n_active):
-            state = slots[b]
-            if state.request.step_bias is not None:
-                state.request.step_bias(state.produced, step[b])
-            token = int(step[b].argmax())
-            state.produced.append(token)
-            eos = state.request.eos_id
-            if (eos is not None and token == eos) or len(
-                state.produced
-            ) >= state.budget:
-                finished.append(b)
-
-        # Retire finished slots; refill from pending or compact.
-        for b in reversed(finished):
-            state = slots[b]
-            self._finished[state.seq_id] = state.produced
-            if self._fill(b):
-                continue
-            tail = self._n_active - 1
-            if b != tail:
-                caches.move(tail, b)
-                bias[b] = bias[tail]
-                slots[b] = slots[tail]
-            slots[tail] = None
-            self._n_active -= 1
-
+            slots[b].produced.append(int(tokens[b]))
+        self._count[:n_active] += 1
+        finished_mask = (tokens == self._eos[:n_active]) | (
+            self._count[:n_active] >= self._budget[:n_active]
+        )
+        retired = np.flatnonzero(finished_mask).tolist()
+        for b in reversed(retired):
+            self._retire(b)
+        if retired and self._prefilling is not None:
+            # The mid-prefill sequence stays parked one past the fleet:
+            # shift its partial KV down over the rows compaction freed —
+            # one prefix copy per step, however many slots retired
+            # (n_active was the parked row before the retire loop).
+            caches.move_prefix(
+                n_active, self._n_active, self._prefilling.prefilled
+            )
+        if retired and self.prefill_chunk_tokens is None:
+            # Refill freed slots within the same step (the scheduler's
+            # late-join contract): pending work is prefilled now and
+            # decodes from the very next step.  With chunking enabled the
+            # refill waits for the next step's prefill phase instead — a
+            # second _admit here would advance the parked prompt a second
+            # chunk and break the one-chunk-per-step stall bound.
+            self._admit()
         return len(self._finished) - before
 
     def collect(self) -> dict[int, list[int]]:

@@ -73,7 +73,12 @@ class SelfAttention(Module):
         return self.proj(out)
 
     def forward_numpy(
-        self, x: np.ndarray, cache, key_mask: np.ndarray | None = None
+        self,
+        x: np.ndarray,
+        cache,
+        key_mask: np.ndarray | None = None,
+        causal_mask: np.ndarray | None = None,
+        pad_lens: np.ndarray | None = None,
     ) -> np.ndarray:
         """Inference path; ``cache`` holds accumulated K/V per layer.
 
@@ -84,6 +89,26 @@ class SelfAttention(Module):
         ``key_mask`` is an optional additive mask broadcastable to
         ``(B, H, T, Tk)`` (0 for valid keys, ``-1e9`` for padded slots);
         the engine uses it to hide stale columns of ragged slot caches.
+        ``causal_mask`` is an optional precomputed full
+        ``(max_seq_len, max_seq_len)`` upper-triangular additive mask;
+        when large enough it is *sliced* instead of rebuilding ``np.triu``
+        on every call, and the ``t == 1`` decode case skips the causal
+        term entirely (a single query may attend to every cached key).
+        ``pad_lens`` marks ``x`` as a right-aligned ragged prefill batch
+        (one left-pad width per row): the attention core then runs per
+        row over each sequence's valid ``[pad:, pad:]`` slice.  This
+        keeps every attention temporary at the cache-friendly
+        single-sequence size — a fused ``(B, H, T, T)`` prefill score
+        tensor runs tens of megabytes and turns the softmax pipeline
+        memory-bound — and spends zero FLOPs on pad columns, while the
+        projection GEMMs around it (the bulk of the arithmetic) stay
+        batched.  Masked/padded scores contribute exactly ``0.0`` weight
+        after softmax in all paths; a batched row's logits still differ
+        from a lone-sequence forward in the last ulp or two because BLAS
+        kernel selection (and with it accumulation order) varies with
+        GEMM shapes.  Greedy argmax margins are many orders of magnitude
+        wider, so token choices are unaffected — the engine's parity
+        suite pins this.
         """
         b, t, d = x.shape
         cfg = self.config
@@ -99,13 +124,22 @@ class SelfAttention(Module):
             else:
                 k, v = cache.update(k, v)
         scale = 1.0 / np.sqrt(cfg.head_dim)
+        if pad_lens is not None:
+            if key_mask is not None:
+                raise GenerationError(
+                    "pad_lens and key_mask are mutually exclusive: the "
+                    "ragged per-row path never reads key_mask"
+                )
+            out = self._ragged_attention(q, k, v, scale, causal_mask, pad_lens)
+            out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+            return self.proj.forward_numpy(out)
         scores = (q @ np.swapaxes(k, -1, -2)) * scale  # (B, H, T, Tk)
         t_k = k.shape[2]
         # Causal mask: query position i (offset by cached length) may attend
-        # to key positions <= i.
-        offset = t_k - t
-        mask = np.triu(np.full((t, t_k), -1e9, dtype=np.float32), k=offset + 1)
-        scores = scores + mask
+        # to key positions <= i.  For t == 1 the mask is identically zero,
+        # so the add is skipped on the decode hot path.
+        if t > 1:
+            scores = scores + self._causal_slice(causal_mask, t, t_k)
         if key_mask is not None:
             scores = scores + key_mask
         scores -= scores.max(axis=-1, keepdims=True)
@@ -114,6 +148,57 @@ class SelfAttention(Module):
         out = probs @ v
         out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
         return self.proj.forward_numpy(out)
+
+    @staticmethod
+    def _causal_slice(
+        causal_mask: np.ndarray | None, t: int, t_k: int
+    ) -> np.ndarray:
+        """The ``(t, t_k)`` additive causal mask, sliced from the cached
+        full-context triangle when available instead of rebuilt."""
+        offset = t_k - t
+        if (
+            causal_mask is not None
+            and causal_mask.shape[0] >= t_k
+            and causal_mask.shape[1] >= t_k
+        ):
+            return causal_mask[offset : offset + t, :t_k]
+        return np.triu(np.full((t, t_k), -1e9, dtype=np.float32), k=offset + 1)
+
+    def _ragged_attention(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        scale: float,
+        causal_mask: np.ndarray | None,
+        pad_lens: np.ndarray,
+    ) -> np.ndarray:
+        """Attention core of a right-aligned ragged prefill batch.
+
+        Each row attends over exactly its valid slice with lone-sequence
+        shapes and temporaries, so the score tensors stay cache-resident
+        and pad columns cost nothing.  The pipeline is kept in float32
+        with in-place updates (a ``np.float64`` scale scalar would
+        promote every score temporary to float64 under NumPy 2 — twice
+        the memory traffic of the hottest tensors in prefill).  Pad rows
+        are left at zero: they feed only their own dead residual lanes
+        and are never read.
+        """
+        b, n_heads, t, head_dim = q.shape
+        scale32 = np.float32(scale)
+        out = np.zeros((b, n_heads, t, head_dim), dtype=np.float32)
+        for row in range(b):
+            pad = int(pad_lens[row])
+            valid = t - pad
+            scores = q[row, :, pad:, :] @ np.swapaxes(k[row, :, pad:, :], -1, -2)
+            scores *= scale32
+            if valid > 1:
+                scores += self._causal_slice(causal_mask, valid, valid)
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            out[row, :, pad:, :] = scores @ v[row, :, pad:, :]
+        return out
 
 
 class MLP(Module):
@@ -149,9 +234,16 @@ class Block(Module):
         return x
 
     def forward_numpy(
-        self, x: np.ndarray, cache, key_mask: np.ndarray | None = None
+        self,
+        x: np.ndarray,
+        cache,
+        key_mask: np.ndarray | None = None,
+        causal_mask: np.ndarray | None = None,
+        pad_lens: np.ndarray | None = None,
     ) -> np.ndarray:
-        x = x + self.attn.forward_numpy(self.ln1.forward_numpy(x), cache, key_mask)
+        x = x + self.attn.forward_numpy(
+            self.ln1.forward_numpy(x), cache, key_mask, causal_mask, pad_lens
+        )
         x = x + self.mlp.forward_numpy(self.ln2.forward_numpy(x))
         return x
 
@@ -215,13 +307,24 @@ class TransformerLM(Module):
         caches: list | None,
         position_offset: int | np.ndarray = 0,
         key_mask: np.ndarray | None = None,
+        pad_lens: np.ndarray | None = None,
+        last_only: bool = False,
     ) -> np.ndarray:
         """Inference forward.
 
         ``position_offset`` is a scalar (all rows share one offset — the
         legacy single-sequence path) or a ``(B,)`` array of per-sequence
-        offsets (the batched engine decodes rows at different depths).
-        ``key_mask`` is forwarded to every attention layer.
+        offsets (the batched engine decodes rows at different depths; a
+        right-aligned ragged prefill batch passes *negative* offsets so
+        each prompt's real tokens land on positions ``0..len-1``, and the
+        resulting negative pad-row positions are clamped to 0 — pad rows
+        are never attended to and never read).  ``key_mask`` and
+        ``pad_lens`` are forwarded to every attention layer (see
+        :meth:`SelfAttention.forward_numpy`).  ``last_only`` restricts
+        the final norm + vocabulary projection to the last position of
+        each row — prefill only consumes last-token logits, and the head
+        GEMM over a whole prompt is otherwise the single largest matmul
+        of the forward; the return value is then ``(B, 1, V)``.
         """
         idx = np.asarray(idx)
         b, t = idx.shape
@@ -234,7 +337,7 @@ class TransformerLM(Module):
                 raise GenerationError(
                     f"position_offset shape {offsets.shape} != ({b},)"
                 )
-            positions = offsets[:, None] + np.arange(t)[None, :]
+            positions = np.maximum(offsets[:, None] + np.arange(t)[None, :], 0)
             last_position = int(offsets.max()) + t - 1
         if last_position >= self.config.max_seq_len:
             raise GenerationError(
@@ -244,8 +347,14 @@ class TransformerLM(Module):
         x = self.tok_emb.forward_numpy(idx) + self.pos_emb.forward_numpy(positions)
         for i, block in enumerate(self.blocks):
             x = block.forward_numpy(
-                x, caches[i] if caches is not None else None, key_mask
+                x,
+                caches[i] if caches is not None else None,
+                key_mask,
+                self._causal_mask,
+                pad_lens,
             )
+        if last_only:
+            x = x[:, -1:, :]
         x = self.ln_f.forward_numpy(x)
         if self.head is None:
             return x @ self.tok_emb.weight.data.T

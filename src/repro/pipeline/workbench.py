@@ -211,7 +211,9 @@ class Workbench:
             )
         coach = self.coach(alpha=alpha, backbone_name=backbone_name)
         revised, stats = coach.revise_dataset(
-            self.alpaca_dataset(), batch_size=self.scale.gen_batch_size
+            self.alpaca_dataset(),
+            batch_size=self.scale.gen_batch_size,
+            prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
         )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
@@ -381,6 +383,7 @@ class Workbench:
             testset.provenances[:n_items],
             max_new_tokens=self.scale.max_new_tokens,
             batch_size=self.scale.gen_batch_size,
+            prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
         )
         self.cache.save_dataset(
             "responses", key, InstructionDataset(responses, name="responses")

@@ -10,6 +10,11 @@ directly by tests, which makes the late-join behaviour deterministic:
 * a job submitted while the fleet is mid-flight is prefilled into the
   first slot that retires, so it **joins the in-flight batch** instead of
   waiting for the whole batch to drain;
+* with the engine's ``prefill_chunk_tokens`` set (the serving default),
+  that late-join prefill is *interleaved*: each :meth:`pump` advances the
+  joining prompt by at most one chunk alongside one decode step, so a
+  long prompt delays the in-flight requests by a bounded chunk forward
+  per step instead of a whole prompt-length forward pass;
 * admission is capped at the engine's slot count, so jobs keep waiting in
   the server's *priority* queue (not the engine's FIFO) until a slot is
   actually imminent — priorities stay meaningful under load.
@@ -50,6 +55,11 @@ class StreamingScheduler:
     def in_flight(self) -> int:
         """Jobs submitted to the engine and not yet dispatched."""
         return len(self._jobs)
+
+    @property
+    def n_prefilling(self) -> int:
+        """Jobs mid-way through chunked prompt prefill (0 or 1)."""
+        return self.engine.n_prefilling
 
     @property
     def has_work(self) -> bool:

@@ -81,7 +81,11 @@ class RevisionServer:
         self.cache = RevisionLRUCache(self.config.cache_capacity)
         self.metrics = ServingMetrics()
         self.scheduler = StreamingScheduler(
-            BatchedEngine(coach.model, max_batch=self.config.max_batch),
+            BatchedEngine(
+                coach.model,
+                max_batch=self.config.max_batch,
+                prefill_chunk_tokens=self.config.prefill_chunk_tokens,
+            ),
             self.metrics,
         )
         self._state_lock = threading.Lock()    # guards cache fill + dedup map

@@ -85,3 +85,19 @@ def test_scaled_override():
     cfg = get_scale("ci").scaled(dataset_size=17)
     assert cfg.dataset_size == 17
     assert cfg.name == "ci"
+
+
+def test_scale_config_validates_prefill_chunk():
+    with pytest.raises(ConfigError, match="prefill_chunk_tokens"):
+        get_scale("ci").scaled(prefill_chunk_tokens=0)
+    assert get_scale("ci").prefill_chunk_tokens is None
+    assert get_scale("ci").scaled(prefill_chunk_tokens=16).prefill_chunk_tokens == 16
+
+
+def test_serving_config_validates_prefill_chunk():
+    from repro.config import ServingConfig
+
+    with pytest.raises(ConfigError, match="prefill_chunk_tokens"):
+        ServingConfig(prefill_chunk_tokens=0)
+    assert ServingConfig().prefill_chunk_tokens is not None
+    assert ServingConfig(prefill_chunk_tokens=None).prefill_chunk_tokens is None

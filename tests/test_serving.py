@@ -298,6 +298,18 @@ def test_server_parity_with_revise_dataset(coach, dataset):
     assert got_stats.outcomes == expected_stats.outcomes
 
 
+def test_server_parity_with_tiny_prefill_chunks(coach, dataset):
+    """Chunked prefill interleaving (even 5-token chunks) must not change
+    a single served token relative to the offline batch path."""
+    expected, _ = coach.revise_dataset(dataset, batch_size=5)
+    config = ServingConfig(max_batch=3, prefill_chunk_tokens=5)
+    with RevisionServer(coach, config) as server:
+        got, _ = InProcessRevisionClient(server).revise_dataset(dataset)
+    for exp, pair in zip(expected, got):
+        assert pair.instruction == exp.instruction
+        assert pair.response == exp.response
+
+
 def test_server_leakage_gating_matches_coach(tokenizer, dataset):
     config = TransformerConfig(
         vocab_size=tokenizer.vocab_size, d_model=32, n_layers=1, n_heads=4,
