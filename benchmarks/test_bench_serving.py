@@ -8,7 +8,10 @@ latency and the *sustained* engine tokens/sec (tokens produced / engine
 busy time), and compare against the same engine driven offline at batch
 8 — the streaming scheduler must not give back the continuous-batching
 speedup that PR 1 bought.  A dedup pass then re-submits known content
-and asserts it is served entirely from the cache, with zero engine work.
+and asserts it is served entirely from the cache, with zero engine work;
+a long-prompt stall scenario pins the chunked-prefill latency bound, and
+a late-arrival burst scenario pins that multi-slot chunked admission
+cuts mean admission-to-first-token steps at least 2x vs single-slot.
 
 Results land in ``BENCH_serving.json`` at the repo root, the serving
 counterpart of ``BENCH_throughput.json``.
@@ -33,6 +36,11 @@ from repro.serving import SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
 MAX_BATCH = 8
 N_CASES = 32
 MAX_NEW_TOKENS = 48
+#: Burst size of the late-arrival admission scenario (and the floor's
+#: subject: multi-slot chunked prefill must cut the burst's mean
+#: admission-to-first-token step count at least in half).
+N_LATE_ARRIVALS = 8
+ADMISSION_SPEEDUP_FLOOR = 2.0
 #: One config for the whole bench: the offline batch-8 reference below is
 #: re-derived from an engine built with *these exact knobs* on every run
 #: (never a number hard-coded from a prior engine generation), so engine
@@ -150,6 +158,69 @@ def _long_prompt_stall(coach: CoachLM) -> dict:
     }
 
 
+def _late_arrival_admission(coach: CoachLM) -> dict:
+    """Mean admission-to-first-token steps for a simultaneous burst.
+
+    The CoachLM deployment's bursty shape: a fleet is decoding when
+    ``N_LATE_ARRIVALS`` long prompts land at once.  With single-slot
+    chunked prefill the burst serializes — arrival ``j`` waits for every
+    chunk of arrivals ``< j`` before its own first chunk runs — so its
+    admission-to-first-token latency grows linearly in the burst size.
+    Multi-slot admission advances *every* parked prompt one chunk per
+    step in one ragged forward, collapsing that to the prompt's own
+    chunk count.  Measured in engine steps (deterministic, timer-free):
+    each arrival carries a one-token budget, so its completion step *is*
+    its first-token step.
+    """
+    model = coach.model
+    context = model.config.max_seq_len
+    rng = np.random.default_rng(123)
+    decoys = [
+        list(map(int, rng.integers(5, 300, size=10))) for _ in range(MAX_BATCH)
+    ]
+    arrivals = [
+        list(map(int, rng.integers(5, 300, size=context // 2 + (i % 5))))
+        for i in range(N_LATE_ARRIVALS)
+    ]
+
+    def mean_steps(concurrency: int) -> tuple[float, float]:
+        engine = BatchedEngine(
+            model,
+            max_batch=MAX_BATCH + N_LATE_ARRIVALS,
+            prefill_chunk_tokens=SERVING_CONFIG.prefill_chunk_tokens,
+            prefill_concurrency=concurrency,
+        )
+        for prompt in decoys:
+            engine.submit(GenerationRequest(prompt, context))
+        engine.step()  # decoy fleet in flight; budgets outlast the burst
+        ids = {engine.submit(GenerationRequest(p, 1)) for p in arrivals}
+        first: dict[int, int] = {}
+        steps = 0
+        start = time.perf_counter()
+        while len(first) < len(ids):
+            engine.step()
+            steps += 1
+            for seq_id in engine.collect():
+                if seq_id in ids:
+                    first[seq_id] = steps
+        elapsed = time.perf_counter() - start
+        return float(np.mean(list(first.values()))), elapsed
+
+    single_steps, single_s = mean_steps(1)
+    multi_steps, multi_s = mean_steps(SERVING_CONFIG.prefill_concurrency)
+    return {
+        "n_arrivals": N_LATE_ARRIVALS,
+        "arrival_prompt_tokens": [len(p) for p in arrivals],
+        "chunk_tokens": SERVING_CONFIG.prefill_chunk_tokens,
+        "prefill_concurrency": SERVING_CONFIG.prefill_concurrency,
+        "single_slot_mean_steps": round(single_steps, 2),
+        "multi_slot_mean_steps": round(multi_steps, 2),
+        "admission_speedup_steps": round(single_steps / multi_steps, 2),
+        "single_slot_wall_ms": round(single_s * 1e3, 2),
+        "multi_slot_wall_ms": round(multi_s * 1e3, 2),
+    }
+
+
 def _poisson_load(coach: CoachLM, pairs: list, rate_per_s: float, seed: int):
     """Open-loop load: submit each pair after an exponential gap."""
     rng = np.random.default_rng(seed)
@@ -207,6 +278,7 @@ def test_serving_sustains_batched_throughput(wb):
         )
     dedup = _dedup_pass(coach, pairs)
     stall = _long_prompt_stall(coach)
+    admission = _late_arrival_admission(coach)
 
     saturated = sweep[f"{max(LOAD_MULTIPLIERS)}x"]
     payload = {
@@ -219,6 +291,7 @@ def test_serving_sustains_batched_throughput(wb):
         "max_batch": MAX_BATCH,
         "max_new_tokens": MAX_NEW_TOKENS,
         "prefill_chunk_tokens": SERVING_CONFIG.prefill_chunk_tokens,
+        "prefill_concurrency": SERVING_CONFIG.prefill_concurrency,
         "reference_batch8_tokens_per_sec": round(ref_tokens_per_sec, 1),
         "arrival_sweep": sweep,
         "saturated_vs_batch8": round(
@@ -226,6 +299,7 @@ def test_serving_sustains_batched_throughput(wb):
         ),
         "dedup": dedup,
         "long_prompt_stall": stall,
+        "late_arrival_admission": admission,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -252,6 +326,13 @@ def test_serving_sustains_batched_throughput(wb):
         f"unchunked → {stall['chunked_max_step_ms']:.1f} ms chunked "
         f"(chunk={stall['chunk_tokens']})"
     )
+    print(
+        f"late-arrival burst ({admission['n_arrivals']} prompts at once): "
+        f"mean admission-to-first-token "
+        f"{admission['single_slot_mean_steps']:.1f} steps single-slot → "
+        f"{admission['multi_slot_mean_steps']:.1f} steps multi-slot "
+        f"({admission['admission_speedup_steps']:.1f}x)"
+    )
 
     # Under saturating Poisson load the streaming scheduler must stay
     # close to the *unchunked* offline batch-8 throughput.  The guard
@@ -265,6 +346,12 @@ def test_serving_sustains_batched_throughput(wb):
     # prompt joining a busy fleet may never stall in-flight decodes for
     # anything close to a whole prompt-length forward pass.
     assert stall["chunked_max_step_ms"] < stall["unchunked_max_step_ms"], payload
+    # Multi-slot admission must collapse the burst's serialization: mean
+    # admission-to-first-token steps drop at least 2x vs single-slot
+    # chunking (step counts are deterministic — no timer noise band).
+    assert (
+        admission["admission_speedup_steps"] >= ADMISSION_SPEEDUP_FLOOR
+    ), payload
     # Under-subscribed load must have lower latency than saturation.
     light = sweep[f"{min(LOAD_MULTIPLIERS)}x"]
     assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload

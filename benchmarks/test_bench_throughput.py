@@ -48,6 +48,11 @@ PR1_BATCH8_FLOOR = 3.4
 HEAVY_MAX_NEW_TOKENS = 8
 #: Acceptance bar for ragged batched prefill at batch 8.
 PREFILL_BATCH8_FLOOR = 2.0
+#: Chunked-admission scenario: chunk size and the wall-clock bar
+#: multi-slot admission must clear over single-slot chunking (the real
+#: gap is ~2x; the floor leaves a wide band for CI timer noise).
+ADMISSION_CHUNK_TOKENS = 16
+ADMISSION_MULTI_VS_SINGLE_FLOOR = 1.2
 
 
 def _bench_model(scale) -> tuple[TransformerLM, "WordTokenizer"]:
@@ -176,6 +181,77 @@ def _prompt_heavy_stage(model, prompts) -> dict:
     return stage
 
 
+def _chunked_admission_stage(model, prompts) -> dict:
+    """Burst turnaround with chunked refill: single- vs multi-slot.
+
+    The many-late-arrivals shape: a fleet of in-flight decodes when a
+    burst of near-context prompts lands at once.  With chunking on and
+    ``prefill_concurrency=1`` the burst's admission serializes (one
+    chunk of one prompt per step, each arrival waiting out every chunk
+    of the arrivals before it); at burst-width concurrency all parked
+    prompts advance each step in one ragged chunk forward.  Measured as
+    wall-clock from burst submission until the last arrival completes —
+    the in-flight decodes keep running throughout, in both runs.  Every
+    arrival must reproduce the sequential path's tokens exactly: the
+    multi-slot speedup is pure scheduling, never different output.
+    """
+    burst = prompts[: BATCH_SIZES[0]]
+    expected = [model.generate(p, HEAVY_MAX_NEW_TOKENS) for p in burst]
+    burst_tokens = sum(len(p) for p in burst) + sum(
+        len(seq) for seq in expected
+    )
+    rng = np.random.default_rng(321)
+    decoys = [
+        [int(t) for t in rng.integers(5, 300, size=12)]
+        for _ in range(BATCH_SIZES[0])
+    ]
+    decoy_budget = model.config.max_seq_len - 16
+
+    def burst_turnaround(concurrency: int) -> float:
+        best = float("inf")
+        for _ in range(3):
+            engine = BatchedEngine(
+                model,
+                max_batch=2 * BATCH_SIZES[0],
+                prefill_chunk_tokens=ADMISSION_CHUNK_TOKENS,
+                prefill_concurrency=concurrency,
+            )
+            for prompt in decoys:
+                engine.submit(GenerationRequest(prompt, decoy_budget))
+            engine.step()  # decoy fleet in flight; budgets outlast the burst
+            ids = [
+                engine.submit(GenerationRequest(p, HEAVY_MAX_NEW_TOKENS))
+                for p in burst
+            ]
+            results: dict[int, list[int]] = {}
+            start = time.perf_counter()
+            while not all(seq_id in results for seq_id in ids):
+                engine.step()
+                results.update(engine.collect())
+            best = min(best, time.perf_counter() - start)
+            assert [results[seq_id] for seq_id in ids] == expected, (
+                f"late-arrival tokens diverge at concurrency={concurrency}"
+            )
+        return best
+
+    stage = {
+        "n_arrivals": len(burst),
+        "chunk_tokens": ADMISSION_CHUNK_TOKENS,
+        "burst_tokens": burst_tokens,
+        "by_concurrency": {},
+    }
+    for concurrency in (1, BATCH_SIZES[0]):
+        elapsed = burst_turnaround(concurrency)
+        stage["by_concurrency"][str(concurrency)] = {
+            "tokens_per_sec": round(burst_tokens / elapsed, 1),
+            "elapsed_s": round(elapsed, 4),
+        }
+    single = stage["by_concurrency"]["1"]["tokens_per_sec"]
+    multi = stage["by_concurrency"][str(BATCH_SIZES[0])]["tokens_per_sec"]
+    stage["multi_vs_single_slot"] = round(multi / single, 2)
+    return stage
+
+
 def test_throughput_sequential_vs_batched(wb):
     model, tokenizer = _bench_model(wb.scale)
     dataset = generate_dataset(np.random.default_rng(55), N_SEQUENCES)
@@ -219,7 +295,11 @@ def test_throughput_sequential_vs_batched(wb):
     )
 
     # -- stage 3: prompt-heavy (prefill-bound) ---------------------------------
-    heavy_stage = _prompt_heavy_stage(model, _long_prompts(tokenizer, model, dataset))
+    long_prompts = _long_prompts(tokenizer, model, dataset)
+    heavy_stage = _prompt_heavy_stage(model, long_prompts)
+
+    # -- stage 4: chunked admission, single- vs multi-slot ---------------------
+    admission_stage = _chunked_admission_stage(model, long_prompts)
 
     payload = {
         "scale": wb.scale.name,
@@ -232,6 +312,7 @@ def test_throughput_sequential_vs_batched(wb):
         "response_generation": response_stage,
         "revision": revision_stage,
         "prompt_heavy": heavy_stage,
+        "chunked_admission": admission_stage,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -258,6 +339,14 @@ def test_throughput_sequential_vs_batched(wb):
         f"{heavy_stage['sequential']['prefill_tokens_per_sec']:.0f} tok/s over "
         f"{heavy_stage['prompt_tokens']} prompt tokens → {heavy_line}"
     )
+    single = admission_stage["by_concurrency"]["1"]
+    multi = admission_stage["by_concurrency"][str(BATCH_SIZES[0])]
+    print(
+        f"chunked_admission (chunk={admission_stage['chunk_tokens']}): "
+        f"single-slot {single['tokens_per_sec']:.0f} tok/s → multi-slot "
+        f"{multi['tokens_per_sec']:.0f} tok/s "
+        f"({admission_stage['multi_vs_single_slot']:.2f}x)"
+    )
 
     # Perf-regression floors.  The engine must not give back PR-1's
     # continuous-batching decode speedup, and the ragged batched prefill
@@ -267,3 +356,9 @@ def test_throughput_sequential_vs_batched(wb):
     assert (
         heavy_stage["batched"]["8"]["prefill_speedup"] >= PREFILL_BATCH8_FLOOR
     ), heavy_stage
+    # Multi-slot chunked admission must recover the throughput single-slot
+    # chunking gives up to refill serialization.
+    assert (
+        admission_stage["multi_vs_single_slot"]
+        >= ADMISSION_MULTI_VS_SINGLE_FLOOR
+    ), admission_stage

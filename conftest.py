@@ -1,0 +1,40 @@
+"""Repo-root pytest plumbing: marker registration lives in pytest.ini;
+this file wires the ``--runslow`` gate and auto-marks the benchmark
+harness so tier-1 stays fast and selectable.
+
+* ``slow``-marked tests are skipped unless ``--runslow`` is passed —
+  they cover end-to-end example scripts whose value is integration, not
+  fast regression signal.
+* Everything under ``benchmarks/`` is auto-marked ``bench`` so
+  ``-m "not bench"`` runs the unit/fuzz tiers alone (what
+  ``scripts/ci.sh`` does).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_BENCH_DIR = Path(__file__).parent / "benchmarks"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (long-running end-to-end checks)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    run_slow = config.getoption("--runslow")
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
+        if "slow" in item.keywords and not run_slow:
+            item.add_marker(skip_slow)

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: the fast unit/parity suites plus the randomized
+# differential-parity fuzz harness at a fixed, reproducible seed budget.
+#
+#   scripts/ci.sh            # tier-1 + fuzz (fixed seeds, ~30s on a laptop)
+#   scripts/ci.sh --runslow  # also run the slow end-to-end example tests
+#
+# The benchmark harness (pytest -m bench) is intentionally excluded: it
+# regenerates BENCH_*.json artifacts and runs for minutes.  Fuzz knobs:
+#   REPRO_FUZZ_SEED       master seed (scenario i uses seed + i)
+#   REPRO_FUZZ_SCENARIOS  scenario budget (CI default below)
+# A fuzz failure prints the exact one-scenario reproduction command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + parity suites =="
+python -m pytest tests -q -m "not bench" "$@"
+
+echo "== fuzz: randomized differential parity (fixed seed budget) =="
+REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
+python -m pytest tests/test_fuzz_parity.py -q

@@ -120,6 +120,10 @@ class ScaleConfig:
     #: this many tokens per engine step, bounding the prefill stall seen
     #: by in-flight sequences.  ``None`` prefills refill prompts whole.
     prefill_chunk_tokens: int | None = None
+    #: How many refill prompts advance their chunked prefill concurrently
+    #: (one ragged chunk forward per engine step).  Only meaningful with
+    #: ``prefill_chunk_tokens`` set; 1 reproduces single-slot admission.
+    prefill_concurrency: int = 1
 
     def __post_init__(self) -> None:
         # Fail at construction with a clear message instead of deep inside
@@ -132,6 +136,11 @@ class ScaleConfig:
             raise ConfigError(
                 "prefill_chunk_tokens must be >= 1, got "
                 f"{self.prefill_chunk_tokens}"
+            )
+        if self.prefill_concurrency < 1:
+            raise ConfigError(
+                "prefill_concurrency must be >= 1, got "
+                f"{self.prefill_concurrency}"
             )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
@@ -179,6 +188,14 @@ class ServingConfig:
         trickle in one chunk per step instead of arriving in one ragged
         batched prefill); ``BENCH_serving.json`` tracks the ratio.
         ``None`` disables chunking (refill prompts prefill whole).
+    prefill_concurrency:
+        How many late-arriving prompts advance their chunked prefill
+        *concurrently*, in one ragged chunk forward per engine step.  At
+        1 a burst of arrivals serializes behind a single admission slot;
+        the default (the fleet width) lets the whole burst prefill
+        together, collapsing admission-to-first-token latency under
+        bursty load (``BENCH_serving.json`` tracks the ratio).  Only
+        meaningful with ``prefill_chunk_tokens`` set.
     """
 
     max_batch: int = DEFAULT_GEN_BATCH_SIZE
@@ -188,6 +205,7 @@ class ServingConfig:
     quality_gate_threshold: float | None = None
     idle_wait_s: float = 0.005
     prefill_chunk_tokens: int | None = 64
+    prefill_concurrency: int = DEFAULT_GEN_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -196,6 +214,11 @@ class ServingConfig:
             raise ConfigError(
                 "prefill_chunk_tokens must be >= 1, got "
                 f"{self.prefill_chunk_tokens}"
+            )
+        if self.prefill_concurrency < 1:
+            raise ConfigError(
+                "prefill_concurrency must be >= 1, got "
+                f"{self.prefill_concurrency}"
             )
         if self.max_queue_depth < 1:
             raise ConfigError(

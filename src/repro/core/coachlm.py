@@ -345,6 +345,7 @@ class CoachLM:
         dataset: InstructionDataset,
         batch_size: int = DEFAULT_GEN_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
+        prefill_concurrency: int = 1,
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
 
@@ -352,8 +353,10 @@ class CoachLM:
         sequences per forward pass, with ragged batched prefill and
         continuous slot refill — and is token-identical to calling
         :meth:`revise_pair` per pair.  ``prefill_chunk_tokens`` caps how
-        much refill-prompt prefill a single engine step may do (mostly a
-        serving-path knob; offline runs usually leave it off).
+        much refill-prompt prefill a single engine step may do and
+        ``prefill_concurrency`` lets that many refill prompts advance
+        their chunks together (mostly serving-path knobs; offline runs
+        usually leave chunking off).
         """
         if self.model is None:
             raise ModelError("CoachLM has no model")
@@ -369,6 +372,7 @@ class CoachLM:
             self.model,
             max_batch=batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
+            prefill_concurrency=prefill_concurrency,
         )
         outputs = iter(engine.generate(requests))
 

@@ -21,8 +21,10 @@ counterparts — greedy by default, or seeded top-k sampling when
 ``top_k`` is passed (each sequence draws from its own spawned rng
 stream, matching :meth:`TransformerLM.generate` under the same seed);
 the fleet advances ``batch_size`` sequences per forward pass with
-continuous slot refill, and ``prefill_chunk_tokens`` bounds how long a
-refill prompt may stall in-flight decodes (see
+continuous slot refill, ``prefill_chunk_tokens`` bounds how long a
+refill prompt may stall in-flight decodes, and ``prefill_concurrency``
+lets that many refill prompts advance their chunked prefill together in
+one ragged forward per step (see
 :class:`~repro.nn.decoding.BatchedEngine`).
 """
 
@@ -48,6 +50,7 @@ class TextEngine:
         tokenizer: WordTokenizer,
         batch_size: int = DEFAULT_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
+        prefill_concurrency: int = 1,
     ):
         self.model = model
         self.tokenizer = tokenizer
@@ -55,6 +58,7 @@ class TextEngine:
             model,
             max_batch=batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
+            prefill_concurrency=prefill_concurrency,
         )
 
     @staticmethod

@@ -36,6 +36,7 @@ def generate_responses(
     max_new_tokens: int = 48,
     batch_size: int = DEFAULT_GEN_BATCH_SIZE,
     prefill_chunk_tokens: int | None = None,
+    prefill_concurrency: int = 1,
 ) -> list[InstructionPair]:
     """Generate responses for a list of instructions.
 
@@ -54,6 +55,7 @@ def generate_responses(
         tokenizer,
         batch_size=batch_size,
         prefill_chunk_tokens=prefill_chunk_tokens,
+        prefill_concurrency=prefill_concurrency,
     )
     responses = engine.respond(instructions, max_new_tokens=max_new_tokens)
     return [

@@ -29,11 +29,19 @@ runs them in order:
    an ulp or two, orders of magnitude inside greedy argmax margins — and
    the resulting *first tokens* are pinned bitwise-identical to the
    per-request path by the parity suite.  With ``prefill_chunk_tokens``
-   set and a fleet already decoding, admission is *chunked* instead: one
-   prompt advances by at most one fixed-size chunk per step, so a
-   late-arriving long prompt delays in-flight decode slots by a bounded
-   chunk forward rather than a whole prompt-length forward (the serving
-   path's latency lever).
+   set and a fleet already decoding, admission is *chunked* instead: up
+   to ``prefill_concurrency`` pending prompts are parked past the decode
+   fleet and **every** parked prompt advances by at most one fixed-size
+   chunk per step, all chunks in **one** ragged forward (right-aligned
+   uneven chunks, per-row position offsets, per-row key extents over
+   each slot's written prefix).  A late-arriving long prompt therefore
+   delays in-flight decode slots by a bounded chunk forward rather than
+   a whole prompt-length forward (the serving path's latency lever), and
+   a *burst* of late arrivals no longer serializes: all of them prefill
+   concurrently instead of queueing behind a single admission slot.
+   When every parked advance is exactly one token (chunk size 1, or
+   chunk tails), the parked rows have the same shape as decode rows and
+   ride along in the decode forward — no second model pass at all.
 2. **Decode** — all active sequences advance one token per forward pass
    through shared pre-allocated slot KV caches (:class:`SlotKVCaches`);
    attention over ragged cache lengths uses an additive key mask.  Token
@@ -206,11 +214,11 @@ class SlotKVCaches:
             for layer in range(len(self.k))
         ]
 
-    def chunk_prefill_adapters(
-        self, slot: int, start: int
-    ) -> list["_ChunkPrefillSlot"]:
+    def ragged_chunk_adapters(
+        self, base: int, starts: np.ndarray, ends: np.ndarray, pads: np.ndarray
+    ) -> list["_RaggedChunkSlots"]:
         return [
-            _ChunkPrefillSlot(self, layer, slot, start)
+            _RaggedChunkSlots(self, layer, base, starts, ends, pads)
             for layer in range(len(self.k))
         ]
 
@@ -236,6 +244,26 @@ class SlotKVCaches:
         for layer in range(len(self.k)):
             self.k[layer][dst, :, :length] = self.k[layer][src, :, :length]
             self.v[layer][dst, :, :length] = self.v[layer][src, :, :length]
+
+    def permute_prefixes(
+        self, base: int, order: list[int], lengths: list[int]
+    ) -> None:
+        """Rearrange parked rows so ``base + order[j]`` lands on ``base + j``.
+
+        Copies only each row's ``lengths[j]``-column prefix (the written
+        part of a parked partial slab).  Used when parked prompts finish
+        prefill out of submission order: completed rows must become the
+        next contiguous decode slots, so the slab block is permuted to
+        completed-first before they are installed.
+        """
+        for layer in range(len(self.k)):
+            for slab in (self.k[layer], self.v[layer]):
+                blocks = [
+                    slab[base + i, :, :n].copy()
+                    for i, n in zip(order, lengths)
+                ]
+                for j, (block, n) in enumerate(zip(blocks, lengths)):
+                    slab[base + j, :, :n] = block
 
 
 class _RaggedPrefillSlots:
@@ -266,30 +294,50 @@ class _RaggedPrefillSlots:
         return k, v
 
 
-class _ChunkPrefillSlot:
-    """Cache adapter for one prompt chunk appended to a single slot.
+class _RaggedChunkSlots:
+    """Cache adapter for one ragged chunk-continuation batch.
 
-    Writes the chunk's K/V into slab columns ``[start, start + t)`` and
-    returns a view over the whole written prefix ``[0, start + t)`` —
-    chunk queries attend over every key prefilled so far.
+    Row ``i`` is the parked slot ``base + i`` advancing its prompt by a
+    right-aligned chunk spanning slab columns ``[starts[i], ends[i])``:
+    the chunk's valid K/V suffix (past the ``pads[i]`` left-pad) lands in
+    those columns, and the returned view covers every parked row's whole
+    written prefix — chunk queries attend over all keys prefilled so far,
+    with the per-row ``key_lens`` of the attention core hiding the
+    columns beyond each row's own end.
     """
 
-    __slots__ = ("caches", "layer", "slot", "start")
+    __slots__ = ("caches", "layer", "base", "starts", "ends", "pads")
 
-    def __init__(self, caches: SlotKVCaches, layer: int, slot: int, start: int):
+    def __init__(
+        self,
+        caches: SlotKVCaches,
+        layer: int,
+        base: int,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        pads: np.ndarray,
+    ):
         self.caches = caches
         self.layer = layer
-        self.slot = slot
-        self.start = start
+        self.base = base
+        self.starts = starts
+        self.ends = ends
+        self.pads = pads
 
     def update(self, k: np.ndarray, v: np.ndarray):
         c = self.caches
-        end = self.start + k.shape[2]
-        c.k[self.layer][self.slot, :, self.start : end] = k[0]
-        c.v[self.layer][self.slot, :, self.start : end] = v[0]
+        view = int(self.ends.max())
+        n = k.shape[0]
+        for row in range(n):
+            slot = self.base + row
+            start = int(self.starts[row])
+            end = int(self.ends[row])
+            pad = int(self.pads[row])
+            c.k[self.layer][slot, :, start:end] = k[row, :, pad:]
+            c.v[self.layer][slot, :, start:end] = v[row, :, pad:]
         return (
-            c.k[self.layer][self.slot : self.slot + 1, :, :end],
-            c.v[self.layer][self.slot : self.slot + 1, :, :end],
+            c.k[self.layer][self.base : self.base + n, :, :view],
+            c.v[self.layer][self.base : self.base + n, :, :view],
         )
 
 
@@ -348,12 +396,22 @@ class BatchedEngine:
       of the online revision service (:mod:`repro.serving`).
 
     ``prefill_chunk_tokens`` bounds how much prefill work a single
-    :meth:`step` may do while other slots are decoding: a refill prompt
-    advances by at most one chunk per step (one prompt at a time, parked
-    one slot past the decode fleet), so in-flight decodes are never
-    stalled behind a whole prompt-length forward.  When the fleet is idle
-    there is nothing to stall and admission always uses the full ragged
-    batched prefill.
+    :meth:`step` may do while other slots are decoding: each refill
+    prompt advances by at most one chunk per step, so in-flight decodes
+    are never stalled behind a whole prompt-length forward.  Up to
+    ``prefill_concurrency`` refill prompts advance *concurrently* —
+    parked contiguously past the decode fleet, all chunks in one ragged
+    forward per step — so a burst of late arrivals prefills together
+    instead of serializing behind a single admission slot; the stall
+    bound a step pays is one ragged chunk forward, whatever the burst
+    size.  When the fleet is idle there is nothing to stall and
+    admission always uses the full ragged batched prefill.
+
+    :meth:`cancel` abandons a submitted sequence in any state — queued,
+    mid-prefill, or decoding — finishing it with the tokens produced so
+    far (a prefix of what the run-to-completion decode would have
+    produced).  The serving scheduler uses it to expire deadline-missed
+    jobs without spending further engine work on them.
 
     The slot KV slabs are allocated lazily on first use and reused across
     drains: a refilled slot overwrites from column zero and the key mask
@@ -369,6 +427,7 @@ class BatchedEngine:
         model: TransformerLM,
         max_batch: int = DEFAULT_GEN_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
+        prefill_concurrency: int = 1,
     ):
         if max_batch < 1:
             raise GenerationError(f"max_batch must be >= 1, got {max_batch}")
@@ -376,9 +435,14 @@ class BatchedEngine:
             raise GenerationError(
                 f"prefill_chunk_tokens must be >= 1, got {prefill_chunk_tokens}"
             )
+        if prefill_concurrency < 1:
+            raise GenerationError(
+                f"prefill_concurrency must be >= 1, got {prefill_concurrency}"
+            )
         self.model = model
         self.max_batch = max_batch
         self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.prefill_concurrency = prefill_concurrency
         self._caches: SlotKVCaches | None = None
         self._bias: np.ndarray | None = None
         self._slots: list[_SlotState | None] = [None] * max_batch
@@ -386,9 +450,9 @@ class BatchedEngine:
         self._pending: deque[tuple[int, GenerationRequest]] = deque()
         self._finished: dict[int, list[int]] = {}
         self._next_id = 0
-        #: Mid-prefill request (chunked admission), parked at slot
-        #: ``self._n_active`` — one past the decode fleet.
-        self._prefilling: _SlotState | None = None
+        #: Mid-prefill requests (chunked admission), parked contiguously
+        #: at slots ``self._n_active ..`` — just past the decode fleet.
+        self._prefilling: list[_SlotState] = []
         # Vectorised decode bookkeeping, maintained per occupied slot.
         self._eos = np.full(max_batch, -1, dtype=np.int64)
         self._budget = np.zeros(max_batch, dtype=np.int64)
@@ -423,6 +487,42 @@ class BatchedEngine:
         self._pending.append((seq_id, request))
         return seq_id
 
+    def cancel(self, seq_id: int) -> bool:
+        """Abandon one submitted sequence; returns True when it was live.
+
+        The sequence finishes immediately with whatever tokens it has
+        produced so far — an empty list while still queued or mid-prefill,
+        a prefix of the full decode once active — and its slot (queue
+        entry, parked partial slab, or KV slot) is reclaimed.  Unknown or
+        already-finished ids return False and change nothing.
+        """
+        if seq_id in self._finished:
+            return False
+        for i, (sid, _request) in enumerate(self._pending):
+            if sid == seq_id:
+                del self._pending[i]
+                self._finished[seq_id] = []
+                return True
+        for i, state in enumerate(self._prefilling):
+            if state.seq_id == seq_id:
+                # Close the gap so the parked block stays contiguous:
+                # every later parked row shifts down by one.
+                base = self._n_active
+                for j in range(i + 1, len(self._prefilling)):
+                    self._caches.move_prefix(
+                        base + j, base + j - 1, self._prefilling[j].prefilled
+                    )
+                del self._prefilling[i]
+                self._finished[seq_id] = []
+                return True
+        for slot in range(self._n_active):
+            if self._slots[slot].seq_id == seq_id:
+                old_base = self._n_active
+                self._retire(slot)
+                self._shift_parked(old_base)
+                return True
+        return False
+
     @property
     def n_active(self) -> int:
         """Sequences currently decoding in KV slots."""
@@ -430,8 +530,8 @@ class BatchedEngine:
 
     @property
     def n_prefilling(self) -> int:
-        """Sequences mid-way through chunked prompt prefill (0 or 1)."""
-        return 0 if self._prefilling is None else 1
+        """Sequences mid-way through chunked prompt prefill."""
+        return len(self._prefilling)
 
     @property
     def n_pending(self) -> int:
@@ -453,7 +553,7 @@ class BatchedEngine:
         return (
             bool(self._pending)
             or self._n_active > 0
-            or self._prefilling is not None
+            or bool(self._prefilling)
         )
 
     # -- slot bookkeeping --------------------------------------------------------
@@ -594,62 +694,137 @@ class BatchedEngine:
             self._retire(slot)
         return True
 
-    def _chunk_admit(self, chunk: int) -> None:
-        """Advance prompt prefill by at most one chunk (late-join path).
+    def _chunk_admit(self, chunk: int) -> list[_SlotState]:
+        """Advance every parked prompt by at most one chunk (late-join path).
 
-        One prompt prefills at a time, parked at slot ``n_active``; each
-        call costs the in-flight decode slots at most a ``chunk``-token
-        forward pass of latency instead of a whole prompt-length one.
+        Up to ``prefill_concurrency`` prompts prefill concurrently,
+        parked contiguously at slots ``n_active ..``; each call costs the
+        in-flight decode slots one *ragged* chunk forward — bounded by
+        ``chunk`` query tokens per row — instead of a whole prompt-length
+        forward per admission.  When every row's advance is a single
+        token (the shape of a decode row), no forward runs here at all:
+        the parked states are returned for :meth:`step` to fold into the
+        decode forward as extra rows.
         """
-        if self._prefilling is None:
-            if self._n_active >= self.max_batch:
-                return
-            self._prefilling = self._pop_viable()
-            if self._prefilling is None:
-                return
-        state = self._prefilling
-        slot = self._n_active
-        prompt = state.request.prompt_ids
-        start = state.prefilled
+        limit = min(self.prefill_concurrency, self.max_batch - self._n_active)
+        while len(self._prefilling) < limit:
+            state = self._pop_viable()
+            if state is None:
+                break
+            self._prefilling.append(state)
+        parked = self._prefilling
+        if not parked:
+            return []
+        prompts = [state.request.prompt_ids for state in parked]
         if self._n_active == 0:
             # The fleet emptied mid-prefill: nothing left to stall, so
-            # finish the whole remainder in one forward instead of
-            # trickling it out chunk by chunk.
-            end = len(prompt)
+            # finish every remainder in one ragged forward instead of
+            # trickling them out chunk by chunk.
+            ends = [len(prompt) for prompt in prompts]
         else:
-            end = min(start + chunk, len(prompt))
+            ends = [
+                min(state.prefilled + chunk, len(prompt))
+                for state, prompt in zip(parked, prompts)
+            ]
+            if all(
+                end - state.prefilled == 1
+                for end, state in zip(ends, parked)
+            ):
+                return list(parked)
+        starts = np.asarray(
+            [state.prefilled for state in parked], dtype=np.int64
+        )
+        key_lens = np.asarray(ends, dtype=np.int64)
+        widths = key_lens - starts
+        pads = int(widths.max()) - widths
+        n = len(parked)
+        idx = np.zeros((n, int(widths.max())), dtype=np.int64)
+        for row in range(n):
+            idx[row, pads[row]:] = prompts[row][starts[row] : ends[row]]
         logits = self.model._forward_numpy(
-            np.asarray([prompt[start:end]], dtype=np.int64),
-            self._caches.chunk_prefill_adapters(slot, start),
-            position_offset=start,
+            idx,
+            self._caches.ragged_chunk_adapters(
+                self._n_active, starts, key_lens, pads
+            ),
+            position_offset=starts - pads,
+            pad_lens=pads,
+            key_lens=key_lens,
             last_only=True,
         )[:, -1, :]
-        state.prefilled = end
-        if end < len(prompt):
-            return
-        # Prompt complete: first token, then join the decode fleet.
-        self._caches.lengths[slot] = len(prompt)
-        self._prefilling = None
-        self._install(slot, state)
-        self._n_active += 1
-        if self._first_token(state, logits[0], slot):
-            self._retire(slot)
+        for state, end in zip(parked, ends):
+            state.prefilled = end
+        self._promote_parked(list(logits))
+        return []
 
-    def _admit(self) -> None:
+    def _promote_parked(self, logits_rows: list[np.ndarray]) -> None:
+        """Move fully prefilled parked prompts into the decode fleet.
+
+        ``logits_rows`` align with ``self._prefilling`` and carry each
+        row's last-token logits from the forward that just advanced it.
+        Completed rows must become the next contiguous decode slots, so
+        when they finished out of park order the slab block is permuted
+        completed-first; instant first-token finishes retire immediately
+        (shifting the still-parked rows down over the freed slots).
+        """
+        parked = self._prefilling
+        completed = [
+            i for i, state in enumerate(parked)
+            if state.prefilled == len(state.request.prompt_ids)
+        ]
+        if not completed:
+            return
+        remaining = [
+            i for i, state in enumerate(parked)
+            if state.prefilled < len(state.request.prompt_ids)
+        ]
+        base = self._n_active
+        order = completed + remaining
+        if order != list(range(len(parked))):
+            self._caches.permute_prefixes(
+                base, order, [parked[i].prefilled for i in order]
+            )
+        finished_slots: list[int] = []
+        for j, i in enumerate(completed):
+            state = parked[i]
+            slot = base + j
+            self._caches.lengths[slot] = state.prefilled
+            self._install(slot, state)
+            self._n_active += 1
+            if self._first_token(state, logits_rows[i], slot):
+                finished_slots.append(slot)
+        self._prefilling = [parked[i] for i in remaining]
+        if finished_slots:
+            parked_base = self._n_active
+            for slot in reversed(finished_slots):
+                self._retire(slot)
+            self._shift_parked(parked_base)
+
+    def _shift_parked(self, old_base: int) -> None:
+        """Shift the parked partial slabs down to follow a shrunk fleet."""
+        if old_base == self._n_active:
+            return
+        for i, state in enumerate(self._prefilling):
+            self._caches.move_prefix(
+                old_base + i, self._n_active + i, state.prefilled
+            )
+
+    def _admit(self) -> list[_SlotState]:
         """Prefill phase: move pending work into KV slots.
 
         Without chunking — or with an idle fleet, where there is nothing
         to stall — all free slots are filled by ragged batched prefill;
-        with chunking and in-flight decodes, at most one chunk of one
-        prompt advances per step.
+        with chunking and in-flight decodes, every parked prompt (up to
+        ``prefill_concurrency``) advances at most one chunk per step.
+        Returns the parked states to fold into this step's decode forward
+        when their advances all degenerate to single tokens.
         """
         chunk = self.prefill_chunk_tokens
-        if chunk is not None and (self._n_active > 0 or self._prefilling is not None):
-            self._chunk_admit(chunk)
-            return
+        if chunk is not None and (self._n_active > 0 or self._prefilling):
+            return self._chunk_admit(chunk)
         while self._pending and self._n_active < self.max_batch:
             if not self._batch_admit():
                 break
+        return []
 
     # -- streaming loop ----------------------------------------------------------
     def step(self) -> int:
@@ -662,17 +837,26 @@ class BatchedEngine:
             return 0
         self._ensure_state()
         before = len(self._finished)
-        self._admit()
+        merged = self._admit()
         n_active = self._n_active
-        if n_active == 0:
+        n_rows = n_active + len(merged)
+        if n_rows == 0:
             return len(self._finished) - before
 
-        # One batched decode step over the active slots.
+        # One batched decode step over the active slots.  When the parked
+        # chunk advances all degenerated to single tokens, the parked
+        # rows ride along as extra rows of this same forward — a chunk
+        # row feeding its next prompt token at depth ``prefilled`` is
+        # shape-identical to a decode row feeding its last produced token
+        # at depth ``lengths[b]``.
         caches, slots = self._caches, self._slots
-        last = np.asarray(
-            [[slots[b].produced[-1]] for b in range(n_active)], dtype=np.int64
-        )
-        lengths = caches.lengths[:n_active]
+        last = np.empty((n_rows, 1), dtype=np.int64)
+        for b in range(n_active):
+            last[b, 0] = slots[b].produced[-1]
+        for i, state in enumerate(merged):
+            last[n_active + i, 0] = state.request.prompt_ids[state.prefilled]
+            caches.lengths[n_active + i] = state.prefilled
+        lengths = caches.lengths[:n_rows]
         view_len = int(lengths.max()) + 1
         key_mask = np.where(
             np.arange(view_len)[None, :] <= lengths[:, None],
@@ -681,13 +865,15 @@ class BatchedEngine:
         )[:, None, None, :]
         logits = self.model._forward_numpy(
             last,
-            caches.step_adapters(n_active, view_len),
+            caches.step_adapters(n_rows, view_len),
             position_offset=lengths.copy(),
             key_mask=key_mask,
         )[:, -1, :]
-        caches.lengths[:n_active] += 1
+        caches.lengths[:n_rows] += 1
+        for state in merged:
+            state.prefilled += 1
 
-        step = logits + self._bias[:n_active]
+        step = logits[:n_active] + self._bias[:n_active]
         sampled: list[int] = []
         if self._n_hooked or self._n_sampled:
             # Per-row handling only for slots that need it: dynamic bias
@@ -715,13 +901,18 @@ class BatchedEngine:
         retired = np.flatnonzero(finished_mask).tolist()
         for b in reversed(retired):
             self._retire(b)
-        if retired and self._prefilling is not None:
-            # The mid-prefill sequence stays parked one past the fleet:
-            # shift its partial KV down over the rows compaction freed —
-            # one prefix copy per step, however many slots retired
-            # (n_active was the parked row before the retire loop).
-            caches.move_prefix(
-                n_active, self._n_active, self._prefilling.prefilled
+        if retired:
+            # The mid-prefill sequences stay parked just past the fleet:
+            # shift their partial KV down over the rows compaction freed —
+            # one prefix copy per parked row, however many slots retired
+            # (n_active was the parked base before the retire loop).
+            self._shift_parked(n_active)
+        if merged:
+            # Merged rows that consumed their last prompt token join the
+            # fleet now, selecting their first tokens from this forward's
+            # logits (identical rows to a dedicated chunk forward's).
+            self._promote_parked(
+                [logits[n_active + i] for i in range(len(merged))]
             )
         if retired and self.prefill_chunk_tokens is None:
             # Refill freed slots within the same step (the scheduler's

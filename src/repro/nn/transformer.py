@@ -79,6 +79,7 @@ class SelfAttention(Module):
         key_mask: np.ndarray | None = None,
         causal_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
+        key_lens: np.ndarray | None = None,
     ) -> np.ndarray:
         """Inference path; ``cache`` holds accumulated K/V per layer.
 
@@ -102,13 +103,18 @@ class SelfAttention(Module):
         tensor runs tens of megabytes and turns the softmax pipeline
         memory-bound — and spends zero FLOPs on pad columns, while the
         projection GEMMs around it (the bulk of the arithmetic) stay
-        batched.  Masked/padded scores contribute exactly ``0.0`` weight
-        after softmax in all paths; a batched row's logits still differ
-        from a lone-sequence forward in the last ulp or two because BLAS
-        kernel selection (and with it accumulation order) varies with
-        GEMM shapes.  Greedy argmax margins are many orders of magnitude
-        wider, so token choices are unaffected — the engine's parity
-        suite pins this.
+        batched.  ``key_lens`` (only together with ``pad_lens``) marks a
+        ragged *chunk continuation* batch: each row's queries are a
+        right-aligned prompt chunk while its keys are the row's full
+        left-aligned cache prefix of ``key_lens[row]`` columns — the
+        multi-slot chunked-prefill forward, where every mid-admission
+        prompt advances one chunk against its own history.  Masked/padded
+        scores contribute exactly ``0.0`` weight after softmax in all
+        paths; a batched row's logits still differ from a lone-sequence
+        forward in the last ulp or two because BLAS kernel selection (and
+        with it accumulation order) varies with GEMM shapes.  Greedy
+        argmax margins are many orders of magnitude wider, so token
+        choices are unaffected — the engine's parity suite pins this.
         """
         b, t, d = x.shape
         cfg = self.config
@@ -130,9 +136,16 @@ class SelfAttention(Module):
                     "pad_lens and key_mask are mutually exclusive: the "
                     "ragged per-row path never reads key_mask"
                 )
-            out = self._ragged_attention(q, k, v, scale, causal_mask, pad_lens)
+            out = self._ragged_attention(
+                q, k, v, scale, causal_mask, pad_lens, key_lens
+            )
             out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
             return self.proj.forward_numpy(out)
+        if key_lens is not None:
+            raise GenerationError(
+                "key_lens requires pad_lens: it only qualifies the ragged "
+                "chunk-continuation path"
+            )
         scores = (q @ np.swapaxes(k, -1, -2)) * scale  # (B, H, T, Tk)
         t_k = k.shape[2]
         # Causal mask: query position i (offset by cached length) may attend
@@ -172,17 +185,30 @@ class SelfAttention(Module):
         scale: float,
         causal_mask: np.ndarray | None,
         pad_lens: np.ndarray,
+        key_lens: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Attention core of a right-aligned ragged prefill batch.
+        """Per-row attention core of a right-aligned ragged batch.
 
-        Each row attends over exactly its valid slice with lone-sequence
-        shapes and temporaries, so the score tensors stay cache-resident
-        and pad columns cost nothing.  The pipeline is kept in float32
-        with in-place updates (a ``np.float64`` scale scalar would
-        promote every score temporary to float64 under NumPy 2 — twice
-        the memory traffic of the hottest tensors in prefill).  Pad rows
-        are left at zero: they feed only their own dead residual lanes
-        and are never read.
+        Each row attends with lone-sequence shapes and temporaries, so
+        the score tensors stay cache-resident and pad columns cost
+        nothing.  Two key layouts share the pipeline:
+
+        * ``key_lens is None`` — plain ragged prefill: row ``row``'s keys
+          are its own valid suffix ``k[row, :, pad:, :]`` (the fresh
+          right-aligned batch; queries start at position 0).
+        * ``key_lens`` given — ragged chunk continuation: keys are the
+          row's *left-aligned* cache prefix ``k[row, :, :key_lens[row], :]``
+          (slot slab columns the adapter extended with this chunk's K/V).
+          The chunk starts at global position ``key_lens[row] - valid``,
+          which is exactly the offset of the ``(valid, t_k)`` causal
+          slice, so every query token attends to keys at positions
+          ``<= its own``.
+
+        The pipeline is kept in float32 with in-place updates (a
+        ``np.float64`` scale scalar would promote every score temporary
+        to float64 under NumPy 2 — twice the memory traffic of the
+        hottest tensors in prefill).  Pad rows are left at zero: they
+        feed only their own dead residual lanes and are never read.
         """
         b, n_heads, t, head_dim = q.shape
         scale32 = np.float32(scale)
@@ -190,14 +216,20 @@ class SelfAttention(Module):
         for row in range(b):
             pad = int(pad_lens[row])
             valid = t - pad
-            scores = q[row, :, pad:, :] @ np.swapaxes(k[row, :, pad:, :], -1, -2)
+            if key_lens is None:
+                t_k = valid
+                keys, vals = k[row, :, pad:, :], v[row, :, pad:, :]
+            else:
+                t_k = int(key_lens[row])
+                keys, vals = k[row, :, :t_k, :], v[row, :, :t_k, :]
+            scores = q[row, :, pad:, :] @ np.swapaxes(keys, -1, -2)
             scores *= scale32
             if valid > 1:
-                scores += self._causal_slice(causal_mask, valid, valid)
+                scores += self._causal_slice(causal_mask, valid, t_k)
             scores -= scores.max(axis=-1, keepdims=True)
             np.exp(scores, out=scores)
             scores /= scores.sum(axis=-1, keepdims=True)
-            out[row, :, pad:, :] = scores @ v[row, :, pad:, :]
+            out[row, :, pad:, :] = scores @ vals
         return out
 
 
@@ -240,9 +272,11 @@ class Block(Module):
         key_mask: np.ndarray | None = None,
         causal_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
+        key_lens: np.ndarray | None = None,
     ) -> np.ndarray:
         x = x + self.attn.forward_numpy(
-            self.ln1.forward_numpy(x), cache, key_mask, causal_mask, pad_lens
+            self.ln1.forward_numpy(x), cache, key_mask, causal_mask, pad_lens,
+            key_lens,
         )
         x = x + self.mlp.forward_numpy(self.ln2.forward_numpy(x))
         return x
@@ -308,6 +342,7 @@ class TransformerLM(Module):
         position_offset: int | np.ndarray = 0,
         key_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
+        key_lens: np.ndarray | None = None,
         last_only: bool = False,
     ) -> np.ndarray:
         """Inference forward.
@@ -318,9 +353,9 @@ class TransformerLM(Module):
         right-aligned ragged prefill batch passes *negative* offsets so
         each prompt's real tokens land on positions ``0..len-1``, and the
         resulting negative pad-row positions are clamped to 0 — pad rows
-        are never attended to and never read).  ``key_mask`` and
-        ``pad_lens`` are forwarded to every attention layer (see
-        :meth:`SelfAttention.forward_numpy`).  ``last_only`` restricts
+        are never attended to and never read).  ``key_mask``,
+        ``pad_lens`` and ``key_lens`` are forwarded to every attention
+        layer (see :meth:`SelfAttention.forward_numpy`).  ``last_only`` restricts
         the final norm + vocabulary projection to the last position of
         each row — prefill only consumes last-token logits, and the head
         GEMM over a whole prompt is otherwise the single largest matmul
@@ -352,6 +387,7 @@ class TransformerLM(Module):
                 key_mask,
                 self._causal_mask,
                 pad_lens,
+                key_lens,
             )
         if last_only:
             x = x[:, -1:, :]

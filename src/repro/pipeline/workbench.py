@@ -214,6 +214,7 @@ class Workbench:
             self.alpaca_dataset(),
             batch_size=self.scale.gen_batch_size,
             prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
+            prefill_concurrency=self.scale.prefill_concurrency,
         )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
@@ -384,6 +385,7 @@ class Workbench:
             max_new_tokens=self.scale.max_new_tokens,
             batch_size=self.scale.gen_batch_size,
             prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
+            prefill_concurrency=self.scale.prefill_concurrency,
         )
         self.cache.save_dataset(
             "responses", key, InstructionDataset(responses, name="responses")

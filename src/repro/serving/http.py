@@ -9,9 +9,10 @@ engine, not by HTTP.  Endpoints:
     Body ``{"instruction": str, "response": str, "pair_id"?, "priority"?,
     "deadline_s"?, "timeout_s"?}``.  Replies ``200`` with
     ``{"instruction", "response", "outcome", "source", "latency_s",
-    "generated_tokens"}``; ``400`` on a malformed payload; ``429`` when
-    admission control rejects; ``504`` when the result misses
-    ``timeout_s``.
+    "generated_tokens"}``; ``400`` on a malformed payload; ``413`` when
+    the body exceeds ``max_body_bytes``; ``429`` with a ``Retry-After``
+    header when admission control rejects; ``504`` when the result
+    misses ``timeout_s``.
 ``GET /metrics``
     The :meth:`ServingMetrics.snapshot` JSON (latency percentiles,
     tokens/sec, per-source counts, queue depth).
@@ -31,7 +32,9 @@ from .server import RevisionServer
 
 
 def _make_handler(
-    revision_server: RevisionServer, default_timeout_s: float
+    revision_server: RevisionServer,
+    default_timeout_s: float,
+    max_body_bytes: int,
 ) -> type[BaseHTTPRequestHandler]:
     class RevisionHandler(BaseHTTPRequestHandler):
         server_version = "CoachLMRevision/1.0"
@@ -39,11 +42,18 @@ def _make_handler(
         def log_message(self, *args: object) -> None:  # silence stderr
             pass
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(
+            self,
+            status: int,
+            payload: dict,
+            headers: dict[str, str] | None = None,
+        ) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -69,6 +79,27 @@ def _make_handler(
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._reply(400, {"error": "malformed Content-Length"})
+                return
+            if length < 0:
+                # A negative length would turn rfile.read into a
+                # read-to-EOF that blocks the handler thread forever.
+                self._reply(400, {"error": "malformed Content-Length"})
+                return
+            if length > max_body_bytes:
+                # Reject before reading: an oversized body never buffers.
+                self._reply(
+                    413,
+                    {
+                        "error": (
+                            f"payload of {length} bytes exceeds the "
+                            f"{max_body_bytes}-byte limit"
+                        )
+                    },
+                )
+                return
+            try:
                 blob = json.loads(self.rfile.read(length) or b"")
             except (ValueError, json.JSONDecodeError):
                 self._reply(400, {"error": "body must be a JSON object"})
@@ -101,7 +132,11 @@ def _make_handler(
                     pair, priority=priority, deadline_s=deadline_s
                 )
             except AdmissionError as error:
-                self._reply(429, {"error": str(error)})
+                # Back-pressure: tell well-behaved clients when to retry
+                # (one engine drain of the queue is a reasonable horizon).
+                self._reply(
+                    429, {"error": str(error)}, headers={"Retry-After": "1"}
+                )
                 return
             try:
                 result = future.result(timeout=timeout_s)
@@ -125,8 +160,9 @@ class RevisionHTTPFrontend:
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  Starting the front-end also starts the underlying
-    revision server.  Use as a context manager or call
-    :meth:`start`/:meth:`stop`.
+    revision server.  ``max_body_bytes`` bounds the ``POST /revise``
+    payload (``413`` beyond it, rejected before the body is read).  Use
+    as a context manager or call :meth:`start`/:meth:`stop`.
     """
 
     def __init__(
@@ -135,10 +171,12 @@ class RevisionHTTPFrontend:
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout_s: float = 60.0,
+        max_body_bytes: int = 1 << 20,
     ):
         self.revision_server = revision_server
         self.httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(revision_server, request_timeout_s)
+            (host, port),
+            _make_handler(revision_server, request_timeout_s, max_body_bytes),
         )
         self._thread: threading.Thread | None = None
 

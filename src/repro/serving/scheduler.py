@@ -3,21 +3,28 @@
 The scheduler is the bridge between *requests that arrive over time* and
 the :class:`~repro.nn.decoding.BatchedEngine`'s slot fleet.  It owns no
 thread of its own — :meth:`pump` performs exactly one scheduling round
-(admit waiting jobs into free slots → one batched decode step → dispatch
-completions) and is driven either by the server's worker thread or
-directly by tests, which makes the late-join behaviour deterministic:
+(expire deadline-missed jobs → admit waiting jobs into free slots → one
+batched decode step → dispatch completions) and is driven either by the
+server's worker thread or directly by tests, which makes the late-join
+behaviour deterministic:
 
 * a job submitted while the fleet is mid-flight is prefilled into the
   first slot that retires, so it **joins the in-flight batch** instead of
   waiting for the whole batch to drain;
 * with the engine's ``prefill_chunk_tokens`` set (the serving default),
-  that late-join prefill is *interleaved*: each :meth:`pump` advances the
-  joining prompt by at most one chunk alongside one decode step, so a
-  long prompt delays the in-flight requests by a bounded chunk forward
-  per step instead of a whole prompt-length forward pass;
+  that late-join prefill is *interleaved*: each :meth:`pump` advances
+  every joining prompt (up to the engine's ``prefill_concurrency``) by
+  at most one chunk alongside one decode step, so a burst of long
+  prompts delays the in-flight requests by a bounded ragged chunk
+  forward per step instead of a whole prompt-length forward pass each;
 * admission is capped at the engine's slot count, so jobs keep waiting in
   the server's *priority* queue (not the engine's FIFO) until a slot is
-  actually imminent — priorities stay meaningful under load.
+  actually imminent — priorities stay meaningful under load;
+* a job whose ``deadline`` has already passed is **never** handed to the
+  engine (:meth:`submit` short-circuits it to ``on_expired``), and one
+  that expires while waiting inside the engine is cancelled at the next
+  :meth:`pump` — deadline-missed work stops consuming prefill/decode
+  steps the moment the miss is observable.
 """
 
 from __future__ import annotations
@@ -32,10 +39,18 @@ from .metrics import ServingMetrics
 
 @dataclass
 class EngineJob:
-    """One decode job: an engine request plus its completion callback."""
+    """One decode job: an engine request plus its completion callback.
+
+    ``deadline`` (a ``time.monotonic`` instant) marks the job stale: once
+    passed, the scheduler resolves it through ``on_expired`` instead of
+    (or in place of) spending further engine work on it.  Jobs without a
+    deadline never expire.
+    """
 
     request: GenerationRequest
     on_done: Callable[[list[int]], None]
+    deadline: float | None = None
+    on_expired: Callable[[], None] | None = None
 
 
 class StreamingScheduler:
@@ -45,6 +60,7 @@ class StreamingScheduler:
         self.engine = engine
         self.metrics = metrics
         self._jobs: dict[int, EngineJob] = {}
+        self._has_deadlines = False
 
     @property
     def free_capacity(self) -> int:
@@ -58,18 +74,53 @@ class StreamingScheduler:
 
     @property
     def n_prefilling(self) -> int:
-        """Jobs mid-way through chunked prompt prefill (0 or 1)."""
+        """Jobs mid-way through chunked prompt prefill."""
         return self.engine.n_prefilling
 
     @property
     def has_work(self) -> bool:
         return self.engine.has_work
 
-    def submit(self, job: EngineJob) -> int:
-        """Hand one job to the engine; it joins the fleet at the next pump."""
+    def submit(self, job: EngineJob) -> int | None:
+        """Hand one job to the engine; it joins the fleet at the next pump.
+
+        A job whose deadline has already passed is resolved through
+        ``on_expired`` immediately — the engine never sees it — and
+        ``None`` is returned instead of a sequence id.
+        """
+        if job.deadline is not None and time.monotonic() > job.deadline:
+            if job.on_expired is not None:
+                job.on_expired()
+            return None
         seq_id = self.engine.submit(job.request)
         self._jobs[seq_id] = job
+        if job.deadline is not None:
+            self._has_deadlines = True
         return seq_id
+
+    def _expire_overdue(self) -> None:
+        """Cancel in-flight jobs whose deadline passed while they waited.
+
+        Runs only when some tracked job carries a deadline.  A cancelled
+        job's partial tokens are discarded (its deadline makes the result
+        worthless) and its queue entry / parked slab / KV slot is freed
+        for live work.
+        """
+        now = time.monotonic()
+        overdue = [
+            (seq_id, job)
+            for seq_id, job in self._jobs.items()
+            if job.deadline is not None and now > job.deadline
+        ]
+        for seq_id, job in overdue:
+            if self.engine.cancel(seq_id):
+                del self._jobs[seq_id]
+                if job.on_expired is not None:
+                    job.on_expired()
+        if not overdue:
+            self._has_deadlines = any(
+                job.deadline is not None for job in self._jobs.values()
+            )
 
     def pump(self) -> int:
         """One round: a single engine step plus completion dispatch.
@@ -79,6 +130,8 @@ class StreamingScheduler:
         """
         if not self.engine.has_work:
             return 0
+        if self._has_deadlines:
+            self._expire_overdue()
         start = time.perf_counter()
         self.engine.step()
         busy = time.perf_counter() - start
@@ -87,10 +140,15 @@ class StreamingScheduler:
             self.metrics.record_engine_work(
                 sum(len(tokens) for tokens in done.values()), busy
             )
+        completed = 0
         for seq_id, tokens in done.items():
-            job = self._jobs.pop(seq_id)
+            job = self._jobs.pop(seq_id, None)
+            if job is None:
+                # Residue of a cancelled (expired) job this same round.
+                continue
+            completed += 1
             job.on_done(tokens)
-        return len(done)
+        return completed
 
     def drain(self) -> int:
         """Pump until the engine is empty; returns total jobs completed."""

@@ -85,6 +85,7 @@ class RevisionServer:
                 coach.model,
                 max_batch=self.config.max_batch,
                 prefill_chunk_tokens=self.config.prefill_chunk_tokens,
+                prefill_concurrency=self.config.prefill_concurrency,
             ),
             self.metrics,
         )
@@ -210,23 +211,30 @@ class RevisionServer:
             if task is not None:
                 self._admit(task)
 
+    def _expire_task(self, task: RevisionTask) -> RevisionTask | None:
+        """Resolve one deadline-missed task; returns its promoted follower.
+
+        Expiry is per-request: this task alone is resolved as expired and
+        its oldest follower (whose own deadline may be laxer) is promoted
+        to leader rather than fanning the expiry out to all of them.
+        """
+        promoted: RevisionTask | None = None
+        if task.cache_key is not None:
+            with self._state_lock:
+                followers = self._inflight.pop(task.cache_key, [])
+                if followers:
+                    promoted, rest = followers[0], followers[1:]
+                    self._inflight[task.cache_key] = rest
+        self._resolve(
+            task.future, task.pair, OUTCOME_EXPIRED, SOURCE_DEADLINE,
+            task.submitted_at,
+        )
+        return promoted
+
     def _admit(self, task: RevisionTask) -> None:
         """Gate one dequeued task; hand survivors to the scheduler."""
         while task.deadline is not None and time.monotonic() > task.deadline:
-            # Expiry is per-request: resolve this task alone and promote
-            # its oldest follower (whose own deadline may be laxer) to
-            # leader rather than fanning the expiry out to all of them.
-            promoted: RevisionTask | None = None
-            if task.cache_key is not None:
-                with self._state_lock:
-                    followers = self._inflight.pop(task.cache_key, [])
-                    if followers:
-                        promoted, rest = followers[0], followers[1:]
-                        self._inflight[task.cache_key] = rest
-            self._resolve(
-                task.future, task.pair, OUTCOME_EXPIRED, SOURCE_DEADLINE,
-                task.submitted_at,
-            )
+            promoted = self._expire_task(task)
             if promoted is None:
                 return
             task = promoted
@@ -255,7 +263,19 @@ class RevisionServer:
                 cacheable=True, generated=len(tokens),
             )
 
-        self.scheduler.submit(EngineJob(request, on_done))
+        def on_expired(task: RevisionTask = task) -> None:
+            # The job missed its deadline inside the engine (queued or
+            # mid-flight): same per-request expiry + follower promotion
+            # as a queue-side miss, with the promoted follower re-gated.
+            promoted = self._expire_task(task)
+            if promoted is not None:
+                self._admit(promoted)
+
+        self.scheduler.submit(
+            EngineJob(
+                request, on_done, deadline=task.deadline, on_expired=on_expired
+            )
+        )
 
     def _finish(
         self,

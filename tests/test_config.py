@@ -101,3 +101,20 @@ def test_serving_config_validates_prefill_chunk():
         ServingConfig(prefill_chunk_tokens=0)
     assert ServingConfig().prefill_chunk_tokens is not None
     assert ServingConfig(prefill_chunk_tokens=None).prefill_chunk_tokens is None
+
+
+def test_scale_config_validates_prefill_concurrency():
+    with pytest.raises(ConfigError, match="prefill_concurrency"):
+        get_scale("ci").scaled(prefill_concurrency=0)
+    assert get_scale("ci").prefill_concurrency == 1
+    assert get_scale("ci").scaled(prefill_concurrency=4).prefill_concurrency == 4
+
+
+def test_serving_config_validates_prefill_concurrency():
+    from repro.config import DEFAULT_GEN_BATCH_SIZE, ServingConfig
+
+    with pytest.raises(ConfigError, match="prefill_concurrency"):
+        ServingConfig(prefill_concurrency=0)
+    # The serving default admits a whole fleet-width burst concurrently.
+    assert ServingConfig().prefill_concurrency == DEFAULT_GEN_BATCH_SIZE
+    assert ServingConfig(prefill_concurrency=2).prefill_concurrency == 2

@@ -534,7 +534,7 @@ def test_chunked_prefill_advances_at_most_one_chunk_per_step(model):
         active_before = engine.n_active
         engine.step()
         if engine.n_prefilling:
-            state = engine._prefilling
+            state = engine._prefilling[0]
             if state is not parked:
                 parked, seen = state, 0
             advanced = state.prefilled - seen
@@ -575,3 +575,216 @@ def test_chunked_prefill_finishes_whole_when_fleet_idle(model):
     results = engine.collect()
     assert results[c] == model.generate(long_prompt, 5, eos_id=2)
     assert results[a] == model.generate(short, 2)
+
+
+# -- multi-slot chunked prefill ----------------------------------------------------
+
+
+@pytest.mark.parametrize("concurrency", [1, 2, 8])
+def test_multislot_chunked_prefill_matches_unchunked(model, ragged_prompts, concurrency):
+    """Chunked == unchunked token parity must hold at any prefill
+    concurrency: a burst of late arrivals prefilled concurrently produces
+    exactly the sequential path's tokens."""
+    expected = _sequential(model, ragged_prompts, 14, eos_id=2)
+    engine = BatchedEngine(
+        model, max_batch=8, prefill_chunk_tokens=3,
+        prefill_concurrency=concurrency,
+    )
+    ids = [
+        engine.submit(GenerationRequest(p, 14, eos_id=2))
+        for p in ragged_prompts[:3]
+    ]
+    for _ in range(2):
+        engine.step()
+    # The burst: everything else arrives at once.
+    ids += [
+        engine.submit(GenerationRequest(p, 14, eos_id=2))
+        for p in ragged_prompts[3:]
+    ]
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    assert [results[i] for i in ids] == expected
+    assert engine.n_prefilling == 0
+
+
+def test_multislot_advances_every_parked_prompt_each_step(model):
+    """With prefill_concurrency=N, N parked prompts all advance one chunk
+    per step — the admission fleet, not a serialized queue."""
+    rng = np.random.default_rng(19)
+    chunk = 4
+    engine = BatchedEngine(
+        model, max_batch=8, prefill_chunk_tokens=chunk, prefill_concurrency=4
+    )
+    engine.submit(GenerationRequest(list(rng.integers(5, 197, size=3)), 60))
+    engine.step()  # one long-running decode keeps the fleet busy
+    prompts = [list(rng.integers(5, 197, size=30)) for _ in range(4)]
+    ids = [engine.submit(GenerationRequest(p, 4, eos_id=2)) for p in prompts]
+    engine.step()
+    assert engine.n_prefilling == 4
+    assert [s.prefilled for s in engine._prefilling] == [chunk] * 4
+    engine.step()
+    assert [s.prefilled for s in engine._prefilling] == [2 * chunk] * 4
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    for seq_id, prompt in zip(ids, prompts):
+        assert results[seq_id] == model.generate(prompt, 4, eos_id=2)
+
+
+def test_multislot_out_of_order_completion(model):
+    """A short prompt parked *behind* a long one finishes prefill first:
+    the completed row must be promoted past the still-parked partial slab
+    without corrupting either sequence."""
+    rng = np.random.default_rng(29)
+    long_prompt = list(rng.integers(5, 197, size=40))
+    short_prompt = list(rng.integers(5, 197, size=5))
+    engine = BatchedEngine(
+        model, max_batch=4, prefill_chunk_tokens=3, prefill_concurrency=2
+    )
+    engine.submit(GenerationRequest(list(rng.integers(5, 197, size=4)), 60))
+    engine.step()  # busy fleet
+    a = engine.submit(GenerationRequest(long_prompt, 8, eos_id=2))
+    b = engine.submit(GenerationRequest(short_prompt, 8, eos_id=2))
+    results: dict[int, list[int]] = {}
+    saw_short_done_while_long_parked = False
+    while engine.has_work:
+        engine.step()
+        done = engine.collect()
+        if b in done and engine.n_prefilling:
+            saw_short_done_while_long_parked = True
+        results.update(done)
+        if a in results and b in results:
+            break
+    assert saw_short_done_while_long_parked
+    assert results[a] == model.generate(long_prompt, 8, eos_id=2)
+    assert results[b] == model.generate(short_prompt, 8, eos_id=2)
+
+
+def test_single_token_chunks_merge_into_decode_forward(model, ragged_prompts):
+    """chunk=1 makes every parked advance decode-row-shaped: the parked
+    fleet must fold into the decode forward (no separate chunk pass) and
+    still reproduce sequential tokens exactly."""
+    expected = _sequential(model, ragged_prompts, 10, eos_id=2)
+    engine = BatchedEngine(
+        model, max_batch=6, prefill_chunk_tokens=1, prefill_concurrency=3
+    )
+    forwards = {"n": 0}
+    original = engine.model._forward_numpy
+
+    def counting(*args, **kwargs):
+        forwards["n"] += 1
+        return original(*args, **kwargs)
+
+    engine.model._forward_numpy = counting
+    try:
+        ids = [
+            engine.submit(GenerationRequest(p, 10, eos_id=2))
+            for p in ragged_prompts[:4]
+        ]
+        engine.step()
+        ids += [
+            engine.submit(GenerationRequest(p, 10, eos_id=2))
+            for p in ragged_prompts[4:]
+        ]
+        results: dict[int, list[int]] = {}
+        steps = 0
+        while engine.has_work:
+            before = forwards["n"]
+            had_decodes = engine.n_active > 0
+            had_parked = engine.n_prefilling > 0 or engine.n_pending > 0
+            engine.step()
+            steps += 1
+            if had_decodes and had_parked:
+                # Merged: one forward advanced decodes AND parked chunks.
+                assert forwards["n"] - before == 1
+            results.update(engine.collect())
+    finally:
+        engine.model._forward_numpy = original
+    assert [results[i] for i in ids] == expected
+
+
+def test_multislot_respects_capacity_limit(model, ragged_prompts):
+    """The parked fleet never exceeds the free slot budget, whatever the
+    concurrency knob says."""
+    engine = BatchedEngine(
+        model, max_batch=3, prefill_chunk_tokens=2, prefill_concurrency=8
+    )
+    engine.submit(GenerationRequest(ragged_prompts[0][:3], 40))
+    engine.submit(GenerationRequest(ragged_prompts[1][:3], 40))
+    engine.step()
+    for p in ragged_prompts[2:8]:
+        engine.submit(GenerationRequest(p, 6, eos_id=2))
+    engine.step()
+    assert engine.n_active == 2
+    assert engine.n_prefilling <= 1  # only one slot is free
+    assert engine.free_capacity <= 0
+    assert engine.n_active + engine.n_prefilling <= engine.max_batch
+
+
+def test_engine_rejects_bad_prefill_concurrency(model):
+    with pytest.raises(GenerationError):
+        BatchedEngine(model, max_batch=2, prefill_concurrency=0)
+
+
+# -- cancellation ------------------------------------------------------------------
+
+
+def test_cancel_pending_parked_and_active(model):
+    """cancel() reclaims a sequence in every lifecycle state; survivors
+    keep producing exactly the sequential tokens."""
+    rng = np.random.default_rng(41)
+    prompts = [list(rng.integers(5, 197, size=n)) for n in (6, 35, 30, 9, 7)]
+    engine = BatchedEngine(
+        model, max_batch=2, prefill_chunk_tokens=3, prefill_concurrency=2
+    )
+    survivor = engine.submit(GenerationRequest(prompts[0], 12))
+    engine.step()
+    parked = engine.submit(GenerationRequest(prompts[1], 12))
+    queued = engine.submit(GenerationRequest(prompts[2], 12))
+    engine.step()
+    assert engine.n_prefilling == 1 and engine.n_pending == 1
+    assert engine.cancel(parked) and engine.cancel(queued)
+    assert engine.n_prefilling == 0 and engine.n_pending == 0
+    mid = engine.submit(GenerationRequest(prompts[3], 12))
+    for _ in range(6):
+        engine.step()
+    assert engine.cancel(mid)
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    results.update(engine.collect())
+    assert results[parked] == [] and results[queued] == []
+    full_mid = model.generate(prompts[3], 12)
+    assert results[mid] == full_mid[: len(results[mid])]
+    assert results[survivor] == model.generate(prompts[0], 12)
+    # Unknown / already-finished ids are a no-op.
+    assert not engine.cancel(survivor)
+    assert not engine.cancel(10_000)
+
+
+def test_cancel_mid_parked_fleet_keeps_neighbors_intact(model):
+    """Cancelling the middle of the parked block compacts the partial
+    slabs; both neighbours must still decode to sequential parity."""
+    rng = np.random.default_rng(43)
+    prompts = [list(rng.integers(5, 197, size=30)) for _ in range(3)]
+    engine = BatchedEngine(
+        model, max_batch=5, prefill_chunk_tokens=4, prefill_concurrency=3
+    )
+    engine.submit(GenerationRequest(list(rng.integers(5, 197, size=4)), 50))
+    engine.step()
+    ids = [engine.submit(GenerationRequest(p, 6, eos_id=2)) for p in prompts]
+    engine.step()
+    assert engine.n_prefilling == 3
+    assert engine.cancel(ids[1])
+    assert engine.n_prefilling == 2
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    assert results[ids[0]] == model.generate(prompts[0], 6, eos_id=2)
+    assert results[ids[2]] == model.generate(prompts[2], 6, eos_id=2)
+    assert results[ids[1]] == []
