@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast unit/parity suites plus the randomized
-# differential-parity fuzz harness at a fixed, reproducible seed budget.
+# differential-parity fuzz harness at a fixed, reproducible seed budget
+# — run twice, once with the per-scenario KV-backend draw and once with
+# every scenario forced onto the paged KV pool (same seeds, so the
+# paged leg differentially replays known-dense traces) — plus the
+# KV-memory regression floor (paged resident bytes must undercut dense
+# slabs >= 2x under staggered load).
 #
-#   scripts/ci.sh            # tier-1 + fuzz (fixed seeds, ~30s on a laptop)
+#   scripts/ci.sh            # tier-1 + fuzz legs (fixed seeds, ~40s)
 #   scripts/ci.sh --runslow  # also run the slow end-to-end example tests
 #
 # The benchmark harness (pytest -m bench) is intentionally excluded: it
 # regenerates BENCH_*.json artifacts and runs for minutes.  Fuzz knobs:
 #   REPRO_FUZZ_SEED       master seed (scenario i uses seed + i)
 #   REPRO_FUZZ_SCENARIOS  scenario budget (CI default below)
+#   REPRO_FUZZ_PAGED      auto | on | off (the legs below pin it)
 # A fuzz failure prints the exact one-scenario reproduction command.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,3 +27,12 @@ echo "== fuzz: randomized differential parity (fixed seed budget) =="
 REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
 REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
 python -m pytest tests/test_fuzz_parity.py -q
+
+echo "== fuzz: paged KV pool forced on (same fixed seeds) =="
+REPRO_FUZZ_PAGED=on \
+REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
+python -m pytest tests/test_fuzz_parity.py -q
+
+echo "== KV-memory regression floor (paged vs dense resident bytes) =="
+python -m pytest tests/test_decoding.py -q -k paged_memory_scales

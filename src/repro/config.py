@@ -124,6 +124,20 @@ class ScaleConfig:
     #: (one ragged chunk forward per engine step).  Only meaningful with
     #: ``prefill_chunk_tokens`` set; 1 reproduces single-slot admission.
     prefill_concurrency: int = 1
+    #: Page size (tokens) of the engine's paged KV pool.  ``None`` (the
+    #: offline default) keeps dense per-slot slabs — resident KV memory
+    #: is ``gen_batch_size × max_seq_len`` whatever the fleet holds.
+    #: Setting a page size switches to on-demand pages drawn from a
+    #: shared free list through per-sequence block tables, so KV memory
+    #: scales with *live tokens*; decoded tokens are identical either
+    #: way.  64 matches the serving default.
+    kv_page_tokens: int | None = None
+    #: Total page budget of the paged pool (admission reserves each
+    #: sequence's worst-case quota against it).  ``None`` sizes it to
+    #: the dense worst case, ``gen_batch_size × ceil(max_seq_len /
+    #: kv_page_tokens)`` — same capacity ceiling, lazily allocated.
+    #: Requires ``kv_page_tokens``.
+    kv_pool_pages: int | None = None
 
     def __post_init__(self) -> None:
         # Fail at construction with a clear message instead of deep inside
@@ -142,6 +156,7 @@ class ScaleConfig:
                 "prefill_concurrency must be >= 1, got "
                 f"{self.prefill_concurrency}"
             )
+        _validate_kv_paging(self.kv_page_tokens, self.kv_pool_pages)
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.max_new_tokens < 1:
@@ -152,6 +167,25 @@ class ScaleConfig:
     def scaled(self, **overrides: object) -> "ScaleConfig":
         """Return a copy of this config with ``overrides`` applied."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def _validate_kv_paging(
+    kv_page_tokens: int | None, kv_pool_pages: int | None
+) -> None:
+    """Shared validation of the paged-KV knobs (Scale and Serving configs)."""
+    if kv_page_tokens is not None and kv_page_tokens < 1:
+        raise ConfigError(
+            f"kv_page_tokens must be >= 1, got {kv_page_tokens}"
+        )
+    if kv_pool_pages is not None:
+        if kv_page_tokens is None:
+            raise ConfigError(
+                "kv_pool_pages requires kv_page_tokens (a paged KV cache)"
+            )
+        if kv_pool_pages < 1:
+            raise ConfigError(
+                f"kv_pool_pages must be >= 1, got {kv_pool_pages}"
+            )
 
 
 @dataclass(frozen=True)
@@ -196,6 +230,21 @@ class ServingConfig:
         together, collapsing admission-to-first-token latency under
         bursty load (``BENCH_serving.json`` tracks the ratio).  Only
         meaningful with ``prefill_chunk_tokens`` set.
+    kv_page_tokens:
+        Page size (tokens) of the server engine's paged KV pool.  The
+        serving default (64) allocates KV pages on demand through
+        per-sequence block tables, so resident KV memory follows the
+        *live* fleet instead of the provisioned ``max_batch ×
+        max_seq_len`` worst case, and slot compaction is an O(1) block
+        -table move; ``GET /metrics`` exports the pool's ``free_pages``
+        headroom so operators see admission pressure building before
+        the queue starts returning 429s.  ``None`` restores dense
+        per-slot slabs.  Served tokens are identical either way.
+    kv_pool_pages:
+        Total page budget of the pool (admission reserves each
+        sequence's worst-case quota against it; requests beyond it wait
+        in the queue).  ``None`` sizes it to the dense worst case —
+        same ceiling, lazily allocated.  Requires ``kv_page_tokens``.
     """
 
     max_batch: int = DEFAULT_GEN_BATCH_SIZE
@@ -206,6 +255,8 @@ class ServingConfig:
     idle_wait_s: float = 0.005
     prefill_chunk_tokens: int | None = 64
     prefill_concurrency: int = DEFAULT_GEN_BATCH_SIZE
+    kv_page_tokens: int | None = 64
+    kv_pool_pages: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -220,6 +271,7 @@ class ServingConfig:
                 "prefill_concurrency must be >= 1, got "
                 f"{self.prefill_concurrency}"
             )
+        _validate_kv_paging(self.kv_page_tokens, self.kv_pool_pages)
         if self.max_queue_depth < 1:
             raise ConfigError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"

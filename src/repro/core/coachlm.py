@@ -346,6 +346,7 @@ class CoachLM:
         batch_size: int = DEFAULT_GEN_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
         prefill_concurrency: int = 1,
+        kv_page_tokens: int | None = None,
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
 
@@ -356,7 +357,9 @@ class CoachLM:
         much refill-prompt prefill a single engine step may do and
         ``prefill_concurrency`` lets that many refill prompts advance
         their chunks together (mostly serving-path knobs; offline runs
-        usually leave chunking off).
+        usually leave chunking off).  ``kv_page_tokens`` switches the
+        engine to the paged KV pool (memory scales with live tokens;
+        identical tokens out).
         """
         if self.model is None:
             raise ModelError("CoachLM has no model")
@@ -373,6 +376,7 @@ class CoachLM:
             max_batch=batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
             prefill_concurrency=prefill_concurrency,
+            kv_page_tokens=kv_page_tokens,
         )
         outputs = iter(engine.generate(requests))
 

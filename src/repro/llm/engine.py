@@ -51,6 +51,7 @@ class TextEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
         prefill_concurrency: int = 1,
+        kv_page_tokens: int | None = None,
     ):
         self.model = model
         self.tokenizer = tokenizer
@@ -59,6 +60,7 @@ class TextEngine:
             max_batch=batch_size,
             prefill_chunk_tokens=prefill_chunk_tokens,
             prefill_concurrency=prefill_concurrency,
+            kv_page_tokens=kv_page_tokens,
         )
 
     @staticmethod

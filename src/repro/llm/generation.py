@@ -37,6 +37,7 @@ def generate_responses(
     batch_size: int = DEFAULT_GEN_BATCH_SIZE,
     prefill_chunk_tokens: int | None = None,
     prefill_concurrency: int = 1,
+    kv_page_tokens: int | None = None,
 ) -> list[InstructionPair]:
     """Generate responses for a list of instructions.
 
@@ -56,6 +57,7 @@ def generate_responses(
         batch_size=batch_size,
         prefill_chunk_tokens=prefill_chunk_tokens,
         prefill_concurrency=prefill_concurrency,
+        kv_page_tokens=kv_page_tokens,
     )
     responses = engine.respond(instructions, max_new_tokens=max_new_tokens)
     return [

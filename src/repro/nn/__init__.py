@@ -11,10 +11,11 @@ whole stack at laptop scale (DESIGN.md §2):
   with KV caching;
 * :mod:`repro.nn.decoding` — batched decoding engine: ragged batched
   prefill (one forward pass admits a whole fleet of uneven prompts),
-  chunked prefill/decode interleaving for streaming late-joins,
-  pre-allocated slot KV caches, continuous batching with slot
-  retirement/refill, per-sequence logit biases, and in-engine seeded
-  top-k sampling;
+  chunked prefill/decode interleaving for streaming late-joins (one
+  unified mixed-length ragged forward per step), dense slot KV slabs or
+  a paged KV pool (fixed-size pages, block tables, memory that scales
+  with live tokens), continuous batching with slot retirement/refill,
+  per-sequence logit biases, and in-engine seeded top-k sampling;
 * :mod:`repro.nn.lora` — Low-Rank Adaptation [Hu et al. 2021] with
   freeze/merge semantics, as the paper uses for coach instruction tuning;
 * :mod:`repro.nn.optim` — Adam, LR schedules, gradient clipping;
@@ -30,6 +31,7 @@ from .decoding import (
     BatchedEngine,
     GenerationRequest,
     InductionCopyBias,
+    PagedKVCaches,
     SlotKVCaches,
 )
 from .lora import LoRALinear, apply_lora, lora_parameters, merge_lora
@@ -48,6 +50,7 @@ __all__ = [
     "BatchedEngine",
     "GenerationRequest",
     "InductionCopyBias",
+    "PagedKVCaches",
     "SlotKVCaches",
     "LoRALinear",
     "apply_lora",

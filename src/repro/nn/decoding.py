@@ -43,15 +43,52 @@ runs them in order:
    chunk tails), the parked rows have the same shape as decode rows and
    ride along in the decode forward — no second model pass at all.
 2. **Decode** — all active sequences advance one token per forward pass
-   through shared pre-allocated slot KV caches (:class:`SlotKVCaches`);
-   attention over ragged cache lengths uses an additive key mask.  Token
-   selection is vectorised: one batched ``argmax`` plus vectorised
-   EOS/budget masks, with per-row handling only for slots carrying a
-   ``step_bias`` hook or a ``top_k`` sampler.
+   through shared slot KV caches; attention over ragged cache lengths
+   uses an additive key mask.  Token selection is vectorised: one
+   batched ``argmax`` plus vectorised EOS/budget masks, with per-row
+   handling only for slots carrying a ``step_bias`` hook or a ``top_k``
+   sampler.  When parked chunk rows are advancing, the decode rows and
+   the chunk rows ride **one unified mixed-length ragged forward**
+   (``unified_step``, the default): a decode row is a one-token chunk at
+   depth ``lengths[b]``, so both shapes share the per-row
+   ``key_lens``-qualified attention core and the step never pays a
+   second model pass, whatever the chunk size.
 3. **Retire/refill** — a sequence that hits EOS (or its token budget)
    retires immediately; its slot is compacted away (swap-with-last) and
    refilled from the pending queue at the next step's prefill phase, so
    stragglers never pay for dead slots (continuous batching).
+
+KV storage
+~~~~~~~~~~
+
+Two interchangeable cache backends sit behind the same adapter API:
+
+* **Dense slabs** (:class:`SlotKVCaches`, the default) — one
+  pre-allocated ``(max_batch, n_heads, max_seq_len, head_dim)`` slab per
+  layer per K/V.  Simple and copy-free (adapters return slab views),
+  but resident memory is ``max_batch × max_seq_len`` whatever the fleet
+  actually holds, and compaction copies slab prefixes.
+* **Paged pool** (:class:`PagedKVCaches`, ``kv_page_tokens``) — K/V
+  live in fixed-size *pages* (``kv_page_tokens`` tokens each) drawn
+  from one shared free list; each slot owns a *block table* of page
+  ids shared by every layer.  Pages are allocated on demand as prefill
+  and decode write tokens and return to the free list on retire or
+  cancel, so resident memory scales with **live tokens**, not with
+  ``max_batch × max_seq_len``; storage itself grows lazily in small
+  extents up to ``kv_pool_pages``.  Compaction (``move`` /
+  ``move_prefix`` / ``permute_prefixes``) degenerates to O(1) block
+  -table moves instead of slab memcpys.  Admission reserves each
+  sequence's worst-case page quota (``ceil((prompt+budget)/page)``) up
+  front: when the pool cannot cover a request it simply stays pending
+  until pages free up — deadlock-free because a lone sequence always
+  fits (enforced at construction) — and the serving layer surfaces the
+  shrinking ``free_pages`` headroom through ``/metrics`` before
+  admission control starts returning 429s.  Attention reads gather each
+  row's pages into a contiguous scratch prefix (one fancy-index per
+  row per layer, reused buffers); the fresh-batch prefill path needs no
+  gather at all.  Paged and dense decoding are token-for-token
+  identical — pinned by the differential fuzz harness across page sizes
+  {1, 3, 16, 64}.
 
 * **Streaming intake.**  The same machinery is exposed incrementally —
   ``submit()`` enqueues a request at any time, ``step()`` advances the
@@ -206,8 +243,40 @@ class SlotKVCaches:
         self.lengths = np.zeros(max_batch, dtype=np.int64)
         self.max_batch = max_batch
 
+    # -- page-pool protocol (dense slabs hold every token up front) ------------
+    def pages_for(self, tokens: int) -> int:
+        """Dense slabs are not paged: every admission costs zero pages."""
+        return 0
+
+    def try_reserve(self, n_pages: int) -> bool:
+        return True
+
+    def unreserve(self, n_pages: int) -> None:
+        pass
+
+    def release(self, slot: int) -> None:
+        """Nothing to free: a refill overwrites from column zero and the
+        key mask hides stale columns."""
+
+    def stats(self) -> dict:
+        """Occupancy/residency counters (shape-compatible with the pool's)."""
+        slab = self.k[0]
+        resident = 2 * len(self.k) * slab.nbytes
+        return {
+            "paged": False,
+            "kv_page_tokens": None,
+            "total_pages": None,
+            "free_pages": None,
+            "reserved_pages": None,
+            "pages_in_use": None,
+            "peak_pages_in_use": None,
+            "allocated_pages": None,
+            "resident_kv_bytes": resident,
+            "peak_resident_kv_bytes": resident,
+        }
+
     def ragged_prefill_adapters(
-        self, slots: list[int], pads: np.ndarray
+        self, slots: list[int], pads: np.ndarray, lens: list[int]
     ) -> list["_RaggedPrefillSlots"]:
         return [
             _RaggedPrefillSlots(self, layer, slots, pads)
@@ -222,6 +291,22 @@ class SlotKVCaches:
             for layer in range(len(self.k))
         ]
 
+    def packed_adapters(
+        self, starts: np.ndarray, ends: np.ndarray, spans: np.ndarray,
+        n_ones: int,
+    ) -> list["_PackedSlots"]:
+        """Adapters for one unified packed varlen forward over slots
+        ``0 .. len(starts)``: row ``i``'s new tokens occupy the packed
+        token axis ``[spans[i], spans[i+1])`` and land in slab columns
+        ``[starts[i], ends[i])``; attention reads each row's whole
+        written prefix as a copy-free slab view.  The first ``n_ones``
+        rows are single-token (decode-shaped) and are scattered with one
+        fancy-index store instead of a per-row loop."""
+        return [
+            _PackedSlots(self, layer, starts, ends, spans, n_ones)
+            for layer in range(len(self.k))
+        ]
+
     def step_adapters(self, n_active: int, view_len: int) -> list["_StepSlot"]:
         return [
             _StepSlot(self, layer, n_active, view_len)
@@ -229,10 +314,16 @@ class SlotKVCaches:
         ]
 
     def move(self, src: int, dst: int) -> None:
-        """Copy slot ``src`` over slot ``dst`` (batch compaction)."""
+        """Copy slot ``src`` over slot ``dst`` (batch compaction).
+
+        Only the written ``lengths[src]``-column prefix moves: columns
+        beyond it hold stale data the key mask hides anyway, and at
+        serving scale the full-capacity copy dominated retire cost.
+        """
+        length = int(self.lengths[src])
         for layer in range(len(self.k)):
-            self.k[layer][dst] = self.k[layer][src]
-            self.v[layer][dst] = self.v[layer][src]
+            self.k[layer][dst, :, :length] = self.k[layer][src, :, :length]
+            self.v[layer][dst, :, :length] = self.v[layer][src, :, :length]
         self.lengths[dst] = self.lengths[src]
 
     def move_prefix(self, src: int, dst: int, length: int) -> None:
@@ -341,6 +432,55 @@ class _RaggedChunkSlots:
         )
 
 
+class _PackedSlots:
+    """Cache adapter for one packed varlen unified forward (dense slabs).
+
+    ``update`` receives ``(1, H, T_total, Dh)`` — every row's new K/V
+    concatenated on the token axis — and scatters row ``i``'s
+    ``[spans[i], spans[i+1])`` segment into its slab columns
+    ``[starts[i], ends[i])``.  The first ``n_ones`` (decode-shaped)
+    rows come back as one stacked ``(n_ones, H, view, Dh)`` slab view
+    for the fused masked sub-attention; each chunk row comes back as a
+    view of its own whole written prefix (zero copies either way).
+    """
+
+    __slots__ = ("caches", "layer", "starts", "ends", "spans", "n_ones")
+
+    def __init__(self, caches, layer, starts, ends, spans, n_ones):
+        self.caches = caches
+        self.layer = layer
+        self.starts = starts
+        self.ends = ends
+        self.spans = spans
+        self.n_ones = n_ones
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        sk = self.caches.k[self.layer]
+        sv = self.caches.v[self.layer]
+        spans, starts, ends = self.spans, self.starts, self.ends
+        ones = self.n_ones
+        ones_k = ones_v = None
+        if ones:
+            # Both sides put the row axis first: the combined (int, fancy)
+            # index on k and the (fancy, :, fancy) slab index each
+            # broadcast to (ones, H, Dh).
+            rows = np.arange(ones)
+            sk[rows, :, starts[:ones]] = k[0, :, spans[:ones], :]
+            sv[rows, :, starts[:ones]] = v[0, :, spans[:ones], :]
+            view = int(ends[:ones].max())
+            ones_k = sk[:ones, :, :view]
+            ones_v = sv[:ones, :, :view]
+        keys, vals = [], []
+        for row in range(ones, len(starts)):
+            s, e = int(spans[row]), int(spans[row + 1])
+            end = int(ends[row])
+            sk[row, :, int(starts[row]) : end] = k[0, :, s:e]
+            sv[row, :, int(starts[row]) : end] = v[0, :, s:e]
+            keys.append(sk[row, :, :end])
+            vals.append(sv[row, :, :end])
+        return ones_k, ones_v, keys, vals
+
+
 class _StepSlot:
     """Cache adapter for one batched decode step over the active slots."""
 
@@ -365,6 +505,529 @@ class _StepSlot:
         )
 
 
+class PagedKVCaches:
+    """Paged K/V pool: fixed-size pages, shared free list, block tables.
+
+    Per layer the pool holds one ``(n_heads, capacity × page_tokens,
+    head_dim)`` K and V array whose token axis is carved into pages of
+    ``page_tokens`` columns; page ``p`` owns columns
+    ``[p·page_tokens, (p+1)·page_tokens)``.  Slot ``b``'s *block table*
+    (``tables[b]``, shared by every layer) lists the pages holding its
+    tokens in order, so token ``t`` lives at column
+    ``tables[b][t // page_tokens] · page_tokens + t % page_tokens``.
+
+    Pages come from one free list shared by the whole fleet; storage
+    grows lazily in :data:`_GROWTH_PAGES` extents up to ``max_pages``,
+    so resident bytes track *live tokens* instead of
+    ``max_batch × max_seq_len``.  The engine reserves each sequence's
+    worst-case quota at admission (``pages_for(prompt + budget)``), so
+    ``_alloc_page`` can never fail mid-decode; ``release`` returns a
+    slot's pages, and the compaction hooks (``move`` / ``move_prefix`` /
+    ``permute_prefixes``) are O(1) block-table moves — no K/V bytes are
+    copied, which is the second structural win over dense slabs.
+
+    Attention never reads the pages directly: a contiguous per-slot
+    **mirror** — allocated lazily to the *live* fleet's peak rows × peak
+    view, not to ``max_batch × max_seq_len`` — shadows each row's page
+    prefix, so the hot decode path writes one column to pages + mirror
+    and attends over copy-free mirror views exactly like dense slabs.
+    The mirror is pure cache: ``_mirror_len[row]`` tracks its valid
+    prefix, compaction invalidates moved rows instead of copying bytes,
+    and the next step lazily re-gathers an invalidated row's
+    ``[0, t_k)`` from its (moved) block table in one fancy-index pass.
+    Both the page storage and the mirror count toward
+    ``resident_kv_bytes``.
+    """
+
+    #: Minimum storage growth extent (pages).  Growth is geometric past
+    #: it (≥50% headroom per grow, like the mirror), so cumulative
+    #: grow-copies stay O(pool size) while small pools keep resident
+    #: bytes tight to the live-token peak.
+    _GROWTH_PAGES = 4
+
+    def __init__(
+        self,
+        model: TransformerLM,
+        max_batch: int,
+        page_tokens: int,
+        max_pages: int | None = None,
+    ):
+        cfg = model.config
+        if page_tokens < 1:
+            raise GenerationError(
+                f"kv_page_tokens must be >= 1, got {page_tokens}"
+            )
+        self.page_tokens = page_tokens
+        self.pages_per_seq = -(-cfg.max_seq_len // page_tokens)
+        if max_pages is None:
+            max_pages = max_batch * self.pages_per_seq
+        if max_pages < self.pages_per_seq:
+            raise GenerationError(
+                f"kv_pool_pages={max_pages} cannot hold one full-context "
+                f"sequence ({self.pages_per_seq} pages of {page_tokens} "
+                "tokens): admission could deadlock"
+            )
+        self.max_pages = max_pages
+        self.max_batch = max_batch
+        self.max_seq_len = cfg.max_seq_len
+        self.n_heads = cfg.n_heads
+        self.head_dim = cfg.head_dim
+        self.n_layers = len(model.blocks)
+        self.lengths = np.zeros(max_batch, dtype=np.int64)
+        self.tables: list[list[int]] = [[] for _ in range(max_batch)]
+        empty = (cfg.n_heads, 0, cfg.head_dim)
+        self.k = [np.zeros(empty, dtype=np.float32) for _ in model.blocks]
+        self.v = [np.zeros(empty, dtype=np.float32) for _ in model.blocks]
+        self._free: list[int] = []
+        self._capacity = 0
+        # Contiguous attention mirror (see class docstring): per-layer
+        # (rows_cap, H, view_cap, Dh) planes grown to the live fleet.
+        self.mk: list[np.ndarray] = []
+        self.mv: list[np.ndarray] = []
+        self._mirror_rows = 0
+        self._mirror_view = 0
+        self._mirror_len = np.zeros(max_batch, dtype=np.int64)
+        self.reserved_pages = 0
+        self.pages_in_use = 0
+        self.peak_pages_in_use = 0
+        self.peak_resident_bytes = 0
+
+    # -- reservation (admission control) ---------------------------------------
+    def pages_for(self, tokens: int) -> int:
+        """Pages needed to hold ``tokens`` cache columns."""
+        return max(0, -(-tokens // self.page_tokens))
+
+    def try_reserve(self, n_pages: int) -> bool:
+        """Reserve a sequence's worst-case quota; False when the pool is
+        oversubscribed (the request then waits in the pending queue)."""
+        if self.reserved_pages + n_pages > self.max_pages:
+            return False
+        self.reserved_pages += n_pages
+        return True
+
+    def unreserve(self, n_pages: int) -> None:
+        self.reserved_pages -= n_pages
+
+    # -- page lifecycle --------------------------------------------------------
+    def _grow(self, min_pages: int) -> None:
+        new_cap = min(
+            self.max_pages,
+            max(
+                min_pages,
+                self._capacity + max(self._GROWTH_PAGES, self._capacity // 2),
+            ),
+        )
+        if new_cap <= self._capacity:
+            raise GenerationError(
+                "KV page pool exhausted beyond its reservations "
+                f"({self._capacity}/{self.max_pages} pages) — engine "
+                "accounting bug"
+            )
+        extra = (new_cap - self._capacity) * self.page_tokens
+        pad = np.zeros((self.n_heads, extra, self.head_dim), dtype=np.float32)
+        self.k = [np.concatenate([k, pad], axis=1) for k in self.k]
+        self.v = [np.concatenate([v, pad], axis=1) for v in self.v]
+        self._free.extend(range(self._capacity, new_cap))
+        self._capacity = new_cap
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, self.resident_bytes()
+        )
+
+    def ensure(self, slot: int, n_tokens: int) -> None:
+        """Extend ``slot``'s block table to cover ``n_tokens`` columns."""
+        table = self.tables[slot]
+        while len(table) * self.page_tokens < n_tokens:
+            if not self._free:
+                self._grow(self._capacity + 1)
+            table.append(self._free.pop())
+            self.pages_in_use += 1
+        self.peak_pages_in_use = max(self.peak_pages_in_use, self.pages_in_use)
+
+    def release(self, slot: int) -> None:
+        """Return every page of ``slot`` to the free list."""
+        table = self.tables[slot]
+        if table:
+            self._free.extend(table)
+            self.pages_in_use -= len(table)
+            self.tables[slot] = []
+        self._mirror_len[slot] = 0
+
+    # -- compaction: O(1) block-table moves ------------------------------------
+    # No K/V byte moves anywhere below: tables are relinked and the
+    # affected mirror rows are invalidated — the next step re-gathers a
+    # moved row's prefix lazily, instead of every compaction paying a
+    # slab copy up front (the dense path's cost).
+    def move(self, src: int, dst: int) -> None:
+        self.release(dst)
+        self.tables[dst] = self.tables[src]
+        self.tables[src] = []
+        self.lengths[dst] = self.lengths[src]
+        self._mirror_len[src] = 0
+
+    def move_prefix(self, src: int, dst: int, length: int) -> None:
+        self.release(dst)
+        self.tables[dst] = self.tables[src]
+        self.tables[src] = []
+        self._mirror_len[src] = 0
+
+    def permute_prefixes(
+        self, base: int, order: list[int], lengths: list[int]
+    ) -> None:
+        block = [self.tables[base + i] for i in order]
+        for j, table in enumerate(block):
+            self.tables[base + j] = table
+        self._mirror_len[base : base + len(order)] = 0
+
+    # -- column addressing -----------------------------------------------------
+    def _token_cols(self, slot: int, start: int, stop: int) -> np.ndarray:
+        """Storage columns of ``slot``'s tokens ``[start, stop)``."""
+        p = self.page_tokens
+        pages = np.asarray(self.tables[slot][: -(-stop // p)], dtype=np.int64)
+        cols = (pages[:, None] * p + np.arange(p, dtype=np.int64)[None, :])
+        return cols.ravel()[start:stop]
+
+    def _ensure_mirror(self, n_rows: int, view: int) -> None:
+        """Grow the mirror planes to cover ``n_rows`` slots × ``view`` columns.
+
+        Growth is amortised (≥50% headroom per axis, capped at the
+        engine's hard bounds) and content-preserving, so steady decode
+        never reallocates and never invalidates.
+        """
+        if n_rows <= self._mirror_rows and view <= self._mirror_view:
+            return
+        rows_cap = self._mirror_rows
+        view_cap = self._mirror_view
+        if n_rows > rows_cap:
+            rows_cap = min(self.max_batch, max(n_rows, rows_cap + rows_cap // 2 + 1))
+        if view > view_cap:
+            view_cap = min(
+                self.max_seq_len, max(view, view_cap + max(32, view_cap // 2))
+            )
+        shape = (rows_cap, self.n_heads, view_cap, self.head_dim)
+        old_k, old_v = self.mk, self.mv
+        self.mk = [np.zeros(shape, dtype=np.float32) for _ in range(self.n_layers)]
+        self.mv = [np.zeros(shape, dtype=np.float32) for _ in range(self.n_layers)]
+        if old_k:
+            r, w = self._mirror_rows, self._mirror_view
+            for layer in range(self.n_layers):
+                self.mk[layer][:r, :, :w] = old_k[layer]
+                self.mv[layer][:r, :, :w] = old_v[layer]
+        self._mirror_rows, self._mirror_view = rows_cap, view_cap
+        self.peak_resident_bytes = max(
+            self.peak_resident_bytes, self.resident_bytes()
+        )
+
+    def _mirror_plan(
+        self, rows, starts, ends
+    ) -> list[tuple[int, np.ndarray, int]]:
+        """Mark each row's mirror valid through ``ends`` and return the
+        catch-up gathers — ``(row, page_cols, have)`` for rows whose
+        mirror lags behind this step's write start (rows invalidated by
+        compaction, or parked rows shifted to new slots)."""
+        catchups = []
+        for row, start, end in zip(rows, starts, ends):
+            row, start = int(row), int(start)
+            have = int(self._mirror_len[row])
+            if have < start:
+                catchups.append((row, self._token_cols(row, have, start), have))
+            self._mirror_len[row] = int(end)
+        return catchups
+
+    # -- adapters ----------------------------------------------------------------
+    def ragged_prefill_adapters(
+        self, slots: list[int], pads: np.ndarray, lens: list[int]
+    ) -> list["_PagedPrefillSlots"]:
+        for slot, n in zip(slots, lens):
+            self.ensure(slot, n)
+        self._ensure_mirror(max(slots) + 1, max(lens))
+        write_cols = [
+            self._token_cols(slot, 0, n) for slot, n in zip(slots, lens)
+        ]
+        for slot, n in zip(slots, lens):
+            self._mirror_len[slot] = n
+        return [
+            _PagedPrefillSlots(self, layer, pads, slots, write_cols)
+            for layer in range(self.n_layers)
+        ]
+
+    def ragged_chunk_adapters(
+        self, base: int, starts: np.ndarray, ends: np.ndarray, pads: np.ndarray
+    ) -> list["_PagedRaggedSlots"]:
+        n = len(starts)
+        for i in range(n):
+            self.ensure(base + i, int(ends[i]))
+        view = int(ends.max())
+        self._ensure_mirror(base + n, view)
+        write_cols = [
+            self._token_cols(base + i, int(starts[i]), int(ends[i]))
+            for i in range(n)
+        ]
+        catchups = self._mirror_plan(range(base, base + n), starts, ends)
+        return [
+            _PagedRaggedSlots(
+                self, layer, base, starts, ends, pads, write_cols, catchups,
+                view,
+            )
+            for layer in range(self.n_layers)
+        ]
+
+    def packed_adapters(
+        self, starts: np.ndarray, ends: np.ndarray, spans: np.ndarray,
+        n_ones: int,
+    ) -> list["_PackedPagedSlots"]:
+        n = len(starts)
+        p = self.page_tokens
+        for i in range(n):
+            self.ensure(i, int(ends[i]))
+        self._ensure_mirror(n, int(ends.max()))
+        # The first n_ones rows write exactly one column each: collapse
+        # their scatters into one fancy-index store per layer.
+        one_cols = np.asarray(
+            [
+                self.tables[i][int(starts[i]) // p] * p + int(starts[i]) % p
+                for i in range(n_ones)
+            ],
+            dtype=np.int64,
+        )
+        ones_view = int(ends[:n_ones].max()) if n_ones else 0
+        write_cols = [
+            self._token_cols(i, int(starts[i]), int(ends[i]))
+            for i in range(n_ones, n)
+        ]
+        catchups = self._mirror_plan(range(n), starts, ends)
+        return [
+            _PackedPagedSlots(
+                self, layer, spans, n_ones, one_cols, ones_view, starts, ends,
+                write_cols, catchups,
+            )
+            for layer in range(self.n_layers)
+        ]
+
+    def step_adapters(self, n_active: int, view_len: int) -> list["_PagedStepSlots"]:
+        write_cols = np.empty(n_active, dtype=np.int64)
+        p = self.page_tokens
+        starts = self.lengths[:n_active]
+        for row in range(n_active):
+            t = int(starts[row])
+            self.ensure(row, t + 1)
+            write_cols[row] = self.tables[row][t // p] * p + t % p
+        self._ensure_mirror(n_active, view_len)
+        catchups = self._mirror_plan(range(n_active), starts, starts + 1)
+        return [
+            _PagedStepSlots(
+                self, layer, write_cols, starts.copy(), catchups, view_len
+            )
+            for layer in range(self.n_layers)
+        ]
+
+    # -- accounting --------------------------------------------------------------
+    def resident_bytes(self) -> int:
+        """Bytes of K/V page storage + attention mirror currently allocated."""
+        storage = 2 * sum(k.nbytes for k in self.k)
+        mirror = 2 * sum(m.nbytes for m in self.mk)
+        return storage + mirror
+
+    def stats(self) -> dict:
+        return {
+            "paged": True,
+            "kv_page_tokens": self.page_tokens,
+            "total_pages": self.max_pages,
+            "free_pages": self.max_pages - self.reserved_pages,
+            "reserved_pages": self.reserved_pages,
+            "pages_in_use": self.pages_in_use,
+            "peak_pages_in_use": self.peak_pages_in_use,
+            "allocated_pages": self._capacity,
+            "resident_kv_bytes": self.resident_bytes(),
+            "peak_resident_kv_bytes": max(
+                self.peak_resident_bytes, self.resident_bytes()
+            ),
+        }
+
+
+class _PagedPrefillSlots:
+    """Paged twin of :class:`_RaggedPrefillSlots`: scatter each row's
+    valid suffix into its block-table pages *and* its mirror row;
+    attention sees the fresh right-aligned batch unchanged, so prefill
+    itself needs no gather."""
+
+    __slots__ = ("pool", "layer", "pads", "slots", "write_cols")
+
+    def __init__(self, pool, layer, pads, slots, write_cols):
+        self.pool = pool
+        self.layer = layer
+        self.pads = pads
+        self.slots = slots
+        self.write_cols = write_cols
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        pool = self.pool
+        pk, pv = pool.k[self.layer], pool.v[self.layer]
+        mk, mv = pool.mk[self.layer], pool.mv[self.layer]
+        for row, (slot, cols) in enumerate(zip(self.slots, self.write_cols)):
+            pad = int(self.pads[row])
+            pk[:, cols, :] = k[row, :, pad:, :]
+            pv[:, cols, :] = v[row, :, pad:, :]
+            mk[slot, :, : len(cols)] = k[row, :, pad:, :]
+            mv[slot, :, : len(cols)] = v[row, :, pad:, :]
+        return k, v
+
+
+class _PagedRaggedSlots:
+    """Paged chunk-continuation adapter (split-schedule path).
+
+    Row ``i`` (slot ``base + i``) writes its chunk's valid suffix into
+    page columns ``write_cols[i]`` and the matching mirror span; any
+    row whose mirror lagged (compaction moved it) catches up from its
+    pages first.  Attention receives the mirror block view — tails
+    beyond each row's own ``key_lens`` are never read by the ragged
+    per-row core.
+    """
+
+    __slots__ = (
+        "pool", "layer", "base", "starts", "ends", "pads", "write_cols",
+        "catchups", "view",
+    )
+
+    def __init__(self, pool, layer, base, starts, ends, pads, write_cols,
+                 catchups, view):
+        self.pool = pool
+        self.layer = layer
+        self.base = base
+        self.starts = starts
+        self.ends = ends
+        self.pads = pads
+        self.write_cols = write_cols
+        self.catchups = catchups
+        self.view = view
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        pool = self.pool
+        pk, pv = pool.k[self.layer], pool.v[self.layer]
+        mk, mv = pool.mk[self.layer], pool.mv[self.layer]
+        for row, cols, have in self.catchups:
+            mk[row, :, have : have + len(cols)] = pk[:, cols, :]
+            mv[row, :, have : have + len(cols)] = pv[:, cols, :]
+        base, n = self.base, k.shape[0]
+        for row in range(n):
+            wc = self.write_cols[row]
+            pad = int(self.pads[row])
+            start, end = int(self.starts[row]), int(self.ends[row])
+            pk[:, wc, :] = k[row, :, pad:, :]
+            pv[:, wc, :] = v[row, :, pad:, :]
+            mk[base + row, :, start:end] = k[row, :, pad:, :]
+            mv[base + row, :, start:end] = v[row, :, pad:, :]
+        return (
+            mk[base : base + n, :, : self.view],
+            mv[base : base + n, :, : self.view],
+        )
+
+
+class _PackedPagedSlots:
+    """Packed varlen unified-forward adapter over the paged pool.
+
+    Row ``i``'s new K/V (packed segment ``[spans[i], spans[i+1])``)
+    scatter into its block-table columns and its mirror row (lagging
+    rows catch up from their pages first).  The fused decode
+    sub-attention reads the stacked ``mirror[:n_ones, :, :view]`` view
+    (stale columns past each row's length are hidden by the key mask,
+    exactly the dense slab semantics); each chunk row reads its own
+    exact-prefix mirror view — no copies anywhere on the steady path."""
+
+    __slots__ = (
+        "pool", "layer", "spans", "n_ones", "one_cols", "ones_view",
+        "starts", "ends", "write_cols", "catchups",
+    )
+
+    def __init__(self, pool, layer, spans, n_ones, one_cols, ones_view,
+                 starts, ends, write_cols, catchups):
+        self.pool = pool
+        self.layer = layer
+        self.spans = spans
+        self.n_ones = n_ones
+        self.one_cols = one_cols
+        self.ones_view = ones_view
+        self.starts = starts
+        self.ends = ends
+        self.write_cols = write_cols
+        self.catchups = catchups
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        pool = self.pool
+        pk = pool.k[self.layer]
+        pv = pool.v[self.layer]
+        mk, mv = pool.mk[self.layer], pool.mv[self.layer]
+        spans, ones = self.spans, self.n_ones
+        for row, cols, have in self.catchups:
+            mk[row, :, have : have + len(cols)] = pk[:, cols, :]
+            mv[row, :, have : have + len(cols)] = pv[:, cols, :]
+        ones_k = ones_v = None
+        if ones:
+            # k[0, :, fancy, :] broadcasts row-first to (ones, H, Dh);
+            # the pool's in-place column index expects (H, ones, Dh),
+            # while the mirror's (fancy, :, fancy) index is row-first.
+            new_k = k[0, :, spans[:ones], :]
+            new_v = v[0, :, spans[:ones], :]
+            pk[:, self.one_cols, :] = new_k.transpose(1, 0, 2)
+            pv[:, self.one_cols, :] = new_v.transpose(1, 0, 2)
+            rows = np.arange(ones)
+            mk[rows, :, self.starts[:ones]] = new_k
+            mv[rows, :, self.starts[:ones]] = new_v
+            ones_k = mk[:ones, :, : self.ones_view]
+            ones_v = mv[:ones, :, : self.ones_view]
+        keys, vals = [], []
+        for row, wc in enumerate(self.write_cols, start=ones):
+            s, e = int(spans[row]), int(spans[row + 1])
+            start, end = int(self.starts[row]), int(self.ends[row])
+            pk[:, wc, :] = k[0, :, s:e]
+            pv[:, wc, :] = v[0, :, s:e]
+            mk[row, :, start:end] = k[0, :, s:e]
+            mv[row, :, start:end] = v[0, :, s:e]
+            keys.append(mk[row, :, :end])
+            vals.append(mv[row, :, :end])
+        return ones_k, ones_v, keys, vals
+
+
+class _PagedStepSlots:
+    """Paged twin of :class:`_StepSlot` for the fused decode forward.
+
+    All rows write their one new token to pages and mirror in a single
+    fancy-index store each (lagging rows catch up from their pages
+    first); attention reads the stacked ``mirror[:n, :, :view]`` view —
+    zero copies on the steady decode path, with the key mask hiding
+    stale columns exactly as on dense slabs."""
+
+    __slots__ = ("pool", "layer", "write_cols", "write_at", "catchups",
+                 "view_len")
+
+    def __init__(self, pool, layer, write_cols, write_at, catchups, view_len):
+        self.pool = pool
+        self.layer = layer
+        self.write_cols = write_cols
+        self.write_at = write_at
+        self.catchups = catchups
+        self.view_len = view_len
+
+    def update(self, k: np.ndarray, v: np.ndarray):
+        pool = self.pool
+        pk, pv = pool.k[self.layer], pool.v[self.layer]
+        mk, mv = pool.mk[self.layer], pool.mv[self.layer]
+        for row, cols, have in self.catchups:
+            mk[row, :, have : have + len(cols)] = pk[:, cols, :]
+            mv[row, :, have : have + len(cols)] = pv[:, cols, :]
+        n = k.shape[0]
+        new_k = k[:, :, 0, :]
+        new_v = v[:, :, 0, :]
+        pk[:, self.write_cols, :] = new_k.transpose(1, 0, 2)
+        pv[:, self.write_cols, :] = new_v.transpose(1, 0, 2)
+        rows = np.arange(n)
+        mk[rows, :, self.write_at] = new_k
+        mv[rows, :, self.write_at] = new_v
+        return (
+            mk[:n, :, : self.view_len],
+            mv[:n, :, : self.view_len],
+        )
+
+
 @dataclass
 class _SlotState:
     """Decode-time state of one occupied slot."""
@@ -374,6 +1037,7 @@ class _SlotState:
     budget: int
     produced: list[int] = field(default_factory=list)
     prefilled: int = 0              #: prompt tokens written (chunked admission)
+    page_quota: int = 0             #: pages reserved in the paged KV pool
 
 
 class BatchedEngine:
@@ -413,9 +1077,26 @@ class BatchedEngine:
     produced).  The serving scheduler uses it to expire deadline-missed
     jobs without spending further engine work on them.
 
-    The slot KV slabs are allocated lazily on first use and reused across
-    drains: a refilled slot overwrites from column zero and the key mask
-    hides stale columns, so results never depend on slot history.  The
+    ``kv_page_tokens`` switches the KV backend from dense per-slot slabs
+    to the paged pool (:class:`PagedKVCaches`): KV memory then scales
+    with live tokens instead of ``max_batch × max_seq_len``, compaction
+    becomes O(1) block-table moves, and admission additionally reserves
+    each sequence's worst-case page quota against ``kv_pool_pages`` —
+    a request the pool cannot cover simply waits in the pending queue
+    until retirements free pages (see :meth:`kv_stats` for the headroom
+    counters the serving layer exports).  Paged and dense decoding are
+    token-for-token identical.
+
+    ``unified_step`` (default) folds the parked chunk rows into the
+    decode forward even at chunk > 1 — one mixed-length ragged pass per
+    step instead of a chunk forward plus a decode forward.  ``False``
+    restores the split two-forward schedule (the benchmark uses it to
+    measure the merge win); tokens are identical either way.
+
+    The slot KV caches are allocated lazily on first use and reused
+    across drains: a refilled slot overwrites from column zero (dense;
+    the key mask hides stale columns) or starts a fresh block table
+    (paged), so results never depend on slot history.  The
     engine is not thread-safe; a single driver (e.g. the serving worker
     thread) must own all ``submit``/``step``/``collect`` calls, and
     :meth:`generate` must not be interleaved with an external
@@ -428,6 +1109,9 @@ class BatchedEngine:
         max_batch: int = DEFAULT_GEN_BATCH_SIZE,
         prefill_chunk_tokens: int | None = None,
         prefill_concurrency: int = 1,
+        kv_page_tokens: int | None = None,
+        kv_pool_pages: int | None = None,
+        unified_step: bool = True,
     ):
         if max_batch < 1:
             raise GenerationError(f"max_batch must be >= 1, got {max_batch}")
@@ -439,11 +1123,28 @@ class BatchedEngine:
             raise GenerationError(
                 f"prefill_concurrency must be >= 1, got {prefill_concurrency}"
             )
+        if kv_page_tokens is not None and kv_page_tokens < 1:
+            raise GenerationError(
+                f"kv_page_tokens must be >= 1, got {kv_page_tokens}"
+            )
+        if kv_pool_pages is not None:
+            if kv_page_tokens is None:
+                raise GenerationError(
+                    "kv_pool_pages requires kv_page_tokens (a paged cache)"
+                )
+            if kv_pool_pages < -(-model.config.max_seq_len // kv_page_tokens):
+                raise GenerationError(
+                    f"kv_pool_pages={kv_pool_pages} cannot hold one "
+                    "full-context sequence: admission could deadlock"
+                )
         self.model = model
         self.max_batch = max_batch
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.prefill_concurrency = prefill_concurrency
-        self._caches: SlotKVCaches | None = None
+        self.kv_page_tokens = kv_page_tokens
+        self.kv_pool_pages = kv_pool_pages
+        self.unified_step = unified_step
+        self._caches: SlotKVCaches | PagedKVCaches | None = None
         self._bias: np.ndarray | None = None
         self._slots: list[_SlotState | None] = [None] * max_batch
         self._n_active = 0
@@ -506,8 +1207,13 @@ class BatchedEngine:
         for i, state in enumerate(self._prefilling):
             if state.seq_id == seq_id:
                 # Close the gap so the parked block stays contiguous:
-                # every later parked row shifts down by one.
+                # every later parked row shifts down by one.  The
+                # cancelled row's pages (and its reserved quota) return
+                # to the pool first — recycling is immediate, not
+                # deferred to a later compaction.
                 base = self._n_active
+                self._caches.release(base + i)
+                self._caches.unreserve(state.page_quota)
                 for j in range(i + 1, len(self._prefilling)):
                     self._caches.move_prefix(
                         base + j, base + j - 1, self._prefilling[j].prefilled
@@ -556,10 +1262,51 @@ class BatchedEngine:
             or bool(self._prefilling)
         )
 
+    def kv_stats(self) -> dict:
+        """Occupancy and KV-memory counters (the ``/metrics`` payload).
+
+        Always includes the fleet occupancy; once the caches exist the
+        backend's residency counters are merged in — for a paged pool
+        that is the ``free_pages`` headroom operators watch to see
+        admission pressure building before requests start queueing (and
+        the server's bounded queue starts returning 429s).
+        """
+        stats: dict = {
+            "max_batch": self.max_batch,
+            "n_active": self._n_active,
+            "n_prefilling": len(self._prefilling),
+            "n_pending": len(self._pending),
+            "free_slots": max(self.free_capacity, 0),
+        }
+        caches = self._caches
+        if caches is None:
+            stats.update(
+                paged=self.kv_page_tokens is not None,
+                kv_page_tokens=self.kv_page_tokens,
+                resident_kv_bytes=0,
+            )
+            if self.kv_page_tokens is not None:
+                total = self.kv_pool_pages or self.max_batch * -(
+                    -self.model.config.max_seq_len // self.kv_page_tokens
+                )
+                stats.update(
+                    total_pages=total, free_pages=total, reserved_pages=0,
+                    pages_in_use=0,
+                )
+        else:
+            stats.update(caches.stats())
+        return stats
+
     # -- slot bookkeeping --------------------------------------------------------
     def _ensure_state(self) -> None:
         if self._caches is None:
-            self._caches = SlotKVCaches(self.model, self.max_batch)
+            if self.kv_page_tokens is not None:
+                self._caches = PagedKVCaches(
+                    self.model, self.max_batch, self.kv_page_tokens,
+                    self.kv_pool_pages,
+                )
+            else:
+                self._caches = SlotKVCaches(self.model, self.max_batch)
             self._bias = np.zeros(
                 (self.max_batch, self.model.config.vocab_size), dtype=np.float32
             )
@@ -588,6 +1335,11 @@ class BatchedEngine:
         if state.request.top_k is not None:
             self._n_sampled -= 1
         caches = self._caches
+        # Paged pool: the retiring sequence's pages and reserved quota go
+        # back to the shared free list before compaction moves the tail's
+        # block table over the freed slot.  (Dense slabs: both no-ops.)
+        caches.release(slot)
+        caches.unreserve(state.page_quota)
         tail = self._n_active - 1
         if slot != tail:
             caches.move(tail, slot)
@@ -621,15 +1373,29 @@ class BatchedEngine:
 
     # -- prefill phase -----------------------------------------------------------
     def _pop_viable(self) -> _SlotState | None:
-        """Pop the next pending request with a positive token budget."""
+        """Pop the next pending request with a positive token budget.
+
+        With a paged KV pool, admission also reserves the request's
+        worst-case page quota (``ceil((prompt + budget) / page)``): when
+        the pool cannot cover it, the request stays at the head of the
+        pending queue (FIFO order preserved) and ``None`` is returned —
+        retirements will free pages and a later step admits it.  A lone
+        sequence always fits (enforced at pool construction), so this
+        can never deadlock.
+        """
         context = self.model.config.max_seq_len
         while self._pending:
-            seq_id, request = self._pending.popleft()
+            seq_id, request = self._pending[0]
             budget = min(request.max_new_tokens, context - len(request.prompt_ids))
             if budget <= 0:
+                self._pending.popleft()
                 self._finished[seq_id] = []
                 continue
-            return _SlotState(seq_id, request, budget)
+            quota = self._caches.pages_for(len(request.prompt_ids) + budget)
+            if not self._caches.try_reserve(quota):
+                return None
+            self._pending.popleft()
+            return _SlotState(seq_id, request, budget, page_quota=quota)
         return None
 
     def _ragged_prefill(
@@ -659,7 +1425,9 @@ class BatchedEngine:
             idx[row, pads[row]:] = prompt
         logits = self.model._forward_numpy(
             idx,
-            caches.ragged_prefill_adapters(slots, pads),
+            caches.ragged_prefill_adapters(
+                slots, pads, [len(prompt) for prompt in prompts]
+            ),
             position_offset=-pads,
             pad_lens=pads,
             last_only=True,
@@ -694,17 +1462,13 @@ class BatchedEngine:
             self._retire(slot)
         return True
 
-    def _chunk_admit(self, chunk: int) -> list[_SlotState]:
-        """Advance every parked prompt by at most one chunk (late-join path).
+    def _plan_chunks(self, chunk: int) -> list[tuple[_SlotState, int]]:
+        """Park new arrivals and plan every parked prompt's next advance.
 
-        Up to ``prefill_concurrency`` prompts prefill concurrently,
-        parked contiguously at slots ``n_active ..``; each call costs the
-        in-flight decode slots one *ragged* chunk forward — bounded by
-        ``chunk`` query tokens per row — instead of a whole prompt-length
-        forward per admission.  When every row's advance is a single
-        token (the shape of a decode row), no forward runs here at all:
-        the parked states are returned for :meth:`step` to fold into the
-        decode forward as extra rows.
+        Returns ``(state, end)`` per parked row: the row advances its
+        prompt to ``end`` this step.  With in-flight decodes each
+        advance is bounded by one ``chunk``; an idle fleet has nothing
+        to stall, so every remainder finishes whole.
         """
         limit = min(self.prefill_concurrency, self.max_batch - self._n_active)
         while len(self._prefilling) < limit:
@@ -715,32 +1479,41 @@ class BatchedEngine:
         parked = self._prefilling
         if not parked:
             return []
-        prompts = [state.request.prompt_ids for state in parked]
         if self._n_active == 0:
-            # The fleet emptied mid-prefill: nothing left to stall, so
-            # finish every remainder in one ragged forward instead of
-            # trickling them out chunk by chunk.
-            ends = [len(prompt) for prompt in prompts]
+            ends = [len(state.request.prompt_ids) for state in parked]
         else:
             ends = [
-                min(state.prefilled + chunk, len(prompt))
-                for state, prompt in zip(parked, prompts)
+                min(state.prefilled + chunk, len(state.request.prompt_ids))
+                for state in parked
             ]
-            if all(
-                end - state.prefilled == 1
-                for end, state in zip(ends, parked)
-            ):
-                return list(parked)
+        return list(zip(parked, ends))
+
+    def _chunk_admit(self, plan: list[tuple[_SlotState, int]]) -> list[_SlotState]:
+        """Advance the parked fleet in a dedicated ragged chunk forward.
+
+        The split-schedule (``unified_step=False``) late-join path: each
+        step costs the in-flight decode slots one ragged chunk forward —
+        bounded by ``chunk`` query tokens per row — *plus* the decode
+        forward.  When every row's advance is a single token (the shape
+        of a decode row), no forward runs here at all: the parked states
+        are returned for :meth:`step` to fold into the decode forward as
+        extra rows.
+        """
+        parked = self._prefilling
+        if all(end - state.prefilled == 1 for state, end in plan):
+            return list(parked)
         starts = np.asarray(
             [state.prefilled for state in parked], dtype=np.int64
         )
-        key_lens = np.asarray(ends, dtype=np.int64)
+        key_lens = np.asarray([end for _, end in plan], dtype=np.int64)
         widths = key_lens - starts
         pads = int(widths.max()) - widths
         n = len(parked)
         idx = np.zeros((n, int(widths.max())), dtype=np.int64)
-        for row in range(n):
-            idx[row, pads[row]:] = prompts[row][starts[row] : ends[row]]
+        for row, (state, end) in enumerate(plan):
+            idx[row, pads[row]:] = state.request.prompt_ids[
+                starts[row] : end
+            ]
         logits = self.model._forward_numpy(
             idx,
             self._caches.ragged_chunk_adapters(
@@ -751,7 +1524,7 @@ class BatchedEngine:
             key_lens=key_lens,
             last_only=True,
         )[:, -1, :]
-        for state, end in zip(parked, ends):
+        for state, end in plan:
             state.prefilled = end
         self._promote_parked(list(logits))
         return []
@@ -808,52 +1581,112 @@ class BatchedEngine:
                 old_base + i, self._n_active + i, state.prefilled
             )
 
-    def _admit(self) -> list[_SlotState]:
+    def _admit(self) -> list[tuple[_SlotState, int]]:
         """Prefill phase: move pending work into KV slots.
 
         Without chunking — or with an idle fleet, where there is nothing
         to stall — all free slots are filled by ragged batched prefill;
         with chunking and in-flight decodes, every parked prompt (up to
         ``prefill_concurrency``) advances at most one chunk per step.
-        Returns the parked states to fold into this step's decode forward
-        when their advances all degenerate to single tokens.
+        Returns the parked plan — ``(state, end)`` advances for
+        :meth:`step` to ride in the unified forward.  In split-schedule
+        mode chunk advances wider than one token instead run in their
+        own forward here, and only single-token advances are returned
+        (to fold into the decode forward).
         """
         chunk = self.prefill_chunk_tokens
         if chunk is not None and (self._n_active > 0 or self._prefilling):
-            return self._chunk_admit(chunk)
+            plan = self._plan_chunks(chunk)
+            if not plan:
+                return []
+            if self.unified_step:
+                return plan
+            return [
+                (state, state.prefilled + 1)
+                for state in self._chunk_admit(plan)
+            ]
         while self._pending and self._n_active < self.max_batch:
             if not self._batch_admit():
                 break
         return []
 
-    # -- streaming loop ----------------------------------------------------------
-    def step(self) -> int:
-        """Run one engine round: prefill, decode, retire.
+    def _unified_forward(
+        self, plan: list[tuple[_SlotState, int]], n_active: int
+    ) -> np.ndarray:
+        """One packed mixed-length varlen forward over decode AND chunk rows.
 
-        Returns the number of sequences that finished during this call
-        (prefill-time instant finishes included); a no-op when idle.
+        Row ``b < n_active`` contributes one query token (its last
+        produced) at depth ``lengths[b]``; row ``n_active + i`` is a
+        parked chunk advancing ``[prefilled, end)``.  All real tokens are
+        concatenated on one packed axis (``pack_spans``) — no pad
+        position ever enters a projection GEMM — and each row attends
+        over its whole written prefix through the cache's slab views or
+        block-table gathers.  Returns the ``(n_rows, V)`` last-token
+        logits; slot lengths and parked progress are advanced in place.
         """
-        if not self.has_work:
-            return 0
-        self._ensure_state()
-        before = len(self._finished)
-        merged = self._admit()
-        n_active = self._n_active
-        n_rows = n_active + len(merged)
-        if n_rows == 0:
-            return len(self._finished) - before
-
-        # One batched decode step over the active slots.  When the parked
-        # chunk advances all degenerated to single tokens, the parked
-        # rows ride along as extra rows of this same forward — a chunk
-        # row feeding its next prompt token at depth ``prefilled`` is
-        # shape-identical to a decode row feeding its last produced token
-        # at depth ``lengths[b]``.
         caches, slots = self._caches, self._slots
+        n_rows = n_active + len(plan)
+        starts = np.empty(n_rows, dtype=np.int64)
+        ends = np.empty(n_rows, dtype=np.int64)
+        starts[:n_active] = caches.lengths[:n_active]
+        ends[:n_active] = starts[:n_active] + 1
+        for i, (state, end) in enumerate(plan):
+            starts[n_active + i] = state.prefilled
+            ends[n_active + i] = end
+        spans = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(ends - starts, out=spans[1:])
+        total = int(spans[-1])
+        idx = np.empty((1, total), dtype=np.int64)
+        positions = np.empty((1, total), dtype=np.int64)
+        for b in range(n_active):
+            idx[0, spans[b]] = slots[b].produced[-1]
+            positions[0, spans[b]] = starts[b]
+        for i, (state, end) in enumerate(plan):
+            row = n_active + i
+            s, e = int(spans[row]), int(spans[row + 1])
+            idx[0, s:e] = state.request.prompt_ids[starts[row] : end]
+            positions[0, s:e] = np.arange(starts[row], end)
+        key_mask = None
+        if n_active:
+            # The decode rows run as one fused masked sub-attention, so
+            # they need the fused path's additive key mask over their
+            # stacked view (column `starts[b]` is row b's new token).
+            view_ones = int(ends[:n_active].max())
+            key_mask = np.where(
+                np.arange(view_ones)[None, :] <= starts[:n_active, None],
+                np.float32(0.0),
+                _NEG_INF,
+            )[:, None, None, :]
+        logits = self.model._forward_numpy(
+            idx,
+            caches.packed_adapters(starts, ends, spans, n_active),
+            token_positions=positions,
+            key_mask=key_mask,
+            pack_spans=spans,
+            last_only=True,
+        )[0]
+        caches.lengths[:n_active] += 1
+        for state, end in plan:
+            state.prefilled = end
+        return logits
+
+    def _fused_forward(
+        self, plan: list[tuple[_SlotState, int]], n_active: int
+    ) -> np.ndarray:
+        """One fused decode forward; single-token chunk rows ride along.
+
+        Every row feeds exactly one token, so the whole batch shares one
+        ``(B, H, 1, Tk)`` attention with an additive key mask over the
+        ragged cache lengths — a chunk row feeding its next prompt token
+        at depth ``prefilled`` is shape-identical to a decode row feeding
+        its last produced token at depth ``lengths[b]``.
+        """
+        caches, slots = self._caches, self._slots
+        n_rows = n_active + len(plan)
         last = np.empty((n_rows, 1), dtype=np.int64)
         for b in range(n_active):
             last[b, 0] = slots[b].produced[-1]
-        for i, state in enumerate(merged):
+        for i, (state, _end) in enumerate(plan):
             last[n_active + i, 0] = state.request.prompt_ids[state.prefilled]
             caches.lengths[n_active + i] = state.prefilled
         lengths = caches.lengths[:n_rows]
@@ -870,8 +1703,36 @@ class BatchedEngine:
             key_mask=key_mask,
         )[:, -1, :]
         caches.lengths[:n_rows] += 1
-        for state in merged:
+        for state, _end in plan:
             state.prefilled += 1
+        return logits
+
+    # -- streaming loop ----------------------------------------------------------
+    def step(self) -> int:
+        """Run one engine round: prefill, decode, retire.
+
+        Returns the number of sequences that finished during this call
+        (prefill-time instant finishes included); a no-op when idle.
+        """
+        if not self.has_work:
+            return 0
+        self._ensure_state()
+        before = len(self._finished)
+        plan = self._admit()
+        n_active = self._n_active
+        n_rows = n_active + len(plan)
+        if n_rows == 0:
+            return len(self._finished) - before
+
+        # One model pass per step: when any parked advance is wider than
+        # a single token the decode rows and the chunk rows share a
+        # unified mixed-length ragged forward; otherwise every row is
+        # one-token-shaped and the cheaper fused decode forward runs.
+        caches, slots = self._caches, self._slots
+        if any(end - state.prefilled > 1 for state, end in plan):
+            logits = self._unified_forward(plan, n_active)
+        else:
+            logits = self._fused_forward(plan, n_active)
 
         step = logits[:n_active] + self._bias[:n_active]
         sampled: list[int] = []
@@ -904,15 +1765,16 @@ class BatchedEngine:
         if retired:
             # The mid-prefill sequences stay parked just past the fleet:
             # shift their partial KV down over the rows compaction freed —
-            # one prefix copy per parked row, however many slots retired
-            # (n_active was the parked base before the retire loop).
+            # one prefix copy (dense) or table move (paged) per parked
+            # row, however many slots retired (n_active was the parked
+            # base before the retire loop).
             self._shift_parked(n_active)
-        if merged:
-            # Merged rows that consumed their last prompt token join the
+        if plan:
+            # Parked rows that consumed their last prompt token join the
             # fleet now, selecting their first tokens from this forward's
             # logits (identical rows to a dedicated chunk forward's).
             self._promote_parked(
-                [logits[n_active + i] for i in range(len(merged))]
+                [logits[n_active + i] for i in range(len(plan))]
             )
         if retired and self.prefill_chunk_tokens is None:
             # Refill freed slots within the same step (the scheduler's

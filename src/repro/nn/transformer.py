@@ -13,6 +13,7 @@ vocabulary head.  Two forward paths:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,22 @@ import numpy as np
 from ..errors import GenerationError, ModelError
 from .modules import Embedding, LayerNorm, Linear, Module
 from .tensor import Tensor
+
+
+def _f32_fused_attention() -> bool:
+    """Opt-in float32 fast path for the *fused* sequential attention.
+
+    The fused (non-ragged) score pipeline historically multiplies by a
+    Python-float scale, which under NumPy 2 promotes every score
+    temporary to float64 — twice the memory traffic of the decode hot
+    path's hottest tensors.  ``REPRO_F32_ATTN=1`` keeps the pipeline in
+    float32 instead (matching the ragged attention core, which is
+    float32 already).  The default stays the float64 path so recorded
+    outputs remain bitwise stable; greedy *tokens* are identical either
+    way (argmax margins dwarf the last-ulp drift), which the test suite
+    pins.  Read per call so tests can toggle it via the environment.
+    """
+    return os.environ.get("REPRO_F32_ATTN", "") == "1"
 
 
 @dataclass(frozen=True)
@@ -80,6 +97,7 @@ class SelfAttention(Module):
         causal_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
         key_lens: np.ndarray | None = None,
+        pack_spans: np.ndarray | None = None,
     ) -> np.ndarray:
         """Inference path; ``cache`` holds accumulated K/V per layer.
 
@@ -108,7 +126,15 @@ class SelfAttention(Module):
         right-aligned prompt chunk while its keys are the row's full
         left-aligned cache prefix of ``key_lens[row]`` columns — the
         multi-slot chunked-prefill forward, where every mid-admission
-        prompt advances one chunk against its own history.  Masked/padded
+        prompt advances one chunk against its own history.  ``pack_spans``
+        marks ``x`` as a *packed varlen* batch instead — one row whose
+        token axis is the concatenation of every sequence's new tokens,
+        sequence ``i`` owning ``[pack_spans[i], pack_spans[i+1])`` — the
+        engine's unified mixed-length step forward, where decode rows
+        (one token) and chunk rows (many) share one pass with **zero**
+        pad positions entering any projection GEMM; the cache adapter's
+        ``update`` then returns per-row key/value *prefixes* (each row's
+        whole written history) rather than stacked arrays.  Masked/padded
         scores contribute exactly ``0.0`` weight after softmax in all
         paths; a batched row's logits still differ from a lone-sequence
         forward in the last ulp or two because BLAS kernel selection (and
@@ -121,6 +147,20 @@ class SelfAttention(Module):
         qkv = self.qkv.forward_numpy(x).reshape(b, t, 3, cfg.n_heads, cfg.head_dim)
         qkv = qkv.transpose(2, 0, 3, 1, 4)
         q, k, v = qkv[0], qkv[1], qkv[2]
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        if pack_spans is not None:
+            if pad_lens is not None:
+                raise GenerationError(
+                    "pack_spans is exclusive with pad_lens: the packed "
+                    "varlen path derives its extents from the spans"
+                )
+            ones_k, ones_v, keys, vals = cache.update(k, v)
+            out = self._packed_attention(
+                q, ones_k, ones_v, keys, vals, scale, causal_mask, key_mask,
+                pack_spans,
+            )
+            out = out.transpose(0, 2, 1, 3).reshape(b, t, d)
+            return self.proj.forward_numpy(out)
         if cache is not None:
             if isinstance(cache, dict):
                 if cache.get("k") is not None:
@@ -129,7 +169,6 @@ class SelfAttention(Module):
                 cache["k"], cache["v"] = k, v
             else:
                 k, v = cache.update(k, v)
-        scale = 1.0 / np.sqrt(cfg.head_dim)
         if pad_lens is not None:
             if key_mask is not None:
                 raise GenerationError(
@@ -146,7 +185,12 @@ class SelfAttention(Module):
                 "key_lens requires pad_lens: it only qualifies the ragged "
                 "chunk-continuation path"
             )
-        scores = (q @ np.swapaxes(k, -1, -2)) * scale  # (B, H, T, Tk)
+        scores = q @ np.swapaxes(k, -1, -2)  # (B, H, T, Tk)
+        if _f32_fused_attention():
+            scores *= np.float32(scale)   # stays float32 end to end
+        else:
+            scores = scores * scale       # float64 promotion — the
+            # bitwise-pinned default (see _f32_fused_attention)
         t_k = k.shape[2]
         # Causal mask: query position i (offset by cached length) may attend
         # to key positions <= i.  For t == 1 the mask is identically zero,
@@ -232,6 +276,59 @@ class SelfAttention(Module):
             out[row, :, pad:, :] = scores @ vals
         return out
 
+    def _packed_attention(
+        self,
+        q: np.ndarray,
+        ones_k: np.ndarray | None,
+        ones_v: np.ndarray | None,
+        keys: list[np.ndarray],
+        vals: list[np.ndarray],
+        scale: float,
+        causal_mask: np.ndarray | None,
+        key_mask: np.ndarray | None,
+        spans: np.ndarray,
+    ) -> np.ndarray:
+        """Attention core of a packed varlen batch.
+
+        ``q`` is ``(1, H, T_total, Dh)`` with row ``i``'s query tokens at
+        ``[spans[i], spans[i+1])``.  The leading rows are *single-token*
+        (decode-shaped): their keys arrive stacked as ``ones_k``/
+        ``ones_v`` — ``(n_ones, H, view, Dh)`` with ``key_mask`` hiding
+        each row's columns past its own length — and the whole block
+        runs one fused masked attention, exactly the decode fast path's
+        shape.  The remaining *chunk* rows run per row over their exact
+        ``keys[j]``/``vals[j]`` prefixes (slab views dense, page gathers
+        paged) — no pad column anywhere, and each chunk's causal slice
+        starts at its global offset ``t_k - valid``.
+        """
+        _, n_heads, t_total, head_dim = q.shape
+        scale32 = np.float32(scale)
+        out = np.empty((1, n_heads, t_total, head_dim), dtype=np.float32)
+        ones = 0 if ones_k is None else ones_k.shape[0]
+        if ones:
+            q_ones = q[0, :, spans[:ones], :][:, :, None, :]  # (n1, H, 1, Dh)
+            scores = q_ones @ np.swapaxes(ones_k, -1, -2)
+            scores *= scale32
+            if key_mask is not None:
+                scores += key_mask
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            out[0, :, spans[:ones], :] = (scores @ ones_v)[:, :, 0, :]
+        for row in range(ones, len(spans) - 1):
+            s, e = int(spans[row]), int(spans[row + 1])
+            valid = e - s
+            k_row, v_row = keys[row - ones], vals[row - ones]
+            scores = q[0, :, s:e, :] @ np.swapaxes(k_row, -1, -2)
+            scores *= scale32
+            if valid > 1:
+                scores += self._causal_slice(causal_mask, valid, k_row.shape[1])
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            out[0, :, s:e, :] = scores @ v_row
+        return out
+
 
 class MLP(Module):
     """Two-layer GELU feed-forward block."""
@@ -273,10 +370,11 @@ class Block(Module):
         causal_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
         key_lens: np.ndarray | None = None,
+        pack_spans: np.ndarray | None = None,
     ) -> np.ndarray:
         x = x + self.attn.forward_numpy(
             self.ln1.forward_numpy(x), cache, key_mask, causal_mask, pad_lens,
-            key_lens,
+            key_lens, pack_spans,
         )
         x = x + self.mlp.forward_numpy(self.ln2.forward_numpy(x))
         return x
@@ -343,6 +441,8 @@ class TransformerLM(Module):
         key_mask: np.ndarray | None = None,
         pad_lens: np.ndarray | None = None,
         key_lens: np.ndarray | None = None,
+        pack_spans: np.ndarray | None = None,
+        token_positions: np.ndarray | None = None,
         last_only: bool = False,
     ) -> np.ndarray:
         """Inference forward.
@@ -353,27 +453,37 @@ class TransformerLM(Module):
         right-aligned ragged prefill batch passes *negative* offsets so
         each prompt's real tokens land on positions ``0..len-1``, and the
         resulting negative pad-row positions are clamped to 0 — pad rows
-        are never attended to and never read).  ``key_mask``,
-        ``pad_lens`` and ``key_lens`` are forwarded to every attention
-        layer (see :meth:`SelfAttention.forward_numpy`).  ``last_only`` restricts
+        are never attended to and never read).  ``token_positions``
+        instead gives every token's position explicitly, same shape as
+        ``idx`` — required by the packed varlen layout (``pack_spans``),
+        where one row concatenates many sequences at unrelated depths.
+        ``key_mask``, ``pad_lens``, ``key_lens`` and ``pack_spans`` are
+        forwarded to every attention layer (see
+        :meth:`SelfAttention.forward_numpy`).  ``last_only`` restricts
         the final norm + vocabulary projection to the last position of
         each row — prefill only consumes last-token logits, and the head
         GEMM over a whole prompt is otherwise the single largest matmul
-        of the forward; the return value is then ``(B, 1, V)``.
+        of the forward; the return value is then ``(B, 1, V)``, except
+        with ``pack_spans`` where each packed sequence's last token is
+        gathered instead: ``(1, n_rows, V)``.
         """
         idx = np.asarray(idx)
         b, t = idx.shape
-        offsets = np.asarray(position_offset, dtype=np.int64)
-        if offsets.ndim == 0:
-            positions = np.arange(int(offsets), int(offsets) + t)
-            last_position = int(offsets) + t - 1
+        if token_positions is not None:
+            positions = token_positions
+            last_position = int(token_positions.max()) if t else 0
         else:
-            if offsets.shape != (b,):
-                raise GenerationError(
-                    f"position_offset shape {offsets.shape} != ({b},)"
-                )
-            positions = np.maximum(offsets[:, None] + np.arange(t)[None, :], 0)
-            last_position = int(offsets.max()) + t - 1
+            offsets = np.asarray(position_offset, dtype=np.int64)
+            if offsets.ndim == 0:
+                positions = np.arange(int(offsets), int(offsets) + t)
+                last_position = int(offsets) + t - 1
+            else:
+                if offsets.shape != (b,):
+                    raise GenerationError(
+                        f"position_offset shape {offsets.shape} != ({b},)"
+                    )
+                positions = np.maximum(offsets[:, None] + np.arange(t)[None, :], 0)
+                last_position = int(offsets.max()) + t - 1
         if last_position >= self.config.max_seq_len:
             raise GenerationError(
                 f"position {last_position} exceeds context "
@@ -388,9 +498,13 @@ class TransformerLM(Module):
                 self._causal_mask,
                 pad_lens,
                 key_lens,
+                pack_spans,
             )
         if last_only:
-            x = x[:, -1:, :]
+            if pack_spans is not None:
+                x = x[:, pack_spans[1:] - 1, :]
+            else:
+                x = x[:, -1:, :]
         x = self.ln_f.forward_numpy(x)
         if self.head is None:
             return x @ self.tok_emb.weight.data.T

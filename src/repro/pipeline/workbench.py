@@ -215,6 +215,7 @@ class Workbench:
             batch_size=self.scale.gen_batch_size,
             prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
             prefill_concurrency=self.scale.prefill_concurrency,
+            kv_page_tokens=self.scale.kv_page_tokens,
         )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
@@ -386,6 +387,7 @@ class Workbench:
             batch_size=self.scale.gen_batch_size,
             prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
             prefill_concurrency=self.scale.prefill_concurrency,
+            kv_page_tokens=self.scale.kv_page_tokens,
         )
         self.cache.save_dataset(
             "responses", key, InstructionDataset(responses, name="responses")

@@ -15,9 +15,13 @@ engine, not by HTTP.  Endpoints:
     misses ``timeout_s``.
 ``GET /metrics``
     The :meth:`ServingMetrics.snapshot` JSON (latency percentiles,
-    tokens/sec, per-source counts, queue depth).
+    tokens/sec, per-source counts, queue depth) plus an ``engine``
+    section with fleet occupancy and the KV pool's ``free_pages``
+    headroom — the admission-pressure gauges that move before the
+    bounded queue starts answering 429.
 ``GET /healthz``
-    ``{"status": "ok", "queue_depth": n}``.
+    ``{"status": "ok", "queue_depth": n, "free_slots": n,
+    "free_pages": n | null}``.
 """
 
 from __future__ import annotations
@@ -59,16 +63,26 @@ def _make_handler(
 
         def do_GET(self) -> None:
             if self.path == "/metrics":
+                # Queue depth + the engine's free-page/free-slot headroom:
+                # the gauges that show admission pressure building before
+                # submit() starts answering 429.
                 self._reply(
                     200,
                     revision_server.metrics.snapshot(
-                        queue_depth=revision_server.queue.depth
+                        queue_depth=revision_server.queue.depth,
+                        engine=revision_server.scheduler.kv_stats(),
                     ),
                 )
             elif self.path == "/healthz":
+                engine = revision_server.scheduler.kv_stats()
                 self._reply(
                     200,
-                    {"status": "ok", "queue_depth": revision_server.queue.depth},
+                    {
+                        "status": "ok",
+                        "queue_depth": revision_server.queue.depth,
+                        "free_slots": engine["free_slots"],
+                        "free_pages": engine.get("free_pages"),
+                    },
                 )
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})

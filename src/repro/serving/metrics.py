@@ -85,8 +85,16 @@ class ServingMetrics:
                 return 0.0
             return self.engine_tokens / self.engine_busy_s
 
-    def snapshot(self, queue_depth: int | None = None) -> dict:
-        """JSON-serialisable view of every metric (the ``/metrics`` payload)."""
+    def snapshot(
+        self, queue_depth: int | None = None, engine: dict | None = None
+    ) -> dict:
+        """JSON-serialisable view of every metric (the ``/metrics`` payload).
+
+        ``engine`` attaches the engine's occupancy/KV counters (see
+        :meth:`BatchedEngine.kv_stats`) so operators can watch queue
+        depth *and* free-page headroom from one endpoint — the two
+        gauges that move before admission control starts rejecting.
+        """
         p50 = self.latency_percentile(50.0)
         p95 = self.latency_percentile(95.0)
         with self._lock:
@@ -108,4 +116,6 @@ class ServingMetrics:
         snap["tokens_per_sec"] = round(tokens_per_sec, 1)
         if queue_depth is not None:
             snap["queue_depth"] = queue_depth
+        if engine is not None:
+            snap["engine"] = engine
         return snap

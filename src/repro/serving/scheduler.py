@@ -81,6 +81,17 @@ class StreamingScheduler:
     def has_work(self) -> bool:
         return self.engine.has_work
 
+    def kv_stats(self) -> dict:
+        """Engine occupancy + KV residency counters for ``/metrics``.
+
+        Plain int/bool reads of engine fields (safe to call from the
+        HTTP threads while the worker is pumping — values may be one
+        step stale, never torn): fleet occupancy, and for a paged KV
+        pool the ``free_pages`` headroom that signals admission pressure
+        before requests start queueing.
+        """
+        return self.engine.kv_stats()
+
     def submit(self, job: EngineJob) -> int | None:
         """Hand one job to the engine; it joins the fleet at the next pump.
 

@@ -86,6 +86,8 @@ class RevisionServer:
                 max_batch=self.config.max_batch,
                 prefill_chunk_tokens=self.config.prefill_chunk_tokens,
                 prefill_concurrency=self.config.prefill_concurrency,
+                kv_page_tokens=self.config.kv_page_tokens,
+                kv_pool_pages=self.config.kv_pool_pages,
             ),
             self.metrics,
         )

@@ -118,3 +118,30 @@ def test_serving_config_validates_prefill_concurrency():
     # The serving default admits a whole fleet-width burst concurrently.
     assert ServingConfig().prefill_concurrency == DEFAULT_GEN_BATCH_SIZE
     assert ServingConfig(prefill_concurrency=2).prefill_concurrency == 2
+
+
+def test_scale_config_validates_kv_paging():
+    with pytest.raises(ConfigError, match="kv_page_tokens"):
+        get_scale("ci").scaled(kv_page_tokens=0)
+    with pytest.raises(ConfigError, match="kv_pool_pages requires"):
+        get_scale("ci").scaled(kv_pool_pages=8)
+    with pytest.raises(ConfigError, match="kv_pool_pages"):
+        get_scale("ci").scaled(kv_page_tokens=16, kv_pool_pages=0)
+    # Offline presets default to dense slabs; paging is opt-in.
+    assert get_scale("ci").kv_page_tokens is None
+    cfg = get_scale("ci").scaled(kv_page_tokens=64, kv_pool_pages=24)
+    assert (cfg.kv_page_tokens, cfg.kv_pool_pages) == (64, 24)
+
+
+def test_serving_config_validates_kv_paging():
+    from repro.config import ServingConfig
+
+    with pytest.raises(ConfigError, match="kv_page_tokens"):
+        ServingConfig(kv_page_tokens=0)
+    with pytest.raises(ConfigError, match="kv_pool_pages requires"):
+        ServingConfig(kv_page_tokens=None, kv_pool_pages=8)
+    # The serving default is the paged pool at 64-token pages: resident
+    # KV memory follows the live fleet, and /metrics exports free_pages.
+    assert ServingConfig().kv_page_tokens == 64
+    assert ServingConfig().kv_pool_pages is None
+    assert ServingConfig(kv_page_tokens=None).kv_page_tokens is None

@@ -766,6 +766,199 @@ def test_cancel_pending_parked_and_active(model):
     assert not engine.cancel(10_000)
 
 
+# -- paged KV pool -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("page_tokens", [1, 3, 16, 64])
+def test_paged_engine_matches_dense(model, ragged_prompts, page_tokens):
+    """The paged pool is a storage change, never a decoding change:
+    token-for-token identical to dense slabs at every page size."""
+    requests = lambda: [GenerationRequest(p, 14, eos_id=2) for p in ragged_prompts]
+    expected = BatchedEngine(model, max_batch=4).generate(requests())
+    engine = BatchedEngine(model, max_batch=4, kv_page_tokens=page_tokens)
+    assert engine.generate(requests()) == expected
+    stats = engine.kv_stats()
+    assert stats["paged"] and stats["pages_in_use"] == 0
+    assert stats["reserved_pages"] == 0
+
+
+def test_paged_chunked_multislot_matches_dense(model, ragged_prompts):
+    """Paged + multi-slot chunked admission + unified step forward: the
+    full serving configuration reproduces dense tokens exactly."""
+    expected = _sequential(model, ragged_prompts, 14, eos_id=2)
+    for unified in (True, False):
+        engine = BatchedEngine(
+            model, max_batch=4, prefill_chunk_tokens=3, prefill_concurrency=4,
+            kv_page_tokens=8, unified_step=unified,
+        )
+        ids = [
+            engine.submit(GenerationRequest(p, 14, eos_id=2))
+            for p in ragged_prompts[:4]
+        ]
+        engine.step()
+        ids += [
+            engine.submit(GenerationRequest(p, 14, eos_id=2))
+            for p in ragged_prompts[4:]
+        ]
+        results: dict[int, list[int]] = {}
+        while engine.has_work:
+            engine.step()
+            results.update(engine.collect())
+        assert [results[i] for i in ids] == expected, f"unified={unified}"
+
+
+def test_page_exhaustion_defers_admission_until_pages_free(model):
+    """A request the pool cannot cover waits in the pending queue — no
+    error, no slot wasted — and is admitted when a retirement returns
+    pages, decoding to exact parity."""
+    context = model.config.max_seq_len
+    rng = np.random.default_rng(61)
+    page = 16
+    pages_per_seq = -(-context // page)
+    first = list(rng.integers(5, 197, size=30))
+    second = list(rng.integers(5, 197, size=20))
+    # Budget for exactly one worst-case sequence; both requests carry a
+    # near-context token budget, so the second cannot reserve its page
+    # quota until the first retires.
+    engine = BatchedEngine(
+        model, max_batch=4, kv_page_tokens=page, kv_pool_pages=pages_per_seq
+    )
+    a = engine.submit(GenerationRequest(first, context, eos_id=None))
+    b = engine.submit(GenerationRequest(second, context, eos_id=None))
+    engine.step()
+    assert engine.n_active == 1, "only the first request fits the pool"
+    assert engine.n_pending == 1
+    stats = engine.kv_stats()
+    assert stats["free_pages"] < engine._caches.pages_for(len(second) + context)
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    assert results[a] == model.generate(first, context)
+    assert results[b] == model.generate(second, context)
+    assert engine.kv_stats()["pages_in_use"] == 0
+
+
+def test_pool_too_small_for_any_sequence_is_rejected(model):
+    with pytest.raises(GenerationError):
+        BatchedEngine(model, max_batch=2, kv_page_tokens=16, kv_pool_pages=1)
+    with pytest.raises(GenerationError):
+        BatchedEngine(model, max_batch=2, kv_page_tokens=0)
+    with pytest.raises(GenerationError):
+        BatchedEngine(model, max_batch=2, kv_pool_pages=4)  # needs page size
+
+
+def test_cancel_recycles_pages_immediately(model):
+    """Cancelling an active sequence frees its pages and reservation the
+    same call, unblocking a page-starved pending request."""
+    context = model.config.max_seq_len
+    rng = np.random.default_rng(67)
+    page = 16
+    pages_per_seq = -(-context // page)
+    hog = list(rng.integers(5, 197, size=10))
+    waiter = list(rng.integers(5, 197, size=12))
+    engine = BatchedEngine(
+        model, max_batch=4, kv_page_tokens=page, kv_pool_pages=pages_per_seq
+    )
+    hog_id = engine.submit(GenerationRequest(hog, context, eos_id=None))
+    engine.step()
+    in_use_before = engine.kv_stats()["pages_in_use"]
+    assert in_use_before > 0
+    waiter_id = engine.submit(GenerationRequest(waiter, 4, eos_id=None))
+    engine.step()
+    assert engine.n_pending == 1, "pool exhausted: waiter must queue"
+    assert engine.cancel(hog_id)
+    assert engine.kv_stats()["pages_in_use"] == 0
+    assert engine.kv_stats()["reserved_pages"] == 0
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    results.update(engine.collect())
+    assert results[waiter_id] == model.generate(waiter, 4)
+    full_hog = model.generate(hog, context)
+    assert results[hog_id] == full_hog[: len(results[hog_id])]
+
+
+def test_paged_memory_scales_with_live_tokens(model):
+    """The KV-memory regression floor (also a ci.sh leg): an engine
+    provisioned wide but serving staggered arrivals must hold several
+    times less KV memory paged than the dense slabs it replaces, at
+    identical tokens."""
+    rng = np.random.default_rng(71)
+    max_batch = 16
+    prompts = [
+        list(rng.integers(5, 197, size=int(rng.integers(40, 70))))
+        for _ in range(12)
+    ]
+
+    def staggered(engine):
+        results: dict[int, list[int]] = {}
+        ids = []
+        peak_resident = 0
+        pending = list(prompts)
+        while pending or engine.has_work:
+            if pending:
+                ids.append(
+                    engine.submit(GenerationRequest(pending.pop(0), 6, eos_id=None))
+                )
+            for _ in range(4):
+                engine.step()
+                results.update(engine.collect())
+            peak_resident = max(
+                peak_resident, engine.kv_stats()["resident_kv_bytes"]
+            )
+        results.update(engine.collect())
+        return [results[i] for i in ids], peak_resident
+
+    dense_tokens, dense_resident = staggered(BatchedEngine(model, max_batch=max_batch))
+    paged_tokens, paged_resident = staggered(
+        BatchedEngine(model, max_batch=max_batch, kv_page_tokens=16)
+    )
+    assert paged_tokens == dense_tokens
+    ratio = dense_resident / paged_resident
+    assert ratio >= 2.0, (
+        f"paged pool holds {paged_resident} bytes vs {dense_resident} dense "
+        f"({ratio:.2f}x): memory no longer scales with live tokens"
+    )
+
+
+# -- float32 fused-attention fast path ---------------------------------------------
+
+
+def test_f32_attention_fast_path_token_parity(model, ragged_prompts, monkeypatch):
+    """REPRO_F32_ATTN=1 keeps the fused score pipeline in float32; greedy
+    tokens must match the float64 default on both the sequential and the
+    batched path (argmax margins dwarf the last-ulp drift)."""
+    expected = _sequential(model, ragged_prompts, 14, eos_id=2)
+    monkeypatch.setenv("REPRO_F32_ATTN", "1")
+    got_seq = _sequential(model, ragged_prompts, 14, eos_id=2)
+    got_batched = BatchedEngine(model, max_batch=4).generate(
+        [GenerationRequest(p, 14, eos_id=2) for p in ragged_prompts]
+    )
+    assert got_seq == expected
+    assert got_batched == expected
+
+
+def test_f32_attention_keeps_scores_in_float32(model, monkeypatch):
+    """The fast path must actually avoid the float64 promotion (the
+    default path keeps it, bitwise-pinning recorded outputs)."""
+    import repro.nn.transformer as tr
+
+    def logits_dtype():
+        caches = [{"k": None, "v": None} for _ in model.blocks]
+        out = model._forward_numpy(
+            np.asarray([[5, 6, 7]], dtype=np.int64), caches
+        )
+        return out.dtype
+
+    monkeypatch.delenv("REPRO_F32_ATTN", raising=False)
+    assert logits_dtype() == np.float64
+    monkeypatch.setenv("REPRO_F32_ATTN", "1")
+    assert tr._f32_fused_attention()
+    assert logits_dtype() == np.float32
+
+
 def test_cancel_mid_parked_fleet_keeps_neighbors_intact(model):
     """Cancelling the middle of the parked block compacts the partial
     slabs; both neighbours must still decode to sequential parity."""

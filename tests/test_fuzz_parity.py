@@ -10,14 +10,26 @@ it through :class:`BatchedEngine`'s streaming ``submit``/``step``/
 :meth:`TransformerLM.generate` path (cancelled requests must be an exact
 prefix of it).
 
+Each scenario also draws its *KV backend*: dense slot slabs or the paged
+pool at a random page size (including degenerate one-token pages), a
+randomly undersized page budget (so page-exhaustion deferral and
+recycling are fuzzed, not just directed-tested), and the unified
+mixed-length step forward on or off — none of which may change a single
+token.
+
 Scenarios are generated from ``seed = REPRO_FUZZ_SEED + index``, so a
 failure is reproducible in isolation::
 
     REPRO_FUZZ_SEED=<printed seed> REPRO_FUZZ_SCENARIOS=1 \
         python -m pytest tests/test_fuzz_parity.py
 
-``REPRO_FUZZ_SCENARIOS`` (default 60) sets the per-run budget;
-``scripts/ci.sh`` pins both so CI runs a fixed, deterministic corpus.
+``REPRO_FUZZ_SCENARIOS`` (default 60) sets the per-run budget, and
+``REPRO_FUZZ_PAGED`` pins the backend draw: ``on`` forces every
+scenario onto the paged pool (the CI paged leg — same seeds, so each
+trace differentially tests paged against its dense twin from the
+default leg), ``off`` forces dense, and ``auto`` (default) randomizes
+per scenario.  ``scripts/ci.sh`` pins all of them so CI runs a fixed,
+deterministic corpus.
 """
 
 from __future__ import annotations
@@ -32,6 +44,8 @@ from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, Transf
 
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20240311"))
 N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "60"))
+PAGED_MODE = os.environ.get("REPRO_FUZZ_PAGED", "auto")  # auto | on | off
+PAGE_SIZES = (1, 3, 16, 64)
 
 VOCAB = 131
 EOS_ID = 2
@@ -64,11 +78,33 @@ class _Scenario:
     max_batch: int
     prefill_chunk_tokens: int | None
     prefill_concurrency: int
+    kv_page_tokens: int | None = None
+    kv_pool_pages: int | None = None
+    unified_step: bool = True
     requests: list[_FuzzRequest] = field(default_factory=list)
 
 
 def _draw_scenario(seed: int, context: int) -> _Scenario:
     rng = np.random.default_rng(seed)
+    # KV backend draw.  Every backend-related draw is consumed
+    # unconditionally, in a fixed order, BEFORE the mode override is
+    # applied: the rng stream position at the trace draws below is then
+    # identical across REPRO_FUZZ_PAGED=auto/on/off, so the forced legs
+    # replay the auto leg's exact traces (prompts, arrivals, cancels) on
+    # the other backend — a true differential corpus.
+    paged_coin = rng.random() < 0.5
+    page_tokens = int(rng.choice(PAGE_SIZES))
+    undersized_coin = rng.random() < 0.35
+    # Undersized pool: admission must defer on page exhaustion and
+    # recycle pages from retirements/cancels — without token drift.
+    pages_per_seq = -(-context // page_tokens)
+    pool_pages = pages_per_seq + int(rng.integers(0, 2 * pages_per_seq))
+    paged = paged_coin if PAGED_MODE == "auto" else PAGED_MODE == "on"
+    if not paged:
+        page_tokens = None
+        pool_pages = None
+    elif not undersized_coin:
+        pool_pages = None
     scenario = _Scenario(
         seed=seed,
         max_batch=int(rng.integers(1, 7)),
@@ -76,6 +112,9 @@ def _draw_scenario(seed: int, context: int) -> _Scenario:
             None if rng.random() < 0.25 else int(rng.integers(1, 9))
         ),
         prefill_concurrency=int(rng.integers(1, 5)),
+        kv_page_tokens=page_tokens,
+        kv_pool_pages=pool_pages,
+        unified_step=rng.random() < 0.75,
     )
     for i in range(int(rng.integers(1, 11))):
         if rng.random() < 0.06:
@@ -128,6 +167,9 @@ def _run_engine_trace(
         max_batch=scenario.max_batch,
         prefill_chunk_tokens=scenario.prefill_chunk_tokens,
         prefill_concurrency=scenario.prefill_concurrency,
+        kv_page_tokens=scenario.kv_page_tokens,
+        kv_pool_pages=scenario.kv_pool_pages,
+        unified_step=scenario.unified_step,
     )
     seq_ids: dict[int, int] = {}
     results: dict[int, list[int]] = {}
@@ -164,6 +206,12 @@ def _run_engine_trace(
         step += 1
         guard += 1
         assert guard < 5000, "fuzz trace failed to terminate"
+    stats = engine.kv_stats()
+    if stats["paged"]:
+        # Every page and every reservation must come back once the trace
+        # drains — leaks here would strangle a long-lived server.
+        assert stats["pages_in_use"] == 0, stats
+        assert stats["reserved_pages"] == 0, stats
     return results, seq_ids
 
 

@@ -745,6 +745,7 @@ def test_http_metrics_schema_is_stable(coach, dataset):
         "latency_p95_s",
         "tokens_per_sec",
         "queue_depth",
+        "engine",
     }
     assert set(metrics["by_source"]) == {
         SOURCE_ENGINE,
@@ -759,6 +760,17 @@ def test_http_metrics_schema_is_stable(coach, dataset):
         "engine_busy_s", "latency_p50_s", "latency_p95_s", "tokens_per_sec"
     ):
         assert isinstance(metrics[key], (int, float))
+    # The engine section is the admission-pressure dashboard: occupancy
+    # plus (serving default = paged KV) the pool's free-page headroom.
+    engine = metrics["engine"]
+    for key in (
+        "max_batch", "n_active", "n_prefilling", "n_pending", "free_slots",
+        "paged", "kv_page_tokens", "resident_kv_bytes",
+    ):
+        assert key in engine, engine
+    assert engine["paged"] is True  # ServingConfig default: 64-token pages
+    assert isinstance(engine["total_pages"], int)
+    assert 0 <= engine["free_pages"] <= engine["total_pages"]
 
 
 def test_server_parity_with_multislot_prefill(coach, dataset):
