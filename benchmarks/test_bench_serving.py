@@ -20,18 +20,21 @@ counterpart of ``BENCH_throughput.json``.
 from __future__ import annotations
 
 import json
+import os
+import signal
 import time
 from pathlib import Path
 
 import numpy as np
 from conftest import print_banner
 
-from repro.config import ServingConfig
+from repro.config import FleetConfig, ServingConfig
 from repro.core.coachlm import CoachLM
 from repro.data import generate_dataset
+from repro.errors import WorkerLostError
 from repro.llm import build_tokenizer
 from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, TransformerLM
-from repro.serving import SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
+from repro.serving import EngineFleet, SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
 
 MAX_BATCH = 8
 N_CASES = 32
@@ -384,3 +387,141 @@ def test_serving_sustains_batched_throughput(wb):
     # Under-subscribed load must have lower latency than saturation.
     light = sweep[f"{min(LOAD_MULTIPLIERS)}x"]
     assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload
+
+
+# -- multi-process fleet stages --------------------------------------------------
+
+#: Minimum 2-worker speedup over 1 worker — only enforced with >= 2 CPU
+#: cores (forked workers on one core just timeslice; the JSON records
+#: the honest single-core numbers with ``floor_enforced: false``).
+FLEET_SCALING_FLOOR = 1.6
+
+
+def _fleet_config(n_workers: int) -> FleetConfig:
+    return FleetConfig(
+        fleet_workers=n_workers,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=5.0,
+        restart_backoff_s=0.05,
+        restart_backoff_max_s=0.2,
+        serving=SERVING_CONFIG,
+    )
+
+
+def _fleet_throughput(coach: CoachLM, pairs: list, n_workers: int) -> dict:
+    """Wall-clock revision throughput of an n-worker fleet.
+
+    Tokens are summed from the results themselves (exact), and the clock
+    runs from first submit to last resolution — wall time is what extra
+    workers are supposed to buy, unlike per-engine busy time.
+    """
+    with EngineFleet(coach, _fleet_config(n_workers)) as fleet:
+        start = time.perf_counter()
+        futures = [fleet.submit(pair) for pair in pairs]
+        results = [future.result(timeout=600.0) for future in futures]
+        elapsed = time.perf_counter() - start
+    tokens = sum(result.generated_tokens for result in results)
+    return {
+        "workers": n_workers,
+        "n_requests": len(results),
+        "engine_tokens": tokens,
+        "wall_s": round(elapsed, 3),
+        "tokens_per_sec": round(tokens / elapsed, 1),
+    }
+
+
+def _crash_recovery(coach: CoachLM, pairs: list) -> dict:
+    """SIGKILL one of two workers mid-decode; every request must resolve."""
+    with EngineFleet(coach, _fleet_config(2)) as fleet:
+        start = time.perf_counter()
+        futures = [fleet.submit(pair) for pair in pairs]
+        deadline = time.monotonic() + 60.0
+        victim_pid = None
+        while time.monotonic() < deadline:
+            busiest = max(fleet._workers, key=lambda w: len(w.outstanding))
+            if busiest.outstanding and busiest.process is not None:
+                victim_pid = busiest.process.pid
+                os.kill(victim_pid, signal.SIGKILL)
+                break
+            time.sleep(0.002)
+        assert victim_pid is not None, "no worker ever went busy"
+        killed_at = time.perf_counter()
+        resolved = 0
+        lost = 0
+        for future in futures:
+            try:
+                future.result(timeout=600.0)
+                resolved += 1
+            except WorkerLostError:
+                # Typed, accounted failure — still a resolved future.
+                resolved += 1
+                lost += 1
+        recovered_at = time.perf_counter()
+        snap = fleet.metrics_snapshot()
+        restarts = sum(w.restarts for w in fleet._workers)
+    assert resolved == len(pairs), "an accepted request never resolved"
+    assert snap["duplicate_results"] == 0, snap
+    return {
+        "workers": 2,
+        "accepted": len(pairs),
+        "resolved": resolved,
+        "resolved_pct": 100.0,
+        "worker_lost_failures": lost,
+        "requeued": snap["requeued"],
+        "worker_restarts": restarts,
+        "wall_s": round(recovered_at - start, 3),
+        "kill_to_done_s": round(recovered_at - killed_at, 3),
+    }
+
+
+def test_fleet_scaling_and_crash_recovery(wb):
+    coach, pairs = _bench_coach(wb.scale)
+    cpu_cores = os.cpu_count() or 1
+    floor_enforced = cpu_cores >= 2
+
+    scaling = {
+        f"{n}w": _fleet_throughput(coach, pairs, n) for n in (1, 2, 4)
+    }
+    base = scaling["1w"]["tokens_per_sec"]
+    fleet_scaling = {
+        "cpu_cores": cpu_cores,
+        "floor": FLEET_SCALING_FLOOR,
+        "floor_enforced": floor_enforced,
+        "by_workers": scaling,
+        "speedup_2w": round(scaling["2w"]["tokens_per_sec"] / base, 2),
+        "speedup_4w": round(scaling["4w"]["tokens_per_sec"] / base, 2),
+    }
+    recovery = _crash_recovery(coach, pairs)
+
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    payload = (
+        json.loads(out_path.read_text(encoding="utf-8"))
+        if out_path.exists()
+        else {}
+    )
+    payload["fleet_scaling"] = fleet_scaling
+    payload["crash_recovery"] = recovery
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_banner("fleet", "multi-process fleet scaling + crash recovery")
+    for label, stats in scaling.items():
+        print(
+            f"{label}: {stats['tokens_per_sec']:.0f} tok/s "
+            f"({stats['engine_tokens']} tokens in {stats['wall_s']:.1f}s)"
+        )
+    print(
+        f"speedup 2w {fleet_scaling['speedup_2w']:.2f}x, "
+        f"4w {fleet_scaling['speedup_4w']:.2f}x "
+        f"({cpu_cores} cores, floor "
+        f"{'enforced' if floor_enforced else 'recorded only'})"
+    )
+    print(
+        f"crash recovery: {recovery['resolved']}/{recovery['accepted']} "
+        f"resolved after SIGKILL ({recovery['worker_lost_failures']} typed "
+        f"failures, {recovery['requeued']} requeues, "
+        f"kill→done {recovery['kill_to_done_s']:.2f}s)"
+    )
+
+    if floor_enforced:
+        # Two engine processes on >= 2 cores must actually scale.
+        assert fleet_scaling["speedup_2w"] >= FLEET_SCALING_FLOOR, payload

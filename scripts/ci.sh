@@ -16,6 +16,14 @@
 #   REPRO_FUZZ_SCENARIOS  scenario budget (CI default below)
 #   REPRO_FUZZ_PAGED      auto | on | off (the legs below pin it)
 # A fuzz failure prints the exact one-scenario reproduction command.
+#
+# The fleet leg runs the seeded fault-injection harness
+# (tests/test_fuzz_fleet.py) at its full CI scenario budget under a hard
+# timeout — a supervision bug whose symptom is "hangs forever" must fail
+# the gate, not stall it.  Knobs:
+#   REPRO_FUZZ_FAULTS     on (set below) unlocks the full budget
+#   REPRO_FLEET_SCENARIOS seeded FaultPlan count (CI default 40)
+#   REPRO_FLEET_TIMEOUT_S wall-clock guard for the whole leg (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -36,3 +44,9 @@ python -m pytest tests/test_fuzz_parity.py -q
 
 echo "== KV-memory regression floor (paged vs dense resident bytes) =="
 python -m pytest tests/test_decoding.py -q -k paged_memory_scales
+
+echo "== fleet: seeded fault-injection fuzz (crash/hang/drop/torn-cache) =="
+timeout --signal=TERM --kill-after=30 "${REPRO_FLEET_TIMEOUT_S:-300}" \
+    env REPRO_FUZZ_FAULTS=on \
+    REPRO_FLEET_SCENARIOS="${REPRO_FLEET_SCENARIOS:-40}" \
+    python -m pytest tests/test_fuzz_fleet.py -q

@@ -295,6 +295,119 @@ class ServingConfig:
             raise ConfigError(f"idle_wait_s must be > 0, got {self.idle_wait_s}")
 
 
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the multi-process serving fleet (:mod:`repro.serving.fleet`).
+
+    Attributes
+    ----------
+    fleet_workers:
+        Number of engine worker processes the supervisor spawns.  Each
+        runs its own :class:`~repro.nn.decoding.BatchedEngine` behind a
+        :class:`~repro.serving.scheduler.StreamingScheduler`, configured
+        by :attr:`serving` — so total decode capacity is
+        ``fleet_workers × serving.max_batch``.
+    heartbeat_interval_s:
+        How often each worker reports liveness (and its engine
+        token/busy-time deltas) over its pipe.
+    heartbeat_timeout_s:
+        Silence threshold after which the supervisor declares a worker
+        *hung*, kills it, requeues its in-flight jobs and restarts it.
+        Must comfortably exceed the worst engine step time plus the
+        heartbeat interval, or healthy-but-busy workers get shot.
+    restart_backoff_s / restart_backoff_max_s:
+        Exponential-backoff base and cap between a worker's death and
+        its replacement: restart ``k`` waits ``base * 2**(k-1)``
+        seconds, capped.
+    max_worker_restarts:
+        Restarts allowed per worker slot before the supervisor gives the
+        slot up for dead and serves degraded on the survivors.
+    requeue_budget:
+        Times one job may be requeued after losing its worker before it
+        is failed with a typed :class:`~repro.errors.WorkerLostError`.
+        Requeues are at-most-once per death (a job whose result already
+        arrived is never requeued), and every requeue re-decodes from
+        scratch — greedy decode is deterministic, so a recomputed
+        revision is token-for-token the one the dead worker was
+        producing.
+    max_queue_depth:
+        Bound of the supervisor's priority queue.  Under pressure the
+        fleet sheds lowest-priority-first: a full queue displaces its
+        worst entry for a strictly higher-priority arrival (the
+        displaced request resolves as ``shed``), and otherwise rejects
+        with :class:`~repro.errors.OverloadError` → HTTP ``503`` +
+        ``Retry-After``.
+    shed_retry_after_s:
+        The ``Retry-After`` horizon attached to shed/overload rejections.
+    dispatch_depth_per_worker:
+        Outstanding jobs the router keeps at one worker, as a multiple
+        of its engine ``max_batch`` — 2 keeps a refill backlog behind
+        the decode fleet without committing half the queue to a worker
+        that may die.
+    worker_ready_timeout_s:
+        How long :meth:`EngineFleet.start` waits for the initial fleet
+        to report ready.
+    drain_timeout_s:
+        Bound on the graceful-drain phase of :meth:`EngineFleet.stop`;
+        workers still busy past it are killed (their jobs fail as
+        requeue-exhausted rather than hang the shutdown).
+    serving:
+        Per-worker engine/cache knobs (a :class:`ServingConfig`); the
+        fleet inherits its ``max_batch``, chunked-prefill and paged-KV
+        settings, quality gate, and cache capacity (the supervisor runs
+        the content cache, so per-request dedup spans the whole fleet).
+    """
+
+    fleet_workers: int = 2
+    heartbeat_interval_s: float = 0.05
+    heartbeat_timeout_s: float = 5.0
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 2.0
+    max_worker_restarts: int = 8
+    requeue_budget: int = 2
+    max_queue_depth: int = 256
+    shed_retry_after_s: float = 1.0
+    dispatch_depth_per_worker: int = 2
+    worker_ready_timeout_s: float = 60.0
+    drain_timeout_s: float = 60.0
+    serving: ServingConfig = field(default_factory=ServingConfig)
+
+    def __post_init__(self) -> None:
+        if self.fleet_workers < 1:
+            raise ConfigError(
+                f"fleet_workers must be >= 1, got {self.fleet_workers}"
+            )
+        for name in ("heartbeat_interval_s", "restart_backoff_s",
+                     "restart_backoff_max_s", "worker_ready_timeout_s",
+                     "drain_timeout_s", "shed_retry_after_s"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be > 0, got {value}")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ConfigError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                f"({self.heartbeat_timeout_s} <= {self.heartbeat_interval_s}):"
+                " a healthy worker would be declared hung between beats"
+            )
+        if self.max_worker_restarts < 0:
+            raise ConfigError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
+            )
+        if self.requeue_budget < 0:
+            raise ConfigError(
+                f"requeue_budget must be >= 0, got {self.requeue_budget}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConfigError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.dispatch_depth_per_worker < 1:
+            raise ConfigError(
+                "dispatch_depth_per_worker must be >= 1, got "
+                f"{self.dispatch_depth_per_worker}"
+            )
+
+
 _CI = ScaleConfig(
     name="ci",
     dataset_size=240,

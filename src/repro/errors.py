@@ -49,3 +49,31 @@ class ServingError(ReproError):
 
 class AdmissionError(ServingError):
     """A request was rejected by the serving queue's admission control."""
+
+
+class OverloadError(AdmissionError):
+    """A request was shed: the service is saturated, degraded, or draining.
+
+    Unlike a plain :class:`AdmissionError` (a bounded queue answering
+    "try again soon", HTTP 429), an overload means the service chose to
+    shed load — the fleet is partially dead, draining for shutdown, or
+    the request lost a priority fight for the last queue slot.  The HTTP
+    front-end maps it to ``503`` with a ``Retry-After`` of
+    :attr:`retry_after_s`.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class WorkerLostError(ServingError):
+    """A request's worker process died and the requeue budget is spent.
+
+    Raised out of :meth:`RevisionFuture.result` — the typed terminal
+    state of a request whose fleet worker crashed or hung more times
+    than the fleet was willing to recompute it.  The request was never
+    silently dropped *or* duplicated: every requeue re-decodes from
+    scratch (same tokens, greedy decode is deterministic) and the future
+    resolves exactly once, with a result or with this error.
+    """

@@ -11,22 +11,41 @@ All writes are atomic: content lands in a sibling ``.tmp`` file that is
 serving processes sharing one artifact directory) can never observe a
 half-written artifact — a reader sees either the old file or the new
 one, and a crashed writer leaves at worst a stale ``.tmp``.
+
+Multi-process hardening (the serving fleet persists its revision cache
+here from several processes at once):
+
+* every write takes a **per-key lockfile** (:func:`fcntl.flock` on a
+  ``.lock`` sibling) around the write-and-rename, serialising racing
+  writers of one key without coupling unrelated keys — the lock is
+  advisory and crash-safe (the kernel drops it with the process, so a
+  SIGKILLed writer never wedges the cache);
+* :meth:`ArtifactCache.get_json` treats a cached blob that fails to
+  parse (a torn write from a crashed process, a truncated disk) as a
+  *miss*, quarantining the corrupt file aside (``.corrupt-<pid>``) so
+  the caller recomputes and the evidence survives for debugging.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
 from ..data.dataset import InstructionDataset
 from ..errors import PipelineError
 from ..experts.revision import RevisionRecord
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 
 def config_hash(payload: dict) -> str:
@@ -35,12 +54,36 @@ def config_hash(payload: dict) -> str:
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:12]
 
 
+@contextlib.contextmanager
+def _key_lock(path: Path) -> Iterator[None]:
+    """Hold an advisory per-artifact lock for the duration of a write.
+
+    Lives in a ``.lock`` sibling of the artifact (never the artifact
+    itself: :func:`os.replace` swaps the inode, which would strand the
+    lock on the orphaned old file).  Released automatically even on
+    SIGKILL — flock dies with the file descriptor.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: Path, write: Callable[[Path], None]) -> None:
     """Run ``write`` against a unique ``.tmp`` sibling, then rename into place.
 
-    The temp name is unique per call (:func:`tempfile.mkstemp`), so two
-    workers racing to save the same key each write their own file and the
-    final artifact is whichever rename lands last — never a mixture.
+    The temp name is unique per call (:func:`tempfile.mkstemp`), so even
+    without the lock two workers racing to save the same key each write
+    their own file and the final artifact is whichever rename lands last
+    — never a mixture.  The per-key lock additionally serialises the
+    replace itself, so racing writers of one key land in a definite
+    order.
     """
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -48,8 +91,9 @@ def _atomic_write(path: Path, write: Callable[[Path], None]) -> None:
     os.close(fd)
     tmp = Path(tmp_name)
     try:
-        write(tmp)
-        os.replace(tmp, path)
+        with _key_lock(path):
+            write(tmp)
+            os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
 
@@ -65,6 +109,11 @@ class ArtifactCache:
 
     def _path(self, kind: str, key: str, suffix: str) -> Path:
         return self.root / f"{kind}-{key}{suffix}"
+
+    def json_path(self, kind: str, key: str) -> Path:
+        """Where a json blob for (kind, key) lives — for tooling and fault
+        injection that must place bytes at the artifact's real location."""
+        return self._path(kind, key, ".json")
 
     # -- model weights --------------------------------------------------------
     def has_weights(self, kind: str, key: str) -> bool:
@@ -151,3 +200,44 @@ class ArtifactCache:
         if not path.exists():
             raise PipelineError(f"no cached json at {path}")
         return json.loads(path.read_text(encoding="utf-8"))
+
+    def get_json(self, kind: str, key: str) -> object | None:
+        """Corruption-tolerant read: the blob, or ``None`` to recompute.
+
+        ``None`` covers both a plain miss and a cached file that fails
+        to parse — a torn write from a process that died mid-save, or a
+        truncated volume.  A corrupt file is quarantined aside (renamed
+        to ``.corrupt-<pid>``) so the key reads as a miss from then on
+        and the bad bytes stay inspectable; the quarantine rename runs
+        under the same per-key lock as writes, so it can never clobber a
+        concurrent healthy re-save of the key.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(kind, key, ".json")
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        quarantined = path.with_name(f"{path.name}.corrupt-{os.getpid()}")
+        with _key_lock(path):
+            # Re-check under the lock: a writer may have replaced the
+            # corrupt file with a healthy one since we read it.
+            try:
+                json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass  # still corrupt - quarantine it
+            except FileNotFoundError:
+                return  # already quarantined by another reader
+            else:
+                return  # healthy again - leave the re-save alone
+            try:
+                os.replace(path, quarantined)
+            except FileNotFoundError:
+                pass

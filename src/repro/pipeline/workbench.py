@@ -169,10 +169,16 @@ class Workbench:
             return self._memo[memo_key]  # type: ignore[return-value]
         backbone = self.backbone(backbone_name)
         key = self._scale_key({"coach_backbone": backbone_name, "alpha": alpha})
-        if self.cache.has_weights("coach", key) and self.cache.has_json("coach-meta", key):
+        # get_json reads a torn/corrupt meta blob as a miss (quarantining
+        # it), so a writer that died mid-save just costs a retrain here.
+        meta = (
+            self.cache.get_json("coach-meta", key)
+            if self.cache.has_weights("coach", key)
+            else None
+        )
+        if meta is not None:
             model = backbone.clone()
             model.load_state_dict(self.cache.load_weights("coach", key))
-            meta = self.cache.load_json("coach-meta", key)
             coach = CoachLM(
                 model, self.tokenizer,
                 trained_instructions=frozenset(meta["trained_ids"]),
@@ -202,8 +208,8 @@ class Workbench:
         key = self._scale_key({"revised_by": backbone_name, "alpha": alpha})
         if self.cache.has_dataset("revised", key):
             stats = None
-            if self.cache.has_json("revised-stats", key):
-                blob = self.cache.load_json("revised-stats", key)
+            blob = self.cache.get_json("revised-stats", key)
+            if blob is not None:
                 stats = RevisionStats(outcomes=dict(blob))  # type: ignore[arg-type]
             return (
                 self.cache.load_dataset("revised", key, "alpaca52k-sim-coachlm"),

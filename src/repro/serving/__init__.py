@@ -38,12 +38,15 @@ by ``tests/test_serving.py`` and throughput is tracked by
 
 from .cache import CachedRevision, RevisionLRUCache, revision_key
 from .client import InProcessRevisionClient
+from .faults import FaultInjector, FaultPlan, WorkerFaults
+from .fleet import EngineFleet
 from .http import RevisionHTTPFrontend
 from .metrics import ServingMetrics
 from .queueing import BoundedPriorityQueue
 from .requests import (
     OUTCOME_EXPIRED,
     OUTCOME_QUALITY_GATED,
+    OUTCOME_SHED,
     RevisionFuture,
     RevisionResult,
     SOURCE_CACHE,
@@ -51,6 +54,7 @@ from .requests import (
     SOURCE_DEDUP,
     SOURCE_ENGINE,
     SOURCE_GATE,
+    SOURCE_SHED,
 )
 from .scheduler import EngineJob, StreamingScheduler
 from .server import RevisionServer
@@ -58,10 +62,14 @@ from .server import RevisionServer
 __all__ = [
     "BoundedPriorityQueue",
     "CachedRevision",
+    "EngineFleet",
     "EngineJob",
+    "FaultInjector",
+    "FaultPlan",
     "InProcessRevisionClient",
     "OUTCOME_EXPIRED",
     "OUTCOME_QUALITY_GATED",
+    "OUTCOME_SHED",
     "RevisionFuture",
     "RevisionHTTPFrontend",
     "RevisionLRUCache",
@@ -73,6 +81,8 @@ __all__ = [
     "SOURCE_DEDUP",
     "SOURCE_ENGINE",
     "SOURCE_GATE",
+    "SOURCE_SHED",
     "StreamingScheduler",
+    "WorkerFaults",
     "revision_key",
 ]

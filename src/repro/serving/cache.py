@@ -87,3 +87,34 @@ class RevisionLRUCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    # -- persistence (the fleet saves its cache across restarts) -----------------
+    def export_entries(self) -> list[list[str]]:
+        """LRU-ordered rows ``[key, instruction, response, outcome]``,
+        oldest first — importing them in order reproduces the recency
+        ranking exactly."""
+        with self._lock:
+            return [
+                [key, entry.instruction, entry.response, entry.outcome]
+                for key, entry in self._entries.items()
+            ]
+
+    def import_entries(self, rows: object) -> int:
+        """Load rows from :meth:`export_entries`; returns entries accepted.
+
+        Tolerant of damaged input (a half-persisted artifact): anything
+        that is not a 4-list of strings is skipped, never raised on —
+        a warm-start must not be able to wedge a fresh fleet.
+        """
+        if not isinstance(rows, list):
+            return 0
+        accepted = 0
+        for row in rows:
+            if (
+                isinstance(row, list)
+                and len(row) == 4
+                and all(isinstance(field, str) for field in row)
+            ):
+                self.put(row[0], CachedRevision(row[1], row[2], row[3]))
+                accepted += 1
+        return accepted

@@ -18,17 +18,26 @@ from collections import deque
 from ..core.coachlm import RevisionStats
 from ..data.dataset import InstructionDataset
 from ..data.instruction_pair import InstructionPair
-from ..errors import AdmissionError
+from ..errors import AdmissionError, OverloadError, ServingError
 from .requests import RevisionFuture, RevisionResult
-from .server import RevisionServer
 
 
 class InProcessRevisionClient:
-    """CoachLM-compatible revision façade over a :class:`RevisionServer`."""
+    """CoachLM-compatible revision façade over a revision service.
 
-    def __init__(self, server: RevisionServer, timeout_s: float = 300.0):
+    ``server`` is anything implementing the service protocol —
+    a single-process :class:`~repro.serving.server.RevisionServer` or a
+    multi-process :class:`~repro.serving.fleet.EngineFleet`.
+    """
+
+    def __init__(self, server, timeout_s: float = 300.0):
         self.server = server
         self.timeout_s = timeout_s
+
+    def _idle_wait_s(self) -> float:
+        config = self.server.config
+        serving = getattr(config, "serving", config)
+        return serving.idle_wait_s
 
     def revise_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
         """Revise pairs in order, blocking on back-pressure as needed."""
@@ -36,17 +45,27 @@ class InProcessRevisionClient:
         results: list[RevisionResult | None] = [None] * len(pairs)
         outstanding: deque[tuple[int, RevisionFuture]] = deque()
         for index, pair in enumerate(pairs):
+            retry_until = time.monotonic() + self.timeout_s
             while True:
                 try:
                     future = self.server.submit(pair)
                     break
-                except AdmissionError:
+                except AdmissionError as error:
+                    # A shedding service (OverloadError) may refuse this
+                    # request forever (e.g. drain): bound the retries.
+                    if (
+                        isinstance(error, OverloadError)
+                        and time.monotonic() > retry_until
+                    ):
+                        raise ServingError(
+                            f"service kept shedding for {self.timeout_s}s"
+                        ) from error
                     if outstanding:
                         oldest, oldest_future = outstanding.popleft()
                         results[oldest] = oldest_future.result(self.timeout_s)
                     else:
                         # Queue filled by other clients: briefly yield.
-                        time.sleep(self.server.config.idle_wait_s)
+                        time.sleep(self._idle_wait_s())
             outstanding.append((index, future))
         for index, future in outstanding:
             results[index] = future.result(self.timeout_s)

@@ -1,0 +1,191 @@
+"""Deterministic fault injection for the serving fleet.
+
+Fault tolerance that is only exercised by real hardware failures is
+untested fault tolerance.  This module gives the fleet a seeded,
+reproducible failure schedule: a :class:`FaultPlan` describes *which*
+worker misbehaves, *how* (crash mid-decode, hang, drop a finished result
+on the floor, slow its pipe), and *when* (at the k-th engine step), and
+a worker-side :class:`FaultInjector` executes the schedule from inside
+the victim process.  The fuzz harness (``tests/test_fuzz_fleet.py``)
+draws thousands of plans from seeds and asserts the fleet's invariants
+hold under every one of them: no lost results, no duplicates, exact
+token parity with the sequential coach, no leaked KV pages.
+
+Faults only fire in a worker's **first incarnation** — the supervisor's
+replacement processes run clean, so every scenario converges instead of
+crash-looping forever.
+
+The same schedule is reachable from the environment
+(:meth:`FaultPlan.from_env`) for ops drills against a live fleet:
+``REPRO_FAULT_WORKER``, ``REPRO_FAULT_CRASH_STEP``,
+``REPRO_FAULT_HANG_STEP``, ``REPRO_FAULT_DROP_RESULTS``,
+``REPRO_FAULT_SEND_DELAY_S``, ``REPRO_FAULT_TORN_CACHE``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Exit code of an injected crash — distinguishes scheduled faults from
+#: genuine worker bugs in the supervisor's logs.
+FAULT_EXIT_CODE = 3
+
+#: How long an injected hang sleeps: effectively forever next to any
+#: heartbeat timeout, short enough that a leaked process dies on its own.
+_HANG_S = 600.0
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """The failure schedule of one worker process (first incarnation).
+
+    ``crash_at_step`` / ``hang_at_step`` count the worker's engine pump
+    steps, so both fire *mid-decode* with requests in flight — the
+    interesting moment for the requeue discipline.  ``drop_results``
+    silently discards that many finished results and then crashes: a
+    drop without the crash would strand futures (the supervisor believes
+    the worker still owns them), so the two are coupled — exactly the
+    torn-pipe behaviour of a process dying between completing a job and
+    flushing its pipe.  ``send_delay_s`` slows every pipe message to
+    stress the supervisor's multiplexing (results arriving interleaved
+    with heartbeats and deaths), without changing any outcome.
+    """
+
+    crash_at_step: int | None = None
+    hang_at_step: int | None = None
+    drop_results: int = 0
+    send_delay_s: float = 0.0
+
+    @property
+    def is_lethal(self) -> bool:
+        """Whether this schedule kills the worker (crash, hang, or drop)."""
+        return (
+            self.crash_at_step is not None
+            or self.hang_at_step is not None
+            or self.drop_results > 0
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fleet failure schedule, reproducible from its seed.
+
+    ``workers`` maps worker slot index → that worker's schedule; slots
+    absent from the map run clean.  ``torn_cache_write`` additionally
+    sabotages the supervisor's drain-time cache persistence with a
+    truncated JSON file (simulating a writer killed mid-save), which the
+    next fleet must quarantine and recompute around.
+    """
+
+    seed: int = 0
+    workers: dict[int, WorkerFaults] = field(default_factory=dict)
+    torn_cache_write: bool = False
+
+    def for_worker(self, slot: int) -> WorkerFaults | None:
+        return self.workers.get(slot)
+
+    @classmethod
+    def from_seed(cls, seed: int, n_workers: int, max_step: int = 12) -> FaultPlan:
+        """Draw one reproducible scenario: same seed, same schedule.
+
+        Picks 1..n_workers victims (weighted towards one) and one fault
+        kind per victim; crash/hang steps land in ``[1, max_step]`` so
+        the fault interleaves with real decode work at fleet scale.
+        """
+        rng = np.random.default_rng(seed)
+        n_victims = 1 + int(rng.random() < 0.3 and n_workers > 1)
+        victims = rng.choice(n_workers, size=n_victims, replace=False)
+        workers: dict[int, WorkerFaults] = {}
+        for victim in victims:
+            kind = rng.choice(["crash", "hang", "drop", "slow", "none"])
+            step = int(rng.integers(1, max_step + 1))
+            if kind == "crash":
+                faults = WorkerFaults(crash_at_step=step)
+            elif kind == "hang":
+                faults = WorkerFaults(hang_at_step=step)
+            elif kind == "drop":
+                faults = WorkerFaults(drop_results=int(rng.integers(1, 3)))
+            elif kind == "slow":
+                faults = WorkerFaults(send_delay_s=float(rng.uniform(0.001, 0.01)))
+            else:
+                continue
+            workers[int(victim)] = faults
+        return cls(
+            seed=seed,
+            workers=workers,
+            torn_cache_write=bool(rng.random() < 0.25),
+        )
+
+    @classmethod
+    def from_env(cls, environ: dict[str, str] | None = None) -> FaultPlan | None:
+        """Build a plan from ``REPRO_FAULT_*`` env vars; ``None`` when unset."""
+        env = os.environ if environ is None else environ
+        crash = env.get("REPRO_FAULT_CRASH_STEP")
+        hang = env.get("REPRO_FAULT_HANG_STEP")
+        drop = env.get("REPRO_FAULT_DROP_RESULTS")
+        delay = env.get("REPRO_FAULT_SEND_DELAY_S")
+        torn = env.get("REPRO_FAULT_TORN_CACHE", "") in ("1", "on", "true")
+        if not any((crash, hang, drop, delay, torn)):
+            return None
+        faults = WorkerFaults(
+            crash_at_step=int(crash) if crash else None,
+            hang_at_step=int(hang) if hang else None,
+            drop_results=int(drop) if drop else 0,
+            send_delay_s=float(delay) if delay else 0.0,
+        )
+        slot = int(env.get("REPRO_FAULT_WORKER", "0"))
+        workers = {slot: faults} if faults.is_lethal or faults.send_delay_s else {}
+        return cls(seed=0, workers=workers, torn_cache_write=torn)
+
+
+class FaultInjector:
+    """Executes one :class:`WorkerFaults` schedule inside the victim.
+
+    The fleet worker loop calls :meth:`on_step` once per engine pump,
+    :meth:`on_result` as each finished job is about to be reported, and
+    :meth:`before_send` around every pipe write.  All hooks are no-ops
+    once the schedule is spent, and the injector for a clean worker is
+    simply never constructed.
+    """
+
+    def __init__(self, faults: WorkerFaults):
+        self.faults = faults
+        self._steps = 0
+        self._dropped = 0
+
+    def on_step(self) -> None:
+        """Fire crash/hang scheduled at this engine step (pre-step)."""
+        self._steps += 1
+        if self.faults.crash_at_step is not None:
+            if self._steps >= self.faults.crash_at_step:
+                os._exit(FAULT_EXIT_CODE)
+        if self.faults.hang_at_step is not None:
+            if self._steps >= self.faults.hang_at_step:
+                time.sleep(_HANG_S)  # killed by the supervisor long before
+                os._exit(FAULT_EXIT_CODE)
+
+    def on_result(self) -> bool:
+        """True = drop this finished result (and crash once quota is met)."""
+        if self._dropped >= self.faults.drop_results:
+            return False
+        self._dropped += 1
+        if self._dropped >= self.faults.drop_results:
+            # Dying with unsent results IS the fault being modelled; a
+            # drop without death would strand the futures forever.
+            os._exit(FAULT_EXIT_CODE)
+        return True
+
+    def before_send(self) -> None:
+        if self.faults.send_delay_s > 0.0:
+            time.sleep(self.faults.send_delay_s)
+
+
+def write_torn_json(path: str | os.PathLike) -> None:
+    """Plant a truncated JSON artifact, as a crashed pre-hardening writer
+    would: bytes that parse up to the cut and then stop mid-token."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"revisions": [{"key": "deadbeef", "instr')

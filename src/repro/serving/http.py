@@ -1,9 +1,12 @@
-"""Stdlib JSON/HTTP front-end for the revision server.
+"""Stdlib JSON/HTTP front-end for the revision service.
 
 A thin :class:`ThreadingHTTPServer` adapter — each connection is handled
-on its own thread, submits into the shared :class:`RevisionServer` and
-blocks on its future, so concurrency is bounded by the serving queue and
-engine, not by HTTP.  Endpoints:
+on its own thread, submits into the shared service and blocks on its
+future, so concurrency is bounded by the serving queue and engine, not
+by HTTP.  The service may be a single-process
+:class:`~repro.serving.server.RevisionServer` or a multi-process
+:class:`~repro.serving.fleet.EngineFleet`; both expose the same
+``submit`` / ``metrics_snapshot`` / ``health`` protocol.  Endpoints:
 
 ``POST /revise``
     Body ``{"instruction": str, "response": str, "pair_id"?, "priority"?,
@@ -11,35 +14,46 @@ engine, not by HTTP.  Endpoints:
     ``{"instruction", "response", "outcome", "source", "latency_s",
     "generated_tokens"}``; ``400`` on a malformed payload; ``413`` when
     the body exceeds ``max_body_bytes``; ``429`` with a ``Retry-After``
-    header when admission control rejects; ``504`` when the result
-    misses ``timeout_s``.
+    header when admission control rejects; ``503`` with ``Retry-After``
+    when the request was shed (overload, degraded fleet, or drain mode);
+    ``504`` when the result misses ``timeout_s``.
 ``GET /metrics``
     The :meth:`ServingMetrics.snapshot` JSON (latency percentiles,
     tokens/sec, per-source counts, queue depth) plus an ``engine``
-    section with fleet occupancy and the KV pool's ``free_pages``
-    headroom — the admission-pressure gauges that move before the
-    bounded queue starts answering 429.
+    section with occupancy and the KV pool's ``free_pages`` headroom —
+    the admission-pressure gauges that move before the bounded queue
+    starts answering 429.
 ``GET /healthz``
-    ``{"status": "ok", "queue_depth": n, "free_slots": n,
-    "free_pages": n | null}``.
+    The service's :meth:`health` payload (``status`` is ``"draining"``
+    while the front-end refuses new work).
+
+**Graceful drain**: :meth:`RevisionHTTPFrontend.drain` flips the
+front-end into drain mode — new ``POST /revise`` requests are refused
+with ``503`` + ``Retry-After`` while the requests already being handled
+run to completion — and returns once the last in-flight request has
+been answered.  Monitoring endpooints keep answering throughout, so
+orchestrators watch the drain finish before SIGTERM turns into SIGKILL.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..data.instruction_pair import InstructionPair
-from ..errors import AdmissionError, ServingError
-from .server import RevisionServer
+from ..errors import AdmissionError, OverloadError, ServingError
+from .requests import SOURCE_SHED
 
 
 def _make_handler(
-    revision_server: RevisionServer,
+    frontend: "RevisionHTTPFrontend",
     default_timeout_s: float,
     max_body_bytes: int,
 ) -> type[BaseHTTPRequestHandler]:
+    service = frontend.service
+
     class RevisionHandler(BaseHTTPRequestHandler):
         server_version = "CoachLMRevision/1.0"
 
@@ -66,24 +80,12 @@ def _make_handler(
                 # Queue depth + the engine's free-page/free-slot headroom:
                 # the gauges that show admission pressure building before
                 # submit() starts answering 429.
-                self._reply(
-                    200,
-                    revision_server.metrics.snapshot(
-                        queue_depth=revision_server.queue.depth,
-                        engine=revision_server.scheduler.kv_stats(),
-                    ),
-                )
+                self._reply(200, service.metrics_snapshot())
             elif self.path == "/healthz":
-                engine = revision_server.scheduler.kv_stats()
-                self._reply(
-                    200,
-                    {
-                        "status": "ok",
-                        "queue_depth": revision_server.queue.depth,
-                        "free_slots": engine["free_slots"],
-                        "free_pages": engine.get("free_pages"),
-                    },
-                )
+                health = service.health()
+                if frontend.draining:
+                    health["status"] = "draining"
+                self._reply(200, health)
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -91,6 +93,28 @@ def _make_handler(
             if self.path != "/revise":
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
                 return
+            if frontend.draining:
+                # Refuse before reading the body: a draining front-end
+                # spends no work on requests it will not serve.
+                self._reply(
+                    503,
+                    {"error": "service is draining"},
+                    headers={"Retry-After": frontend.retry_after_header},
+                )
+                return
+            if not frontend.track_request():
+                self._reply(
+                    503,
+                    {"error": "service is draining"},
+                    headers={"Retry-After": frontend.retry_after_header},
+                )
+                return
+            try:
+                self._handle_revise()
+            finally:
+                frontend.untrack_request()
+
+        def _handle_revise(self) -> None:
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
@@ -142,9 +166,20 @@ def _make_handler(
                 self._reply(400, {"error": "malformed numeric field"})
                 return
             try:
-                future = revision_server.submit(
+                future = service.submit(
                     pair, priority=priority, deadline_s=deadline_s
                 )
+            except OverloadError as error:
+                # Shed, not merely queued-out: the service chose to drop
+                # load (drain, degraded fleet, or a lost priority fight).
+                self._reply(
+                    503,
+                    {"error": str(error)},
+                    headers={
+                        "Retry-After": _retry_after(error.retry_after_s)
+                    },
+                )
+                return
             except AdmissionError as error:
                 # Back-pressure: tell well-behaved clients when to retry
                 # (one engine drain of the queue is a reasonable horizon).
@@ -156,6 +191,15 @@ def _make_handler(
                 result = future.result(timeout=timeout_s)
             except ServingError as error:
                 self._reply(504, {"error": str(error)})
+                return
+            if result.source == SOURCE_SHED:
+                # Accepted but displaced by a higher-priority request
+                # while queued: to the HTTP client that is an overload.
+                self._reply(
+                    503,
+                    {"error": "request was shed under load"},
+                    headers={"Retry-After": frontend.retry_after_header},
+                )
                 return
             self._reply(200, {
                 "instruction": result.pair.instruction,
@@ -169,39 +213,98 @@ def _make_handler(
     return RevisionHandler
 
 
-class RevisionHTTPFrontend:
-    """Owns a :class:`ThreadingHTTPServer` bound to one revision server.
+def _retry_after(seconds: float) -> str:
+    """Retry-After is an integer header; round up so 0.5s never becomes
+    an immediate (0-second) retry stampede."""
+    return str(max(1, int(seconds + 0.999)))
 
-    ``port=0`` binds an ephemeral port; read :attr:`address` after
-    construction.  Starting the front-end also starts the underlying
-    revision server.  ``max_body_bytes`` bounds the ``POST /revise``
-    payload (``413`` beyond it, rejected before the body is read).  Use
-    as a context manager or call :meth:`start`/:meth:`stop`.
+
+class RevisionHTTPFrontend:
+    """Owns a :class:`ThreadingHTTPServer` bound to one revision service.
+
+    ``service`` is anything implementing the revision-service protocol
+    (``submit``/``start``/``stop``/``metrics_snapshot``/``health``) — a
+    :class:`RevisionServer` or an :class:`EngineFleet`.  ``port=0``
+    binds an ephemeral port; read :attr:`address` after construction.
+    Starting the front-end also starts the underlying service.
+    ``max_body_bytes`` bounds the ``POST /revise`` payload (``413``
+    beyond it, rejected before the body is read).  Use as a context
+    manager or call :meth:`start`/:meth:`stop`.
     """
 
     def __init__(
         self,
-        revision_server: RevisionServer,
+        service,
         host: str = "127.0.0.1",
         port: int = 0,
         request_timeout_s: float = 60.0,
         max_body_bytes: int = 1 << 20,
+        drain_retry_after_s: float = 1.0,
     ):
-        self.revision_server = revision_server
+        self.service = service
+        self.draining = False
+        self.drain_retry_after_s = drain_retry_after_s
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self.httpd = ThreadingHTTPServer(
             (host, port),
-            _make_handler(revision_server, request_timeout_s, max_body_bytes),
+            _make_handler(self, request_timeout_s, max_body_bytes),
         )
         self._thread: threading.Thread | None = None
+
+    @property
+    def revision_server(self):
+        """Backwards-compatible alias for :attr:`service`."""
+        return self.service
+
+    @property
+    def retry_after_header(self) -> str:
+        return _retry_after(self.drain_retry_after_s)
 
     @property
     def address(self) -> str:
         host, port = self.httpd.server_address[:2]
         return f"http://{host}:{port}"
 
+    @property
+    def inflight_requests(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def track_request(self) -> bool:
+        """Count one ``POST /revise`` as in flight; False once draining."""
+        with self._inflight_lock:
+            if self.draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def untrack_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def drain(self, timeout_s: float = 60.0) -> bool:
+        """Enter drain mode and wait for in-flight requests to complete.
+
+        New ``POST /revise`` requests are answered ``503`` +
+        ``Retry-After`` from the moment this is called; monitoring GETs
+        keep working.  Returns True once the last in-flight request has
+        been answered (False if ``timeout_s`` elapsed first — the
+        caller decides whether to hard-stop anyway).
+        """
+        with self._inflight_lock:
+            self.draining = True
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.inflight_requests == 0:
+                return True
+            time.sleep(0.005)
+        return self.inflight_requests == 0
+
     def start(self) -> "RevisionHTTPFrontend":
         if self._thread is None:
-            self.revision_server.start()
+            self.draining = False
+            self.service.start()
             self._thread = threading.Thread(
                 target=self.httpd.serve_forever,
                 name="revision-http",
@@ -217,7 +320,7 @@ class RevisionHTTPFrontend:
         self.httpd.server_close()
         self._thread.join()
         self._thread = None
-        self.revision_server.stop()
+        self.service.stop()
 
     def __enter__(self) -> "RevisionHTTPFrontend":
         return self.start()

@@ -21,11 +21,18 @@ from .requests import (
     SOURCE_DEDUP,
     SOURCE_ENGINE,
     SOURCE_GATE,
+    SOURCE_SHED,
 )
 
 
 class ServingMetrics:
-    """Thread-safe metrics collector for one :class:`RevisionServer`."""
+    """Thread-safe metrics collector for one revision service.
+
+    Shared by the single-process :class:`RevisionServer` and the
+    multi-process :class:`~repro.serving.fleet.EngineFleet`; the fleet
+    additionally feeds the fault-tolerance counters (requeues, lost
+    workers, duplicate results) that stay zero in a single process.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -38,9 +45,17 @@ class ServingMetrics:
             SOURCE_DEDUP: 0,
             SOURCE_GATE: 0,
             SOURCE_DEADLINE: 0,
+            SOURCE_SHED: 0,
         }
         self.engine_tokens = 0
         self.engine_busy_s = 0.0
+        #: Jobs pushed back to the queue after their worker died.
+        self.requeued = 0
+        #: Requests terminated with :class:`WorkerLostError` (budget spent).
+        self.worker_lost = 0
+        #: Results received for an already-resolved request — must stay 0;
+        #: a nonzero value means the at-most-once requeue discipline broke.
+        self.duplicate_results = 0
         self._latencies: list[float] = []
 
     # -- recording ---------------------------------------------------------------
@@ -51,6 +66,18 @@ class ServingMetrics:
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def record_requeued(self, n: int = 1) -> None:
+        with self._lock:
+            self.requeued += n
+
+    def record_worker_lost_result(self) -> None:
+        with self._lock:
+            self.worker_lost += 1
+
+    def record_duplicate_result(self) -> None:
+        with self._lock:
+            self.duplicate_results += 1
 
     def record_result(self, result: RevisionResult) -> None:
         with self._lock:
@@ -105,6 +132,9 @@ class ServingMetrics:
                 "by_source": dict(self.by_source),
                 "engine_tokens": self.engine_tokens,
                 "engine_busy_s": round(self.engine_busy_s, 6),
+                "requeued": self.requeued,
+                "worker_lost": self.worker_lost,
+                "duplicate_results": self.duplicate_results,
                 "latency_p50_s": round(p50, 6),
                 "latency_p95_s": round(p95, 6),
             }

@@ -55,6 +55,43 @@ class BoundedPriorityQueue(Generic[T]):
             heapq.heappush(self._heap, (priority, next(self._tiebreak), item))
             self._not_empty.notify()
 
+    def put_or_displace(self, item: T, priority: int = 0) -> T | None:
+        """Enqueue ``item``, shedding the worst queued item if necessary.
+
+        The load-shedding admission discipline of the serving fleet:
+        when the queue is full, the *lowest-priority* queued item (ties
+        broken against the newest arrival) is evicted to make room —
+        but only if ``item`` strictly outranks it.  Returns the
+        displaced item for the caller to resolve as shed, ``None`` when
+        no displacement was needed, and raises :class:`AdmissionError`
+        when ``item`` itself is the worst candidate (the caller sheds
+        the new request instead).
+        """
+        with self._not_empty:
+            if self._closed:
+                raise ServingError("queue is closed")
+            if len(self._heap) < self.capacity:
+                heapq.heappush(
+                    self._heap, (priority, next(self._tiebreak), item)
+                )
+                self._not_empty.notify()
+                return None
+            worst_index = max(
+                range(len(self._heap)), key=lambda i: self._heap[i][:2]
+            )
+            if self._heap[worst_index][0] <= priority:
+                raise AdmissionError(
+                    f"queue full: depth {len(self._heap)} >= capacity "
+                    f"{self.capacity} and no lower-priority item to shed"
+                )
+            displaced = self._heap[worst_index][2]
+            self._heap[worst_index] = self._heap[-1]
+            self._heap.pop()
+            heapq.heapify(self._heap)
+            heapq.heappush(self._heap, (priority, next(self._tiebreak), item))
+            self._not_empty.notify()
+            return displaced
+
     def get(self, timeout: float | None = None) -> T | None:
         """Pop the highest-priority item; ``None`` on timeout or drained-closed."""
         with self._not_empty:

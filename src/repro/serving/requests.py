@@ -21,10 +21,12 @@ SOURCE_CACHE = "cache"              #: LRU hit, engine untouched
 SOURCE_DEDUP = "dedup"              #: attached to an identical in-flight request
 SOURCE_GATE = "quality_gate"        #: skipped: already above the rubric threshold
 SOURCE_DEADLINE = "deadline"        #: expired in the queue before decoding
+SOURCE_SHED = "shed"                #: displaced from a full queue under pressure
 
 #: Serving-only terminal outcomes (alongside ``RevisionOutcome`` values).
 OUTCOME_EXPIRED = "expired"
 OUTCOME_QUALITY_GATED = "quality_gated"
+OUTCOME_SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -39,13 +41,21 @@ class RevisionResult:
 
 
 class RevisionFuture:
-    """Write-once future resolved by the serving worker."""
+    """Write-once future resolved by the serving worker.
 
-    __slots__ = ("_event", "_result")
+    Resolution is terminal and exclusive: exactly one of
+    :meth:`set_result` / :meth:`set_exception` may land, once — a second
+    resolution attempt raises.  A future resolved with an exception
+    (e.g. :class:`~repro.errors.WorkerLostError` after a fleet worker's
+    retry budget is spent) re-raises it from :meth:`result`.
+    """
+
+    __slots__ = ("_event", "_result", "_exception")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: RevisionResult | None = None
+        self._exception: BaseException | None = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -56,12 +66,28 @@ class RevisionFuture:
         self._result = result
         self._event.set()
 
+    def set_exception(self, exception: BaseException) -> None:
+        if self._event.is_set():
+            raise ServingError("revision future already resolved")
+        self._exception = exception
+        self._event.set()
+
+    def exception(self) -> BaseException | None:
+        """The resolving exception, or ``None`` (unresolved / has result)."""
+        return self._exception
+
     def result(self, timeout: float | None = None) -> RevisionResult:
-        """Block until resolved; raises :class:`ServingError` on timeout."""
+        """Block until resolved; raises :class:`ServingError` on timeout.
+
+        Re-raises the resolving exception when the request terminated
+        with one instead of a result.
+        """
         if not self._event.wait(timeout):
             raise ServingError(
                 f"timed out after {timeout}s waiting for a revision result"
             )
+        if self._exception is not None:
+            raise self._exception
         assert self._result is not None
         return self._result
 
@@ -76,3 +102,4 @@ class RevisionTask:
     submitted_at: float         #: monotonic
     deadline: float | None      #: monotonic, absolute; None = never expires
     priority: int = 0
+    requeues: int = 0           #: times re-dispatched after losing a fleet worker

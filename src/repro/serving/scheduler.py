@@ -45,12 +45,38 @@ class EngineJob:
     passed, the scheduler resolves it through ``on_expired`` instead of
     (or in place of) spending further engine work on it.  Jobs without a
     deadline never expire.
+
+    A job resolves **exactly once**: the scheduler routes every terminal
+    transition through :meth:`resolve_done` / :meth:`resolve_expired`,
+    which flip a one-way latch before invoking the callback.  Whatever
+    interleaving of submit-time expiry, in-flight expiry, completion and
+    drain races to the latch, only the first transition fires its
+    callback — the rest are no-ops, so a future behind ``on_done`` can
+    never be double-resolved or stranded by a lost second path.
     """
 
     request: GenerationRequest
     on_done: Callable[[list[int]], None]
     deadline: float | None = None
     on_expired: Callable[[], None] | None = None
+    _terminal: bool = False
+
+    def resolve_done(self, tokens: list[int]) -> bool:
+        """Fire ``on_done`` if no terminal callback ran yet; True if fired."""
+        if self._terminal:
+            return False
+        self._terminal = True
+        self.on_done(tokens)
+        return True
+
+    def resolve_expired(self) -> bool:
+        """Fire ``on_expired`` (if any) exactly once; True if this call won."""
+        if self._terminal:
+            return False
+        self._terminal = True
+        if self.on_expired is not None:
+            self.on_expired()
+        return True
 
 
 class StreamingScheduler:
@@ -100,8 +126,7 @@ class StreamingScheduler:
         ``None`` is returned instead of a sequence id.
         """
         if job.deadline is not None and time.monotonic() > job.deadline:
-            if job.on_expired is not None:
-                job.on_expired()
+            job.resolve_expired()
             return None
         seq_id = self.engine.submit(job.request)
         self._jobs[seq_id] = job
@@ -126,8 +151,7 @@ class StreamingScheduler:
         for seq_id, job in overdue:
             if self.engine.cancel(seq_id):
                 del self._jobs[seq_id]
-                if job.on_expired is not None:
-                    job.on_expired()
+                job.resolve_expired()
         if not overdue:
             self._has_deadlines = any(
                 job.deadline is not None for job in self._jobs.values()
@@ -152,18 +176,41 @@ class StreamingScheduler:
                 sum(len(tokens) for tokens in done.values()), busy
             )
         completed = 0
+        first_error: BaseException | None = None
         for seq_id, tokens in done.items():
             job = self._jobs.pop(seq_id, None)
             if job is None:
                 # Residue of a cancelled (expired) job this same round.
                 continue
-            completed += 1
-            job.on_done(tokens)
+            try:
+                if job.resolve_done(tokens):
+                    completed += 1
+            except Exception as exc:  # noqa: BLE001 - callback-owned failure
+                # A raising on_done must not strand the *other* jobs that
+                # finished this round; dispatch them all, then surface the
+                # first failure to the pump driver.
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
         return completed
 
     def drain(self) -> int:
-        """Pump until the engine is empty; returns total jobs completed."""
+        """Pump until the engine is empty; returns total jobs completed.
+
+        Finishes with a safety sweep: any job the scheduler still tracks
+        once the engine reports no work (a cancellation the engine
+        absorbed without a completion record, or expiry racing the final
+        pump) is resolved through its expiry path — exactly once, via the
+        job's terminal latch — so no future outlives a drain unresolved.
+        """
         total = 0
         while self.engine.has_work:
             total += self.pump()
+        if self._jobs:
+            leaked = list(self._jobs.values())
+            self._jobs.clear()
+            self._has_deadlines = False
+            for job in leaked:
+                job.resolve_expired()
         return total

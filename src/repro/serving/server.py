@@ -192,6 +192,23 @@ class RevisionServer:
         """Synchronous helper: submit one pair and wait for its result."""
         return self.submit(pair).result(timeout)
 
+    # -- observability (the HTTP front-end's service protocol) -------------------
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` payload: counters + queue depth + engine gauges."""
+        return self.metrics.snapshot(
+            queue_depth=self.queue.depth, engine=self.scheduler.kv_stats()
+        )
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload: liveness plus the headroom gauges."""
+        engine = self.scheduler.kv_stats()
+        return {
+            "status": "ok",
+            "queue_depth": self.queue.depth,
+            "free_slots": engine["free_slots"],
+            "free_pages": engine.get("free_pages"),
+        }
+
     # -- worker ------------------------------------------------------------------
     def _run(self) -> None:
         scheduler = self.scheduler

@@ -1,5 +1,7 @@
 """Tests for the artifact cache, workbench and experiment registry."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -89,6 +91,76 @@ def test_cache_writes_are_atomic(tmp_path, monkeypatch):
     cache.save_weights("model", "k", state)
     assert np.array_equal(cache.load_weights("model", "k")["w"], state["w"])
     assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_cache_get_json_quarantines_torn_write(tmp_path):
+    """A truncated json blob (writer killed mid-save on a pre-hardening
+    layout, or a torn disk) reads as a miss: get_json returns None, the
+    corrupt bytes are quarantined aside for inspection, and a re-save
+    heals the key."""
+    cache = ArtifactCache(tmp_path)
+    cache.save_json("meta", "k", {"version": 1})
+    path = tmp_path / "meta-k.json"
+    path.write_text('{"version": 1, "trunca', encoding="utf-8")
+
+    assert cache.get_json("meta", "k") is None
+    assert not path.exists()
+    quarantined = list(tmp_path.glob("meta-k.json.corrupt-*"))
+    assert len(quarantined) == 1
+    assert quarantined[0].read_text(encoding="utf-8").startswith('{"version"')
+
+    # The key heals on the next save; the quarantine file stays around.
+    cache.save_json("meta", "k", {"version": 2})
+    assert cache.get_json("meta", "k") == {"version": 2}
+    assert len(list(tmp_path.glob("meta-k.json.corrupt-*"))) == 1
+
+
+def test_cache_get_json_misses_and_disabled(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    assert cache.get_json("meta", "absent") is None
+    cache.save_json("meta", "k", [1, 2])
+    assert cache.get_json("meta", "k") == [1, 2]
+    off = ArtifactCache(tmp_path, enabled=False)
+    assert off.get_json("meta", "k") is None
+
+
+def test_cache_concurrent_multiprocess_writers_one_key(tmp_path):
+    """N processes hammering one json key concurrently: every read ever
+    observed is one of the complete payloads — never a torn mixture —
+    and the survivor parses clean.  Exercises the per-key flock path
+    across real process boundaries."""
+    import multiprocessing
+
+    cache = ArtifactCache(tmp_path)
+
+    def writer(worker: int) -> None:
+        worker_cache = ArtifactCache(tmp_path)
+        for i in range(20):
+            worker_cache.save_json(
+                "meta", "shared", {"worker": worker, "i": i, "pad": "x" * 4096}
+            )
+
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=writer, args=(w,)) for w in range(4)]
+    for p in procs:
+        p.start()
+    corrupt = 0
+    deadline = time.monotonic() + 120
+    while any(p.is_alive() for p in procs) and time.monotonic() < deadline:
+        blob = cache.get_json("meta", "shared")
+        if blob is not None:
+            assert set(blob) == {"worker", "i", "pad"}
+            assert blob["pad"] == "x" * 4096
+        else:
+            corrupt += 1
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    # No torn write was ever quarantined; the final artifact is healthy.
+    assert corrupt == 0
+    assert not list(tmp_path.glob("*.corrupt-*"))
+    final = cache.load_json("meta", "shared")
+    assert final["i"] == 19  # type: ignore[index]
 
 
 def test_cache_records_roundtrip(tmp_path, rng):

@@ -42,6 +42,7 @@ from repro.serving import (
     SOURCE_DEDUP,
     SOURCE_ENGINE,
     SOURCE_GATE,
+    SOURCE_SHED,
     StreamingScheduler,
 )
 from repro.serving.requests import RevisionResult
@@ -573,6 +574,88 @@ def test_scheduler_pump_expires_overdue_engine_job(coach):
     assert live_done == [model.generate(prompt_live, 6)]
 
 
+def test_engine_job_terminal_callbacks_fire_exactly_once(coach):
+    """The EngineJob terminal latch: whichever of done/expired lands
+    first wins, and every later transition is a silent no-op — no
+    interleaving of expiry and completion can double-resolve a future."""
+    done_calls: list[list[int]] = []
+    expired_calls: list[str] = []
+    job = EngineJob(
+        GenerationRequest([5, 6, 7], 4, eos_id=None),
+        on_done=done_calls.append,
+        deadline=time.monotonic() + 60.0,
+        on_expired=lambda: expired_calls.append("dead"),
+    )
+    assert job.resolve_done([1, 2]) is True
+    assert job.resolve_done([3, 4]) is False
+    assert job.resolve_expired() is False
+    assert done_calls == [[1, 2]] and expired_calls == []
+
+    job2 = EngineJob(
+        GenerationRequest([5, 6, 7], 4, eos_id=None),
+        on_done=done_calls.append,
+        on_expired=lambda: expired_calls.append("dead"),
+    )
+    assert job2.resolve_expired() is True
+    assert job2.resolve_expired() is False
+    assert job2.resolve_done([9]) is False
+    assert done_calls == [[1, 2]] and expired_calls == ["dead"]
+
+
+def test_scheduler_raising_on_done_does_not_strand_batchmates(coach):
+    """A completion callback that raises must not swallow the other
+    completions of the same pump round: every batchmate's on_done still
+    fires, then the first error surfaces to the pump driver."""
+    model = coach.model
+    rng = np.random.default_rng(21)
+    scheduler = StreamingScheduler(BatchedEngine(model, max_batch=3))
+    done: list[int] = []
+
+    def make_done(index: int):
+        def on_done(tokens: list[int]) -> None:
+            done.append(index)
+            if index == 0:
+                raise RuntimeError("callback bug")
+        return on_done
+
+    # Identical budgets, no EOS: all three complete on the same step.
+    prompt = list(rng.integers(5, 100, size=6))
+    for index in range(3):
+        scheduler.submit(
+            EngineJob(GenerationRequest(prompt, 3, eos_id=None), make_done(index))
+        )
+    with pytest.raises(RuntimeError, match="callback bug"):
+        scheduler.drain()
+    # The raising callback ran AND both batchmates were still dispatched.
+    assert sorted(done) == [0, 1, 2]
+    assert scheduler.in_flight == 0
+    # The engine is clean: drain after the error finds nothing to do.
+    assert scheduler.drain() == 0
+
+
+def test_scheduler_drain_sweep_resolves_externally_cancelled_job(coach):
+    """drain() must never return while a tracked job is unresolved: a job
+    the engine lost track of (cancelled behind the scheduler's back) is
+    resolved through its expiry path by the final safety sweep."""
+    model = coach.model
+    rng = np.random.default_rng(22)
+    scheduler = StreamingScheduler(BatchedEngine(model, max_batch=2))
+    expired: list[str] = []
+    seq_id = scheduler.submit(
+        EngineJob(
+            GenerationRequest(list(rng.integers(5, 100, size=6)), 4, eos_id=None),
+            on_done=lambda tokens: pytest.fail("cancelled job must not complete"),
+            on_expired=lambda: expired.append("swept"),
+        )
+    )
+    assert seq_id is not None
+    # Simulate a cancellation the scheduler didn't perform itself.
+    assert scheduler.engine.cancel(seq_id)
+    scheduler.drain()
+    assert expired == ["swept"]
+    assert scheduler.in_flight == 0
+
+
 def test_server_expires_deadline_missed_job_waiting_in_engine(coach, dataset):
     """End-to-end: a job stuck behind a full fleet past its deadline is
     expired by the scheduler sweep instead of decoding after the miss."""
@@ -741,6 +824,9 @@ def test_http_metrics_schema_is_stable(coach, dataset):
         "by_source",
         "engine_tokens",
         "engine_busy_s",
+        "requeued",
+        "worker_lost",
+        "duplicate_results",
         "latency_p50_s",
         "latency_p95_s",
         "tokens_per_sec",
@@ -753,7 +839,12 @@ def test_http_metrics_schema_is_stable(coach, dataset):
         SOURCE_DEDUP,
         SOURCE_GATE,
         SOURCE_DEADLINE,
+        SOURCE_SHED,
     }
+    # Fault-tolerance counters exist (and stay zero) in a single process.
+    assert metrics["requeued"] == 0
+    assert metrics["worker_lost"] == 0
+    assert metrics["duplicate_results"] == 0
     for key in ("submitted", "completed", "rejected", "engine_tokens"):
         assert isinstance(metrics[key], int)
     for key in (
