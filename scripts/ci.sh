@@ -24,6 +24,14 @@
 #   REPRO_FUZZ_FAULTS     on (set below) unlocks the full budget
 #   REPRO_FLEET_SCENARIOS seeded FaultPlan count (CI default 40)
 #   REPRO_FLEET_TIMEOUT_S wall-clock guard for the whole leg (default 300)
+#
+# The scoring leg runs the mixed score/generate-traffic parity fuzz
+# (tests/test_fuzz_scoring.py) at its full CI budget, also under a hard
+# timeout: every scoring job must stay bitwise-identical to the
+# sequential teacher-forced reference with generation traffic and
+# cancellations interleaved.  Knobs:
+#   REPRO_FUZZ_SCORING     on (set below) unlocks the full budget
+#   REPRO_SCORING_TIMEOUT_S wall-clock guard for the leg (default 300)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -50,3 +58,9 @@ timeout --signal=TERM --kill-after=30 "${REPRO_FLEET_TIMEOUT_S:-300}" \
     env REPRO_FUZZ_FAULTS=on \
     REPRO_FLEET_SCENARIOS="${REPRO_FLEET_SCENARIOS:-40}" \
     python -m pytest tests/test_fuzz_fleet.py -q
+
+echo "== scoring: mixed score/generate-traffic bitwise-parity fuzz =="
+timeout --signal=TERM --kill-after=30 "${REPRO_SCORING_TIMEOUT_S:-300}" \
+    env REPRO_FUZZ_SCORING=on \
+    REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+    python -m pytest tests/test_fuzz_scoring.py -q

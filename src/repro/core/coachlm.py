@@ -38,6 +38,8 @@ class RevisionOutcome(enum.Enum):
     LEAKAGE_SKIPPED = "leakage_skipped"    #: instruction seen in training (~1.3%)
     PROMPT_TOO_LONG = "prompt_too_long"    #: original exceeds the context window
     UNCHANGED = "unchanged"                 #: coach chose to keep the pair
+    NOT_SELECTED = "not_selected"           #: below the IFD top-k revision cut
+    REVIEW_REJECTED = "review_rejected"     #: revision failed the score self-review
 
 
 @dataclass
@@ -347,6 +349,8 @@ class CoachLM:
         prefill_chunk_tokens: int | None = None,
         prefill_concurrency: int = 1,
         kv_page_tokens: int | None = None,
+        revise_top_k: int | None = None,
+        self_review: bool = False,
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
 
@@ -360,12 +364,43 @@ class CoachLM:
         usually leave chunking off).  ``kv_page_tokens`` switches the
         engine to the paged KV pool (memory scales with live tokens;
         identical tokens out).
+
+        ``revise_top_k`` spends the decode budget where it helps most:
+        teacher-force score the whole dataset (one batched
+        :meth:`BatchedEngine.score` pass), rank by IFD, and revise only
+        the ``k`` hardest pairs — the rest keep their text with outcome
+        ``NOT_SELECTED``.  ``self_review`` closes the loop on every
+        claimed revision: accept it only when it lowers response
+        perplexity or improves IFD (else revert, ``REVIEW_REJECTED``),
+        and feed accepted revisions back through the coach once more,
+        keeping whichever round scored best.
         """
         if self.model is None:
             raise ModelError("CoachLM has no model")
         pairs = list(dataset)
+
+        verdicts: list = []
+        eligible: set[int] | None = None
+        if revise_top_k is not None or self_review:
+            from ..scoring.ifd import dataset_ifd
+
+            verdicts = dataset_ifd(
+                self.model, self.tokenizer, pairs,
+                batch_size=batch_size, kv_page_tokens=kv_page_tokens,
+            )
+        if revise_top_k is not None:
+            from ..scoring.selection import select_top_k
+
+            selected, _rest = select_top_k(verdicts, revise_top_k)
+            eligible = set(selected)
+
         # Gate every pair first; only eligible ones enter the decode fleet.
-        gated = [self._pre_generate(pair) for pair in pairs]
+        gated: list[tuple[list[int] | None, RevisionOutcome | None]] = []
+        for i, pair in enumerate(pairs):
+            if eligible is not None and i not in eligible:
+                gated.append((None, RevisionOutcome.NOT_SELECTED))
+            else:
+                gated.append(self._pre_generate(pair))
         requests = [
             self._revision_request(prompt, pair)
             for pair, (prompt, _) in zip(pairs, gated)
@@ -380,17 +415,93 @@ class CoachLM:
         )
         outputs = iter(engine.generate(requests))
 
-        stats = RevisionStats()
-        revised_pairs: list[InstructionPair] = []
+        results: list[tuple[InstructionPair, RevisionOutcome]] = []
         for pair, (prompt, outcome) in zip(pairs, gated):
             if prompt is None:
                 assert outcome is not None
-                revised = pair
+                results.append((pair, outcome))
             else:
-                revised, outcome = self._post_generate(pair, next(outputs))
+                results.append(self._post_generate(pair, next(outputs)))
+
+        if self_review:
+            self._self_review_pass(
+                pairs, results, verdicts, engine, batch_size, kv_page_tokens
+            )
+
+        stats = RevisionStats()
+        revised_pairs: list[InstructionPair] = []
+        for revised, outcome in results:
             stats.record(outcome)
             revised_pairs.append(revised)
         return (
             InstructionDataset(revised_pairs, name=f"{dataset.name}-coachlm"),
             stats,
         )
+
+    def _self_review_pass(
+        self,
+        pairs: list[InstructionPair],
+        results: list[tuple[InstructionPair, RevisionOutcome]],
+        verdicts: list,
+        engine: BatchedEngine,
+        batch_size: int,
+        kv_page_tokens: int | None,
+    ) -> None:
+        """Score-check claimed revisions in place (revise→score→re-revise).
+
+        Each round batch-scores the current candidates against the best
+        accepted version so far (round 0 baseline: the original pair's
+        IFD), reverts rejections, and re-revises acceptances once —
+        scoring rides :meth:`BatchedEngine.score`, so the whole pass
+        costs two teacher-forced forwards per candidate per round.
+        Pairs whose original could not be scored are left unreviewed.
+        """
+        from ..scoring.ifd import dataset_ifd
+        from ..scoring.review import review_revision
+
+        review_idx = [
+            i for i, (_, outcome) in enumerate(results)
+            if outcome is RevisionOutcome.REVISED and verdicts[i] is not None
+        ]
+        if not review_idx:
+            return
+        best = {i: (pairs[i], verdicts[i]) for i in review_idx}
+        candidates = [(i, results[i][0]) for i in review_idx]
+        max_rounds = 2  # the initial revision + one re-revise
+        for round_no in range(max_rounds):
+            cand_verdicts = dataset_ifd(
+                self.model, self.tokenizer,
+                [candidate for _, candidate in candidates],
+                batch_size=batch_size, kv_page_tokens=kv_page_tokens,
+            )
+            accepted: list[int] = []
+            for (i, candidate), verdict in zip(candidates, cand_verdicts):
+                decision = review_revision(best[i][1], verdict)
+                if decision.accepted:
+                    best[i] = (candidate, verdict)
+                    accepted.append(i)
+            candidates = []
+            if round_no + 1 >= max_rounds or not accepted:
+                break
+            # Feed accepted revisions back through the coach.  Greedy
+            # decoding is deterministic, so only a *changed* pair is
+            # worth a second look.
+            regated = [(i, self._pre_generate(best[i][0])) for i in accepted]
+            requests = [
+                self._revision_request(prompt, best[i][0])
+                for i, (prompt, _) in regated
+                if prompt is not None
+            ]
+            outputs = iter(engine.generate(requests))
+            for i, (prompt, _) in regated:
+                if prompt is None:
+                    continue
+                candidate, outcome = self._post_generate(best[i][0], next(outputs))
+                if outcome is RevisionOutcome.REVISED:
+                    candidates.append((i, candidate))
+        for i in review_idx:
+            best_pair, _ = best[i]
+            if best_pair is pairs[i]:
+                results[i] = (pairs[i], RevisionOutcome.REVIEW_REJECTED)
+            else:
+                results[i] = (best_pair, RevisionOutcome.REVISED)

@@ -32,6 +32,8 @@ from .decoding import (
     GenerationRequest,
     InductionCopyBias,
     PagedKVCaches,
+    ScoringRequest,
+    SequenceScore,
     SlotKVCaches,
 )
 from .lora import LoRALinear, apply_lora, lora_parameters, merge_lora
@@ -51,6 +53,8 @@ __all__ = [
     "GenerationRequest",
     "InductionCopyBias",
     "PagedKVCaches",
+    "ScoringRequest",
+    "SequenceScore",
     "SlotKVCaches",
     "LoRALinear",
     "apply_lora",

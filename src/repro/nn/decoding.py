@@ -162,6 +162,59 @@ class GenerationRequest:
             self.logit_bias = self.logit_bias.astype(np.float32)
 
 
+@dataclass
+class ScoringRequest:
+    """One teacher-forced scoring job: ``log P(completion | prompt)``.
+
+    Unlike a :class:`GenerationRequest` the engine decodes nothing — it
+    computes the completion's per-token logprobs under the model, with
+    the prompt as conditioning context.  The data-selection workloads
+    (IFD difficulty, perplexity gating) are built from pairs of these.
+    """
+
+    prompt_ids: list[int]
+    completion_ids: list[int]
+
+
+@dataclass(frozen=True)
+class SequenceScore:
+    """Teacher-forced score of one sequence: per-token logprobs + summaries.
+
+    ``token_logprobs`` is the float64 ``(S,)`` array from
+    :meth:`TransformerLM.sequence_logprobs` — entry ``j`` is
+    ``log P(completion[j] | prompt + completion[:j])``.  Every derived
+    quantity below is computed from it on demand, so two scores with
+    bitwise-equal ``token_logprobs`` agree bitwise on all of them.
+    """
+
+    token_logprobs: np.ndarray
+
+    @property
+    def n_tokens(self) -> int:
+        """Scored (completion) tokens."""
+        return int(self.token_logprobs.shape[0])
+
+    @property
+    def sum_logprob(self) -> float:
+        """``log P(completion | prompt)`` — the summed sequence logprob."""
+        return float(self.token_logprobs.sum())
+
+    @property
+    def token_nll(self) -> np.ndarray:
+        """Per-token negative log-likelihoods, float64 ``(S,)``."""
+        return -self.token_logprobs
+
+    @property
+    def mean_nll(self) -> float:
+        """Mean per-token NLL (the cross-entropy of the completion)."""
+        return float(-self.token_logprobs.mean())
+
+    @property
+    def perplexity(self) -> float:
+        """``exp(mean_nll)`` — the conventional perplexity."""
+        return float(np.exp(-self.token_logprobs.mean()))
+
+
 class InductionCopyBias:
     """Precomputed induction-head bias: suffix-match followers of a prompt.
 
@@ -1149,7 +1202,8 @@ class BatchedEngine:
         self._slots: list[_SlotState | None] = [None] * max_batch
         self._n_active = 0
         self._pending: deque[tuple[int, GenerationRequest]] = deque()
-        self._finished: dict[int, list[int]] = {}
+        self._pending_scores: deque[tuple[int, ScoringRequest]] = deque()
+        self._finished: dict[int, list[int] | SequenceScore | None] = {}
         self._next_id = 0
         #: Mid-prefill requests (chunked admission), parked contiguously
         #: at slots ``self._n_active ..`` — just past the decode fleet.
@@ -1188,6 +1242,35 @@ class BatchedEngine:
         self._pending.append((seq_id, request))
         return seq_id
 
+    def _validate_score(self, request: ScoringRequest) -> None:
+        if not request.prompt_ids:
+            raise GenerationError("scoring needs a non-empty prompt")
+        if not request.completion_ids:
+            raise GenerationError("scoring needs a non-empty completion")
+        total = len(request.prompt_ids) + len(request.completion_ids)
+        if total > self.model.config.max_seq_len:
+            raise GenerationError(
+                f"sequence length {total} exceeds context "
+                f"{self.model.config.max_seq_len}"
+            )
+
+    def submit_score(self, request: ScoringRequest) -> int:
+        """Enqueue one teacher-forced scoring job; returns its sequence id.
+
+        Scoring jobs share the engine's sequence-id space and streaming
+        ``step``/``collect`` loop with generation requests, but occupy no
+        KV slot and reserve no pages: each job is one cache-free forward
+        at the lone-sequence shape (see :meth:`_score_admit`), so mixing
+        score traffic into a decode fleet can never change a generated
+        token.  :meth:`collect` yields the job's
+        :class:`SequenceScore` in place of a token list.
+        """
+        self._validate_score(request)
+        seq_id = self._next_id
+        self._next_id += 1
+        self._pending_scores.append((seq_id, request))
+        return seq_id
+
     def cancel(self, seq_id: int) -> bool:
         """Abandon one submitted sequence; returns True when it was live.
 
@@ -1203,6 +1286,13 @@ class BatchedEngine:
             if sid == seq_id:
                 del self._pending[i]
                 self._finished[seq_id] = []
+                return True
+        for i, (sid, _request) in enumerate(self._pending_scores):
+            if sid == seq_id:
+                # A cancelled scoring job yields no score at all (``None``)
+                # — the scoring analogue of a queued generation's ``[]``.
+                del self._pending_scores[i]
+                self._finished[seq_id] = None
                 return True
         for i, state in enumerate(self._prefilling):
             if state.seq_id == seq_id:
@@ -1245,6 +1335,11 @@ class BatchedEngine:
         return len(self._pending)
 
     @property
+    def n_pending_scores(self) -> int:
+        """Scoring jobs waiting for a step's score phase."""
+        return len(self._pending_scores)
+
+    @property
     def free_capacity(self) -> int:
         """Slots the engine can absorb before submissions queue behind others."""
         return (
@@ -1258,6 +1353,7 @@ class BatchedEngine:
     def has_work(self) -> bool:
         return (
             bool(self._pending)
+            or bool(self._pending_scores)
             or self._n_active > 0
             or bool(self._prefilling)
         )
@@ -1276,6 +1372,7 @@ class BatchedEngine:
             "n_active": self._n_active,
             "n_prefilling": len(self._prefilling),
             "n_pending": len(self._pending),
+            "n_pending_scores": len(self._pending_scores),
             "free_slots": max(self.free_capacity, 0),
         }
         caches = self._caches
@@ -1707,17 +1804,45 @@ class BatchedEngine:
             state.prefilled += 1
         return logits
 
+    # -- scoring phase -----------------------------------------------------------
+    def _score_admit(self) -> None:
+        """Run up to ``max_batch`` queued scoring jobs through the model.
+
+        Each job is one cache-free forward at the lone-sequence ``(1, T)``
+        shape via :meth:`TransformerLM.sequence_logprobs` — the
+        bitwise-pinned sequential reference itself, because batched trunk
+        GEMMs round differently from single-row GEMMs at the last ulp and
+        a pinned *score* (unlike a greedy token) has no argmax margin to
+        hide behind.  Batching therefore lives at this intake layer: a
+        step scores at most ``max_batch`` jobs, so a scoring burst delays
+        in-flight decodes by a bounded number of forwards per step, and
+        score jobs touch no KV slot, no page, and no reservation — they
+        cannot perturb the generation fleet they share the loop with.
+        """
+        for _ in range(min(self.max_batch, len(self._pending_scores))):
+            seq_id, request = self._pending_scores.popleft()
+            self._finished[seq_id] = SequenceScore(
+                self.model.sequence_logprobs(
+                    request.prompt_ids, request.completion_ids
+                )
+            )
+
     # -- streaming loop ----------------------------------------------------------
     def step(self) -> int:
-        """Run one engine round: prefill, decode, retire.
+        """Run one engine round: score, prefill, decode, retire.
 
         Returns the number of sequences that finished during this call
         (prefill-time instant finishes included); a no-op when idle.
         """
         if not self.has_work:
             return 0
-        self._ensure_state()
         before = len(self._finished)
+        if self._pending_scores:
+            self._score_admit()
+        if not (self._pending or self._n_active or self._prefilling):
+            # Pure scoring traffic: no KV state to allocate or advance.
+            return len(self._finished) - before
+        self._ensure_state()
         plan = self._admit()
         n_active = self._n_active
         n_rows = n_active + len(plan)
@@ -1786,8 +1911,13 @@ class BatchedEngine:
             self._admit()
         return len(self._finished) - before
 
-    def collect(self) -> dict[int, list[int]]:
-        """Pop every finished result as ``{seq_id: produced tokens}``."""
+    def collect(self) -> dict[int, list[int] | SequenceScore | None]:
+        """Pop every finished result keyed by sequence id.
+
+        Generation requests yield their produced token list; scoring
+        jobs yield a :class:`SequenceScore` (or ``None`` when cancelled
+        before their score phase ran).
+        """
         finished = self._finished
         self._finished = {}
         return finished
@@ -1804,6 +1934,28 @@ class BatchedEngine:
             if self.step() == 0 and not self.has_work:
                 raise GenerationError(
                     "engine drained without finishing all requests "
+                    "(collect() called concurrently?)"
+                )
+        return [self._finished.pop(seq_id) for seq_id in ids]
+
+    def score(self, requests: list[ScoringRequest]) -> list[SequenceScore]:
+        """Teacher-force score every request and return results in order.
+
+        The run-to-completion analogue of :meth:`generate` for scoring
+        traffic: validates the whole list up front, enqueues everything,
+        and drives :meth:`step` until every job has a
+        :class:`SequenceScore`.  Safe to interleave with in-flight
+        generation work — score jobs ride the same step loop without
+        touching KV state.
+        """
+        for request in requests:
+            self._validate_score(request)
+        ids = [self.submit_score(request) for request in requests]
+        remaining = set(ids)
+        while remaining - self._finished.keys():
+            if self.step() == 0 and not self.has_work:
+                raise GenerationError(
+                    "engine drained without finishing all scoring requests "
                     "(collect() called concurrently?)"
                 )
         return [self._finished.pop(seq_id) for seq_id in ids]

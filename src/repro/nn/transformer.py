@@ -444,6 +444,7 @@ class TransformerLM(Module):
         pack_spans: np.ndarray | None = None,
         token_positions: np.ndarray | None = None,
         last_only: bool = False,
+        logit_positions: np.ndarray | None = None,
     ) -> np.ndarray:
         """Inference forward.
 
@@ -465,8 +466,17 @@ class TransformerLM(Module):
         GEMM over a whole prompt is otherwise the single largest matmul
         of the forward; the return value is then ``(B, 1, V)``, except
         with ``pack_spans`` where each packed sequence's last token is
-        gathered instead: ``(1, n_rows, V)``.
+        gathered instead: ``(1, n_rows, V)``.  ``logit_positions``
+        generalises ``last_only`` for teacher-forced scoring: an index
+        array gathering exactly the token positions whose logits are
+        consumed before the final norm + head, so the full-vocab GEMM
+        runs only over scored positions; the return value is then
+        ``(B, len(logit_positions), V)``.
         """
+        if logit_positions is not None and (last_only or pack_spans is not None):
+            raise GenerationError(
+                "logit_positions is exclusive with last_only/pack_spans"
+            )
         idx = np.asarray(idx)
         b, t = idx.shape
         if token_positions is not None:
@@ -505,6 +515,8 @@ class TransformerLM(Module):
                 x = x[:, pack_spans[1:] - 1, :]
             else:
                 x = x[:, -1:, :]
+        elif logit_positions is not None:
+            x = x[:, logit_positions, :]
         x = self.ln_f.forward_numpy(x)
         if self.head is None:
             return x @ self.tok_emb.weight.data.T
@@ -567,11 +579,63 @@ class TransformerLM(Module):
         """Full-sequence logits on the inference path (no cache)."""
         return self._forward_numpy(np.asarray(idx), caches=None)
 
+    def sequence_logprobs(
+        self, prompt_ids: list[int], completion_ids: list[int]
+    ) -> np.ndarray:
+        """Teacher-forced per-token log P(completion | prompt), float64 ``(S,)``.
+
+        One cache-free forward over ``prompt + completion`` at the
+        lone-sequence ``(1, T)`` shape; ``logit_positions`` restricts the
+        final norm + full-vocab head to exactly the ``len(completion)``
+        positions that *predict* a completion token (position ``i``
+        predicts token ``i + 1``), so the head GEMM never touches the
+        prompt interior.  Entry ``j`` is ``log P(completion[j] |
+        prompt + completion[:j])`` under a numerically stable float64
+        log-softmax.
+
+        This is the sequential scoring **reference**:
+        :meth:`BatchedEngine.score` routes every scoring job through this
+        exact method (batching happens at the scheduling layer, never
+        inside a trunk GEMM), because BLAS kernel selection varies with
+        GEMM shapes — a batched row's logits differ from a lone-sequence
+        forward in the last ulp, which greedy decoding shrugs off but a
+        bitwise-pinned score must not.
+        """
+        if not prompt_ids:
+            raise GenerationError("scoring needs a non-empty prompt")
+        if not completion_ids:
+            raise GenerationError("scoring needs a non-empty completion")
+        tokens = list(prompt_ids) + list(completion_ids)
+        if len(tokens) > self.config.max_seq_len:
+            raise GenerationError(
+                f"sequence length {len(tokens)} exceeds context "
+                f"{self.config.max_seq_len}"
+            )
+        idx = np.asarray([tokens], dtype=np.int64)
+        positions = np.arange(len(prompt_ids) - 1, len(tokens) - 1)
+        logits = self._forward_numpy(idx, caches=None, logit_positions=positions)
+        targets = np.asarray(completion_ids, dtype=np.int64)
+        return _token_logprobs(logits[0], targets)
+
     def clone(self) -> "TransformerLM":
         """Deep copy: same config, copied weights, fresh tape."""
         twin = TransformerLM(self.config, np.random.default_rng(0))
         twin.load_state_dict(self.state_dict())
         return twin
+
+
+def _token_logprobs(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Stable log-softmax gather: ``log P(targets[i])`` from ``logits[i]``.
+
+    Promotes to float64 before the reduction so the summed sequence
+    logprob (and the perplexity derived from it) is reproducible to the
+    last bit regardless of the float32 logits' dynamic range.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    m = logits.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(logits - m).sum(axis=-1)) + m[..., 0]
+    rows = np.arange(logits.shape[0])
+    return logits[rows, targets] - lse
 
 
 def _sample_top_k(logits: np.ndarray, k: int, rng: np.random.Generator) -> int:

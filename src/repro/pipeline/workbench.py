@@ -202,10 +202,25 @@ class Workbench:
         return coach
 
     def coachlm_revised_dataset(
-        self, alpha: float = 0.3, backbone_name: str = "chatglm2-sim"
+        self,
+        alpha: float = 0.3,
+        backbone_name: str = "chatglm2-sim",
+        revise_top_k: int | None = None,
+        self_review: bool = False,
     ) -> tuple[InstructionDataset, RevisionStats | None]:
-        """The CoachLM-revised ALPACA52K simulacrum (Eq. (2))."""
-        key = self._scale_key({"revised_by": backbone_name, "alpha": alpha})
+        """The CoachLM-revised ALPACA52K simulacrum (Eq. (2)).
+
+        ``revise_top_k`` restricts revision to the hardest pairs by IFD
+        (see :mod:`repro.scoring.selection`); ``self_review`` adds the
+        revise→score→re-revise acceptance loop.  Both knobs are part of
+        the cache key, so selected and full revisions coexist on disk.
+        """
+        extra: dict = {"revised_by": backbone_name, "alpha": alpha}
+        if revise_top_k is not None:
+            extra["revise_top_k"] = revise_top_k
+        if self_review:
+            extra["self_review"] = True
+        key = self._scale_key(extra)
         if self.cache.has_dataset("revised", key):
             stats = None
             blob = self.cache.get_json("revised-stats", key)
@@ -222,10 +237,49 @@ class Workbench:
             prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
             prefill_concurrency=self.scale.prefill_concurrency,
             kv_page_tokens=self.scale.kv_page_tokens,
+            revise_top_k=revise_top_k,
+            self_review=self_review,
         )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
         return revised, stats
+
+    def ifd_scores(
+        self, alpha: float = 0.3, backbone_name: str = "chatglm2-sim"
+    ) -> list:
+        """IFD verdicts of the coach's model over the ALPACA52K simulacrum.
+
+        One :class:`~repro.scoring.PairIFD` per pair (``None`` where the
+        pair is unscoreable), aligned with :meth:`alpaca_dataset` order
+        and JSON-cached — the selection stage behind ``revise_top_k``.
+        """
+        from ..scoring.ifd import PairIFD, dataset_ifd
+
+        memo_key = f"ifd:{backbone_name}:{alpha}"
+        if memo_key in self._memo:
+            return self._memo[memo_key]  # type: ignore[return-value]
+        key = self._scale_key({"ifd_by": backbone_name, "alpha": alpha})
+        blob = self.cache.get_json("ifd", key)
+        if blob is not None:
+            verdicts = [
+                PairIFD.from_dict(row) if row is not None else None
+                for row in blob
+            ]
+        else:
+            coach = self.coach(alpha=alpha, backbone_name=backbone_name)
+            verdicts = dataset_ifd(
+                coach.model,
+                self.tokenizer,
+                list(self.alpaca_dataset()),
+                batch_size=self.scale.gen_batch_size,
+                kv_page_tokens=self.scale.kv_page_tokens,
+            )
+            self.cache.save_json(
+                "ifd", key,
+                [v.as_dict() if v is not None else None for v in verdicts],
+            )
+        self._memo[memo_key] = verdicts
+        return verdicts
 
     # -- stage 4: training datasets of every compared model ------------------------
     def training_dataset(self, variant: str) -> InstructionDataset:

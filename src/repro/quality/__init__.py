@@ -15,6 +15,7 @@ from .dimensions import (
     LEVEL_ADVANCED,
     LEVEL_BASIC,
     LEVEL_RED_LINE,
+    PERPLEXITY_DIMENSION,
     RESPONSE_DIMENSIONS,
     Dimension,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "LEVEL_ADVANCED",
     "LEVEL_BASIC",
     "LEVEL_RED_LINE",
+    "PERPLEXITY_DIMENSION",
     "Dimension",
     "CriteriaScorer",
     "DimensionFinding",

@@ -102,6 +102,20 @@ DIMENSIONS: tuple[Dimension, ...] = INSTRUCTION_DIMENSIONS + RESPONSE_DIMENSIONS
 
 assert len(DIMENSIONS) == 10  # nine named dimensions; readability appears on both sides
 
+#: Model-backed extension of the Table II rubric (not part of the paper's
+#: nine dimensions, so deliberately excluded from :data:`DIMENSIONS`):
+#: teacher-forced response perplexity under a reference LM, the signal
+#: LIFT-style curation filters on.  Only reported when a
+#: :class:`~repro.quality.scorer.CriteriaScorer` is constructed with a
+#: perplexity backing model.
+PERPLEXITY_DIMENSION = Dimension(
+    "perplexity", SIDE_RESPONSE, LEVEL_BASIC,
+    "The response reads as predictable, well-formed text to the "
+    "reference language model: its teacher-forced perplexity stays "
+    "under the configured threshold.",
+    (40, 80),
+)
+
 
 def dimensions_for_side(side: str) -> tuple[Dimension, ...]:
     """All dimensions applying to ``instruction`` or ``response``."""

@@ -262,10 +262,61 @@ class CriteriaScorer:
         When True (default), instructions only reach the advanced band with
         an explicit context marker, mirroring the rubric's 80-100 range for
         Contextualization.
+    perplexity_model, perplexity_tokenizer, perplexity_threshold:
+        Optional model backing for the extra ``perplexity`` response
+        dimension (:data:`~repro.quality.dimensions.PERPLEXITY_DIMENSION`):
+        when both model and tokenizer are given, every response side
+        additionally reports whether its teacher-forced perplexity under
+        that LM stays below ``perplexity_threshold`` — a violated finding
+        counts as one more basic flaw.  Responses the backing cannot score
+        (longer than the model context) pass the check rather than being
+        punished for length.  Without a backing (the default) the scorer's
+        reports and scores are unchanged.
     """
 
-    def __init__(self, strict_context: bool = True):
+    def __init__(
+        self,
+        strict_context: bool = True,
+        perplexity_model=None,
+        perplexity_tokenizer=None,
+        perplexity_threshold: float = 100.0,
+    ):
         self.strict_context = strict_context
+        if (perplexity_model is None) != (perplexity_tokenizer is None):
+            raise ScoringError(
+                "perplexity backing needs both a model and a tokenizer"
+            )
+        if perplexity_threshold <= 1.0:
+            raise ScoringError(
+                f"perplexity_threshold must exceed 1.0, got {perplexity_threshold}"
+            )
+        self.perplexity_model = perplexity_model
+        self.perplexity_tokenizer = perplexity_tokenizer
+        self.perplexity_threshold = perplexity_threshold
+
+    def _perplexity_finding(self, pair: InstructionPair) -> DimensionFinding | None:
+        """The model-backed finding, or None when no backing is configured."""
+        if self.perplexity_model is None:
+            return None
+        if not pair.response_tokens:
+            return DimensionFinding("perplexity", False, "empty response")
+        from ..errors import GenerationError
+        from ..scoring.ifd import conditioned_request
+        from ..nn.decoding import SequenceScore
+
+        request = conditioned_request(self.perplexity_tokenizer, pair)
+        try:
+            logprobs = self.perplexity_model.sequence_logprobs(
+                request.prompt_ids, request.completion_ids
+            )
+        except GenerationError:
+            return DimensionFinding("perplexity", True, "unscoreable: too long")
+        ppl = SequenceScore(logprobs).perplexity
+        return DimensionFinding(
+            "perplexity",
+            ppl < self.perplexity_threshold,
+            f"ppl={ppl:.1f} threshold={self.perplexity_threshold:.1f}",
+        )
 
     # -- instruction side --------------------------------------------------------
     def score_instruction(self, pair: InstructionPair) -> SideReport:
@@ -334,6 +385,9 @@ class CriteriaScorer:
                 DimensionFinding("richness", False),
                 DimensionFinding("humanization", True),
             )
+            extra = self._perplexity_finding(pair)
+            if extra is not None:
+                findings = findings + (extra,)
             return SideReport("response", 40.0, findings)
 
         # Red line first: any unsafe content caps the score at 40.
@@ -351,6 +405,9 @@ class CriteriaScorer:
                 DimensionFinding("richness", False),
                 DimensionFinding("humanization", True),
             )
+            extra = self._perplexity_finding(pair)
+            if extra is not None:
+                findings = findings + (extra,)
             return SideReport(
                 "response", max(10.0, 38.0 - 10.0 * (unsafe_hits - 1)), findings
             )
@@ -370,6 +427,9 @@ class CriteriaScorer:
             1 for ok in (correctness_ok, relevance_ok, comprehensive_ok,
                          readability_ok) if not ok
         )
+        perplexity_finding = self._perplexity_finding(pair)
+        if perplexity_finding is not None and not perplexity_finding.satisfied:
+            basic_violations += 1
         # Humanization is *violated* only by a machine tone; a missing
         # polite coda merely forgoes the advanced bonus (Table II: the
         # 90-100 band rewards a humanised tone, it does not punish neutral
@@ -398,6 +458,8 @@ class CriteriaScorer:
             DimensionFinding("humanization", not human_violated,
                              "machine tone" if human_violated else ""),
         )
+        if perplexity_finding is not None:
+            findings = findings + (perplexity_finding,)
         return SideReport("response", float(score), findings)
 
     def _semantic_checks(

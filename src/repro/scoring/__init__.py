@@ -1,0 +1,46 @@
+"""Teacher-forced scoring and data-selection workloads.
+
+Decoding asks the model *what comes next*; this package asks it *how
+well does existing text fit* — the primitive behind a whole family of
+data-curation workloads (Reflection-Tuning's IFD selection, LIFT-style
+quality filtering, Self-Review acceptance loops; see PAPERS.md).  It
+builds on :meth:`repro.nn.decoding.BatchedEngine.score`, whose per-token
+logprobs are bitwise-pinned against the sequential
+:meth:`repro.nn.transformer.TransformerLM.sequence_logprobs` reference:
+
+* :mod:`repro.scoring.ifd` — Instruction-Following Difficulty: the
+  ratio of the response's NLL conditioned on its instruction to its
+  unconditioned NLL.  High IFD = the instruction barely helps the model
+  predict the response = a hard / poorly-aligned pair.
+* :mod:`repro.scoring.selection` — rank pairs by IFD and pick the
+  top-k so revision tokens go where CoachLM helps most.
+* :mod:`repro.scoring.review` — the revise→score→re-revise self-review
+  loop: accept a revision only when it lowers response perplexity or
+  improves IFD, then feed the accepted revision back to the coach.
+"""
+
+from .ifd import (
+    PairIFD,
+    conditioned_request,
+    dataset_ifd,
+    pair_ifd,
+    score_pair_ifd,
+    unconditioned_request,
+)
+from .review import ReviewDecision, SelfReviewResult, review_revision, self_review_revise
+from .selection import rank_by_ifd, select_top_k
+
+__all__ = [
+    "PairIFD",
+    "conditioned_request",
+    "unconditioned_request",
+    "pair_ifd",
+    "score_pair_ifd",
+    "dataset_ifd",
+    "rank_by_ifd",
+    "select_top_k",
+    "ReviewDecision",
+    "SelfReviewResult",
+    "review_revision",
+    "self_review_revise",
+]

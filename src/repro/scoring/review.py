@@ -1,0 +1,97 @@
+"""The revise→score→re-revise self-review loop (PAPERS.md Self-Review).
+
+A coach revision is a *claim* of improvement; teacher-forced scoring
+lets the model check the claim: accept a revision only when it lowers
+the response's perplexity under its (possibly revised) instruction or
+improves the pair's IFD.  Accepted revisions feed back into the coach —
+greedy decoding is deterministic, so re-revising an *unchanged* pair is
+pointless, but the accepted revision is a new input the coach may
+improve further.  The loop stops at the first rejected round, the first
+no-op revision, or ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import GenerationError
+from .ifd import PairIFD, score_pair_ifd
+
+if TYPE_CHECKING:  # no runtime import: core.coachlm imports this package
+    from ..core.coachlm import CoachLM
+
+
+@dataclass(frozen=True)
+class ReviewDecision:
+    """Verdict on one candidate revision."""
+
+    accepted: bool
+    reason: str           #: "perplexity" | "ifd" | "no_improvement" | "unscoreable"
+    before: PairIFD
+    after: PairIFD | None  #: None when the candidate could not be scored
+
+
+def review_revision(before: PairIFD, after: PairIFD | None) -> ReviewDecision:
+    """Accept iff the revision strictly lowers perplexity or IFD."""
+    if after is None:
+        return ReviewDecision(False, "unscoreable", before, after)
+    if after.response_perplexity < before.response_perplexity:
+        return ReviewDecision(True, "perplexity", before, after)
+    if after.ifd < before.ifd:
+        return ReviewDecision(True, "ifd", before, after)
+    return ReviewDecision(False, "no_improvement", before, after)
+
+
+@dataclass(frozen=True)
+class SelfReviewResult:
+    """Outcome of a full self-review loop on one pair."""
+
+    pair: InstructionPair         #: best pair found (original if nothing passed)
+    score: PairIFD                #: its IFD verdict
+    decisions: tuple[ReviewDecision, ...]  #: one per revision round attempted
+
+    @property
+    def accepted_rounds(self) -> int:
+        return sum(1 for d in self.decisions if d.accepted)
+
+    @property
+    def improved(self) -> bool:
+        return self.accepted_rounds > 0
+
+
+def self_review_revise(
+    coach: "CoachLM", pair: InstructionPair, max_rounds: int = 2
+) -> SelfReviewResult:
+    """Run the revise→score→re-revise loop on one pair.
+
+    Raises :class:`GenerationError` when the *original* pair cannot be
+    teacher-force scored (no baseline to review against); candidate
+    revisions that cannot be scored are simply rejected.
+    """
+    if coach.model is None:
+        raise GenerationError("self-review needs a coach with a model")
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    best = pair
+    best_score = score_pair_ifd(coach.model, coach.tokenizer, pair)
+    decisions: list[ReviewDecision] = []
+    for _ in range(max_rounds):
+        candidate, _outcome = coach.revise_pair(best)
+        if (
+            candidate.instruction == best.instruction
+            and candidate.response == best.response
+        ):
+            break  # coach made no change; greedy decode won't change its mind
+        try:
+            candidate_score = score_pair_ifd(coach.model, coach.tokenizer, candidate)
+        except GenerationError:
+            candidate_score = None
+        decision = review_revision(best_score, candidate_score)
+        decisions.append(decision)
+        if not decision.accepted:
+            break
+        assert candidate_score is not None
+        best, best_score = candidate, candidate_score
+    return SelfReviewResult(best, best_score, tuple(decisions))

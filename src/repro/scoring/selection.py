@@ -1,0 +1,49 @@
+"""Rank pairs by difficulty so revision budget goes where it helps most.
+
+CoachLM revision costs engine tokens per pair; under a fixed budget the
+right spend order is hardest-first.  :func:`rank_by_ifd` orders pair
+indices by descending IFD (most instruction-misaligned first) and
+:func:`select_top_k` splits them into a revise set and a keep set.
+Unscoreable pairs (``None`` verdicts — e.g. longer than the model
+context) rank last: we cannot show they need help, so they never
+displace a measured-hard pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ifd import PairIFD
+
+
+def rank_by_ifd(scores: Sequence[PairIFD | None]) -> list[int]:
+    """Indices of ``scores`` from hardest (highest IFD) to easiest.
+
+    Unscoreable entries come last; ties (including among ``None``)
+    preserve dataset order so the ranking is deterministic.
+    """
+    def sort_key(i: int) -> tuple[int, float, int]:
+        verdict = scores[i]
+        if verdict is None:
+            return (1, 0.0, i)
+        return (0, -verdict.ifd, i)
+
+    return sorted(range(len(scores)), key=sort_key)
+
+
+def select_top_k(
+    scores: Sequence[PairIFD | None], k: int
+) -> tuple[list[int], list[int]]:
+    """Split indices into (revise these ``k`` hardest, keep the rest).
+
+    ``k`` beyond the number of scoreable pairs selects only scoreable
+    ones — spending decode tokens on a pair we could not even score is
+    never the best use of the budget.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    ranked = rank_by_ifd(scores)
+    selected = [i for i in ranked if scores[i] is not None][:k]
+    chosen = set(selected)
+    rest = [i for i in range(len(scores)) if i not in chosen]
+    return selected, rest

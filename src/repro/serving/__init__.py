@@ -28,7 +28,14 @@ Architecture (bottom up):
   ``CoachLM.revise_dataset``-compatible façade used by the Fig. 6
   platform simulator;
 * :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON
-  front-end (``POST /revise``, ``GET /metrics``, ``GET /healthz``).
+  front-end (``POST /revise``, ``POST /score``, ``GET /metrics``,
+  ``GET /healthz``).
+
+Besides revisions the service carries teacher-forced **scoring** traffic
+(``submit_score`` / ``POST /score``): IFD verdicts from
+:mod:`repro.scoring`, sharing the scheduler, queue and fleet with
+revise jobs under a kind-namespaced dedup key-space (see
+:func:`~repro.serving.cache.score_key`).
 
 Served revisions are token-for-token identical to
 :meth:`CoachLM.revise_dataset` on the same inputs; the parity is pinned
@@ -36,7 +43,13 @@ by ``tests/test_serving.py`` and throughput is tracked by
 ``benchmarks/test_bench_serving.py`` (``BENCH_serving.json``).
 """
 
-from .cache import CachedRevision, RevisionLRUCache, revision_key
+from .cache import (
+    CachedRevision,
+    CachedScore,
+    RevisionLRUCache,
+    revision_key,
+    score_key,
+)
 from .client import InProcessRevisionClient
 from .faults import FaultInjector, FaultPlan, WorkerFaults
 from .fleet import EngineFleet
@@ -44,8 +57,11 @@ from .http import RevisionHTTPFrontend
 from .metrics import ServingMetrics
 from .queueing import BoundedPriorityQueue
 from .requests import (
+    KIND_REVISE,
+    KIND_SCORE,
     OUTCOME_EXPIRED,
     OUTCOME_QUALITY_GATED,
+    OUTCOME_SCORED,
     OUTCOME_SHED,
     RevisionFuture,
     RevisionResult,
@@ -62,13 +78,17 @@ from .server import RevisionServer
 __all__ = [
     "BoundedPriorityQueue",
     "CachedRevision",
+    "CachedScore",
     "EngineFleet",
     "EngineJob",
     "FaultInjector",
     "FaultPlan",
     "InProcessRevisionClient",
+    "KIND_REVISE",
+    "KIND_SCORE",
     "OUTCOME_EXPIRED",
     "OUTCOME_QUALITY_GATED",
+    "OUTCOME_SCORED",
     "OUTCOME_SHED",
     "RevisionFuture",
     "RevisionHTTPFrontend",
@@ -85,4 +105,5 @@ __all__ = [
     "StreamingScheduler",
     "WorkerFaults",
     "revision_key",
+    "score_key",
 ]

@@ -22,12 +22,32 @@ from ..pipeline.cache import config_hash
 
 
 def revision_key(pair: InstructionPair, max_new_tokens: int, copy_bias: float) -> str:
-    """Stable content hash identifying one revision computation."""
+    """Stable content hash identifying one revision computation.
+
+    The ``kind`` field namespaces the key-space per request kind: a
+    ``score`` and a ``revise`` of the very same pair are different
+    computations and must never dedup onto (or cache-hit) each other.
+    """
     return config_hash({
+        "kind": "revise",
         "instruction": pair.instruction,
         "response": pair.response,
         "max_new_tokens": max_new_tokens,
         "copy_bias": copy_bias,
+    })
+
+
+def score_key(pair: InstructionPair) -> str:
+    """Stable content hash identifying one IFD scoring computation.
+
+    Scoring has no decode knobs — the verdict depends only on the pair
+    text (and the model weights, which are fixed per server) — so the
+    key is just the namespaced content.
+    """
+    return config_hash({
+        "kind": "score",
+        "instruction": pair.instruction,
+        "response": pair.response,
     })
 
 
@@ -51,8 +71,25 @@ class CachedRevision:
         return pair
 
 
+@dataclass(frozen=True)
+class CachedScore:
+    """Terminal IFD verdict stored per content key.
+
+    ``payload`` is the JSON-safe ``PairIFD.as_dict()`` blob (``None``
+    for unscoreable pairs, whose ``outcome`` says why); scoring never
+    rewrites the pair, so :meth:`apply` is the identity.
+    """
+
+    payload: dict | None
+    outcome: str
+
+    def apply(self, pair: InstructionPair) -> InstructionPair:
+        return pair
+
+
 class RevisionLRUCache:
-    """Thread-safe LRU of :class:`CachedRevision` entries.
+    """Thread-safe LRU of :class:`CachedRevision` / :class:`CachedScore`
+    entries (one shared capacity; keys are kind-namespaced).
 
     ``capacity == 0`` disables the cache (every ``get`` misses, ``put``
     is a no-op), which also switches off in-flight dedup in the server.
@@ -60,7 +97,9 @@ class RevisionLRUCache:
 
     def __init__(self, capacity: int):
         self.capacity = capacity
-        self._entries: OrderedDict[str, CachedRevision] = OrderedDict()
+        self._entries: OrderedDict[str, CachedRevision | CachedScore] = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -69,7 +108,7 @@ class RevisionLRUCache:
         with self._lock:
             return len(self._entries)
 
-    def get(self, key: str) -> CachedRevision | None:
+    def get(self, key: str) -> CachedRevision | CachedScore | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -79,7 +118,7 @@ class RevisionLRUCache:
             self.hits += 1
             return entry
 
-    def put(self, key: str, entry: CachedRevision) -> None:
+    def put(self, key: str, entry: CachedRevision | CachedScore) -> None:
         if self.capacity <= 0:
             return
         with self._lock:
@@ -92,11 +131,14 @@ class RevisionLRUCache:
     def export_entries(self) -> list[list[str]]:
         """LRU-ordered rows ``[key, instruction, response, outcome]``,
         oldest first — importing them in order reproduces the recency
-        ranking exactly."""
+        ranking exactly.  Only revision entries persist: scores are
+        cheap to recompute and their payload shape is not worth a
+        persistence-format version bump."""
         with self._lock:
             return [
                 [key, entry.instruction, entry.response, entry.outcome]
                 for key, entry in self._entries.items()
+                if isinstance(entry, CachedRevision)
             ]
 
     def import_entries(self, rows: object) -> int:

@@ -41,6 +41,17 @@ class InProcessRevisionClient:
 
     def revise_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
         """Revise pairs in order, blocking on back-pressure as needed."""
+        return self._run_pairs(pairs, self.server.submit)
+
+    def score_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
+        """Teacher-force score pairs in order (IFD), same back-pressure.
+
+        Each result carries the ``PairIFD.as_dict()`` payload in
+        ``RevisionResult.score`` (``None`` for unscoreable pairs).
+        """
+        return self._run_pairs(pairs, self.server.submit_score)
+
+    def _run_pairs(self, pairs: list[InstructionPair], submit) -> list[RevisionResult]:
         self.server.start()
         results: list[RevisionResult | None] = [None] * len(pairs)
         outstanding: deque[tuple[int, RevisionFuture]] = deque()
@@ -48,7 +59,7 @@ class InProcessRevisionClient:
             retry_until = time.monotonic() + self.timeout_s
             while True:
                 try:
-                    future = self.server.submit(pair)
+                    future = submit(pair)
                     break
                 except AdmissionError as error:
                     # A shedding service (OverloadError) may refuse this

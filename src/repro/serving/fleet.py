@@ -67,6 +67,7 @@ from ..core.coachlm import CoachLM, RevisionOutcome
 from ..data.instruction_pair import InstructionPair
 from ..errors import (
     AdmissionError,
+    GenerationError,
     ModelError,
     OverloadError,
     ServingError,
@@ -75,13 +76,23 @@ from ..errors import (
 from ..nn.decoding import BatchedEngine
 from ..pipeline.cache import ArtifactCache, config_hash
 from ..quality.scorer import CriteriaScorer
-from .cache import CachedRevision, RevisionLRUCache, revision_key
+from ..scoring.ifd import conditioned_request, pair_ifd, unconditioned_request
+from .cache import (
+    CachedRevision,
+    CachedScore,
+    RevisionLRUCache,
+    revision_key,
+    score_key,
+)
 from .faults import FaultInjector, FaultPlan, WorkerFaults, write_torn_json
 from .metrics import ServingMetrics
 from .queueing import BoundedPriorityQueue
 from .requests import (
+    KIND_REVISE,
+    KIND_SCORE,
     OUTCOME_EXPIRED,
     OUTCOME_QUALITY_GATED,
+    OUTCOME_SCORED,
     OUTCOME_SHED,
     RevisionFuture,
     RevisionResult,
@@ -148,13 +159,63 @@ def _fleet_worker_main(
 
     def complete(
         job_id: int, pair: InstructionPair, outcome: str, source: str,
-        generated: int, cacheable: bool,
+        generated: int, cacheable: bool, score: dict | None = None,
     ) -> None:
-        outbox.append(("done", job_id, pair, outcome, source, generated, cacheable))
+        outbox.append((
+            "done", job_id, pair, outcome, source, generated, cacheable, score,
+        ))
 
-    def handle_job(job_id: int, pair: InstructionPair, deadline: float | None) -> None:
+    def handle_score_job(
+        job_id: int, pair: InstructionPair, deadline: float | None
+    ) -> None:
+        # Mirrors RevisionServer._admit_score: two teacher-forced engine
+        # jobs plus a worker-loop-local combiner latch (single-threaded
+        # worker, no lock needed).
+        cond = conditioned_request(coach.tokenizer, pair)
+        uncond = unconditioned_request(coach.tokenizer, pair)
+        resolved: dict[str, object] = {}
+
+        def combine(which: str, score) -> None:
+            resolved[which] = score
+            if len(resolved) == 2:
+                verdict = pair_ifd(resolved["cond"], resolved["uncond"])
+                complete(
+                    job_id, pair, OUTCOME_SCORED, SOURCE_ENGINE, 0, True,
+                    verdict.as_dict(),
+                )
+
+        expired = {"fired": False}
+
+        def on_expired() -> None:
+            if expired["fired"]:
+                return
+            expired["fired"] = True
+            complete(job_id, pair, OUTCOME_EXPIRED, SOURCE_DEADLINE, 0, False)
+
+        try:
+            scheduler.submit(EngineJob(
+                cond, lambda s: combine("cond", s),
+                deadline=deadline, on_expired=on_expired,
+            ))
+            scheduler.submit(EngineJob(
+                uncond, lambda s: combine("uncond", s),
+                deadline=deadline, on_expired=on_expired,
+            ))
+        except GenerationError:
+            complete(
+                job_id, pair, RevisionOutcome.PROMPT_TOO_LONG.value,
+                SOURCE_ENGINE, 0, True,
+            )
+
+    def handle_job(
+        job_id: int, pair: InstructionPair, deadline: float | None,
+        kind: str = KIND_REVISE,
+    ) -> None:
         # Mirrors RevisionServer._admit gate-for-gate, so fleet results
         # are token-for-token the single-process server's.
+        if kind == KIND_SCORE:
+            handle_score_job(job_id, pair, deadline)
+            return
         if threshold is not None and scorer is not None:
             report = scorer.score_pair(pair)
             if report.min_score >= threshold:
@@ -219,7 +280,7 @@ def _fleet_worker_main(
             while conn.poll(timeout):
                 message = conn.recv()
                 if message[0] == "job":
-                    handle_job(message[1], message[2], message[3])
+                    handle_job(message[1], message[2], message[3], message[4])
                 elif message[0] == "stop":
                     stopping = True
                 timeout = 0.0
@@ -413,16 +474,44 @@ class EngineFleet:
         worker down — the degraded fleet still answers what it already
         knows.
         """
-        if deadline_s is None:
-            deadline_s = self.config.serving.default_deadline_s
-        now = time.monotonic()
-        future = RevisionFuture()
-        self.metrics.record_submitted()
         key = (
             None
             if self.coach.is_leakage_gated(pair)
             else revision_key(pair, self.coach.max_new_tokens, self.coach.copy_bias)
         )
+        return self._submit_task(pair, key, KIND_REVISE, priority, deadline_s)
+
+    def submit_score(
+        self,
+        pair: InstructionPair,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> RevisionFuture:
+        """Enqueue one pair for teacher-forced IFD scoring.
+
+        Scoring shares the queue, cache and workers with revise traffic
+        but lives in its own key-space (see :func:`score_key`), so a
+        score and a revise of the same content never dedup onto each
+        other.  Leakage gating does not apply: scoring reads the pair,
+        it never rewrites it.
+        """
+        return self._submit_task(
+            pair, score_key(pair), KIND_SCORE, priority, deadline_s
+        )
+
+    def _submit_task(
+        self,
+        pair: InstructionPair,
+        key: str | None,
+        kind: str,
+        priority: int,
+        deadline_s: float | None,
+    ) -> RevisionFuture:
+        if deadline_s is None:
+            deadline_s = self.config.serving.default_deadline_s
+        now = time.monotonic()
+        future = RevisionFuture()
+        self.metrics.record_submitted()
         task = RevisionTask(
             pair=pair,
             future=future,
@@ -430,13 +519,15 @@ class EngineFleet:
             submitted_at=now,
             deadline=now + deadline_s if deadline_s is not None else None,
             priority=priority,
+            kind=kind,
         )
         if key is not None and self.cache.capacity > 0:
             with self._state_lock:
                 entry = self.cache.get(key)
                 if entry is not None:
                     self._resolve(
-                        future, entry.apply(pair), entry.outcome, SOURCE_CACHE, now
+                        future, entry.apply(pair), entry.outcome, SOURCE_CACHE,
+                        now, score=getattr(entry, "payload", None),
                     )
                     return future
                 if not self._draining:
@@ -463,6 +554,12 @@ class EngineFleet:
     ) -> RevisionResult:
         """Synchronous helper: submit one pair and wait for its result."""
         return self.submit(pair).result(timeout)
+
+    def score(
+        self, pair: InstructionPair, timeout: float | None = None
+    ) -> RevisionResult:
+        """Synchronous helper: submit one scoring job and wait."""
+        return self.submit_score(pair).result(timeout)
 
     # -- observability ------------------------------------------------------------
     def metrics_snapshot(self) -> dict:
@@ -592,10 +689,15 @@ class EngineFleet:
         source: str,
         cacheable: bool,
         generated: int = 0,
+        score: dict | None = None,
     ) -> None:
-        entry = CachedRevision(
-            result_pair.instruction, result_pair.response, outcome
-        )
+        entry: CachedRevision | CachedScore
+        if task.kind == KIND_SCORE:
+            entry = CachedScore(score, outcome)
+        else:
+            entry = CachedRevision(
+                result_pair.instruction, result_pair.response, outcome
+            )
         followers: list[RevisionTask] = []
         if task.cache_key is not None:
             with self._state_lock:
@@ -604,12 +706,12 @@ class EngineFleet:
                 followers = self._inflight.pop(task.cache_key, [])
         self._resolve(
             task.future, result_pair, outcome, source, task.submitted_at,
-            generated,
+            generated, score=score,
         )
         for follower in followers:
             self._resolve(
                 follower.future, entry.apply(follower.pair), outcome,
-                SOURCE_DEDUP, follower.submitted_at,
+                SOURCE_DEDUP, follower.submitted_at, score=score,
             )
 
     def _resolve(
@@ -620,6 +722,7 @@ class EngineFleet:
         source: str,
         submitted_at: float,
         generated: int = 0,
+        score: dict | None = None,
     ) -> None:
         result = RevisionResult(
             pair=pair,
@@ -627,6 +730,7 @@ class EngineFleet:
             source=source,
             latency_s=time.monotonic() - submitted_at,
             generated_tokens=generated,
+            score=score,
         )
         self.metrics.record_result(result)
         future.set_result(result)
@@ -788,7 +892,9 @@ class EngineFleet:
                 self.metrics.record_engine_work(tokens, busy_s)
             worker.kv = kv
         elif kind == "done":
-            _, job_id, pair, outcome, source, generated, cacheable = message
+            (
+                _, job_id, pair, outcome, source, generated, cacheable, score,
+            ) = message
             worker.outstanding.discard(job_id)
             task = self._jobs.pop(job_id, None)
             if task is None:
@@ -803,7 +909,7 @@ class EngineFleet:
                 return
             self._finish(
                 task, pair, outcome, source,
-                cacheable=cacheable, generated=generated,
+                cacheable=cacheable, generated=generated, score=score,
             )
 
     def _dispatch(self, now: float) -> None:
@@ -828,7 +934,9 @@ class EngineFleet:
             self._jobs[job_id] = task
             worker.outstanding.add(job_id)
             try:
-                worker.conn.send(("job", job_id, task.pair, task.deadline))
+                worker.conn.send(
+                    ("job", job_id, task.pair, task.deadline, task.kind)
+                )
             except (OSError, ValueError):
                 # Loss handling requeues this job with the rest.
                 self._on_worker_loss(worker)

@@ -17,6 +17,13 @@ by HTTP.  The service may be a single-process
     header when admission control rejects; ``503`` with ``Retry-After``
     when the request was shed (overload, degraded fleet, or drain mode);
     ``504`` when the result misses ``timeout_s``.
+``POST /score``
+    Same request body and error semantics; the pair is teacher-force
+    scored instead of revised (IFD — see ``docs/scoring.md``).  Replies
+    ``200`` with ``{"conditioned_nll", "unconditioned_nll", "ifd",
+    "response_perplexity", "n_tokens", "outcome", "source",
+    "latency_s"}``; the numeric fields are ``null`` when the pair was
+    unscoreable (outcome ``prompt_too_long``).
 ``GET /metrics``
     The :meth:`ServingMetrics.snapshot` JSON (latency percentiles,
     tokens/sec, per-source counts, queue depth) plus an ``engine``
@@ -90,7 +97,7 @@ def _make_handler(
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self) -> None:
-            if self.path != "/revise":
+            if self.path not in ("/revise", "/score"):
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
                 return
             if frontend.draining:
@@ -110,11 +117,11 @@ def _make_handler(
                 )
                 return
             try:
-                self._handle_revise()
+                self._handle_submit(scoring=self.path == "/score")
             finally:
                 frontend.untrack_request()
 
-        def _handle_revise(self) -> None:
+        def _handle_submit(self, scoring: bool) -> None:
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
@@ -166,9 +173,14 @@ def _make_handler(
                 self._reply(400, {"error": "malformed numeric field"})
                 return
             try:
-                future = service.submit(
-                    pair, priority=priority, deadline_s=deadline_s
-                )
+                if scoring:
+                    future = service.submit_score(
+                        pair, priority=priority, deadline_s=deadline_s
+                    )
+                else:
+                    future = service.submit(
+                        pair, priority=priority, deadline_s=deadline_s
+                    )
             except OverloadError as error:
                 # Shed, not merely queued-out: the service chose to drop
                 # load (drain, degraded fleet, or a lost priority fight).
@@ -200,6 +212,19 @@ def _make_handler(
                     {"error": "request was shed under load"},
                     headers={"Retry-After": frontend.retry_after_header},
                 )
+                return
+            if scoring:
+                score = result.score or {}
+                self._reply(200, {
+                    "conditioned_nll": score.get("conditioned_nll"),
+                    "unconditioned_nll": score.get("unconditioned_nll"),
+                    "ifd": score.get("ifd"),
+                    "response_perplexity": score.get("response_perplexity"),
+                    "n_tokens": score.get("n_tokens"),
+                    "outcome": result.outcome,
+                    "source": result.source,
+                    "latency_s": round(result.latency_s, 6),
+                })
                 return
             self._reply(200, {
                 "instruction": result.pair.instruction,

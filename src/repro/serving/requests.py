@@ -27,17 +27,23 @@ SOURCE_SHED = "shed"                #: displaced from a full queue under pressur
 OUTCOME_EXPIRED = "expired"
 OUTCOME_QUALITY_GATED = "quality_gated"
 OUTCOME_SHED = "shed"
+OUTCOME_SCORED = "scored"   #: a scoring request completed its two passes
+
+#: ``RevisionTask.kind`` values — which computation the task asks for.
+KIND_REVISE = "revise"
+KIND_SCORE = "score"
 
 
 @dataclass(frozen=True)
 class RevisionResult:
-    """Terminal state of one revision request."""
+    """Terminal state of one revision or scoring request."""
 
     pair: InstructionPair   #: the revised pair (or the original on fallback)
     outcome: str            #: a ``RevisionOutcome`` value, or a serving outcome
     source: str             #: one of the ``SOURCE_*`` constants
     latency_s: float        #: submit → resolve, monotonic clock
     generated_tokens: int = 0   #: decode tokens spent on this request
+    score: dict | None = None   #: ``PairIFD.as_dict()`` payload for score tasks
 
 
 class RevisionFuture:
@@ -94,7 +100,7 @@ class RevisionFuture:
 
 @dataclass
 class RevisionTask:
-    """One queued revision request (internal to the server)."""
+    """One queued revision or scoring request (internal to the server)."""
 
     pair: InstructionPair
     future: RevisionFuture
@@ -103,3 +109,4 @@ class RevisionTask:
     deadline: float | None      #: monotonic, absolute; None = never expires
     priority: int = 0
     requeues: int = 0           #: times re-dispatched after losing a fleet worker
+    kind: str = KIND_REVISE     #: ``KIND_REVISE`` or ``KIND_SCORE``

@@ -33,13 +33,13 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from ..nn.decoding import BatchedEngine, GenerationRequest
+from ..nn.decoding import BatchedEngine, GenerationRequest, ScoringRequest
 from .metrics import ServingMetrics
 
 
 @dataclass
 class EngineJob:
-    """One decode job: an engine request plus its completion callback.
+    """One decode or scoring job: an engine request plus its callback.
 
     ``deadline`` (a ``time.monotonic`` instant) marks the job stale: once
     passed, the scheduler resolves it through ``on_expired`` instead of
@@ -55,13 +55,13 @@ class EngineJob:
     never be double-resolved or stranded by a lost second path.
     """
 
-    request: GenerationRequest
-    on_done: Callable[[list[int]], None]
+    request: GenerationRequest | ScoringRequest
+    on_done: Callable  #: receives tokens (generation) or a SequenceScore
     deadline: float | None = None
     on_expired: Callable[[], None] | None = None
     _terminal: bool = False
 
-    def resolve_done(self, tokens: list[int]) -> bool:
+    def resolve_done(self, tokens) -> bool:
         """Fire ``on_done`` if no terminal callback ran yet; True if fired."""
         if self._terminal:
             return False
@@ -128,7 +128,10 @@ class StreamingScheduler:
         if job.deadline is not None and time.monotonic() > job.deadline:
             job.resolve_expired()
             return None
-        seq_id = self.engine.submit(job.request)
+        if isinstance(job.request, ScoringRequest):
+            seq_id = self.engine.submit_score(job.request)
+        else:
+            seq_id = self.engine.submit(job.request)
         self._jobs[seq_id] = job
         if job.deadline is not None:
             self._has_deadlines = True
@@ -172,8 +175,10 @@ class StreamingScheduler:
         busy = time.perf_counter() - start
         done = self.engine.collect()
         if self.metrics is not None:
+            # Score completions (SequenceScore) and cancellation residue
+            # (None) spend no decode tokens; only token lists count.
             self.metrics.record_engine_work(
-                sum(len(tokens) for tokens in done.values()), busy
+                sum(len(v) for v in done.values() if isinstance(v, list)), busy
             )
         completed = 0
         first_error: BaseException | None = None

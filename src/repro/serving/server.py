@@ -29,15 +29,24 @@ import time
 from ..config import ServingConfig
 from ..core.coachlm import CoachLM, RevisionOutcome
 from ..data.instruction_pair import InstructionPair
-from ..errors import AdmissionError, ModelError
-from ..nn.decoding import BatchedEngine
+from ..errors import AdmissionError, GenerationError, ModelError
+from ..nn.decoding import BatchedEngine, SequenceScore
 from ..quality.scorer import CriteriaScorer
-from .cache import CachedRevision, RevisionLRUCache, revision_key
+from ..scoring.ifd import conditioned_request, pair_ifd, unconditioned_request
+from .cache import (
+    CachedRevision,
+    CachedScore,
+    RevisionLRUCache,
+    revision_key,
+    score_key,
+)
 from .metrics import ServingMetrics
 from .queueing import BoundedPriorityQueue
 from .requests import (
+    KIND_SCORE,
     OUTCOME_EXPIRED,
     OUTCOME_QUALITY_GATED,
+    OUTCOME_SCORED,
     RevisionFuture,
     RevisionResult,
     RevisionTask,
@@ -158,25 +167,64 @@ class RevisionServer:
             deadline=now + deadline_s if deadline_s is not None else None,
             priority=priority,
         )
+        return self._submit_task(task)
+
+    def submit_score(
+        self,
+        pair: InstructionPair,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> RevisionFuture:
+        """Enqueue one pair for IFD scoring; returns a future.
+
+        Scoring shares the queue, dedup map, result cache and engine
+        fleet with revision traffic, but under its own kind-namespaced
+        key-space (:func:`score_key`) — a score and a revise of the same
+        content never collide.  Leakage gating is irrelevant here
+        (scoring reads the pair, it never rewrites it), so every score
+        task is content-keyed.  Unscoreable pairs (over-context, empty
+        response) resolve with outcome ``prompt_too_long`` and a
+        ``None`` score payload.
+        """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.monotonic()
+        self.metrics.record_submitted()
+        task = RevisionTask(
+            pair=pair,
+            future=RevisionFuture(),
+            cache_key=score_key(pair) if self.cache.capacity > 0 else None,
+            submitted_at=now,
+            deadline=now + deadline_s if deadline_s is not None else None,
+            priority=priority,
+            kind=KIND_SCORE,
+        )
+        return self._submit_task(task)
+
+    def _submit_task(self, task: RevisionTask) -> RevisionFuture:
+        """Cache / dedup / enqueue one built task (kind-agnostic)."""
+        key = task.cache_key
         if key is None or self.cache.capacity <= 0:
             return self._enqueue(task)
         with self._state_lock:
             entry = self.cache.get(key)
             if entry is not None:
                 self._resolve(
-                    future, entry.apply(pair), entry.outcome, SOURCE_CACHE, now
+                    task.future, entry.apply(task.pair), entry.outcome,
+                    SOURCE_CACHE, task.submitted_at,
+                    score=getattr(entry, "payload", None),
                 )
-                return future
+                return task.future
             followers = self._inflight.get(key)
             if followers is not None:
                 followers.append(task)
-                return future
+                return task.future
             # New leader: enqueue while still holding the lock, so a
             # rejected put can never leave (or strand followers on) a
             # half-registered in-flight entry.
             self._enqueue(task)
             self._inflight[key] = []
-        return future
+        return task.future
 
     def _enqueue(self, task: RevisionTask) -> RevisionFuture:
         try:
@@ -191,6 +239,12 @@ class RevisionServer:
     ) -> RevisionResult:
         """Synchronous helper: submit one pair and wait for its result."""
         return self.submit(pair).result(timeout)
+
+    def score(
+        self, pair: InstructionPair, timeout: float | None = None
+    ) -> RevisionResult:
+        """Synchronous helper: submit one scoring request and wait."""
+        return self.submit_score(pair).result(timeout)
 
     # -- observability (the HTTP front-end's service protocol) -------------------
     def metrics_snapshot(self) -> dict:
@@ -257,6 +311,9 @@ class RevisionServer:
             if promoted is None:
                 return
             task = promoted
+        if task.kind == KIND_SCORE:
+            self._admit_score(task)
+            return
         threshold = self.config.quality_gate_threshold
         if threshold is not None and self.scorer is not None:
             report = self.scorer.score_pair(task.pair)
@@ -296,6 +353,60 @@ class RevisionServer:
             )
         )
 
+    def _admit_score(self, task: RevisionTask) -> None:
+        """Hand one scoring task to the scheduler as two engine jobs.
+
+        IFD needs two teacher-forced passes (response NLL conditioned and
+        unconditioned on the instruction); each becomes its own
+        :class:`EngineJob` so they batch and schedule like any other
+        engine work.  The combiner closure runs on the single worker
+        thread (scheduler callbacks are dispatched there), so the
+        ``resolved`` latch dict needs no lock; expiry of either job
+        resolves the task exactly once via its own latch.
+        """
+        cond = conditioned_request(self.coach.tokenizer, task.pair)
+        uncond = unconditioned_request(self.coach.tokenizer, task.pair)
+        resolved: dict[str, SequenceScore] = {}
+
+        def combine(which: str, score: SequenceScore) -> None:
+            resolved[which] = score
+            if len(resolved) == 2:
+                verdict = pair_ifd(resolved["cond"], resolved["uncond"])
+                self._finish(
+                    task, task.pair, OUTCOME_SCORED, SOURCE_ENGINE,
+                    cacheable=True, score=verdict.as_dict(),
+                )
+
+        expired = {"fired": False}
+
+        def on_expired(task: RevisionTask = task) -> None:
+            # Both engine jobs carry this callback; the first expiry wins
+            # and the second (its job already terminal) is a no-op here.
+            if expired["fired"]:
+                return
+            expired["fired"] = True
+            promoted = self._expire_task(task)
+            if promoted is not None:
+                self._admit(promoted)
+
+        try:
+            # The conditioned prompt strictly contains the unconditioned
+            # one, so validating/submitting it first means a too-long
+            # pair enqueues nothing.
+            self.scheduler.submit(EngineJob(
+                cond, lambda s: combine("cond", s),
+                deadline=task.deadline, on_expired=on_expired,
+            ))
+            self.scheduler.submit(EngineJob(
+                uncond, lambda s: combine("uncond", s),
+                deadline=task.deadline, on_expired=on_expired,
+            ))
+        except GenerationError:
+            self._finish(
+                task, task.pair, RevisionOutcome.PROMPT_TOO_LONG.value,
+                SOURCE_ENGINE, cacheable=True,
+            )
+
     def _finish(
         self,
         task: RevisionTask,
@@ -304,11 +415,16 @@ class RevisionServer:
         source: str,
         cacheable: bool,
         generated: int = 0,
+        score: dict | None = None,
     ) -> None:
         """Resolve a task terminally: cache, fan out to followers, notify."""
-        entry = CachedRevision(
-            result_pair.instruction, result_pair.response, outcome
-        )
+        entry: CachedRevision | CachedScore
+        if task.kind == KIND_SCORE:
+            entry = CachedScore(score, outcome)
+        else:
+            entry = CachedRevision(
+                result_pair.instruction, result_pair.response, outcome
+            )
         followers: list[RevisionTask] = []
         if task.cache_key is not None:
             with self._state_lock:
@@ -317,12 +433,12 @@ class RevisionServer:
                 followers = self._inflight.pop(task.cache_key, [])
         self._resolve(
             task.future, result_pair, outcome, source, task.submitted_at,
-            generated,
+            generated, score,
         )
         for follower in followers:
             self._resolve(
                 follower.future, entry.apply(follower.pair), outcome,
-                SOURCE_DEDUP, follower.submitted_at,
+                SOURCE_DEDUP, follower.submitted_at, score=score,
             )
 
     def _resolve(
@@ -333,6 +449,7 @@ class RevisionServer:
         source: str,
         submitted_at: float,
         generated: int = 0,
+        score: dict | None = None,
     ) -> None:
         result = RevisionResult(
             pair=pair,
@@ -340,6 +457,7 @@ class RevisionServer:
             source=source,
             latency_s=time.monotonic() - submitted_at,
             generated_tokens=generated,
+            score=score,
         )
         self.metrics.record_result(result)
         future.set_result(result)

@@ -49,10 +49,20 @@ def test_online_revision_service_runs(capsys):
     assert "source=cache" in out
 
 
+@pytest.mark.slow
+def test_data_selection_runs(capsys):
+    out = _run("data_selection.py", capsys)
+    assert "IFD before revision" in out
+    assert "hardest pairs for revision" in out
+    assert "quality delta on the selected pairs" in out
+    assert "every kept revision improved perplexity or IFD" in out
+
+
 def test_examples_exist():
     names = {p.name for p in _EXAMPLES.glob("*.py")}
     assert {
         "quickstart.py", "data_cleaning_pipeline.py",
         "dataset_quality_report.py", "alpha_selection_study.py",
         "regenerate_all.py", "online_revision_service.py",
+        "data_selection.py",
     } <= names

@@ -427,3 +427,42 @@ def test_http_frontend_drain_rejects_new_completes_inflight(coach, dataset):
             frontend.address + "/healthz", timeout=10
         ) as response:
             assert json.load(response)["status"] == "draining"
+
+
+# -- scoring traffic ---------------------------------------------------------------
+
+
+def test_fleet_mixed_score_and_revise_traffic(coach, tokenizer, dataset, reference):
+    """Scoring shares the workers with revise traffic: verdicts match
+    the sequential IFD reference, revisions keep their parity, and the
+    two kinds never cross-contaminate the shared cache."""
+    from repro.scoring import score_pair_ifd
+    from repro.serving import OUTCOME_SCORED
+
+    with EngineFleet(coach, _fast_fleet_config()) as fleet:
+        score_futures = [(pair, fleet.submit_score(pair)) for pair in dataset]
+        revise_futures = [(pair, fleet.submit(pair)) for pair in dataset[:4]]
+        for pair, future in score_futures:
+            result = future.result(timeout=120)
+            assert result.outcome == OUTCOME_SCORED
+            expected = score_pair_ifd(coach.model, tokenizer, pair).as_dict()
+            assert result.score == expected
+            assert result.pair.response == pair.response
+        for pair, future in revise_futures:
+            result = future.result(timeout=120)
+            _assert_parity(result, pair, reference)
+            assert result.score is None
+        # Repeat score: LRU hit with the payload intact.
+        again = fleet.score(dataset[0], timeout=120)
+        assert again.source == SOURCE_CACHE
+        assert again.score == score_pair_ifd(
+            coach.model, tokenizer, dataset[0]
+        ).as_dict()
+        # Revise of the same content must not be served from the score
+        # entry: the key-spaces are kind-namespaced.
+        revised = fleet.revise(dataset[5], timeout=120)
+        assert revised.score is None
+        _assert_parity(revised, dataset[5], reference)
+        snap = fleet.metrics_snapshot()
+    assert snap["duplicate_results"] == 0
+    assert snap["worker_lost"] == 0
