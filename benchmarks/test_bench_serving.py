@@ -30,11 +30,18 @@ from conftest import print_banner
 
 from repro.config import FleetConfig, ServingConfig
 from repro.core.coachlm import CoachLM
-from repro.data import generate_dataset
+from repro.data import InstructionDataset, generate_dataset
 from repro.errors import WorkerLostError
 from repro.llm import build_tokenizer
 from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, TransformerLM
-from repro.serving import EngineFleet, SOURCE_CACHE, SOURCE_DEDUP, RevisionServer
+from repro.serving import (
+    EngineFleet,
+    SOURCE_CACHE,
+    SOURCE_DEDUP,
+    RevisionServer,
+    RunJournal,
+    dataset_fingerprint,
+)
 
 MAX_BATCH = 8
 N_CASES = 32
@@ -525,3 +532,173 @@ def test_fleet_scaling_and_crash_recovery(wb):
     if floor_enforced:
         # Two engine processes on >= 2 cores must actually scale.
         assert fleet_scaling["speedup_2w"] >= FLEET_SCALING_FLOOR, payload
+
+
+# -- crash-safe journal stages ---------------------------------------------------
+
+#: The fsync'd run journal may cost at most this fraction of happy-path
+#: revision throughput (pairs/s) — durability is supposed to be cheap
+#: next to decode.
+JOURNAL_OVERHEAD_CEILING = 0.05
+#: A recovered run may decode at most this multiple of the interrupted
+#: run's *tail* share — resume must skip the finished prefix, never
+#: redo it.  Deterministic greedy decode makes the expected ratio
+#: exactly 1.0; the headroom absorbs nothing but rounding.
+RECOVERY_TAIL_FACTOR = 1.2
+#: Fraction of the dataset "finished" before the simulated crash.
+KILL_AFTER_FRACTION = 0.5
+#: Decode budget for the journal-overhead measurement.  The journal's
+#: fsync cost is per-*record* (constant per pair) while decode scales
+#: with tokens; the 5% contract is about realistic revision lengths,
+#: not the load sweep's truncated 48-token requests.
+RESUME_MAX_NEW_TOKENS = 128
+
+
+def _spy_engines() -> tuple[list, callable]:
+    """Record every BatchedEngine built until ``restore()`` is called."""
+    engines: list = []
+    original = BatchedEngine.__init__
+
+    def recording(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        engines.append(self)
+
+    BatchedEngine.__init__ = recording
+    return engines, lambda: setattr(BatchedEngine, "__init__", original)
+
+
+def _resume_recovery(coach: CoachLM, pairs: list, journal_path: Path) -> dict:
+    """Journal overhead + post-crash recovery cost of ``revise_dataset``.
+
+    Two questions, both priced against the same offline revision run:
+
+    * **Overhead** — what does the fsync-per-append write-ahead journal
+      cost on the happy path?  Best-of-2 journal-less vs best-of-2
+      journaled pairs/s over identical inputs.
+    * **Recovery** — after a crash that durably finished half the pairs,
+      how much decode does the resumed run spend?  The journal is cut at
+      a record boundary after ``k`` DONE records (torn tails are the
+      fuzz suite's subject, not a throughput question) and the resumed
+      run's engines are spied: their summed ``total_generated_tokens``
+      must stay within :data:`RECOVERY_TAIL_FACTOR` of the tail's own
+      clean-run token share.
+    """
+    dataset = InstructionDataset(pairs, name="bench-resume")
+    plain_s = journaled_s = float("inf")
+    plain_dataset = None
+    for _ in range(2):
+        start = time.perf_counter()
+        plain_dataset, _ = coach.revise_dataset(dataset)
+        plain_s = min(plain_s, time.perf_counter() - start)
+    for _ in range(2):
+        journal_path.unlink(missing_ok=True)
+        with RunJournal(journal_path) as journal:
+            start = time.perf_counter()
+            journaled_dataset, _ = coach.revise_dataset(
+                dataset, journal=journal
+            )
+            journaled_s = min(journaled_s, time.perf_counter() - start)
+    assert [(p.instruction, p.response) for p in journaled_dataset] == [
+        (p.instruction, p.response) for p in plain_dataset
+    ], "journaling changed the revision output"
+    plain_pairs_per_s = len(pairs) / plain_s
+    journaled_pairs_per_s = len(pairs) / journaled_s
+
+    # Clean-run token shares, straight from the journal's DONE records.
+    run_hash = coach.revision_run_hash()
+    fingerprint = dataset_fingerprint(pairs)
+    with RunJournal(journal_path) as journal:
+        full = journal.open_run(run_hash, fingerprint)
+    full_tokens = sum(d.generated_tokens for d in full.completed.values())
+
+    # Simulate the crash: header + SUBMITTED + the first k DONE records.
+    k = max(1, int(len(pairs) * KILL_AFTER_FRACTION))
+    lines = journal_path.read_bytes().splitlines(keepends=True)
+    journal_path.write_bytes(b"".join(lines[: 2 + k]))
+    with RunJournal(journal_path) as journal:
+        kept = journal.open_run(run_hash, fingerprint)
+    assert kept.interrupted and kept.pairs_skipped == k
+    tail_tokens = full_tokens - sum(
+        d.generated_tokens for d in kept.completed.values()
+    )
+
+    engines, restore = _spy_engines()
+    try:
+        start = time.perf_counter()
+        with RunJournal(journal_path) as journal:
+            recovered_dataset, _ = coach.revise_dataset(
+                dataset, journal=journal
+            )
+        recovery_s = time.perf_counter() - start
+    finally:
+        restore()
+    recovered_tokens = sum(e.total_generated_tokens for e in engines)
+    assert [(p.instruction, p.response) for p in recovered_dataset] == [
+        (p.instruction, p.response) for p in plain_dataset
+    ], "resume diverged from the uninterrupted run"
+
+    return {
+        "n_pairs": len(pairs),
+        "max_new_tokens": coach.max_new_tokens,
+        "plain_pairs_per_s": round(plain_pairs_per_s, 2),
+        "journaled_pairs_per_s": round(journaled_pairs_per_s, 2),
+        "journal_overhead_pct": round(
+            100.0 * (1.0 - journaled_pairs_per_s / plain_pairs_per_s), 2
+        ),
+        "overhead_ceiling_pct": round(100.0 * JOURNAL_OVERHEAD_CEILING, 1),
+        "pairs_finished_before_crash": k,
+        "clean_run_tokens": full_tokens,
+        "tail_tokens": tail_tokens,
+        "recovered_tokens": recovered_tokens,
+        "recovered_vs_tail": round(recovered_tokens / tail_tokens, 3),
+        "tail_factor_ceiling": RECOVERY_TAIL_FACTOR,
+        "recovery_wall_s": round(recovery_s, 3),
+        "clean_wall_s": round(journaled_s, 3),
+    }
+
+
+def test_resume_recovery(wb, tmp_path):
+    base_coach, pairs = _bench_coach(wb.scale)
+    coach = CoachLM(
+        base_coach.model,
+        base_coach.tokenizer,
+        max_new_tokens=RESUME_MAX_NEW_TOKENS,
+    )
+    recovery = _resume_recovery(coach, pairs, tmp_path / "bench-journal.jsonl")
+
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    payload = (
+        json.loads(out_path.read_text(encoding="utf-8"))
+        if out_path.exists()
+        else {}
+    )
+    payload["resume_recovery"] = recovery
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_banner("resume", "crash-safe journal overhead + resume recovery")
+    print(
+        f"journal overhead: {recovery['plain_pairs_per_s']:.2f} pairs/s plain "
+        f"→ {recovery['journaled_pairs_per_s']:.2f} pairs/s journaled "
+        f"({recovery['journal_overhead_pct']:.1f}% of ≤"
+        f"{recovery['overhead_ceiling_pct']:.0f}% budget)"
+    )
+    print(
+        f"recovery: crash after {recovery['pairs_finished_before_crash']}/"
+        f"{recovery['n_pairs']} pairs; resumed run decoded "
+        f"{recovery['recovered_tokens']} tokens vs {recovery['tail_tokens']} "
+        f"tail tokens ({recovery['recovered_vs_tail']:.2f}x of ≤"
+        f"{recovery['tail_factor_ceiling']:.1f}x), "
+        f"wall {recovery['recovery_wall_s']:.1f}s vs "
+        f"{recovery['clean_wall_s']:.1f}s clean"
+    )
+
+    # Durability must be nearly free on the happy path: the fsync'd
+    # journal may cost at most 5% of revision throughput.
+    assert recovery["journaled_pairs_per_s"] >= (
+        (1.0 - JOURNAL_OVERHEAD_CEILING) * recovery["plain_pairs_per_s"]
+    ), recovery
+    # Resume must skip the durable prefix: recovered decode stays within
+    # the tail's own share (expected exactly 1.0x under greedy decode).
+    assert recovery["recovered_tokens"] <= (
+        RECOVERY_TAIL_FACTOR * recovery["tail_tokens"]
+    ), recovery

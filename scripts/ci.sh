@@ -32,6 +32,15 @@
 # cancellations interleaved.  Knobs:
 #   REPRO_FUZZ_SCORING     on (set below) unlocks the full budget
 #   REPRO_SCORING_TIMEOUT_S wall-clock guard for the leg (default 300)
+#
+# The network leg runs the network-fault fuzz (tests/test_fuzz_network.py):
+# the retrying HTTP client + crash-safe run journal driven through a
+# seeded faulty TCP proxy (resets, truncations, stalls, 503 bursts,
+# SIGKILLed client processes), asserting exactly-once resolution with
+# token parity against the offline coach.  Knobs:
+#   REPRO_FUZZ_NETWORK      on (set below) unlocks the full budget
+#   REPRO_NETWORK_SCENARIOS seeded NetworkFaultPlan count (CI default 30)
+#   REPRO_NETWORK_TIMEOUT_S wall-clock guard for the leg (default 600)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -64,3 +73,10 @@ timeout --signal=TERM --kill-after=30 "${REPRO_SCORING_TIMEOUT_S:-300}" \
     env REPRO_FUZZ_SCORING=on \
     REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
     python -m pytest tests/test_fuzz_scoring.py -q
+
+echo "== network: fault-injected HTTP client + run-journal fuzz =="
+timeout --signal=TERM --kill-after=30 "${REPRO_NETWORK_TIMEOUT_S:-600}" \
+    env REPRO_FUZZ_NETWORK=on \
+    REPRO_NETWORK_SCENARIOS="${REPRO_NETWORK_SCENARIOS:-30}" \
+    REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+    python -m pytest tests/test_fuzz_network.py -q

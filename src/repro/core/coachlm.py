@@ -342,6 +342,42 @@ class CoachLM:
         output = self._generate_with_copy_assist(prompt, pair)
         return self._post_generate(pair, output)
 
+    def revision_run_hash(
+        self, revise_top_k: int | None = None, self_review: bool = False
+    ) -> str:
+        """Identity hash of one :meth:`revise_dataset` run for the journal.
+
+        Covers everything that can change the run's *outputs*: the
+        decode knobs, the selection/review knobs, the leakage-gate set
+        and a CRC fingerprint of the model's (tied) embedding weights.
+        Scheduling knobs (batch size, chunking, paging) are deliberately
+        excluded — the engine's pinned contract is that scheduling never
+        changes tokens, so a resumed run may batch differently and still
+        be byte-identical.
+        """
+        import json as _json
+        import zlib
+
+        from ..serving.journal import run_config_hash
+
+        model_fp = ""
+        if self.model is not None:
+            weights = np.ascontiguousarray(self.model.tok_emb.weight.data)
+            model_fp = f"{zlib.crc32(weights.tobytes()):08x}"
+        gate_fp = zlib.crc32(
+            _json.dumps(sorted(self.trained_instructions)).encode("utf-8")
+        )
+        return run_config_hash({
+            "kind": "revise_dataset",
+            "max_new_tokens": self.max_new_tokens,
+            "copy_bias": self.copy_bias,
+            "revise_top_k": revise_top_k,
+            "self_review": self_review,
+            "model": model_fp,
+            "leakage_gate": f"{gate_fp:08x}",
+            "vocab_size": self.tokenizer.vocab_size,
+        })
+
     def revise_dataset(
         self,
         dataset: InstructionDataset,
@@ -351,6 +387,7 @@ class CoachLM:
         kv_page_tokens: int | None = None,
         revise_top_k: int | None = None,
         self_review: bool = False,
+        journal=None,
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Revise every pair of a dataset (Eq. (2): D_c = {θ_c(x'_c)}).
 
@@ -374,10 +411,32 @@ class CoachLM:
         perplexity or improves IFD (else revert, ``REVIEW_REJECTED``),
         and feed accepted revisions back through the coach once more,
         keeping whichever round scored best.
+
+        ``journal`` (a :class:`~repro.serving.journal.RunJournal`) makes
+        the run crash-safe and resumable: every pair's terminal result
+        is appended to an fsync'd write-ahead journal as it completes,
+        and re-running with the same journal skips journaled-``DONE``
+        pairs entirely (no re-decode) while producing a byte-identical
+        final dataset — greedy decode is deterministic, so the redone
+        tail matches the uninterrupted run token for token.  A journal
+        written by a different configuration or dataset refuses to
+        resume with :class:`~repro.errors.JournalMismatchError`.  With
+        ``self_review`` the terminal result of a decoded pair is only
+        known after the review pass, so ``DONE`` records for those pairs
+        land post-review (gated pairs still journal immediately).
         """
         if self.model is None:
             raise ModelError("CoachLM has no model")
         pairs = list(dataset)
+
+        replay = None
+        if journal is not None:
+            from ..serving.journal import dataset_fingerprint
+
+            replay = journal.open_run(
+                self.revision_run_hash(revise_top_k, self_review),
+                dataset_fingerprint(pairs),
+            )
 
         verdicts: list = []
         eligible: set[int] | None = None
@@ -395,17 +454,23 @@ class CoachLM:
             eligible = set(selected)
 
         # Gate every pair first; only eligible ones enter the decode fleet.
+        # Journaled-DONE pairs from a previous incarnation are served from
+        # the replay and never gated or decoded again.
+        completed = replay.completed if replay is not None else {}
         gated: list[tuple[list[int] | None, RevisionOutcome | None]] = []
         for i, pair in enumerate(pairs):
-            if eligible is not None and i not in eligible:
+            if i in completed:
+                gated.append((None, None))
+            elif eligible is not None and i not in eligible:
                 gated.append((None, RevisionOutcome.NOT_SELECTED))
             else:
                 gated.append(self._pre_generate(pair))
+        decode_idx = [i for i, (p, _) in enumerate(gated) if p is not None]
         requests = [
-            self._revision_request(prompt, pair)
-            for pair, (prompt, _) in zip(pairs, gated)
-            if prompt is not None
+            self._revision_request(gated[i][0], pairs[i]) for i in decode_idx
         ]
+        if journal is not None:
+            journal.record_submitted(decode_idx)
         engine = BatchedEngine(
             self.model,
             max_batch=batch_size,
@@ -415,18 +480,44 @@ class CoachLM:
         )
         outputs = iter(engine.generate(requests))
 
-        results: list[tuple[InstructionPair, RevisionOutcome]] = []
-        for pair, (prompt, outcome) in zip(pairs, gated):
-            if prompt is None:
+        # Replayed outcomes stay *strings* here: the self-review pass
+        # keys on ``outcome is RevisionOutcome.REVISED``, so a replayed
+        # pair (already post-review when it was journaled) is never
+        # re-reviewed; ``RevisionStats.record`` takes either form.
+        results: list[tuple[InstructionPair, RevisionOutcome | str]] = []
+        decoded_tokens: dict[int, int] = {}
+        for i, (pair, (prompt, outcome)) in enumerate(zip(pairs, gated)):
+            if i in completed:
+                done = completed[i]
+                results.append((done.apply(pair), done.outcome))
+            elif prompt is None:
                 assert outcome is not None
                 results.append((pair, outcome))
+                if journal is not None:
+                    journal.record_done(i, pair, outcome.value)
             else:
-                results.append(self._post_generate(pair, next(outputs)))
+                output = next(outputs)
+                decoded_tokens[i] = len(output)
+                results.append(self._post_generate(pair, output))
+                if journal is not None and not self_review:
+                    revised, res_outcome = results[-1]
+                    journal.record_done(
+                        i, revised, res_outcome.value, len(output)
+                    )
 
         if self_review:
             self._self_review_pass(
                 pairs, results, verdicts, engine, batch_size, kv_page_tokens
             )
+            if journal is not None:
+                # A decoded pair's terminal state is only known after the
+                # review pass (it may be reverted or re-revised); journal
+                # it now that it is.
+                for i in decode_idx:
+                    revised, res_outcome = results[i]
+                    journal.record_done(
+                        i, revised, res_outcome.value, decoded_tokens.get(i, 0)
+                    )
 
         stats = RevisionStats()
         revised_pairs: list[InstructionPair] = []
@@ -441,7 +532,7 @@ class CoachLM:
     def _self_review_pass(
         self,
         pairs: list[InstructionPair],
-        results: list[tuple[InstructionPair, RevisionOutcome]],
+        results: list[tuple[InstructionPair, "RevisionOutcome | str"]],
         verdicts: list,
         engine: BatchedEngine,
         batch_size: int,

@@ -67,6 +67,31 @@ class OverloadError(AdmissionError):
         self.retry_after_s = retry_after_s
 
 
+class JournalError(ServingError):
+    """A run journal is unusable (unwritable path, malformed header)."""
+
+
+class JournalMismatchError(JournalError):
+    """A journal was opened against different inputs than it recorded.
+
+    The journal's header pins the configuration hash and dataset
+    fingerprint of the run that wrote it; resuming against anything else
+    would silently splice stale results into a fresh dataset, so the
+    mismatch is a refusal, never a warning.
+    """
+
+
+class RetryBudgetExceededError(ServingError):
+    """An HTTP revision client spent its whole retry budget on one request.
+
+    The typed give-up state of :class:`~repro.serving.httpclient.
+    RevisionHTTPClient`: every transport fault and 429/503 backoff for
+    the request was retried up to the configured budget and the last
+    attempt still failed.  Carries the final underlying error as
+    ``__cause__``.
+    """
+
+
 class WorkerLostError(ServingError):
     """A request's worker process died and the requeue budget is spent.
 

@@ -1216,6 +1216,10 @@ class BatchedEngine:
         #: decode loop takes the pure-vectorised path when both are zero.
         self._n_hooked = 0
         self._n_sampled = 0
+        #: Monotonic count of decode tokens produced by retired
+        #: generation sequences — the observable the resume-determinism
+        #: tests pin ("a journaled-DONE pair is never re-decoded").
+        self.total_generated_tokens = 0
 
     # -- request intake ----------------------------------------------------------
     def _validate(self, request: GenerationRequest) -> None:
@@ -1427,6 +1431,7 @@ class BatchedEngine:
         """Finish ``slot``'s sequence and compact the fleet (swap-with-last)."""
         state = self._slots[slot]
         self._finished[state.seq_id] = state.produced
+        self.total_generated_tokens += len(state.produced)
         if state.request.step_bias is not None:
             self._n_hooked -= 1
         if state.request.top_k is not None:

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -98,14 +99,43 @@ def _atomic_write(path: Path, write: Callable[[Path], None]) -> None:
         tmp.unlink(missing_ok=True)
 
 
-class ArtifactCache:
-    """A directory of cacheable experiment artifacts."""
+#: How long quarantined ``.corrupt-<pid>`` files stay inspectable before
+#: construction-time pruning reclaims them (7 days).
+DEFAULT_CORRUPT_RETENTION_S = 7 * 24 * 3600.0
 
-    def __init__(self, root: str | Path, enabled: bool = True):
+
+class ArtifactCache:
+    """A directory of cacheable experiment artifacts.
+
+    Construction prunes quarantined ``.corrupt-<pid>`` files older than
+    ``corrupt_retention_s`` — the quarantine exists so a torn write
+    stays inspectable, not so a long-lived artifact directory slowly
+    fills with debris from every crash ever injected into it.  Recent
+    quarantines (and everything else) are left untouched.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        enabled: bool = True,
+        corrupt_retention_s: float = DEFAULT_CORRUPT_RETENTION_S,
+    ):
         self.root = Path(root)
         self.enabled = enabled
         if enabled:
             self.root.mkdir(parents=True, exist_ok=True)
+            self._prune_quarantine(corrupt_retention_s)
+
+    def _prune_quarantine(self, retention_s: float) -> None:
+        cutoff = time.time() - retention_s
+        for path in self.root.glob("*.corrupt-*"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:
+                # Raced with another pruner, or an unreadable entry —
+                # pruning is best-effort housekeeping, never a failure.
+                continue
 
     def _path(self, kind: str, key: str, suffix: str) -> Path:
         return self.root / f"{kind}-{key}{suffix}"

@@ -214,6 +214,13 @@ class Workbench:
         (see :mod:`repro.scoring.selection`); ``self_review`` adds the
         revise→score→re-revise acceptance loop.  Both knobs are part of
         the cache key, so selected and full revisions coexist on disk.
+
+        The revision pass runs under a crash-safe
+        :class:`~repro.serving.journal.RunJournal` kept next to the
+        cache: a workbench killed mid-revision resumes from the pairs
+        already journaled instead of re-decoding the whole dataset, and
+        the journal is deleted once the finished dataset is safely in
+        the artifact cache.
         """
         extra: dict = {"revised_by": backbone_name, "alpha": alpha}
         if revise_top_k is not None:
@@ -230,18 +237,26 @@ class Workbench:
                 self.cache.load_dataset("revised", key, "alpaca52k-sim-coachlm"),
                 stats,
             )
+        from ..serving.journal import RunJournal
+
         coach = self.coach(alpha=alpha, backbone_name=backbone_name)
-        revised, stats = coach.revise_dataset(
-            self.alpaca_dataset(),
-            batch_size=self.scale.gen_batch_size,
-            prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
-            prefill_concurrency=self.scale.prefill_concurrency,
-            kv_page_tokens=self.scale.kv_page_tokens,
-            revise_top_k=revise_top_k,
-            self_review=self_review,
-        )
+        journal_path = self.cache.root / f"revise-journal-{key}.jsonl"
+        with RunJournal(journal_path) as journal:
+            revised, stats = coach.revise_dataset(
+                self.alpaca_dataset(),
+                batch_size=self.scale.gen_batch_size,
+                prefill_chunk_tokens=self.scale.prefill_chunk_tokens,
+                prefill_concurrency=self.scale.prefill_concurrency,
+                kv_page_tokens=self.scale.kv_page_tokens,
+                revise_top_k=revise_top_k,
+                self_review=self_review,
+                journal=journal if self.cache.enabled else None,
+            )
         self.cache.save_dataset("revised", key, revised)
         self.cache.save_json("revised-stats", key, stats.outcomes)
+        # The finished dataset is durable in the cache now; the journal
+        # has served its purpose.
+        journal_path.unlink(missing_ok=True)
         return revised, stats
 
     def ifd_scores(

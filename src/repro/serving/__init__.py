@@ -29,7 +29,17 @@ Architecture (bottom up):
   platform simulator;
 * :mod:`repro.serving.http` — a stdlib ``ThreadingHTTPServer`` JSON
   front-end (``POST /revise``, ``POST /score``, ``GET /metrics``,
-  ``GET /healthz``).
+  ``GET /healthz``);
+* :mod:`repro.serving.httpclient` — :class:`RevisionHTTPClient`: the
+  retrying network client (timeouts, jittered backoff, ``Retry-After``,
+  typed give-up), made effectively exactly-once by the server's dedup
+  cache;
+* :mod:`repro.serving.journal` — :class:`RunJournal`: a crash-safe,
+  fsync'd write-ahead journal that makes whole revision runs resumable
+  with byte-identical output (``docs/resilience.md``);
+* :mod:`repro.serving.faults` — seeded fault injection for both the
+  process layer (:class:`FaultPlan`) and the network layer
+  (:class:`NetworkFaultPlan` + :class:`FaultyProxy`).
 
 Besides revisions the service carries teacher-forced **scoring** traffic
 (``submit_score`` / ``POST /score``): IFD verdicts from
@@ -51,9 +61,23 @@ from .cache import (
     score_key,
 )
 from .client import InProcessRevisionClient
-from .faults import FaultInjector, FaultPlan, WorkerFaults
+from .faults import (
+    ConnectionFault,
+    FaultInjector,
+    FaultPlan,
+    FaultyProxy,
+    NetworkFaultPlan,
+    WorkerFaults,
+)
 from .fleet import EngineFleet
 from .http import RevisionHTTPFrontend
+from .httpclient import RevisionHTTPClient
+from .journal import (
+    JournaledDone,
+    JournalReplay,
+    RunJournal,
+    dataset_fingerprint,
+)
 from .metrics import ServingMetrics
 from .queueing import BoundedPriorityQueue
 from .requests import (
@@ -70,6 +94,7 @@ from .requests import (
     SOURCE_DEDUP,
     SOURCE_ENGINE,
     SOURCE_GATE,
+    SOURCE_JOURNAL,
     SOURCE_SHED,
 )
 from .scheduler import EngineJob, StreamingScheduler
@@ -79,31 +104,40 @@ __all__ = [
     "BoundedPriorityQueue",
     "CachedRevision",
     "CachedScore",
+    "ConnectionFault",
     "EngineFleet",
     "EngineJob",
     "FaultInjector",
     "FaultPlan",
+    "FaultyProxy",
     "InProcessRevisionClient",
+    "JournaledDone",
+    "JournalReplay",
     "KIND_REVISE",
     "KIND_SCORE",
+    "NetworkFaultPlan",
     "OUTCOME_EXPIRED",
     "OUTCOME_QUALITY_GATED",
     "OUTCOME_SCORED",
     "OUTCOME_SHED",
     "RevisionFuture",
+    "RevisionHTTPClient",
     "RevisionHTTPFrontend",
     "RevisionLRUCache",
     "RevisionResult",
     "RevisionServer",
+    "RunJournal",
     "ServingMetrics",
     "SOURCE_CACHE",
     "SOURCE_DEADLINE",
     "SOURCE_DEDUP",
     "SOURCE_ENGINE",
     "SOURCE_GATE",
+    "SOURCE_JOURNAL",
     "SOURCE_SHED",
     "StreamingScheduler",
     "WorkerFaults",
+    "dataset_fingerprint",
     "revision_key",
     "score_key",
 ]

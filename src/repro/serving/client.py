@@ -19,7 +19,7 @@ from ..core.coachlm import RevisionStats
 from ..data.dataset import InstructionDataset
 from ..data.instruction_pair import InstructionPair
 from ..errors import AdmissionError, OverloadError, ServingError
-from .requests import RevisionFuture, RevisionResult
+from .requests import SOURCE_JOURNAL, RevisionFuture, RevisionResult
 
 
 class InProcessRevisionClient:
@@ -39,23 +39,101 @@ class InProcessRevisionClient:
         serving = getattr(config, "serving", config)
         return serving.idle_wait_s
 
-    def revise_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
-        """Revise pairs in order, blocking on back-pressure as needed."""
-        return self._run_pairs(pairs, self.server.submit)
+    def revise_pairs(
+        self, pairs: list[InstructionPair], journal=None
+    ) -> list[RevisionResult]:
+        """Revise pairs in order, blocking on back-pressure as needed.
 
-    def score_pairs(self, pairs: list[InstructionPair]) -> list[RevisionResult]:
+        ``journal`` (a :class:`~repro.serving.journal.RunJournal`) makes
+        the run crash-safe: each result is journaled as its future
+        resolves, and a resumed run serves journaled-``DONE`` pairs with
+        ``source == "journal"`` without ever re-submitting them.
+        """
+        return self._run_pairs(pairs, self.server.submit, journal=journal)
+
+    def score_pairs(
+        self, pairs: list[InstructionPair], journal=None
+    ) -> list[RevisionResult]:
         """Teacher-force score pairs in order (IFD), same back-pressure.
 
         Each result carries the ``PairIFD.as_dict()`` payload in
         ``RevisionResult.score`` (``None`` for unscoreable pairs).
         """
-        return self._run_pairs(pairs, self.server.submit_score)
+        return self._run_pairs(
+            pairs, self.server.submit_score, journal=journal, kind="score"
+        )
 
-    def _run_pairs(self, pairs: list[InstructionPair], submit) -> list[RevisionResult]:
+    def _journal_hash(self, kind: str) -> str:
+        """Identity hash of a served run — the coach's semantic knobs.
+
+        Scheduling (queue depths, batch sizes, fleet size) is excluded:
+        the serving layer's pinned contract is that scheduling never
+        changes tokens, so a resumed run may be served by a differently
+        shaped fleet and still produce identical results.
+        """
+        from .journal import run_config_hash
+
+        base = self.server.coach.revision_run_hash()
+        if kind == "revise":
+            return base
+        return run_config_hash({"kind": f"served_{kind}", "base": base})
+
+    def _run_pairs(
+        self,
+        pairs: list[InstructionPair],
+        submit,
+        journal=None,
+        kind: str = "revise",
+    ) -> list[RevisionResult]:
+        completed = {}
+        if journal is not None:
+            from .journal import dataset_fingerprint
+
+            replay = journal.open_run(
+                self._journal_hash(kind), dataset_fingerprint(pairs)
+            )
+            completed = replay.completed
+            metrics = getattr(self.server, "metrics", None)
+            if metrics is not None:
+                metrics.record_journal_replay(
+                    replay.records_replayed, replay.pairs_skipped
+                )
+            journal.record_submitted(
+                [i for i in range(len(pairs)) if i not in completed]
+            )
         self.server.start()
         results: list[RevisionResult | None] = [None] * len(pairs)
+
+        def finish(index: int, future: RevisionFuture) -> None:
+            try:
+                result = future.result(self.timeout_s)
+            except ServingError as error:
+                if journal is not None:
+                    journal.record_failed(index, str(error))
+                raise
+            results[index] = result
+            if journal is not None:
+                journal.record_done(
+                    index,
+                    result.pair,
+                    result.outcome,
+                    result.generated_tokens,
+                    result.score,
+                )
+
         outstanding: deque[tuple[int, RevisionFuture]] = deque()
         for index, pair in enumerate(pairs):
+            if index in completed:
+                done = completed[index]
+                results[index] = RevisionResult(
+                    pair=done.apply(pair),
+                    outcome=done.outcome,
+                    source=SOURCE_JOURNAL,
+                    latency_s=0.0,
+                    generated_tokens=0,
+                    score=done.score,
+                )
+                continue
             retry_until = time.monotonic() + self.timeout_s
             while True:
                 try:
@@ -73,21 +151,21 @@ class InProcessRevisionClient:
                         ) from error
                     if outstanding:
                         oldest, oldest_future = outstanding.popleft()
-                        results[oldest] = oldest_future.result(self.timeout_s)
+                        finish(oldest, oldest_future)
                     else:
                         # Queue filled by other clients: briefly yield.
                         time.sleep(self._idle_wait_s())
             outstanding.append((index, future))
         for index, future in outstanding:
-            results[index] = future.result(self.timeout_s)
+            finish(index, future)
         return results  # type: ignore[return-value]
 
     def revise_dataset(
-        self, dataset: InstructionDataset
+        self, dataset: InstructionDataset, journal=None
     ) -> tuple[InstructionDataset, RevisionStats]:
         """Drop-in for :meth:`CoachLM.revise_dataset`, served online."""
         pairs = list(dataset)
-        results = self.revise_pairs(pairs)
+        results = self.revise_pairs(pairs, journal=journal)
         stats = RevisionStats()
         for result in results:
             stats.record(result.outcome)

@@ -20,11 +20,28 @@ The same schedule is reachable from the environment
 ``REPRO_FAULT_WORKER``, ``REPRO_FAULT_CRASH_STEP``,
 ``REPRO_FAULT_HANG_STEP``, ``REPRO_FAULT_DROP_RESULTS``,
 ``REPRO_FAULT_SEND_DELAY_S``, ``REPRO_FAULT_TORN_CACHE``.
+
+The **network layer** gets the same treatment: a
+:class:`NetworkFaultPlan` schedules one :class:`ConnectionFault` per
+TCP connection (reset mid-response, truncated body, slow-loris stall,
+synthesized 503 burst), and a seeded in-process
+:class:`FaultyProxy` sits between an HTTP client and the revision
+front-end executing the schedule on real sockets.
+``tests/test_fuzz_network.py`` drives
+:class:`~repro.serving.httpclient.RevisionHTTPClient` (+ run journal)
+through the proxy and asserts every pair still resolves exactly once
+with token parity.  Env knobs for live drills:
+``REPRO_FAULT_NET_CONN``, ``REPRO_FAULT_NET_KIND``,
+``REPRO_FAULT_NET_AFTER_BYTES``, ``REPRO_FAULT_NET_STALL_S``,
+``REPRO_FAULT_NET_RETRY_AFTER_S``.
 """
 
 from __future__ import annotations
 
 import os
+import socket
+import struct
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -189,3 +206,305 @@ def write_torn_json(path: str | os.PathLike) -> None:
     would: bytes that parse up to the cut and then stop mid-token."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write('{"revisions": [{"key": "deadbeef", "instr')
+
+
+# -- network-layer fault injection -------------------------------------------------
+
+#: ``ConnectionFault.kind`` values.
+NET_FAULT_KINDS = ("none", "reset", "truncate", "stall", "reject")
+
+
+@dataclass(frozen=True)
+class ConnectionFault:
+    """What happens to one TCP connection through the faulty proxy.
+
+    ``after_bytes`` counts *response* bytes relayed before the fault
+    fires — ``0`` hits the very first response byte (the client sees a
+    torn status line), a mid-body value tears the JSON payload.  The
+    response side is the interesting one for retry semantics: the
+    server has already done the work, so a naive re-send is exactly the
+    at-least-once duplicate the server's dedup cache must absorb.
+
+    * ``reset`` — abort the client socket (``SO_LINGER`` 0 → RST); the
+      client sees ``ConnectionResetError`` mid-read.
+    * ``truncate`` — clean FIN short of the announced Content-Length;
+      the client sees ``IncompleteRead``.
+    * ``stall`` — hold the connection open, bytes withheld, for
+      ``stall_s``; a client with a sane timeout gives up first.
+    * ``reject`` — never contact the upstream: synthesize a ``503``
+      with ``Retry-After: retry_after_s`` (an overload burst).
+    """
+
+    kind: str = "none"
+    after_bytes: int = 0
+    stall_s: float = 0.0
+    retry_after_s: float = 0.05
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """A per-connection failure schedule, reproducible from its seed.
+
+    ``connections`` maps the proxy's connection ordinal (0-based, in
+    accept order) → the fault that connection suffers; absent ordinals
+    relay cleanly.  A single-connection-per-request client (like
+    :class:`~repro.serving.httpclient.RevisionHTTPClient`) therefore
+    sees a deterministic fault sequence for a given seed.
+    """
+
+    seed: int = 0
+    connections: dict[int, ConnectionFault] = field(default_factory=dict)
+
+    def for_connection(self, n: int) -> ConnectionFault | None:
+        return self.connections.get(n)
+
+    @property
+    def n_faulty(self) -> int:
+        return sum(
+            1 for f in self.connections.values() if f.kind != "none"
+        )
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        n_connections: int = 12,
+        p_fault: float = 0.4,
+        max_after_bytes: int = 600,
+        stall_s: float = 0.6,
+        retry_after_s: float = 0.05,
+    ) -> "NetworkFaultPlan":
+        """Draw one reproducible schedule: same seed, same faults.
+
+        Each of the first ``n_connections`` connections independently
+        suffers a fault with probability ``p_fault``; kinds are drawn
+        uniformly and ``after_bytes`` lands anywhere from the status
+        line (0) to deep in the body (``max_after_bytes``).
+        """
+        rng = np.random.default_rng(seed)
+        connections: dict[int, ConnectionFault] = {}
+        for n in range(n_connections):
+            if rng.random() >= p_fault:
+                continue
+            kind = str(rng.choice(["reset", "truncate", "stall", "reject"]))
+            connections[n] = ConnectionFault(
+                kind=kind,
+                after_bytes=int(rng.integers(0, max_after_bytes + 1)),
+                stall_s=stall_s,
+                retry_after_s=retry_after_s,
+            )
+        return cls(seed=seed, connections=connections)
+
+    @classmethod
+    def from_env(
+        cls, environ: dict[str, str] | None = None
+    ) -> "NetworkFaultPlan | None":
+        """Build a plan from ``REPRO_FAULT_NET_*`` vars; ``None`` if unset."""
+        env = os.environ if environ is None else environ
+        kind = env.get("REPRO_FAULT_NET_KIND")
+        if not kind:
+            return None
+        if kind not in NET_FAULT_KINDS:
+            raise ValueError(
+                f"REPRO_FAULT_NET_KIND must be one of {NET_FAULT_KINDS}, "
+                f"got {kind!r}"
+            )
+        fault = ConnectionFault(
+            kind=kind,
+            after_bytes=int(env.get("REPRO_FAULT_NET_AFTER_BYTES", "0")),
+            stall_s=float(env.get("REPRO_FAULT_NET_STALL_S", "0.6")),
+            retry_after_s=float(
+                env.get("REPRO_FAULT_NET_RETRY_AFTER_S", "0.05")
+            ),
+        )
+        conn = int(env.get("REPRO_FAULT_NET_CONN", "0"))
+        return cls(seed=0, connections={conn: fault})
+
+
+def _abort_socket(sock: socket.socket) -> None:
+    """Close with ``SO_LINGER`` 0: the peer gets an RST, not a FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    sock.close()
+
+
+class FaultyProxy:
+    """Seeded in-process TCP proxy injecting faults on real sockets.
+
+    Sits between an HTTP client and the revision front-end: every
+    accepted connection is relayed byte-for-byte to
+    ``(upstream_host, upstream_port)`` unless its
+    :class:`ConnectionFault` says otherwise.  Faults execute at the
+    socket layer — an injected ``reset`` is a genuine TCP RST, a
+    ``truncate`` a genuine early FIN — so the client under test
+    exercises the exact error paths a flaky network produces, not
+    mocked exceptions.  ``port=0`` binds an ephemeral port; read
+    :attr:`address` after construction.  Use as a context manager or
+    call :meth:`start`/:meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: NetworkFaultPlan | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.upstream = (upstream_host, upstream_port)
+        self.plan = plan if plan is not None else NetworkFaultPlan()
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.connections_seen = 0
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        host, port = self._listener.getsockname()[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "FaultyProxy":
+        if self._thread is None:
+            self._stopping.clear()
+            self._thread = threading.Thread(
+                target=self._serve, name="faulty-proxy", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._thread.join()
+        self._thread = None
+        self._listener.close()
+
+    def __enter__(self) -> "FaultyProxy":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- internals ---------------------------------------------------------------
+    def _serve(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                ordinal = self.connections_seen
+                self.connections_seen += 1
+            fault = self.plan.for_connection(ordinal) or ConnectionFault()
+            threading.Thread(
+                target=self._handle,
+                args=(client, fault),
+                name=f"faulty-proxy-conn-{ordinal}",
+                daemon=True,
+            ).start()
+
+    def _handle(self, client: socket.socket, fault: ConnectionFault) -> None:
+        client.settimeout(30.0)
+        if fault.kind == "reject":
+            self._reject(client, fault)
+            return
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=30.0)
+        except OSError:
+            _abort_socket(client)
+            return
+        request_pump = threading.Thread(
+            target=self._pump_request,
+            args=(client, upstream),
+            daemon=True,
+        )
+        request_pump.start()
+        self._pump_response(upstream, client, fault)
+
+    def _reject(self, client: socket.socket, fault: ConnectionFault) -> None:
+        """Synthesize an overload burst without touching the upstream."""
+        try:
+            # Drain the request first: closing with unread bytes in the
+            # receive buffer sends an RST that can destroy the 503 before
+            # the client reads it — we want the Retry-After delivered.
+            client.settimeout(1.0)
+            client.recv(1 << 16)
+        except OSError:
+            pass
+        body = b'{"error": "injected 503 (network fault plan)"}'
+        head = (
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Retry-After: {fault.retry_after_s}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            client.sendall(head + body)
+        except OSError:
+            pass
+        client.close()
+
+    def _pump_request(
+        self, client: socket.socket, upstream: socket.socket
+    ) -> None:
+        """Relay client → upstream until the client stops sending."""
+        try:
+            while True:
+                data = client.recv(4096)
+                if not data:
+                    break
+                upstream.sendall(data)
+            upstream.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_response(
+        self,
+        upstream: socket.socket,
+        client: socket.socket,
+        fault: ConnectionFault,
+    ) -> None:
+        """Relay upstream → client, firing the fault at ``after_bytes``."""
+        sent = 0
+        try:
+            while True:
+                data = upstream.recv(4096)
+                if not data:
+                    break
+                if fault.kind in ("reset", "truncate", "stall"):
+                    budget = fault.after_bytes - sent
+                    if budget < len(data):
+                        head = data[:max(0, budget)]
+                        if head:
+                            client.sendall(head)
+                            sent += len(head)
+                        if fault.kind == "reset":
+                            _abort_socket(client)
+                        elif fault.kind == "truncate":
+                            client.close()
+                        else:  # stall: withhold bytes until the client quits
+                            time.sleep(fault.stall_s)
+                            _abort_socket(client)
+                        upstream.close()
+                        return
+                client.sendall(data)
+                sent += len(data)
+            client.close()
+        except OSError:
+            pass
+        finally:
+            try:
+                upstream.close()
+            except OSError:
+                pass

@@ -12,7 +12,9 @@ by HTTP.  The service may be a single-process
     Body ``{"instruction": str, "response": str, "pair_id"?, "priority"?,
     "deadline_s"?, "timeout_s"?}``.  Replies ``200`` with
     ``{"instruction", "response", "outcome", "source", "latency_s",
-    "generated_tokens"}``; ``400`` on a malformed payload; ``413`` when
+    "generated_tokens"}``; ``400`` on a malformed payload; ``408`` when
+    the client announces a body and then stalls sending it for more than
+    ``handler_timeout_s`` (the connection is closed after); ``413`` when
     the body exceeds ``max_body_bytes``; ``429`` with a ``Retry-After``
     header when admission control rejects; ``503`` with ``Retry-After``
     when the request was shed (overload, degraded fleet, or drain mode);
@@ -58,14 +60,29 @@ def _make_handler(
     frontend: "RevisionHTTPFrontend",
     default_timeout_s: float,
     max_body_bytes: int,
+    handler_timeout_s: float,
 ) -> type[BaseHTTPRequestHandler]:
     service = frontend.service
 
     class RevisionHandler(BaseHTTPRequestHandler):
         server_version = "CoachLMRevision/1.0"
+        #: Socket timeout for every read on the connection — a slow-loris
+        #: client (bytes trickling in, or none at all) cannot pin a
+        #: handler thread forever.  ``socketserver`` applies this via
+        #: ``connection.settimeout`` in ``setup()``.
+        timeout = handler_timeout_s
 
         def log_message(self, *args: object) -> None:  # silence stderr
             pass
+
+        def handle(self) -> None:
+            # A peer that vanished (RST mid-request) or stalled past the
+            # socket timeout is routine network weather, not a handler
+            # crash: drop the connection without a traceback.
+            try:
+                super().handle()
+            except (ConnectionError, TimeoutError):
+                self.close_connection = True
 
         def _reply(
             self,
@@ -74,13 +91,18 @@ def _make_handler(
             headers: dict[str, str] | None = None,
         ) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            for name, value in (headers or {}).items():
-                self.send_header(name, value)
-            self.end_headers()
-            self.wfile.write(body)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+            except (ConnectionError, BrokenPipeError, TimeoutError):
+                # The client disconnected mid-reply.  The work is done
+                # and cached server-side; a retry will find it there.
+                self.close_connection = True
 
         def do_GET(self) -> None:
             if self.path == "/metrics":
@@ -145,7 +167,24 @@ def _make_handler(
                 )
                 return
             try:
-                blob = json.loads(self.rfile.read(length) or b"")
+                raw = self.rfile.read(length)
+            except TimeoutError:
+                # The client announced a body and then stalled sending
+                # it: answer 408 and close rather than pinning the
+                # handler thread on a half-sent request.
+                self._reply(
+                    408,
+                    {
+                        "error": (
+                            "request body stalled for more than "
+                            f"{handler_timeout_s}s"
+                        )
+                    },
+                )
+                self.close_connection = True
+                return
+            try:
+                blob = json.loads(raw or b"")
             except (ValueError, json.JSONDecodeError):
                 self._reply(400, {"error": "body must be a JSON object"})
                 return
@@ -253,8 +292,11 @@ class RevisionHTTPFrontend:
     binds an ephemeral port; read :attr:`address` after construction.
     Starting the front-end also starts the underlying service.
     ``max_body_bytes`` bounds the ``POST /revise`` payload (``413``
-    beyond it, rejected before the body is read).  Use as a context
-    manager or call :meth:`start`/:meth:`stop`.
+    beyond it, rejected before the body is read).  ``handler_timeout_s``
+    is the per-connection socket timeout: a client that stalls
+    mid-request gets ``408`` (announced body never arrived) or a closed
+    connection (headers never arrived) instead of a pinned handler
+    thread.  Use as a context manager or call :meth:`start`/:meth:`stop`.
     """
 
     def __init__(
@@ -265,6 +307,7 @@ class RevisionHTTPFrontend:
         request_timeout_s: float = 60.0,
         max_body_bytes: int = 1 << 20,
         drain_retry_after_s: float = 1.0,
+        handler_timeout_s: float = 30.0,
     ):
         self.service = service
         self.draining = False
@@ -273,7 +316,9 @@ class RevisionHTTPFrontend:
         self._inflight_lock = threading.Lock()
         self.httpd = ThreadingHTTPServer(
             (host, port),
-            _make_handler(self, request_timeout_s, max_body_bytes),
+            _make_handler(
+                self, request_timeout_s, max_body_bytes, handler_timeout_s
+            ),
         )
         self._thread: threading.Thread | None = None
 

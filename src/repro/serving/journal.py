@@ -1,0 +1,344 @@
+"""Crash-safe write-ahead run journal for dataset revision runs.
+
+The paper's industrial deployment (Fig. 6) runs revision as a daily
+batch job over thousands of pairs; a whole-process crash near the end of
+such a run must not cost the hours of decode work already done.  The
+:class:`RunJournal` is the durability layer that makes revision runs
+resumable:
+
+* **Append-only JSONL WAL** — one record per pair state transition
+  (``SUBMITTED`` → ``DONE``/``FAILED``), each line carrying a CRC of its
+  own payload.  Records are flushed and ``fsync``'d as they are
+  appended, so a ``kill -9`` loses at most the record being written.
+* **Torn-tail-tolerant replay** — a process killed mid-append leaves a
+  partial (or CRC-corrupt) final line.  Replay truncates the journal at
+  the *first* corrupt record and resumes from the last durable state; it
+  never crashes on damage, and it never trusts bytes past the damage.
+* **Identity guards** — the journal header pins a configuration hash and
+  a dataset fingerprint.  Opening a journal against different inputs
+  raises a typed :class:`~repro.errors.JournalMismatchError` instead of
+  silently splicing stale revisions into a fresh dataset.
+
+Because greedy revision is deterministic, a resumed run that skips
+journaled-``DONE`` pairs and re-decodes only the unfinished tail yields
+a **byte-identical** final dataset to an uninterrupted run — pinned by
+``tests/test_journal.py`` (directed SIGKILL points) and
+``tests/test_fuzz_network.py`` (random fault schedules).
+
+The journal composes with every execution path that carries revision
+traffic: :meth:`CoachLM.revise_dataset(journal=...)
+<repro.core.coachlm.CoachLM.revise_dataset>` (offline engine),
+:class:`~repro.serving.client.InProcessRevisionClient` (served), and
+:class:`~repro.serving.httpclient.RevisionHTTPClient` (over the
+network) — see ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..data.instruction_pair import InstructionPair
+from ..errors import JournalError, JournalMismatchError
+from ..pipeline.cache import config_hash as _config_hash
+
+#: Journal record ``type`` values (the pair state machine).
+RECORD_HEADER = "header"
+RECORD_SUBMITTED = "submitted"
+RECORD_DONE = "done"
+RECORD_FAILED = "failed"
+
+#: On-disk format version; bumped on any incompatible record change.
+JOURNAL_VERSION = 1
+
+
+def dataset_fingerprint(pairs: list[InstructionPair]) -> str:
+    """Stable, order-sensitive fingerprint of a dataset's identity.
+
+    Covers the fields a revision run actually consumes — pair id,
+    instruction and response text, in order — so the journal guard fires
+    on any reordering, insertion, deletion, or edit, while ignoring
+    bookkeeping metadata that cannot change the run's outputs.
+    """
+    digest = zlib.crc32(b"")
+    for pair in pairs:
+        blob = json.dumps(
+            [pair.pair_id, pair.instruction, pair.response],
+            sort_keys=True,
+        ).encode("utf-8")
+        digest = zlib.crc32(blob, digest)
+    return f"{len(pairs)}-{digest:08x}"
+
+
+def run_config_hash(payload: dict) -> str:
+    """Hash the semantic knobs of a revision run for the journal header.
+
+    Callers include everything that can change the run's *outputs*
+    (decode knobs, selection knobs, a model fingerprint) and exclude
+    pure scheduling knobs (batch size, chunking, paging) — the engine's
+    pinned contract is that scheduling never changes tokens, so a
+    resumed run may batch differently and still be byte-identical.
+    """
+    return _config_hash(payload)
+
+
+def _encode(payload: dict) -> bytes:
+    """One journal line: the payload plus a CRC of its canonical form."""
+    canonical = json.dumps(payload, sort_keys=True)
+    record = dict(payload)
+    record["crc"] = zlib.crc32(canonical.encode("utf-8"))
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _decode(line: bytes) -> dict | None:
+    """Parse one journal line; ``None`` for anything torn or corrupt."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    canonical = json.dumps(record, sort_keys=True)
+    if zlib.crc32(canonical.encode("utf-8")) != crc:
+        return None
+    return record
+
+
+@dataclass(frozen=True)
+class JournaledDone:
+    """The durable terminal state of one pair, replayed from the journal."""
+
+    index: int
+    instruction: str
+    response: str
+    outcome: str
+    generated_tokens: int = 0
+    score: dict | None = None
+
+    def apply(self, pair: InstructionPair) -> InstructionPair:
+        """Re-bind the journaled texts to ``pair``'s identity/provenance.
+
+        Mirrors :meth:`~repro.serving.cache.CachedRevision.apply`: only a
+        ``revised`` outcome rewrites the text; every fallback outcome
+        keeps the caller's pair untouched — which is what makes the
+        resumed dataset byte-identical to an uninterrupted run.
+        """
+        from ..core.coachlm import RevisionOutcome
+        from ..data.instruction_pair import Origin
+
+        if self.outcome == RevisionOutcome.REVISED.value:
+            return pair.with_text(
+                self.instruction, self.response, Origin.COACHLM_REVISED
+            )
+        return pair
+
+
+@dataclass
+class JournalReplay:
+    """What a journal held when it was opened for (re)use."""
+
+    completed: dict[int, JournaledDone] = field(default_factory=dict)
+    #: Valid records read back (header included).
+    records_replayed: int = 0
+    #: Indices that were ``SUBMITTED`` but never reached a terminal state
+    #: — the in-flight work the crash destroyed.
+    interrupted: frozenset[int] = frozenset()
+    #: True when a torn/corrupt tail was found and truncated away.
+    torn_tail: bool = False
+    #: Bytes dropped by the torn-tail truncation.
+    truncated_bytes: int = 0
+
+    @property
+    def pairs_skipped(self) -> int:
+        """Pairs a resumed run serves from the journal instead of decoding."""
+        return len(self.completed)
+
+    def pending_indices(self, total: int) -> list[int]:
+        """Dataset indices a resumed run still has to produce, in order."""
+        return [i for i in range(total) if i not in self.completed]
+
+
+class RunJournal:
+    """Append-only, fsync'd JSONL write-ahead journal of one revision run.
+
+    ``fsync=True`` (the default) makes every appended record durable
+    before the call returns — the crash-safety contract.  ``fsync=False``
+    trades durability of the last few records for speed (data still
+    reaches the OS on every append; only a machine-level crash can lose
+    it) — the torn-tail replay handles either way.
+
+    Use as a context manager, or call :meth:`close` when done.  A
+    journal must be :meth:`open_run`-ed (which validates or writes the
+    header) before any record is appended.
+    """
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+        self.replay: JournalReplay | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def open_run(
+        self, config_hash: str, fingerprint: str
+    ) -> JournalReplay:
+        """Open (or create) the journal for a run with this identity.
+
+        Replays any durable records from a previous incarnation of the
+        same run — truncating a torn tail in place, never crashing on
+        one — and refuses with :class:`JournalMismatchError` when the
+        journal on disk belongs to a different configuration or dataset.
+        Returns the :class:`JournalReplay` describing what was recovered.
+        """
+        if self._fh is not None:
+            raise JournalError(f"journal {self.path} is already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        replay = self._replay_and_truncate(config_hash, fingerprint)
+        self._fh = open(self.path, "ab")
+        if replay.records_replayed == 0:
+            self._append({
+                "type": RECORD_HEADER,
+                "version": JOURNAL_VERSION,
+                "config": config_hash,
+                "fingerprint": fingerprint,
+            })
+        self.replay = replay
+        return replay
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- appends -----------------------------------------------------------------
+    def record_submitted(self, indices: list[int]) -> None:
+        """Mark pairs as entering the decode pipeline (one batched record)."""
+        if indices:
+            self._append({
+                "type": RECORD_SUBMITTED, "indices": list(map(int, indices))
+            })
+
+    def record_done(
+        self,
+        index: int,
+        pair: InstructionPair,
+        outcome: str,
+        generated_tokens: int = 0,
+        score: dict | None = None,
+    ) -> None:
+        """Record one pair's terminal result (durable once this returns)."""
+        record: dict = {
+            "type": RECORD_DONE,
+            "index": int(index),
+            "instruction": pair.instruction,
+            "response": pair.response,
+            "outcome": outcome,
+            "generated_tokens": int(generated_tokens),
+        }
+        if score is not None:
+            record["score"] = score
+        self._append(record)
+
+    def record_failed(self, index: int, error: str) -> None:
+        """Record a terminal failure; the pair is retried on resume."""
+        self._append({
+            "type": RECORD_FAILED, "index": int(index), "error": str(error)
+        })
+
+    def _append(self, payload: dict) -> None:
+        if self._fh is None:
+            raise JournalError(
+                f"journal {self.path} is not open (call open_run first)"
+            )
+        self._fh.write(_encode(payload))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    # -- replay ------------------------------------------------------------------
+    def _replay_and_truncate(
+        self, config_hash: str, fingerprint: str
+    ) -> JournalReplay:
+        replay = JournalReplay()
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return replay
+        if not raw:
+            return replay
+
+        offset = 0
+        valid_end = 0
+        records: list[dict] = []
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # torn final line: no newline ever made it to disk
+            record = _decode(raw[offset : newline + 1])
+            if record is None:
+                break  # CRC/parse failure: stop trusting the file here
+            if not records:
+                if (
+                    record.get("type") != RECORD_HEADER
+                    or record.get("version") != JOURNAL_VERSION
+                ):
+                    break  # headerless/foreign file: replay nothing
+            records.append(record)
+            offset = newline + 1
+            valid_end = offset
+
+        if valid_end < len(raw):
+            replay.torn_tail = True
+            replay.truncated_bytes = len(raw) - valid_end
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+        if not records:
+            return replay
+
+        header = records[0]
+        if (
+            header.get("config") != config_hash
+            or header.get("fingerprint") != fingerprint
+        ):
+            raise JournalMismatchError(
+                f"journal {self.path} was written by a different run "
+                f"(config {header.get('config')!r} vs {config_hash!r}, "
+                f"dataset {header.get('fingerprint')!r} vs {fingerprint!r});"
+                " refusing to resume — delete the stale journal to start over"
+            )
+
+        submitted: set[int] = set()
+        for record in records[1:]:
+            kind = record.get("type")
+            if kind == RECORD_SUBMITTED:
+                submitted.update(
+                    int(i) for i in record.get("indices", ())
+                )
+            elif kind == RECORD_DONE:
+                index = int(record["index"])
+                replay.completed[index] = JournaledDone(
+                    index=index,
+                    instruction=record.get("instruction", ""),
+                    response=record.get("response", ""),
+                    outcome=record.get("outcome", ""),
+                    generated_tokens=int(record.get("generated_tokens", 0)),
+                    score=record.get("score"),
+                )
+            elif kind == RECORD_FAILED:
+                # A FAILED pair is terminal for *that* incarnation only:
+                # the resume retries it (failures are usually transient —
+                # a lost worker, a spent retry budget).
+                replay.completed.pop(int(record["index"]), None)
+        replay.records_replayed = len(records)
+        replay.interrupted = frozenset(submitted - set(replay.completed))
+        return replay

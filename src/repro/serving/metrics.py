@@ -56,6 +56,17 @@ class ServingMetrics:
         #: Results received for an already-resolved request — must stay 0;
         #: a nonzero value means the at-most-once requeue discipline broke.
         self.duplicate_results = 0
+        #: HTTP client: transport/5xx attempts retried after backoff.
+        self.retries = 0
+        #: HTTP client: total seconds slept honoring server ``Retry-After``.
+        self.retry_after_honored_s = 0.0
+        #: HTTP client: requests abandoned with
+        #: :class:`~repro.errors.RetryBudgetExceededError` (budget spent).
+        self.gave_up = 0
+        #: Run journal: valid records replayed when a journal was opened.
+        self.journal_records_replayed = 0
+        #: Run journal: pairs served from the journal instead of decoding.
+        self.journal_pairs_skipped = 0
         self._latencies: list[float] = []
 
     # -- recording ---------------------------------------------------------------
@@ -91,6 +102,24 @@ class ServingMetrics:
         with self._lock:
             self.engine_tokens += tokens
             self.engine_busy_s += busy_s
+
+    def record_retry(self, retry_after_s: float = 0.0) -> None:
+        """One HTTP attempt retried; ``retry_after_s`` > 0 when the sleep
+        came from a server ``Retry-After`` header rather than backoff."""
+        with self._lock:
+            self.retries += 1
+            self.retry_after_honored_s += max(0.0, retry_after_s)
+
+    def record_gave_up(self) -> None:
+        with self._lock:
+            self.gave_up += 1
+
+    def record_journal_replay(
+        self, records_replayed: int, pairs_skipped: int
+    ) -> None:
+        with self._lock:
+            self.journal_records_replayed += records_replayed
+            self.journal_pairs_skipped += pairs_skipped
 
     # -- reading -----------------------------------------------------------------
     @property
@@ -135,6 +164,13 @@ class ServingMetrics:
                 "requeued": self.requeued,
                 "worker_lost": self.worker_lost,
                 "duplicate_results": self.duplicate_results,
+                "retries": self.retries,
+                "retry_after_honored_s": round(self.retry_after_honored_s, 6),
+                "gave_up": self.gave_up,
+                "journal": {
+                    "records_replayed": self.journal_records_replayed,
+                    "pairs_skipped": self.journal_pairs_skipped,
+                },
                 "latency_p50_s": round(p50, 6),
                 "latency_p95_s": round(p95, 6),
             }

@@ -22,6 +22,7 @@ SOURCE_DEDUP = "dedup"              #: attached to an identical in-flight reques
 SOURCE_GATE = "quality_gate"        #: skipped: already above the rubric threshold
 SOURCE_DEADLINE = "deadline"        #: expired in the queue before decoding
 SOURCE_SHED = "shed"                #: displaced from a full queue under pressure
+SOURCE_JOURNAL = "journal"          #: replayed from a crash-safe run journal
 
 #: Serving-only terminal outcomes (alongside ``RevisionOutcome`` values).
 OUTCOME_EXPIRED = "expired"

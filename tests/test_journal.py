@@ -1,0 +1,297 @@
+"""Directed resume-determinism tests for the crash-safe run journal.
+
+The contract under test (``docs/resilience.md``): a revision run killed
+at *any* point — mid-pair, between fsyncs, mid-append — resumes from its
+:class:`~repro.serving.journal.RunJournal` and produces a final dataset
+**byte-identical** to an uninterrupted run, without re-decoding any pair
+the journal already holds as ``DONE`` (pinned via the engine's
+``total_generated_tokens`` counter, not via trust in the scheduler).
+
+Kill points use a real ``SIGKILL`` against a forked child: the child
+revises with a sabotaged journal that kills the process after the k-th
+durable record (or mid-append, torn), the parent reaps it and resumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.coachlm import CoachLM
+from repro.data import generate_dataset
+from repro.errors import JournalError, JournalMismatchError
+from repro.llm.tokenizer import build_tokenizer
+from repro.nn import BatchedEngine, TransformerConfig, TransformerLM
+from repro.serving import RunJournal, dataset_fingerprint
+from repro.serving.journal import _encode
+
+
+@pytest.fixture(scope="module")
+def coach():
+    tokenizer = build_tokenizer()
+    config = TransformerConfig(
+        vocab_size=tokenizer.vocab_size,
+        d_model=32,
+        n_layers=1,
+        n_heads=4,
+        max_seq_len=192,
+    )
+    model = TransformerLM(config, np.random.default_rng(9))
+    return CoachLM(model, tokenizer)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(np.random.default_rng(77), 10)
+
+
+@pytest.fixture(scope="module")
+def reference(coach, dataset):
+    """The uninterrupted run every resumed run must byte-match."""
+    revised, stats = coach.revise_dataset(dataset, batch_size=4)
+    return revised, stats
+
+
+def _bytes_of(dataset_obj, tmp_path, name):
+    path = tmp_path / name
+    dataset_obj.save_jsonl(path)
+    return path.read_bytes()
+
+
+@pytest.fixture()
+def engine_spy(monkeypatch):
+    """Collect every BatchedEngine built, to read token counters after."""
+    engines = []
+    original = BatchedEngine.__init__
+
+    def spy(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        engines.append(self)
+
+    monkeypatch.setattr(BatchedEngine, "__init__", spy)
+    return engines
+
+
+def _decoded_tokens(engines) -> int:
+    return sum(engine.total_generated_tokens for engine in engines)
+
+
+def _run_child_killed_after(coach, dataset, journal_path, kill_after_dones):
+    """Fork; the child revises and SIGKILLs itself after k DONE records.
+
+    Returns the child's wait status.  The offline revision path is
+    single-threaded, so forking mid-test is safe; the child never
+    returns from this function (SIGKILL, or ``os._exit`` as a backstop).
+    """
+    pid = os.fork()
+    if pid == 0:
+        try:
+            original = RunJournal.record_done
+            state = {"n": 0}
+
+            def killing_record_done(self, *args, **kwargs):
+                original(self, *args, **kwargs)
+                state["n"] += 1
+                if state["n"] >= kill_after_dones:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            RunJournal.record_done = killing_record_done
+            with RunJournal(journal_path) as journal:
+                coach.revise_dataset(dataset, batch_size=4, journal=journal)
+        finally:
+            # Only reached when the kill point was never hit — still die
+            # hard so the parent's control flow stays uniform.
+            os._exit(0)
+    _, status = os.waitpid(pid, 0)
+    return status
+
+
+def test_journaled_run_matches_plain_run(coach, dataset, reference, tmp_path):
+    """Journaling is observationally free: same bytes, same stats."""
+    ref_revised, ref_stats = reference
+    with RunJournal(tmp_path / "run.jsonl") as journal:
+        revised, stats = coach.revise_dataset(
+            dataset, batch_size=4, journal=journal
+        )
+    assert _bytes_of(revised, tmp_path, "a.jsonl") == _bytes_of(
+        ref_revised, tmp_path, "b.jsonl"
+    )
+    assert stats.outcomes == ref_stats.outcomes
+
+
+@pytest.mark.parametrize("kill_after", [1, 3, 7])
+def test_sigkill_mid_run_resumes_byte_identical(
+    coach, dataset, reference, tmp_path, engine_spy, kill_after
+):
+    """SIGKILL after k durable records → resume byte-matches, and the
+    journaled-DONE pairs are never re-decoded (engine token counter)."""
+    ref_revised, ref_stats = reference
+    journal_path = tmp_path / "run.jsonl"
+    status = _run_child_killed_after(coach, dataset, journal_path, kill_after)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+
+    # Tokens already journaled by the killed child:
+    journaled_tokens = 0
+    with open(journal_path, "rb") as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record.get("type") == "done":
+                journaled_tokens += record.get("generated_tokens", 0)
+
+    with RunJournal(journal_path) as journal:
+        resumed, stats = coach.revise_dataset(
+            dataset, batch_size=4, journal=journal
+        )
+        replay = journal.replay
+    assert replay.pairs_skipped >= kill_after
+    assert _bytes_of(resumed, tmp_path, "resumed.jsonl") == _bytes_of(
+        ref_revised, tmp_path, "ref.jsonl"
+    )
+    assert stats.outcomes == ref_stats.outcomes
+    # The resumed run decoded only the tail: its engine produced exactly
+    # the full run's tokens minus what the journal already held.
+    with RunJournal(tmp_path / "clean.jsonl") as journal:
+        coach.revise_dataset(dataset, batch_size=4, journal=journal)
+    resumed_tokens = engine_spy[0].total_generated_tokens
+    clean_tokens = engine_spy[1].total_generated_tokens
+    assert resumed_tokens == clean_tokens - journaled_tokens
+    assert journaled_tokens > 0
+
+
+def test_kill_mid_append_leaves_replayable_torn_tail(
+    coach, dataset, reference, tmp_path
+):
+    """A process dying *inside* the append (bytes written, no newline,
+    no fsync) leaves a torn tail that replay truncates, not a crash."""
+    ref_revised, _ = reference
+    journal_path = tmp_path / "run.jsonl"
+
+    pid = os.fork()
+    if pid == 0:
+        try:
+            original = RunJournal._append
+            state = {"n": 0}
+
+            def torn_append(self, payload):
+                state["n"] += 1
+                if state["n"] == 5:  # header + submitted + 3 records
+                    blob = _encode(payload)
+                    self._fh.write(blob[: len(blob) // 2])  # no newline
+                    self._fh.flush()
+                    os.kill(os.getpid(), signal.SIGKILL)
+                original(self, payload)
+
+            RunJournal._append = torn_append
+            with RunJournal(journal_path) as journal:
+                coach.revise_dataset(dataset, batch_size=4, journal=journal)
+        finally:
+            os._exit(0)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+
+    size_before = journal_path.stat().st_size
+    with RunJournal(journal_path) as journal:
+        resumed, _ = coach.revise_dataset(
+            dataset, batch_size=4, journal=journal
+        )
+        replay = journal.replay
+    assert replay.torn_tail
+    assert replay.truncated_bytes > 0
+    assert replay.records_replayed == 4
+    assert journal_path.stat().st_size > size_before - replay.truncated_bytes
+    assert _bytes_of(resumed, tmp_path, "resumed.jsonl") == _bytes_of(
+        ref_revised, tmp_path, "ref.jsonl"
+    )
+
+
+def test_corrupt_middle_record_truncates_everything_after(tmp_path):
+    """Replay never trusts bytes past the first damaged record, even
+    when valid-looking records follow it."""
+    path = tmp_path / "run.jsonl"
+    header = _encode({
+        "type": "header", "version": 1, "config": "c", "fingerprint": "f"
+    })
+    good = _encode({
+        "type": "done", "index": 0, "instruction": "a", "response": "b",
+        "outcome": "revised", "generated_tokens": 3,
+    })
+    bad = b'{"type": "done", "index": 1, "crc": 12345}\n'  # wrong CRC
+    later = _encode({
+        "type": "done", "index": 2, "instruction": "x", "response": "y",
+        "outcome": "revised", "generated_tokens": 2,
+    })
+    path.write_bytes(header + good + bad + later)
+    with RunJournal(path) as journal:
+        replay = journal.open_run("c", "f")
+    assert replay.torn_tail
+    assert set(replay.completed) == {0}
+    assert path.read_bytes() == header + good
+
+
+def test_mismatched_journal_refuses_to_resume(coach, dataset, tmp_path):
+    journal_path = tmp_path / "run.jsonl"
+    with RunJournal(journal_path) as journal:
+        coach.revise_dataset(dataset, batch_size=4, journal=journal)
+    other = generate_dataset(np.random.default_rng(5), 10)
+    with pytest.raises(JournalMismatchError):
+        with RunJournal(journal_path) as journal:
+            coach.revise_dataset(other, batch_size=4, journal=journal)
+    # The guard is typed and does not destroy the journal.
+    assert journal_path.stat().st_size > 0
+
+
+def test_failed_records_are_retried_on_resume(coach, dataset, tmp_path):
+    """FAILED is terminal for one incarnation only: the resume redoes it."""
+    journal_path = tmp_path / "run.jsonl"
+    with RunJournal(journal_path) as journal:
+        coach.revise_dataset(dataset, batch_size=4, journal=journal)
+        journal.record_failed(2, "injected: worker lost")
+    with RunJournal(journal_path) as journal:
+        replay = journal.open_run(
+            coach.revision_run_hash(), dataset_fingerprint(list(dataset))
+        )
+    assert 2 not in replay.completed
+    assert replay.pairs_skipped == len(dataset) - 1
+
+
+def test_append_requires_open_run(tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    with pytest.raises(JournalError):
+        journal.record_failed(0, "never opened")
+
+
+def test_fingerprint_covers_order_and_text(dataset):
+    pairs = list(dataset)
+    assert dataset_fingerprint(pairs) == dataset_fingerprint(list(pairs))
+    assert dataset_fingerprint(pairs) != dataset_fingerprint(pairs[::-1])
+    mutated = [pairs[0].with_text(
+        pairs[0].instruction + " x", pairs[0].response, pairs[0].origin
+    )] + pairs[1:]
+    assert dataset_fingerprint(pairs) != dataset_fingerprint(mutated)
+    assert dataset_fingerprint(pairs) != dataset_fingerprint(pairs[:-1])
+
+
+def test_self_review_resume_is_byte_identical(coach, dataset, tmp_path):
+    """With self-review the terminal state lands post-review; a resumed
+    run must neither re-decode nor re-review journaled pairs."""
+    ref, _ = coach.revise_dataset(dataset, batch_size=4, self_review=True)
+    journal_path = tmp_path / "run.jsonl"
+    with RunJournal(journal_path) as journal:
+        first, _ = coach.revise_dataset(
+            dataset, batch_size=4, self_review=True, journal=journal
+        )
+    with RunJournal(journal_path) as journal:
+        resumed, _ = coach.revise_dataset(
+            dataset, batch_size=4, self_review=True, journal=journal
+        )
+        assert journal.replay.pairs_skipped == len(dataset)
+    assert _bytes_of(first, tmp_path, "a.jsonl") == _bytes_of(
+        ref, tmp_path, "b.jsonl"
+    )
+    assert _bytes_of(resumed, tmp_path, "c.jsonl") == _bytes_of(
+        ref, tmp_path, "d.jsonl"
+    )

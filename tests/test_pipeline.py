@@ -115,6 +115,34 @@ def test_cache_get_json_quarantines_torn_write(tmp_path):
     assert len(list(tmp_path.glob("meta-k.json.corrupt-*"))) == 1
 
 
+def test_cache_prunes_stale_quarantine_files(tmp_path):
+    """Quarantined ``.corrupt-<pid>`` files are evidence, not permanent
+    residents: construction reclaims the ones older than the retention
+    window and leaves fresh ones (and everything else) alone."""
+    import os
+
+    cache = ArtifactCache(tmp_path)
+    cache.save_json("meta", "k", {"version": 1})
+    stale = tmp_path / "meta-old.json.corrupt-1234"
+    stale.write_text('{"torn', encoding="utf-8")
+    ancient = time.time() - 30 * 24 * 3600
+    os.utime(stale, (ancient, ancient))
+    fresh = tmp_path / "meta-new.json.corrupt-5678"
+    fresh.write_text('{"torn', encoding="utf-8")
+
+    ArtifactCache(tmp_path)  # construction prunes
+    assert not stale.exists()
+    assert fresh.exists()
+    assert cache.get_json("meta", "k") == {"version": 1}
+
+    # A shorter retention reclaims the fresh one too; disabled caches
+    # never touch the directory.
+    ArtifactCache(tmp_path / "absent", enabled=False)
+    assert not (tmp_path / "absent").exists()
+    ArtifactCache(tmp_path, corrupt_retention_s=0.0)
+    assert not fresh.exists()
+
+
 def test_cache_get_json_misses_and_disabled(tmp_path):
     cache = ArtifactCache(tmp_path)
     assert cache.get_json("meta", "absent") is None

@@ -299,6 +299,37 @@ def test_server_parity_with_revise_dataset(coach, dataset):
     assert got_stats.outcomes == expected_stats.outcomes
 
 
+def test_client_journal_resume_serves_from_journal(coach, dataset, tmp_path):
+    """A journaled served run resumes without re-submitting: every pair
+    comes back with ``source == "journal"`` and the server's journal
+    metrics reflect the replay."""
+    from repro.serving import RunJournal, SOURCE_JOURNAL
+
+    journal_path = tmp_path / "served.jsonl"
+    with RevisionServer(coach, ServingConfig(max_batch=4)) as server:
+        client = InProcessRevisionClient(server)
+        with RunJournal(journal_path) as journal:
+            first, first_stats = client.revise_dataset(
+                dataset, journal=journal
+            )
+        submitted_before = server.metrics.submitted
+        with RunJournal(journal_path) as journal:
+            resumed, resumed_stats = client.revise_dataset(
+                dataset, journal=journal
+            )
+        assert server.metrics.submitted == submitted_before  # nothing sent
+        snap = server.metrics.snapshot()
+        assert snap["journal"]["pairs_skipped"] == len(dataset)
+        assert snap["journal"]["records_replayed"] > 0
+        results = client.revise_pairs(list(dataset))  # journal-less still works
+    for exp, pair in zip(first, resumed):
+        assert (pair.instruction, pair.response) == (
+            exp.instruction, exp.response
+        )
+    assert resumed_stats.outcomes == first_stats.outcomes
+    assert len(results) == len(dataset)
+
+
 def test_server_parity_with_tiny_prefill_chunks(coach, dataset):
     """Chunked prefill interleaving (even 5-token chunks) must not change
     a single served token relative to the offline batch path."""
@@ -827,6 +858,10 @@ def test_http_metrics_schema_is_stable(coach, dataset):
         "requeued",
         "worker_lost",
         "duplicate_results",
+        "retries",
+        "retry_after_honored_s",
+        "gave_up",
+        "journal",
         "latency_p50_s",
         "latency_p95_s",
         "tokens_per_sec",
@@ -845,6 +880,13 @@ def test_http_metrics_schema_is_stable(coach, dataset):
     assert metrics["requeued"] == 0
     assert metrics["worker_lost"] == 0
     assert metrics["duplicate_results"] == 0
+    # Durability counters exist (and stay zero) on a journal-less,
+    # retry-free happy path.
+    assert metrics["retries"] == 0
+    assert metrics["gave_up"] == 0
+    assert metrics["journal"] == {
+        "records_replayed": 0, "pairs_skipped": 0
+    }
     for key in ("submitted", "completed", "rejected", "engine_tokens"):
         assert isinstance(metrics[key], int)
     for key in (
