@@ -20,6 +20,11 @@ trajectory of the engine is tracked across PRs.  Two regression floors
 are asserted: batched decode speedup at batch 8 must not drop below the
 PR-1 floor (>= 3.4x), and ragged batched prefill must hold >= 2x over
 per-request prefill at batch 8.
+
+The ``prefix_cache`` stage measures the radix prefix cache under
+template-heavy load (every request extends one shared template): with
+the cache on, prefill tok/s must beat the cache-off paged engine >= 3x
+and KV bytes per live logical token must drop >= 2x.
 """
 
 from __future__ import annotations
@@ -61,6 +66,14 @@ UNIFIED_VS_SPLIT_FLOOR = 1.15
 #: ~3-4x at partial occupancy).
 KV_MEMORY_RATIO_FLOOR = 2.0
 KV_PAGE_TOKENS = 64
+#: Radix prefix cache under template-heavy load (every request extends
+#: one shared template): prefill tok/s with the cache on must beat the
+#: cache-off paged engine >= 3x (it skips the template's tokens), and
+#: KV bytes per live *logical* token must drop >= 2x (the template's
+#: pages are stored once, referenced by every slot).
+PREFIX_PREFILL_FLOOR = 3.0
+PREFIX_MEMORY_RATIO_FLOOR = 2.0
+PREFIX_N_REQUESTS = 12
 
 
 def _bench_model(scale) -> tuple[TransformerLM, "WordTokenizer"]:
@@ -361,6 +374,109 @@ def _kv_memory_stage(model, prompts) -> dict:
     }
 
 
+def _prefix_cache_stage(model) -> dict:
+    """Template-heavy shared-prefix load: radix cache on vs off.
+
+    The serving shape the prefix cache targets: every request extends
+    one long instruction template (the Fig. 3 coach prompt shape) with a
+    short distinct tail.  Both engines run the same paged pool; the only
+    difference is the radix index.  A single warm request registers the
+    template's pages, then the burst is timed with one-token budgets so
+    the measurement isolates prefill — the phase the cache short-cuts by
+    skipping straight to each prompt's first unshared token.  Tokens
+    must match the sequential decode exactly in both runs: the cache is
+    pure scheduling/storage, never different output.
+
+    The memory split reruns the burst with real decode budgets and all
+    requests concurrently live, and compares peak page storage per live
+    *logical* token (what each sequence believes it has cached): with
+    sharing, the template's pages count once for the whole fleet.
+    """
+    rng = np.random.default_rng(987)
+    # Template fills the context up to one page of headroom: the tails
+    # and decode budgets live in each request's single private page.
+    template_pages = model.config.max_seq_len // KV_PAGE_TOKENS - 1
+    template = [
+        int(t)
+        for t in rng.integers(5, 300, size=template_pages * KV_PAGE_TOKENS)
+    ]
+    prompts = [
+        template + [int(t) for t in rng.integers(5, 300, size=int(n))]
+        for n in rng.integers(9, 21, size=PREFIX_N_REQUESTS)
+    ]
+    warm_request = GenerationRequest(template + [7], 1, eos_id=None)
+    prefill_requests = [GenerationRequest(p, 1, eos_id=None) for p in prompts]
+    expected = [model.generate(p, 1) for p in prompts]
+
+    def warmed_engine(prefix_cache: bool) -> BatchedEngine:
+        engine = BatchedEngine(
+            model,
+            max_batch=PREFIX_N_REQUESTS + 1,
+            prefill_concurrency=PREFIX_N_REQUESTS,
+            kv_page_tokens=KV_PAGE_TOKENS,
+            kv_prefix_cache=prefix_cache,
+        )
+        engine.generate([warm_request])
+        return engine
+
+    engines = {on: warmed_engine(on) for on in (False, True)}
+    elapsed: dict[bool, float] = {}
+    for on, engine in engines.items():
+        got, elapsed[on] = _best_of(lambda: engine.generate(prefill_requests))
+        assert got == expected, f"prefix_cache={on}: prefill tokens diverge"
+
+    pc = engines[True].kv_stats()["prefix_cache"]
+    prompt_tokens = sum(len(p) for p in prompts)
+
+    # -- memory split: peak page storage per live logical token ----------------
+    full_expected = [model.generate(p, HEAVY_MAX_NEW_TOKENS) for p in prompts]
+    logical_tokens = sum(
+        len(p) + HEAVY_MAX_NEW_TOKENS for p in prompts
+    )
+    token_bytes = 2 * model.config.n_layers * model.config.d_model * 4
+
+    def peak_pages(prefix_cache: bool) -> int:
+        engine = warmed_engine(prefix_cache)
+        ids = [
+            engine.submit(GenerationRequest(p, HEAVY_MAX_NEW_TOKENS, eos_id=None))
+            for p in prompts
+        ]
+        results: dict[int, list[int]] = {}
+        peak = 0
+        while engine.has_work:
+            engine.step()
+            results.update(engine.collect())
+            peak = max(peak, engine.kv_stats()["pages_in_use"])
+        assert [results[i] for i in ids] == full_expected, (
+            f"prefix_cache={prefix_cache}: decoded tokens diverge"
+        )
+        return peak
+
+    pages = {on: peak_pages(on) for on in (False, True)}
+    bytes_per_token = {
+        on: pages[on] * KV_PAGE_TOKENS * token_bytes / logical_tokens
+        for on in (False, True)
+    }
+    return {
+        "n_sequences": len(prompts),
+        "template_tokens": len(template),
+        "prompt_tokens": prompt_tokens,
+        "kv_page_tokens": KV_PAGE_TOKENS,
+        "off_prefill_tokens_per_sec": round(prompt_tokens / elapsed[False], 1),
+        "on_prefill_tokens_per_sec": round(prompt_tokens / elapsed[True], 1),
+        "prefill_speedup": round(elapsed[False] / elapsed[True], 2),
+        "hit_rate": pc["hit_rate"],
+        "shared_tokens": pc["shared_tokens"],
+        "off_peak_kv_pages": pages[False],
+        "on_peak_kv_pages": pages[True],
+        "off_kv_bytes_per_live_token": round(bytes_per_token[False], 1),
+        "on_kv_bytes_per_live_token": round(bytes_per_token[True], 1),
+        "kv_bytes_per_live_token_ratio": round(
+            bytes_per_token[False] / bytes_per_token[True], 2
+        ),
+    }
+
+
 def test_throughput_sequential_vs_batched(wb):
     model, tokenizer = _bench_model(wb.scale)
     dataset = generate_dataset(np.random.default_rng(55), N_SEQUENCES)
@@ -413,6 +529,9 @@ def test_throughput_sequential_vs_batched(wb):
     # -- stage 5: paged KV pool resident memory --------------------------------
     kv_memory_stage = _kv_memory_stage(model, long_prompts)
 
+    # -- stage 6: radix prefix cache under template-heavy load -----------------
+    prefix_stage = _prefix_cache_stage(model)
+
     payload = {
         "scale": wb.scale.name,
         "model": {
@@ -427,6 +546,7 @@ def test_throughput_sequential_vs_batched(wb):
         "chunked_admission": admission_stage,
         "unified_forward": unified_stage,
         "kv_memory": kv_memory_stage,
+        "prefix_cache": prefix_stage,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -475,6 +595,17 @@ def test_throughput_sequential_vs_batched(wb):
         f"{kv_memory_stage['peak_kv_pages']} pages, "
         f"{kv_memory_stage['kv_bytes_per_live_token']:.0f} B/live token)"
     )
+    print(
+        f"prefix_cache (template {prefix_stage['template_tokens']} tok, "
+        f"{prefix_stage['n_sequences']} requests): prefill "
+        f"{prefix_stage['off_prefill_tokens_per_sec']:.0f} → "
+        f"{prefix_stage['on_prefill_tokens_per_sec']:.0f} tok/s "
+        f"({prefix_stage['prefill_speedup']:.2f}x, hit rate "
+        f"{prefix_stage['hit_rate']:.2f}); KV "
+        f"{prefix_stage['off_kv_bytes_per_live_token']:.0f} → "
+        f"{prefix_stage['on_kv_bytes_per_live_token']:.0f} B/live token "
+        f"({prefix_stage['kv_bytes_per_live_token_ratio']:.2f}x)"
+    )
 
     # Perf-regression floors.  The engine must not give back PR-1's
     # continuous-batching decode speedup, and the ragged batched prefill
@@ -500,3 +631,11 @@ def test_throughput_sequential_vs_batched(wb):
     assert (
         kv_memory_stage["resident_ratio"] >= KV_MEMORY_RATIO_FLOOR
     ), kv_memory_stage
+    # The prefix cache's acceptance bars: skipping shared template
+    # tokens must pay off in prefill throughput, and storing them once
+    # must pay off in page footprint.
+    assert prefix_stage["prefill_speedup"] >= PREFIX_PREFILL_FLOOR, prefix_stage
+    assert (
+        prefix_stage["kv_bytes_per_live_token_ratio"]
+        >= PREFIX_MEMORY_RATIO_FLOOR
+    ), prefix_stage

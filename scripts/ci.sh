@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: the fast unit/parity suites plus the randomized
 # differential-parity fuzz harness at a fixed, reproducible seed budget
-# — run twice, once with the per-scenario KV-backend draw and once with
-# every scenario forced onto the paged KV pool (same seeds, so the
-# paged leg differentially replays known-dense traces) — plus the
+# — run three times: with the per-scenario KV-backend draw, with every
+# scenario forced onto the paged KV pool, and with the radix prefix
+# cache forced on over the paged pool (same seeds throughout, so the
+# forced legs differentially replay known-good traces) — plus the
 # KV-memory regression floor (paged resident bytes must undercut dense
 # slabs >= 2x under staggered load).
 #
@@ -15,6 +16,7 @@
 #   REPRO_FUZZ_SEED       master seed (scenario i uses seed + i)
 #   REPRO_FUZZ_SCENARIOS  scenario budget (CI default below)
 #   REPRO_FUZZ_PAGED      auto | on | off (the legs below pin it)
+#   REPRO_FUZZ_PREFIX     auto | on | off (radix prefix cache draw)
 # A fuzz failure prints the exact one-scenario reproduction command.
 #
 # The fleet leg runs the seeded fault-injection harness
@@ -45,6 +47,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== hygiene: no compiled artifacts in the index =="
+if git ls-files | grep -E '(^|/)__pycache__/|\.pyc$'; then
+    echo "error: tracked bytecode artifacts found (see list above);" \
+         "git rm --cached them — __pycache__/ and *.pyc are gitignored" >&2
+    exit 1
+fi
+
 echo "== tier-1: unit + parity suites =="
 python -m pytest tests -q -m "not bench" "$@"
 
@@ -55,6 +64,13 @@ python -m pytest tests/test_fuzz_parity.py -q
 
 echo "== fuzz: paged KV pool forced on (same fixed seeds) =="
 REPRO_FUZZ_PAGED=on \
+REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
+python -m pytest tests/test_fuzz_parity.py -q
+
+echo "== fuzz: radix prefix cache forced on over paged pool (same seeds) =="
+REPRO_FUZZ_PAGED=on \
+REPRO_FUZZ_PREFIX=on \
 REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
 REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
 python -m pytest tests/test_fuzz_parity.py -q

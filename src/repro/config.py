@@ -138,6 +138,12 @@ class ScaleConfig:
     #: kv_page_tokens)`` — same capacity ceiling, lazily allocated.
     #: Requires ``kv_page_tokens``.
     kv_pool_pages: int | None = None
+    #: Radix prefix cache over the paged pool: prompts sharing a prefix
+    #: with an earlier prefill borrow its refcounted read-only pages,
+    #: prefill from the first divergent token, and copy-on-write the
+    #: shared boundary page on first write.  Off by default offline
+    #: (batch jobs rarely repeat prompts); requires ``kv_page_tokens``.
+    kv_prefix_cache: bool = False
 
     def __post_init__(self) -> None:
         # Fail at construction with a clear message instead of deep inside
@@ -156,7 +162,9 @@ class ScaleConfig:
                 "prefill_concurrency must be >= 1, got "
                 f"{self.prefill_concurrency}"
             )
-        _validate_kv_paging(self.kv_page_tokens, self.kv_pool_pages)
+        _validate_kv_paging(
+            self.kv_page_tokens, self.kv_pool_pages, self.kv_prefix_cache
+        )
         if self.batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.max_new_tokens < 1:
@@ -170,7 +178,9 @@ class ScaleConfig:
 
 
 def _validate_kv_paging(
-    kv_page_tokens: int | None, kv_pool_pages: int | None
+    kv_page_tokens: int | None,
+    kv_pool_pages: int | None,
+    kv_prefix_cache: bool = False,
 ) -> None:
     """Shared validation of the paged-KV knobs (Scale and Serving configs)."""
     if kv_page_tokens is not None and kv_page_tokens < 1:
@@ -186,6 +196,10 @@ def _validate_kv_paging(
             raise ConfigError(
                 f"kv_pool_pages must be >= 1, got {kv_pool_pages}"
             )
+    if kv_prefix_cache and kv_page_tokens is None:
+        raise ConfigError(
+            "kv_prefix_cache requires kv_page_tokens (a paged KV cache)"
+        )
 
 
 @dataclass(frozen=True)
@@ -245,6 +259,17 @@ class ServingConfig:
         sequence's worst-case quota against it; requests beyond it wait
         in the queue).  ``None`` sizes it to the dense worst case —
         same ceiling, lazily allocated.  Requires ``kv_page_tokens``.
+    kv_prefix_cache:
+        Radix prefix cache over the paged pool: every revision request
+        wraps its content in the same long coach-prompt template, so
+        prompts sharing a prefix with an earlier prefill borrow its
+        refcounted read-only pages, prefill only from the first
+        divergent token, and copy-on-write the shared boundary page on
+        first write.  ``GET /metrics`` exports the hit-rate and
+        shared-page counters under ``engine.prefix_cache``.  Served
+        tokens are identical either way.  ``None`` (the default) means
+        *on whenever the pool is paged*; an explicit ``True`` requires
+        ``kv_page_tokens``.
     """
 
     max_batch: int = DEFAULT_GEN_BATCH_SIZE
@@ -257,6 +282,7 @@ class ServingConfig:
     prefill_concurrency: int = DEFAULT_GEN_BATCH_SIZE
     kv_page_tokens: int | None = 64
     kv_pool_pages: int | None = None
+    kv_prefix_cache: bool | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -271,7 +297,11 @@ class ServingConfig:
                 "prefill_concurrency must be >= 1, got "
                 f"{self.prefill_concurrency}"
             )
-        _validate_kv_paging(self.kv_page_tokens, self.kv_pool_pages)
+        _validate_kv_paging(
+            self.kv_page_tokens,
+            self.kv_pool_pages,
+            bool(self.kv_prefix_cache),
+        )
         if self.max_queue_depth < 1:
             raise ConfigError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
@@ -293,6 +323,14 @@ class ServingConfig:
             )
         if self.idle_wait_s <= 0:
             raise ConfigError(f"idle_wait_s must be > 0, got {self.idle_wait_s}")
+
+    @property
+    def kv_prefix_cache_enabled(self) -> bool:
+        """Resolved prefix-cache switch: the ``None`` default follows the
+        pool (on when paged, moot on dense slabs)."""
+        if self.kv_prefix_cache is None:
+            return self.kv_page_tokens is not None
+        return self.kv_prefix_cache
 
 
 @dataclass(frozen=True)

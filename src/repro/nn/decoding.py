@@ -307,6 +307,22 @@ class SlotKVCaches:
     def unreserve(self, n_pages: int) -> None:
         pass
 
+    def admit_shared(
+        self, prompt_ids: list[int], total_pages: int
+    ) -> tuple[int, int, list[int]] | None:
+        """Dense admission: no pages, no sharing — always admits with an
+        empty shared prefix.  (See :meth:`PagedKVCaches.admit_shared`.)"""
+        return 0, 0, []
+
+    def attach_prefix(self, slot: int, pages: list[int], matched: int) -> None:
+        raise GenerationError("dense KV slabs cannot attach shared pages")
+
+    def register_prefix(self, slot: int, prompt_ids: list[int]) -> None:
+        """Dense slabs have no prefix index: nothing to register."""
+
+    def clear_prefix_cache(self) -> int:
+        return 0
+
     def release(self, slot: int) -> None:
         """Nothing to free: a refill overwrites from column zero and the
         key mask hides stale columns."""
@@ -324,6 +340,7 @@ class SlotKVCaches:
             "pages_in_use": None,
             "peak_pages_in_use": None,
             "allocated_pages": None,
+            "free_list_pages": None,
             "resident_kv_bytes": resident,
             "peak_resident_kv_bytes": resident,
         }
@@ -384,10 +401,15 @@ class SlotKVCaches:
 
         Used to shift a partially prefilled (parked) slot, whose columns
         beyond ``length`` hold no data worth a full-capacity copy.
+
+        Compaction contract (both backends): after the move, ``dst``
+        holds exactly the ``length``-token prefix and ``lengths[dst] ==
+        length`` — callers must not have to patch lengths afterwards.
         """
         for layer in range(len(self.k)):
             self.k[layer][dst, :, :length] = self.k[layer][src, :, :length]
             self.v[layer][dst, :, :length] = self.v[layer][src, :, :length]
+        self.lengths[dst] = length
 
     def permute_prefixes(
         self, base: int, order: list[int], lengths: list[int]
@@ -399,6 +421,10 @@ class SlotKVCaches:
         prefill out of submission order: completed rows must become the
         next contiguous decode slots, so the slab block is permuted to
         completed-first before they are installed.
+
+        Compaction contract (both backends): row ``base + j`` ends up
+        holding order ``order[j]``'s prefix with ``lengths[base + j] ==
+        lengths[j]`` recorded in the cache.
         """
         for layer in range(len(self.k)):
             for slab in (self.k[layer], self.v[layer]):
@@ -408,6 +434,8 @@ class SlotKVCaches:
                 ]
                 for j, (block, n) in enumerate(zip(blocks, lengths)):
                     slab[base + j, :, :n] = block
+        for j, n in enumerate(lengths):
+            self.lengths[base + j] = n
 
 
 class _RaggedPrefillSlots:
@@ -558,6 +586,31 @@ class _StepSlot:
         )
 
 
+class _RadixNode:
+    """One full page of token ids in the prefix-cache radix index.
+
+    The index is a trie at page granularity: each edge/node is the
+    ``page_tokens``-length token tuple filling exactly one read-only page, so
+    walking the trie from the root spells out a cached prompt prefix one
+    page at a time.  ``page`` is the physical page holding that span's
+    K/V; ``last_used`` is an LRU clock tick for eviction.
+    """
+
+    __slots__ = ("tokens", "page", "parent", "children", "last_used")
+
+    def __init__(
+        self,
+        tokens: tuple[int, ...],
+        page: int,
+        parent: "_RadixNode | None",
+    ):
+        self.tokens = tokens
+        self.page = page
+        self.parent = parent
+        self.children: dict[tuple[int, ...], _RadixNode] = {}
+        self.last_used = 0
+
+
 class PagedKVCaches:
     """Paged K/V pool: fixed-size pages, shared free list, block tables.
 
@@ -604,6 +657,7 @@ class PagedKVCaches:
         max_batch: int,
         page_tokens: int,
         max_pages: int | None = None,
+        prefix_cache: bool = False,
     ):
         cfg = model.config
         if page_tokens < 1:
@@ -644,6 +698,27 @@ class PagedKVCaches:
         self.pages_in_use = 0
         self.peak_pages_in_use = 0
         self.peak_resident_bytes = 0
+        # -- prefix cache (radix index over token-id prefixes) ---------------
+        # ``_slot_refs[p]`` counts how many block tables reference page
+        # ``p``; pages referenced by the index alone (slot_refs == 0 but
+        # indexed) are *cached* — retained, evictable, and excluded from
+        # ``pages_in_use``.  ``_pinned`` marks index pages currently
+        # lent to live slots: they cannot be evicted and must be counted
+        # against admission headroom alongside ``reserved_pages``.
+        self.prefix_cache_enabled = bool(prefix_cache)
+        self._slot_refs: list[int] = []
+        self._prefix_root = _RadixNode((), -1, None) if prefix_cache else None
+        self._page_nodes: dict[int, _RadixNode] = {}
+        self._pinned: set[int] = set()
+        self.shared_pinned = 0
+        self.cached_pages = 0
+        self._prefix_clock = 0
+        self.prefix_lookups = 0
+        self.prefix_hits = 0
+        self.prefix_shared_tokens = 0
+        self.prefix_cow_copies = 0
+        self.prefix_inserted_pages = 0
+        self.prefix_evicted_pages = 0
 
     # -- reservation (admission control) ---------------------------------------
     def pages_for(self, tokens: int) -> int:
@@ -652,14 +727,141 @@ class PagedKVCaches:
 
     def try_reserve(self, n_pages: int) -> bool:
         """Reserve a sequence's worst-case quota; False when the pool is
-        oversubscribed (the request then waits in the pending queue)."""
-        if self.reserved_pages + n_pages > self.max_pages:
+        oversubscribed (the request then waits in the pending queue).
+
+        Pages pinned by live shared prefixes count against the same
+        headroom: they are unreclaimable until their borrowers retire.
+        """
+        if self.reserved_pages + self.shared_pinned + n_pages > self.max_pages:
             return False
         self.reserved_pages += n_pages
         return True
 
     def unreserve(self, n_pages: int) -> None:
+        if n_pages > self.reserved_pages:
+            raise GenerationError(
+                f"KV page unreserve of {n_pages} would drive reserved_pages "
+                f"({self.reserved_pages}) negative — engine accounting bug"
+            )
         self.reserved_pages -= n_pages
+
+    # -- prefix cache: lookup / admission / attach -------------------------------
+    def match_prefix(
+        self, prompt_ids: list[int]
+    ) -> tuple[int, list[int]]:
+        """Longest cached prefix of ``prompt_ids``: ``(matched, pages)``.
+
+        Walks the radix index one full page at a time, then checks the
+        divergence point's children for a *partial* boundary share (the
+        first ``m < page_tokens`` tokens of some cached page) — the case
+        copy-on-write exists for.  ``matched`` is capped at
+        ``len(prompt_ids) - 1`` so every admitted prompt still prefills
+        at least one token and the last-token logits come from a real
+        forward pass.
+        """
+        if self._prefix_root is None:
+            return 0, []
+        self._prefix_clock += 1
+        self.prefix_lookups += 1
+        p = self.page_tokens
+        limit = len(prompt_ids) - 1
+        node = self._prefix_root
+        pages: list[int] = []
+        matched = 0
+        while matched + p <= limit:
+            key = tuple(prompt_ids[matched : matched + p])
+            child = node.children.get(key)
+            if child is None:
+                break
+            child.last_used = self._prefix_clock
+            pages.append(child.page)
+            matched += p
+            node = child
+        remaining = prompt_ids[matched:limit]
+        best_child, best_lcp = None, 0
+        if remaining:
+            for key, child in node.children.items():
+                lcp = 0
+                for a, b in zip(key, remaining):
+                    if a != b:
+                        break
+                    lcp += 1
+                if lcp > best_lcp:
+                    best_lcp, best_child = lcp, child
+        if best_child is not None:
+            best_child.last_used = self._prefix_clock
+            pages.append(best_child.page)
+            matched += best_lcp
+        if matched:
+            self.prefix_hits += 1
+            self.prefix_shared_tokens += matched
+        return matched, pages
+
+    def admit_shared(
+        self, prompt_ids: list[int], total_pages: int
+    ) -> tuple[int, int, list[int]] | None:
+        """Admission with prefix sharing: match, reserve, pin — atomically.
+
+        ``total_pages`` is the sequence's worst-case quota
+        (``pages_for(prompt + budget)``).  Full shared pages are lent
+        from the index, so only ``total_pages - matched // page_tokens``
+        is charged against the pool (a partially shared boundary page
+        stays in the quota: its first write copy-on-writes into a fresh
+        page the quota must cover).  Returns ``(quota, matched, pages)``
+        on success — the caller must attach ``pages`` to the admitted
+        slot via :meth:`attach_prefix` — or ``None`` to defer.
+        """
+        matched, pages = self.match_prefix(prompt_ids)
+        if matched:
+            quota = total_pages - matched // self.page_tokens
+            newly_pinned = sum(1 for q in pages if q not in self._pinned)
+            if (
+                self.reserved_pages + self.shared_pinned
+                + quota + newly_pinned
+            ) <= self.max_pages:
+                self.reserved_pages += quota
+                for q in pages:
+                    self._pin(q)
+                return quota, matched, pages
+            # Shared admission does not fit (pins outweigh the saved
+            # quota); fall through and try a plain unshared reservation
+            # so the request is never worse off than without the cache.
+            self.prefix_hits -= 1
+            self.prefix_shared_tokens -= matched
+        if not self.try_reserve(total_pages):
+            return None
+        return total_pages, 0, []
+
+    def attach_prefix(self, slot: int, pages: list[int], matched: int) -> None:
+        """Link the shared pages as ``slot``'s block-table prefix.
+
+        Each page gains one slot reference; cached-only pages re-enter
+        ``pages_in_use``.  The slot's mirror is invalidated so the next
+        forward lazily gathers the shared prefix from the pages.
+        """
+        if self.tables[slot]:
+            raise GenerationError(
+                f"slot {slot} already holds pages — engine accounting bug"
+            )
+        for q in pages:
+            refs = self._slot_refs[q]
+            self._slot_refs[q] = refs + 1
+            if refs == 0:
+                self.pages_in_use += 1
+                self.cached_pages -= 1
+        self.tables[slot] = list(pages)
+        self._mirror_len[slot] = 0
+        self.peak_pages_in_use = max(self.peak_pages_in_use, self.pages_in_use)
+
+    def _pin(self, page: int) -> None:
+        if page not in self._pinned:
+            self._pinned.add(page)
+            self.shared_pinned += 1
+
+    def _unpin(self, page: int) -> None:
+        if page in self._pinned:
+            self._pinned.remove(page)
+            self.shared_pinned -= 1
 
     # -- page lifecycle --------------------------------------------------------
     def _grow(self, min_pages: int) -> None:
@@ -681,28 +883,69 @@ class PagedKVCaches:
         self.k = [np.concatenate([k, pad], axis=1) for k in self.k]
         self.v = [np.concatenate([v, pad], axis=1) for v in self.v]
         self._free.extend(range(self._capacity, new_cap))
+        self._slot_refs.extend(0 for _ in range(self._capacity, new_cap))
         self._capacity = new_cap
         self.peak_resident_bytes = max(
             self.peak_resident_bytes, self.resident_bytes()
         )
 
+    def _alloc_page(self) -> int:
+        """Pop a free page, evicting cached index pages / growing storage
+        as needed.  Reservation accounting guarantees this cannot fail
+        for a correctly admitted sequence."""
+        if not self._free:
+            if self._capacity >= self.max_pages:
+                self._evict_cached_pages(1)
+            if not self._free:
+                self._grow(self._capacity + 1)
+        return self._free.pop()
+
+    def _drop_slot_ref(self, page: int) -> None:
+        """One block table stopped referencing ``page``: free it when no
+        slot holds it, or demote it to cached if the index retains it."""
+        refs = self._slot_refs[page] - 1
+        if refs < 0:
+            raise GenerationError(
+                f"KV page {page} released more times than referenced — "
+                "engine accounting bug"
+            )
+        self._slot_refs[page] = refs
+        if refs == 0:
+            self.pages_in_use -= 1
+            if self.pages_in_use < 0:
+                raise GenerationError(
+                    "KV pages_in_use went negative — engine accounting bug"
+                )
+            self._unpin(page)
+            if page in self._page_nodes:
+                self.cached_pages += 1
+            else:
+                self._free.append(page)
+
     def ensure(self, slot: int, n_tokens: int) -> None:
         """Extend ``slot``'s block table to cover ``n_tokens`` columns."""
         table = self.tables[slot]
         while len(table) * self.page_tokens < n_tokens:
-            if not self._free:
-                self._grow(self._capacity + 1)
-            table.append(self._free.pop())
+            page = self._alloc_page()
+            self._slot_refs[page] = 1
+            table.append(page)
             self.pages_in_use += 1
         self.peak_pages_in_use = max(self.peak_pages_in_use, self.pages_in_use)
 
     def release(self, slot: int) -> None:
-        """Return every page of ``slot`` to the free list."""
+        """Drop ``slot``'s reference on every page of its block table.
+
+        A page returns to the free list when its last slot reference
+        drops *and* the prefix index does not retain it; indexed pages
+        linger as evictable cache instead.  Raises
+        :class:`GenerationError` if accounting would go negative (a
+        double release).
+        """
         table = self.tables[slot]
         if table:
-            self._free.extend(table)
-            self.pages_in_use -= len(table)
             self.tables[slot] = []
+            for page in table:
+                self._drop_slot_ref(page)
         self._mirror_len[slot] = 0
 
     # -- compaction: O(1) block-table moves ------------------------------------
@@ -718,26 +961,167 @@ class PagedKVCaches:
         self._mirror_len[src] = 0
 
     def move_prefix(self, src: int, dst: int, length: int) -> None:
+        # Same compaction contract as the dense backend: dst ends up
+        # holding exactly the length-token prefix with lengths[dst]
+        # recorded — callers never patch lengths after a move.
         self.release(dst)
         self.tables[dst] = self.tables[src]
         self.tables[src] = []
+        self.lengths[dst] = length
         self._mirror_len[src] = 0
 
     def permute_prefixes(
         self, base: int, order: list[int], lengths: list[int]
     ) -> None:
+        # Contract twin of SlotKVCaches.permute_prefixes: row base + j
+        # receives order[j]'s table *and* its recorded length.
         block = [self.tables[base + i] for i in order]
-        for j, table in enumerate(block):
+        for j, (table, n) in enumerate(zip(block, lengths)):
             self.tables[base + j] = table
+            self.lengths[base + j] = n
         self._mirror_len[base : base + len(order)] = 0
 
     # -- column addressing -----------------------------------------------------
     def _token_cols(self, slot: int, start: int, stop: int) -> np.ndarray:
-        """Storage columns of ``slot``'s tokens ``[start, stop)``."""
+        """Storage columns of ``slot``'s tokens ``[start, stop)``.
+
+        Indexes only the pages overlapping ``[start, stop)`` — O(stop −
+        start), not O(stop) — so mirror catch-up gathers on long rows
+        don't rebuild the whole prefix's column map.
+        """
         p = self.page_tokens
-        pages = np.asarray(self.tables[slot][: -(-stop // p)], dtype=np.int64)
+        first = start // p
+        pages = np.asarray(
+            self.tables[slot][first : -(-stop // p)], dtype=np.int64
+        )
         cols = (pages[:, None] * p + np.arange(p, dtype=np.int64)[None, :])
-        return cols.ravel()[start:stop]
+        return cols.ravel()[start - first * p : stop - first * p]
+
+    # -- prefix cache: copy-on-write / registration / eviction -------------------
+    def _prepare_write(self, slot: int, start: int, stop: int) -> None:
+        """Make columns ``[start, stop)`` of ``slot`` privately writable.
+
+        Extends the block table to cover ``stop`` and copy-on-writes any
+        page in the write range that is shared (referenced by another
+        slot or retained by the prefix index).  With the prefix cache
+        off this is exactly :meth:`ensure`.
+        """
+        self.ensure(slot, stop)
+        if self._prefix_root is None:
+            return
+        p = self.page_tokens
+        table = self.tables[slot]
+        for i in range(start // p, -(-stop // p)):
+            page = table[i]
+            if self._slot_refs[page] > 1 or page in self._page_nodes:
+                self._cow(slot, i)
+
+    def _cow(self, slot: int, i: int) -> None:
+        """Copy-on-write: give ``slot`` a private copy of its page ``i``.
+
+        The page's K/V columns are copied for every layer, the block
+        table swaps in the fresh page, and the shared page loses one
+        slot reference.  Mirror rows stay valid: their *contents* are
+        unchanged — only the backing storage column moved.
+        """
+        table = self.tables[slot]
+        old = table[i]
+        new = self._alloc_page()
+        self._slot_refs[new] = 1
+        self.pages_in_use += 1
+        p = self.page_tokens
+        src = slice(old * p, (old + 1) * p)
+        dst = slice(new * p, (new + 1) * p)
+        for layer in range(self.n_layers):
+            self.k[layer][:, dst, :] = self.k[layer][:, src, :]
+            self.v[layer][:, dst, :] = self.v[layer][:, src, :]
+        table[i] = new
+        self._drop_slot_ref(old)
+        self.prefix_cow_copies += 1
+        self.peak_pages_in_use = max(self.peak_pages_in_use, self.pages_in_use)
+
+    def register_prefix(self, slot: int, prompt_ids: list[int]) -> None:
+        """Index ``slot``'s fully prefilled prompt pages for reuse.
+
+        Called once the whole prompt is resident in ``slot``'s pages.
+        Only *full* prompt pages are inserted — a partial tail page will
+        receive decode writes and must stay private.  Pages already
+        indexed (the very nodes this prompt matched at admission) are
+        left as-is; newly inserted pages stay in ``pages_in_use`` while
+        the owning slot lives and become cached on its release.
+        """
+        if self._prefix_root is None:
+            return
+        p = self.page_tokens
+        table = self.tables[slot]
+        node = self._prefix_root
+        self._prefix_clock += 1
+        for i in range(len(prompt_ids) // p):
+            key = tuple(prompt_ids[i * p : (i + 1) * p])
+            child = node.children.get(key)
+            if child is None:
+                page = table[i]
+                if page in self._page_nodes:
+                    # Defensive: never alias one physical page under two
+                    # index nodes (eviction would double-free it).
+                    break
+                child = _RadixNode(key, page, node)
+                node.children[key] = child
+                self._page_nodes[page] = child
+                self.prefix_inserted_pages += 1
+            child.last_used = self._prefix_clock
+            node = child
+
+    def _evict_cached_pages(self, n_needed: int) -> None:
+        """Evict least-recently-used cached-only leaf pages to the free
+        list until ``n_needed`` pages were freed or nothing evictable
+        remains.  Pages referenced or pinned by live slots never move."""
+        if self._prefix_root is None:
+            return
+        freed = 0
+        while freed < n_needed:
+            victim = None
+            stack = list(self._prefix_root.children.values())
+            while stack:
+                n = stack.pop()
+                if (
+                    not n.children
+                    and self._slot_refs[n.page] == 0
+                    and n.page not in self._pinned
+                    and (victim is None or n.last_used < victim.last_used)
+                ):
+                    victim = n
+                stack.extend(n.children.values())
+            if victim is None:
+                return
+            self._remove_node(victim)
+            freed += 1
+
+    def _remove_node(self, node: _RadixNode) -> None:
+        """Unlink an index leaf whose page no slot references."""
+        del node.parent.children[node.tokens]
+        del self._page_nodes[node.page]
+        self.cached_pages -= 1
+        self._free.append(node.page)
+        self.prefix_evicted_pages += 1
+
+    def clear_prefix_cache(self) -> int:
+        """Drop the whole radix index; returns pages freed immediately.
+
+        Pages still referenced by live slots merely lose index
+        retention — they free normally when their slots release.
+        """
+        if self._prefix_root is None:
+            return 0
+        freed = 0
+        for page in list(self._page_nodes):
+            if self._slot_refs[page] == 0:
+                self.cached_pages -= 1
+                self._free.append(page)
+                freed += 1
+        self._page_nodes.clear()
+        self._prefix_root.children.clear()
+        return freed
 
     def _ensure_mirror(self, n_rows: int, view: int) -> None:
         """Grow the mirror planes to cover ``n_rows`` slots × ``view`` columns.
@@ -808,7 +1192,7 @@ class PagedKVCaches:
     ) -> list["_PagedRaggedSlots"]:
         n = len(starts)
         for i in range(n):
-            self.ensure(base + i, int(ends[i]))
+            self._prepare_write(base + i, int(starts[i]), int(ends[i]))
         view = int(ends.max())
         self._ensure_mirror(base + n, view)
         write_cols = [
@@ -831,7 +1215,7 @@ class PagedKVCaches:
         n = len(starts)
         p = self.page_tokens
         for i in range(n):
-            self.ensure(i, int(ends[i]))
+            self._prepare_write(i, int(starts[i]), int(ends[i]))
         self._ensure_mirror(n, int(ends.max()))
         # The first n_ones rows write exactly one column each: collapse
         # their scatters into one fancy-index store per layer.
@@ -862,7 +1246,7 @@ class PagedKVCaches:
         starts = self.lengths[:n_active]
         for row in range(n_active):
             t = int(starts[row])
-            self.ensure(row, t + 1)
+            self._prepare_write(row, t, t + 1)
             write_cols[row] = self.tables[row][t // p] * p + t % p
         self._ensure_mirror(n_active, view_len)
         catchups = self._mirror_plan(range(n_active), starts, starts + 1)
@@ -881,20 +1265,40 @@ class PagedKVCaches:
         return storage + mirror
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "paged": True,
             "kv_page_tokens": self.page_tokens,
             "total_pages": self.max_pages,
-            "free_pages": self.max_pages - self.reserved_pages,
+            "free_pages": (
+                self.max_pages - self.reserved_pages - self.shared_pinned
+            ),
             "reserved_pages": self.reserved_pages,
             "pages_in_use": self.pages_in_use,
             "peak_pages_in_use": self.peak_pages_in_use,
             "allocated_pages": self._capacity,
+            "free_list_pages": len(self._free),
             "resident_kv_bytes": self.resident_bytes(),
             "peak_resident_kv_bytes": max(
                 self.peak_resident_bytes, self.resident_bytes()
             ),
         }
+        if self.prefix_cache_enabled:
+            stats["prefix_cache"] = {
+                "cached_pages": self.cached_pages,
+                "shared_pinned_pages": self.shared_pinned,
+                "lookups": self.prefix_lookups,
+                "hits": self.prefix_hits,
+                "hit_rate": (
+                    round(self.prefix_hits / self.prefix_lookups, 4)
+                    if self.prefix_lookups
+                    else 0.0
+                ),
+                "shared_tokens": self.prefix_shared_tokens,
+                "cow_copies": self.prefix_cow_copies,
+                "inserted_pages": self.prefix_inserted_pages,
+                "evicted_pages": self.prefix_evicted_pages,
+            }
+        return stats
 
 
 class _PagedPrefillSlots:
@@ -1091,6 +1495,9 @@ class _SlotState:
     produced: list[int] = field(default_factory=list)
     prefilled: int = 0              #: prompt tokens written (chunked admission)
     page_quota: int = 0             #: pages reserved in the paged KV pool
+    #: Pages borrowed from the prefix cache at admission, pending
+    #: attachment to the parked slot (empty once attached / when unshared).
+    shared_pages: list[int] = field(default_factory=list)
 
 
 class BatchedEngine:
@@ -1140,6 +1547,18 @@ class BatchedEngine:
     counters the serving layer exports).  Paged and dense decoding are
     token-for-token identical.
 
+    ``kv_prefix_cache`` (paged pool only) adds vLLM/SGLang-style prefix
+    sharing: a radix index over token-id prefixes maps previously
+    prefilled prompt pages to refcounted read-only pages.  A matching
+    admission borrows those pages, charges only its unshared suffix
+    against the pool quota, and prefills from the first divergent token;
+    the first write past a shared boundary copy-on-writes that one page
+    (see ``docs/prefix_cache.md``).  Scheduling still never changes
+    tokens: a shared prefix holds the same K/V values a fresh prefill
+    would recompute, differing only by BLAS kernel-selection noise —
+    the same ulp-level noise the chunked-prefill path already absorbs
+    inside greedy argmax margins.
+
     ``unified_step`` (default) folds the parked chunk rows into the
     decode forward even at chunk > 1 — one mixed-length ragged pass per
     step instead of a chunk forward plus a decode forward.  ``False``
@@ -1164,6 +1583,7 @@ class BatchedEngine:
         prefill_concurrency: int = 1,
         kv_page_tokens: int | None = None,
         kv_pool_pages: int | None = None,
+        kv_prefix_cache: bool = False,
         unified_step: bool = True,
     ):
         if max_batch < 1:
@@ -1190,12 +1610,17 @@ class BatchedEngine:
                     f"kv_pool_pages={kv_pool_pages} cannot hold one "
                     "full-context sequence: admission could deadlock"
                 )
+        if kv_prefix_cache and kv_page_tokens is None:
+            raise GenerationError(
+                "kv_prefix_cache requires kv_page_tokens (a paged KV cache)"
+            )
         self.model = model
         self.max_batch = max_batch
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.prefill_concurrency = prefill_concurrency
         self.kv_page_tokens = kv_page_tokens
         self.kv_pool_pages = kv_pool_pages
+        self.kv_prefix_cache = kv_prefix_cache
         self.unified_step = unified_step
         self._caches: SlotKVCaches | PagedKVCaches | None = None
         self._bias: np.ndarray | None = None
@@ -1398,6 +1823,17 @@ class BatchedEngine:
             stats.update(caches.stats())
         return stats
 
+    def clear_prefix_cache(self) -> int:
+        """Drop every cached (unreferenced) prefix page; returns pages freed.
+
+        Live slots keep their borrowed pages until they retire.  No-op
+        on dense slabs, on a paged pool without the prefix cache, and
+        before the caches are first allocated.
+        """
+        if self._caches is None:
+            return 0
+        return self._caches.clear_prefix_cache()
+
     # -- slot bookkeeping --------------------------------------------------------
     def _ensure_state(self) -> None:
         if self._caches is None:
@@ -1405,6 +1841,7 @@ class BatchedEngine:
                 self._caches = PagedKVCaches(
                     self.model, self.max_batch, self.kv_page_tokens,
                     self.kv_pool_pages,
+                    prefix_cache=self.kv_prefix_cache,
                 )
             else:
                 self._caches = SlotKVCaches(self.model, self.max_batch)
@@ -1415,6 +1852,10 @@ class BatchedEngine:
     def _install(self, slot: int, state: _SlotState) -> None:
         """Occupy ``slot`` with a fully prefilled sequence."""
         request = state.request
+        # The whole prompt is resident in the slot's cache now: offer its
+        # full pages to the prefix index for reuse (no-op unless the
+        # paged pool runs with the prefix cache enabled).
+        self._caches.register_prefix(slot, request.prompt_ids)
         self._slots[slot] = state
         self._bias[slot] = (
             request.logit_bias if request.logit_bias is not None else 0.0
@@ -1484,6 +1925,12 @@ class BatchedEngine:
         retirements will free pages and a later step admits it.  A lone
         sequence always fits (enforced at pool construction), so this
         can never deadlock.
+
+        With the prefix cache on, admission first consults the radix
+        index (:meth:`PagedKVCaches.admit_shared`): a hit charges only
+        the unshared suffix against the pool and returns the state
+        pre-advanced to the first divergent token (``prefilled ==
+        matched``) carrying the borrowed pages to attach at parking.
         """
         context = self.model.config.max_seq_len
         while self._pending:
@@ -1493,12 +1940,31 @@ class BatchedEngine:
                 self._pending.popleft()
                 self._finished[seq_id] = []
                 continue
-            quota = self._caches.pages_for(len(request.prompt_ids) + budget)
-            if not self._caches.try_reserve(quota):
+            total = self._caches.pages_for(len(request.prompt_ids) + budget)
+            admitted = self._caches.admit_shared(request.prompt_ids, total)
+            if admitted is None:
                 return None
+            quota, matched, pages = admitted
             self._pending.popleft()
-            return _SlotState(seq_id, request, budget, page_quota=quota)
+            state = _SlotState(seq_id, request, budget, page_quota=quota)
+            if matched:
+                state.prefilled = matched
+                state.shared_pages = pages
+            return state
         return None
+
+    def _park(self, state: _SlotState) -> None:
+        """Park ``state`` just past the decode fleet (contiguous block).
+
+        A shared-prefix admission attaches its borrowed pages as the
+        parked slot's block-table prefix here; the row then advances
+        only its unshared suffix through the ordinary chunk machinery.
+        """
+        slot = self._n_active + len(self._prefilling)
+        self._prefilling.append(state)
+        if state.shared_pages:
+            self._caches.attach_prefix(slot, state.shared_pages, state.prefilled)
+            state.shared_pages = []
 
     def _ragged_prefill(
         self, states: list[_SlotState], slots: list[int]
@@ -1538,20 +2004,14 @@ class BatchedEngine:
             caches.lengths[slot] = len(prompts[row])
         return logits
 
-    def _batch_admit(self) -> bool:
-        """Prefill up to the free slot count of pending prompts in one pass.
+    def _batch_admit(self, states: list[_SlotState]) -> None:
+        """Prefill ``states`` into fresh slots in one ragged pass.
 
-        Returns True when at least one sequence was admitted (it may also
-        have finished instantly on its first token and retired).
+        Sequences may finish instantly on their first token and retire
+        within the call.  Callers guarantee no parked rows exist yet
+        (fresh prefill lands at ``self._n_active``, where a parked block
+        would sit).
         """
-        states: list[_SlotState] = []
-        while self._pending and self._n_active + len(states) < self.max_batch:
-            state = self._pop_viable()
-            if state is None:
-                break
-            states.append(state)
-        if not states:
-            return False
         slots = list(range(self._n_active, self._n_active + len(states)))
         logits = self._ragged_prefill(states, slots)
         finished: list[int] = []
@@ -1562,7 +2022,6 @@ class BatchedEngine:
                 finished.append(slot)
         for slot in reversed(finished):
             self._retire(slot)
-        return True
 
     def _plan_chunks(self, chunk: int) -> list[tuple[_SlotState, int]]:
         """Park new arrivals and plan every parked prompt's next advance.
@@ -1577,7 +2036,7 @@ class BatchedEngine:
             state = self._pop_viable()
             if state is None:
                 break
-            self._prefilling.append(state)
+            self._park(state)
         parked = self._prefilling
         if not parked:
             return []
@@ -1707,9 +2166,39 @@ class BatchedEngine:
                 (state, state.prefilled + 1)
                 for state in self._chunk_admit(plan)
             ]
-        while self._pending and self._n_active < self.max_batch:
-            if not self._batch_admit():
-                break
+        # Whole-prompt admission (unchunked, or chunked with an idle
+        # fleet).  Fresh prompts batch into one ragged prefill; shared-
+        # prefix admissions instead *park* past the decode fleet and
+        # advance only their unshared suffix through the step's packed
+        # forward.  Once any row is parked, later arrivals this pass park
+        # too: a ragged prefill would land on the parked block's slots.
+        shared: list[_SlotState] = []
+        progress = True
+        while progress:
+            progress = False
+            states: list[_SlotState] = []
+            while self._pending and (
+                self._n_active + len(self._prefilling)
+                + len(shared) + len(states)
+                < self.max_batch
+            ):
+                state = self._pop_viable()
+                if state is None:
+                    break
+                if self._prefilling or state.prefilled:
+                    shared.append(state)
+                else:
+                    states.append(state)
+            if states:
+                self._batch_admit(states)
+                progress = True
+        for state in shared:
+            self._park(state)
+        if self._prefilling:
+            return [
+                (state, len(state.request.prompt_ids))
+                for state in self._prefilling
+            ]
         return []
 
     def _unified_forward(

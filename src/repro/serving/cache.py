@@ -118,14 +118,20 @@ class RevisionLRUCache:
             self.hits += 1
             return entry
 
-    def put(self, key: str, entry: CachedRevision | CachedScore) -> None:
+    def put(self, key: str, entry: CachedRevision | CachedScore) -> bool:
+        """Store ``entry``; returns True when it was actually retained.
+
+        A zero-capacity cache (caching disabled) stores nothing and
+        returns False so callers can report honest acceptance counts.
+        """
         if self.capacity <= 0:
-            return
+            return False
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+        return True
 
     # -- persistence (the fleet saves its cache across restarts) -----------------
     def export_entries(self) -> list[list[str]]:
@@ -142,11 +148,13 @@ class RevisionLRUCache:
             ]
 
     def import_entries(self, rows: object) -> int:
-        """Load rows from :meth:`export_entries`; returns entries accepted.
+        """Load rows from :meth:`export_entries`; returns entries retained.
 
         Tolerant of damaged input (a half-persisted artifact): anything
         that is not a 4-list of strings is skipped, never raised on —
-        a warm-start must not be able to wedge a fresh fleet.
+        a warm-start must not be able to wedge a fresh fleet.  Only rows
+        :meth:`put` actually stored count: a cache-disabled fleet
+        (``capacity == 0``) reports 0, not the rows it dropped.
         """
         if not isinstance(rows, list):
             return 0
@@ -157,6 +165,6 @@ class RevisionLRUCache:
                 and len(row) == 4
                 and all(isinstance(field, str) for field in row)
             ):
-                self.put(row[0], CachedRevision(row[1], row[2], row[3]))
-                accepted += 1
+                if self.put(row[0], CachedRevision(row[1], row[2], row[3])):
+                    accepted += 1
         return accepted

@@ -151,6 +151,7 @@ def _fleet_worker_main(
             prefill_concurrency=config.prefill_concurrency,
             kv_page_tokens=config.kv_page_tokens,
             kv_pool_pages=config.kv_pool_pages,
+            kv_prefix_cache=config.kv_prefix_cache_enabled,
         ),
         metrics,
     )
@@ -626,6 +627,26 @@ class EngineFleet:
             if snaps and not any(stat_key in s for s in snaps):
                 continue
             agg[stat_key] = sum(s.get(stat_key, 0) for s in snaps)
+        # Prefix-cache counters (workers with kv_prefix_cache on): summed
+        # across the fleet, with the hit rate recomputed over the sums.
+        prefix_snaps = [
+            s["prefix_cache"] for s in snaps if s.get("prefix_cache")
+        ]
+        if prefix_snaps:
+            merged = {
+                key: sum(p.get(key, 0) for p in prefix_snaps)
+                for key in (
+                    "cached_pages", "shared_pinned_pages", "lookups", "hits",
+                    "shared_tokens", "cow_copies", "inserted_pages",
+                    "evicted_pages",
+                )
+            }
+            merged["hit_rate"] = (
+                round(merged["hits"] / merged["lookups"], 4)
+                if merged["lookups"]
+                else 0.0
+            )
+            agg["prefix_cache"] = merged
         return agg
 
     # -- admission internals ------------------------------------------------------

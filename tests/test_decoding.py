@@ -21,6 +21,8 @@ from repro.nn import (
     BatchedEngine,
     GenerationRequest,
     InductionCopyBias,
+    PagedKVCaches,
+    SlotKVCaches,
     TransformerConfig,
     TransformerLM,
 )
@@ -981,3 +983,265 @@ def test_cancel_mid_parked_fleet_keeps_neighbors_intact(model):
     assert results[ids[0]] == model.generate(prompts[0], 6, eos_id=2)
     assert results[ids[2]] == model.generate(prompts[2], 6, eos_id=2)
     assert results[ids[1]] == []
+
+
+# -- KV-backend compaction contract ------------------------------------------------
+
+
+def _write_tokens(caches, slot: int, values: np.ndarray) -> None:
+    """Write per-token K/V rows (value v at token t) into ``slot``."""
+    n = len(values)
+    if isinstance(caches, PagedKVCaches):
+        caches.ensure(slot, n)
+        cols = caches._token_cols(slot, 0, n)
+        for layer in range(len(caches.k)):
+            caches.k[layer][:, cols, :] = values[None, :, None]
+            caches.v[layer][:, cols, :] = values[None, :, None]
+    else:
+        for layer in range(len(caches.k)):
+            caches.k[layer][slot, :, :n] = values[None, :, None]
+            caches.v[layer][slot, :, :n] = values[None, :, None]
+    caches.lengths[slot] = n
+
+
+def _read_tokens(caches, slot: int, n: int) -> np.ndarray:
+    if isinstance(caches, PagedKVCaches):
+        cols = caches._token_cols(slot, 0, n)
+        return caches.k[0][0, cols, 0].copy()
+    return caches.k[0][slot, 0, :n, 0].copy()
+
+
+@pytest.mark.parametrize("paged", [False, True])
+def test_move_prefix_contract_updates_lengths(model, paged):
+    """Both backends must satisfy one compaction contract: after
+    ``move_prefix(src, dst, n)`` the dst holds the n-token prefix AND
+    ``lengths[dst] == n`` — callers never patch lengths afterwards."""
+    caches = (
+        PagedKVCaches(model, max_batch=4, page_tokens=8)
+        if paged
+        else SlotKVCaches(model, max_batch=4)
+    )
+    values = np.arange(1.0, 11.0, dtype=np.float32)
+    _write_tokens(caches, 1, values)
+    caches.lengths[0] = 999  # stale junk the move must overwrite
+    caches.move_prefix(1, 0, 10)
+    assert caches.lengths[0] == 10
+    assert np.array_equal(_read_tokens(caches, 0, 10), values)
+
+
+@pytest.mark.parametrize("paged", [False, True])
+def test_permute_prefixes_contract_updates_lengths(model, paged):
+    """``permute_prefixes(base, order, lengths)`` must record each moved
+    row's length in the cache on both backends."""
+    caches = (
+        PagedKVCaches(model, max_batch=4, page_tokens=8)
+        if paged
+        else SlotKVCaches(model, max_batch=4)
+    )
+    rows = {1: np.arange(1.0, 6.0, dtype=np.float32),
+            2: np.arange(10.0, 22.0, dtype=np.float32),
+            3: np.arange(30.0, 33.0, dtype=np.float32)}
+    for slot, values in rows.items():
+        _write_tokens(caches, slot, values)
+    order = [2, 0, 1]  # parked row base+2 completes first
+    lengths = [len(rows[1 + i]) for i in order]
+    caches.permute_prefixes(1, order, lengths)
+    for j, i in enumerate(order):
+        values = rows[1 + i]
+        assert caches.lengths[1 + j] == len(values)
+        assert np.array_equal(_read_tokens(caches, 1 + j, len(values)), values)
+
+
+def test_token_cols_indexes_only_touched_pages(model):
+    """_token_cols must be O(stop - start): a decode-step range on a long
+    row may only touch the pages overlapping it."""
+    caches = PagedKVCaches(model, max_batch=2, page_tokens=8)
+    caches.ensure(0, 70)
+    table = caches.tables[0]
+    cols = caches._token_cols(0, 61, 63)
+    expected = [table[61 // 8] * 8 + 61 % 8, table[62 // 8] * 8 + 62 % 8]
+    assert cols.tolist() == expected
+    # Cross-page range, and a full-prefix range, stay correct too.
+    assert caches._token_cols(0, 7, 9).tolist() == [
+        table[0] * 8 + 7, table[1] * 8
+    ]
+    naive = [table[t // 8] * 8 + t % 8 for t in range(70)]
+    assert caches._token_cols(0, 0, 70).tolist() == naive
+    # The column map for a suffix touches only the suffix's pages: its
+    # size bounds the work done, independent of the prefix length.
+    assert len(caches._token_cols(0, 64, 70)) == 6
+
+
+# -- paged accounting guards -------------------------------------------------------
+
+
+def test_unreserve_below_zero_raises(model):
+    caches = PagedKVCaches(model, max_batch=2, page_tokens=8)
+    assert caches.try_reserve(3)
+    caches.unreserve(3)
+    with pytest.raises(GenerationError, match="accounting bug"):
+        caches.unreserve(1)
+
+
+def test_double_release_raises_instead_of_corrupting(model):
+    """A page released more often than referenced must raise the typed
+    accounting error, not silently drive pages_in_use negative."""
+    caches = PagedKVCaches(model, max_batch=2, page_tokens=8)
+    caches.ensure(0, 8)
+    # Simulate the accounting bug: two tables alias one page.
+    caches.tables[1] = list(caches.tables[0])
+    caches.release(0)
+    with pytest.raises(GenerationError, match="accounting bug"):
+        caches.release(1)
+
+
+# -- radix prefix cache ------------------------------------------------------------
+
+
+def _prefix_engine(model, **kwargs):
+    kwargs.setdefault("max_batch", 4)
+    kwargs.setdefault("kv_page_tokens", 8)
+    return BatchedEngine(model, kv_prefix_cache=True, **kwargs)
+
+
+def test_prefix_cache_requires_paged_pool(model):
+    with pytest.raises(GenerationError, match="kv_page_tokens"):
+        BatchedEngine(model, kv_prefix_cache=True)
+
+
+@pytest.mark.parametrize("chunk", [None, 5])
+def test_prefix_cache_hits_and_token_parity(model, chunk):
+    """Template-sharing prompts must hit the radix index, skip shared
+    prefill work, and still decode token-for-token sequentially."""
+    rng = np.random.default_rng(11)
+    template = [int(t) for t in rng.integers(5, 197, size=40)]
+    prompts = [
+        template + [int(t) for t in rng.integers(5, 197, size=5)]
+        for _ in range(5)
+    ]
+    expected = [model.generate(p, 12, eos_id=2) for p in prompts]
+    engine = _prefix_engine(
+        model, prefill_chunk_tokens=chunk, prefill_concurrency=4
+    )
+    got = [
+        engine.generate([GenerationRequest(p, 12, eos_id=2)])[0]
+        for p in prompts
+    ]
+    assert got == expected
+    pc = engine.kv_stats()["prefix_cache"]
+    assert pc["hits"] >= 4
+    assert pc["shared_tokens"] >= 4 * 40
+    stats = engine.kv_stats()
+    assert stats["pages_in_use"] == 0 and stats["reserved_pages"] == 0
+    assert pc["shared_pinned_pages"] == 0
+
+
+def test_prefix_cache_copy_on_write_boundary_page(model):
+    """An unaligned shared prefix partially shares its boundary page; the
+    first write past the shared tokens must CoW exactly that page and
+    leave the cached original intact for later matches."""
+    rng = np.random.default_rng(13)
+    template = [int(t) for t in rng.integers(5, 197, size=43)]  # 5 pages + 3
+    # A 5-token suffix makes each prompt exactly 6 full pages, so the
+    # boundary page (template[40:43] + suffix[:5]) gets registered and a
+    # later prompt can partially share it up to the divergence point.
+    prompts = [
+        template + [int(t) for t in rng.integers(5, 197, size=5)]
+        for _ in range(4)
+    ]
+    expected = [model.generate(p, 10, eos_id=2) for p in prompts]
+    engine = _prefix_engine(model)
+    got = [
+        engine.generate([GenerationRequest(p, 10, eos_id=2)])[0]
+        for p in prompts
+    ]
+    assert got == expected
+    pc = engine.kv_stats()["prefix_cache"]
+    assert pc["cow_copies"] >= 1
+    stats = engine.kv_stats()
+    assert stats["pages_in_use"] == 0 and stats["reserved_pages"] == 0
+
+
+def test_prefix_cache_shared_admission_fits_small_pool(model):
+    """Two template-sharing requests must fit a pool too small for two
+    private copies: admission charges only the unshared suffix."""
+    rng = np.random.default_rng(17)
+    template = [int(t) for t in rng.integers(5, 197, size=48)]  # 6 pages
+    # pages_per_seq = ceil(80 / 8) = 10; pool of 12 cannot hold two
+    # private 7+ page sequences, but can hold one + a shared suffix.
+    engine = _prefix_engine(model, max_batch=2, kv_pool_pages=12)
+    warm = template + [7]
+    engine.generate([GenerationRequest(warm, 4, eos_id=2)])
+    prompts = [template + [9], template + [11]]
+    expected = [model.generate(p, 4, eos_id=2) for p in prompts]
+    ids = [engine.submit(GenerationRequest(p, 4, eos_id=2)) for p in prompts]
+    engine.step()
+    # Sharing let both enter the fleet in one step; without it the pool
+    # could only cover one.
+    assert engine.n_active + engine.n_prefilling == 2
+    results: dict[int, list[int]] = {}
+    while engine.has_work:
+        engine.step()
+        results.update(engine.collect())
+    assert [results[i] for i in ids] == expected
+
+
+def test_prefix_cache_evicts_lru_pages_under_pressure(model):
+    """Distinct prompts on a tiny pool must recycle cached pages through
+    LRU eviction instead of failing allocation."""
+    engine = _prefix_engine(model, max_batch=2, kv_pool_pages=11)
+    for i in range(6):
+        rng = np.random.default_rng(100 + i)
+        p = [int(t) for t in rng.integers(5, 197, size=50)]
+        assert (
+            engine.generate([GenerationRequest(p, 6, eos_id=2)])[0]
+            == model.generate(p, 6, eos_id=2)
+        )
+    stats = engine.kv_stats()
+    assert stats["prefix_cache"]["evicted_pages"] > 0
+    assert stats["pages_in_use"] == 0 and stats["reserved_pages"] == 0
+
+
+def test_prefix_cache_cancel_mid_prefill_releases_pins(model):
+    """Cancelling a parked shared-prefix request must return its borrowed
+    pages and pins — nothing may stay pinned after the trace drains."""
+    rng = np.random.default_rng(19)
+    template = [int(t) for t in rng.integers(5, 197, size=40)]
+    engine = _prefix_engine(
+        model, prefill_chunk_tokens=4, prefill_concurrency=2
+    )
+    engine.generate([GenerationRequest(template + [8], 4, eos_id=2)])
+    # Occupy a decode slot so the shared arrival parks mid-prefill.
+    engine.submit(GenerationRequest(list(rng.integers(5, 197, size=6)), 40))
+    engine.step()
+    # 12 unshared tokens at chunk 4 keep the victim parked for several
+    # steps after its 40-token shared skip.
+    suffix = [int(t) for t in rng.integers(5, 197, size=12)]
+    victim = engine.submit(GenerationRequest(template + suffix, 30))
+    engine.step()
+    assert engine.n_prefilling == 1
+    assert engine.cancel(victim)
+    while engine.has_work:
+        engine.step()
+    engine.collect()
+    stats = engine.kv_stats()
+    assert stats["pages_in_use"] == 0 and stats["reserved_pages"] == 0
+    assert stats["prefix_cache"]["shared_pinned_pages"] == 0
+
+
+def test_clear_prefix_cache_returns_pages_to_free_list(model):
+    rng = np.random.default_rng(23)
+    template = [int(t) for t in rng.integers(5, 197, size=32)]
+    engine = _prefix_engine(model)
+    for suffix in ([5], [7], [9]):
+        engine.generate([GenerationRequest(template + suffix, 4, eos_id=2)])
+    stats = engine.kv_stats()
+    assert stats["prefix_cache"]["cached_pages"] > 0
+    freed = engine.clear_prefix_cache()
+    assert freed == stats["prefix_cache"]["cached_pages"]
+    cleared = engine.kv_stats()
+    assert cleared["prefix_cache"]["cached_pages"] == 0
+    assert cleared["free_list_pages"] == cleared["allocated_pages"]
+    # The next identical prompt re-prefills (cold) and re-registers.
+    engine.generate([GenerationRequest(template + [5], 4, eos_id=2)])
+    assert engine.kv_stats()["prefix_cache"]["cached_pages"] > 0

@@ -13,9 +13,17 @@ prefix of it).
 Each scenario also draws its *KV backend*: dense slot slabs or the paged
 pool at a random page size (including degenerate one-token pages), a
 randomly undersized page budget (so page-exhaustion deferral and
-recycling are fuzzed, not just directed-tested), and the unified
-mixed-length step forward on or off — none of which may change a single
-token.
+recycling are fuzzed, not just directed-tested), the radix prefix cache
+on or off, and the unified mixed-length step forward on or off — none
+of which may change a single token.
+
+Scenarios draw *shared-prefix request families* alongside independent
+prompts: several requests extend the same template prefix at random cut
+points, so with the prefix cache on the trace exercises radix hits,
+partial boundary-page shares, copy-on-write, pinned-page admission and
+eviction — and every drained trace asserts zero leaked pages, zero
+leaked reservations, zero pinned shared pages, and (after a cache
+clear) a free list covering the whole allocation.
 
 Scenarios are generated from ``seed = REPRO_FUZZ_SEED + index``, so a
 failure is reproducible in isolation::
@@ -28,8 +36,9 @@ failure is reproducible in isolation::
 scenario onto the paged pool (the CI paged leg — same seeds, so each
 trace differentially tests paged against its dense twin from the
 default leg), ``off`` forces dense, and ``auto`` (default) randomizes
-per scenario.  ``scripts/ci.sh`` pins all of them so CI runs a fixed,
-deterministic corpus.
+per scenario.  ``REPRO_FUZZ_PREFIX`` pins the prefix-cache draw the
+same way (``on`` applies to paged scenarios only).  ``scripts/ci.sh``
+pins all of them so CI runs a fixed, deterministic corpus.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from repro.nn import BatchedEngine, GenerationRequest, TransformerConfig, Transf
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20240311"))
 N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "60"))
 PAGED_MODE = os.environ.get("REPRO_FUZZ_PAGED", "auto")  # auto | on | off
+PREFIX_MODE = os.environ.get("REPRO_FUZZ_PREFIX", "auto")  # auto | on | off
 PAGE_SIZES = (1, 3, 16, 64)
 
 VOCAB = 131
@@ -80,6 +90,7 @@ class _Scenario:
     prefill_concurrency: int
     kv_page_tokens: int | None = None
     kv_pool_pages: int | None = None
+    kv_prefix_cache: bool = False
     unified_step: bool = True
     requests: list[_FuzzRequest] = field(default_factory=list)
 
@@ -95,16 +106,26 @@ def _draw_scenario(seed: int, context: int) -> _Scenario:
     paged_coin = rng.random() < 0.5
     page_tokens = int(rng.choice(PAGE_SIZES))
     undersized_coin = rng.random() < 0.35
+    prefix_coin = rng.random() < 0.5
     # Undersized pool: admission must defer on page exhaustion and
     # recycle pages from retirements/cancels — without token drift.
     pages_per_seq = -(-context // page_tokens)
     pool_pages = pages_per_seq + int(rng.integers(0, 2 * pages_per_seq))
     paged = paged_coin if PAGED_MODE == "auto" else PAGED_MODE == "on"
+    prefix = prefix_coin if PREFIX_MODE == "auto" else PREFIX_MODE == "on"
     if not paged:
         page_tokens = None
         pool_pages = None
+        prefix = False
     elif not undersized_coin:
         pool_pages = None
+    # Shared-prefix request families: templates are drawn unconditionally
+    # (fixed draw order across PAGED/PREFIX overrides) and a slice of the
+    # requests below extends one of them at a random cut point.
+    templates = [
+        [int(t) for t in rng.integers(5, VOCAB, size=int(rng.integers(4, context // 2 + 1)))]
+        for _ in range(2)
+    ]
     scenario = _Scenario(
         seed=seed,
         max_batch=int(rng.integers(1, 7)),
@@ -114,18 +135,28 @@ def _draw_scenario(seed: int, context: int) -> _Scenario:
         prefill_concurrency=int(rng.integers(1, 5)),
         kv_page_tokens=page_tokens,
         kv_pool_pages=pool_pages,
+        kv_prefix_cache=prefix,
         unified_step=rng.random() < 0.75,
     )
     for i in range(int(rng.integers(1, 11))):
+        family_coin = rng.random() < 0.45
+        template = templates[int(rng.integers(0, len(templates)))]
+        cut = int(rng.integers(1, len(template) + 1))
         if rng.random() < 0.06:
             # Prompt at or past the context window: zero token budget.
             n_prompt = context + int(rng.integers(0, 4))
+            family_coin = False
         else:
             n_prompt = int(rng.integers(1, context - 4))
+        prompt = [int(t) for t in rng.integers(5, VOCAB, size=n_prompt)]
+        if family_coin:
+            # Extend the family template at the cut point; keep the
+            # request's own drawn length so budgets stay varied.
+            prompt = (template[:cut] + prompt)[:n_prompt] or prompt
         top_k = int(rng.integers(1, 6)) if rng.random() < 0.35 else None
         scenario.requests.append(
             _FuzzRequest(
-                prompt=[int(t) for t in rng.integers(5, VOCAB, size=n_prompt)],
+                prompt=prompt,
                 max_new_tokens=int(rng.integers(1, 14)),
                 eos_id=EOS_ID if rng.random() < 0.7 else None,
                 top_k=top_k,
@@ -169,6 +200,7 @@ def _run_engine_trace(
         prefill_concurrency=scenario.prefill_concurrency,
         kv_page_tokens=scenario.kv_page_tokens,
         kv_pool_pages=scenario.kv_pool_pages,
+        kv_prefix_cache=scenario.kv_prefix_cache,
         unified_step=scenario.unified_step,
     )
     seq_ids: dict[int, int] = {}
@@ -212,6 +244,17 @@ def _run_engine_trace(
         # drains — leaks here would strangle a long-lived server.
         assert stats["pages_in_use"] == 0, stats
         assert stats["reserved_pages"] == 0, stats
+        if stats.get("prefix_cache") is not None:
+            # No shared page may stay pinned after its borrowers retired,
+            # and clearing the index must return every allocated page to
+            # the free list — zero leaked refcounts, pages, or pins.
+            assert stats["prefix_cache"]["shared_pinned_pages"] == 0, stats
+            engine.clear_prefix_cache()
+            cleared = engine.kv_stats()
+            assert cleared["prefix_cache"]["cached_pages"] == 0, cleared
+            assert (
+                cleared["free_list_pages"] == cleared["allocated_pages"]
+            ), cleared
     return results, seq_ids
 
 

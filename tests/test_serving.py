@@ -143,6 +143,25 @@ def test_lru_cache_hit_miss_and_eviction():
     assert disabled.get("a") is None and len(disabled) == 0
 
 
+def test_import_entries_reports_entries_actually_retained():
+    """import_entries must count only rows the cache stored, not rows it
+    parsed: a cache-disabled fleet (capacity 0) retains nothing and must
+    report 0 instead of the rows it silently dropped, and damaged rows
+    never count — warm-start logs stay honest."""
+    rows = [
+        ["k1", "i1", "r1", RevisionOutcome.REVISED.value],
+        ["k2", "i2", "r2", RevisionOutcome.REVISED.value],
+        ["k3", "i3", "r3", RevisionOutcome.REVISED.value],
+    ]
+    disabled = RevisionLRUCache(capacity=0)
+    assert disabled.import_entries(rows) == 0
+    assert len(disabled) == 0
+
+    cache = RevisionLRUCache(capacity=8)
+    assert cache.import_entries(rows + [["bad", "row"], 7]) == 3
+    assert len(cache) == 3
+
+
 def test_cached_revision_rebinds_identity():
     pair = _clean_pair()
     revised = CachedRevision("new instruction", "new response",
