@@ -396,6 +396,209 @@ def test_serving_sustains_batched_throughput(wb):
     assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload
 
 
+# -- priority preemption + streaming overhead stages -----------------------------
+
+#: p95 high-priority time-to-first-token must beat the FIFO baseline at
+#: least this much under saturating low-priority load (measured in
+#: deterministic engine steps, like the admission bench).
+PRIORITY_TTFT_FLOOR = 3.0
+#: Streaming may cost at most this multiple of non-streamed sustained
+#: throughput: plain_tok_s <= ceiling * streamed_tok_s.
+STREAMING_OVERHEAD_CEILING = 1.1
+#: High-priority probes fired into the saturated fleet (p95 subject).
+N_PROBES = 5
+#: Page size for the preemption stage: small enough that a bulk decode
+#: spans several pages, so evicting one genuinely frees page headroom
+#: for the urgent arrival (at the serving default of 64 a 60-token
+#: sequence is a single page and preemption frees nothing).
+PREEMPT_PAGE_TOKENS = 16
+
+
+def _priority_preemption(coach: CoachLM) -> dict:
+    """p95 TTFT of urgent probes vs a FIFO fleet, in engine steps.
+
+    A decoy fleet of low-priority bulk decodes owns every KV page;
+    urgent one-token probes (the TTFT trick of
+    :func:`_late_arrival_admission`: a one-token budget makes the
+    completion step the first-token step) land while it runs.  With
+    priorities + preemption the probe evicts one bulk decode and speaks
+    within a couple of steps; under FIFO (preemption off, one priority
+    class) it waits for the whole bulk generation to retire.  Steps are
+    deterministic — the floor is not exposed to CI timer noise — and
+    wall times are recorded alongside.
+    """
+    model = coach.model
+    rng = np.random.default_rng(31415)
+    decoys = [
+        list(map(int, rng.integers(5, 300, size=12))) for _ in range(MAX_BATCH)
+    ]
+    probes = [
+        list(map(int, rng.integers(5, 300, size=12))) for _ in range(N_PROBES)
+    ]
+    pages_per_decoy = -(-(12 + MAX_NEW_TOKENS) // PREEMPT_PAGE_TOKENS)
+    pool_pages = MAX_BATCH * pages_per_decoy
+    submit_at = {i: 4 * (i + 1) for i in range(N_PROBES)}
+
+    def ttft_steps(priorities: bool) -> tuple[list[int], float]:
+        engine = BatchedEngine(
+            model,
+            max_batch=MAX_BATCH + 1,
+            kv_page_tokens=PREEMPT_PAGE_TOKENS,
+            kv_pool_pages=pool_pages,
+            preemption=priorities,
+        )
+        for prompt in decoys:
+            engine.submit(
+                GenerationRequest(
+                    prompt, MAX_NEW_TOKENS, priority=5 if priorities else 0
+                )
+            )
+        ids: dict[int, int] = {}
+        done_step: dict[int, int] = {}
+        step = 0
+        start = time.perf_counter()
+        while len(done_step) < N_PROBES or engine.has_work:
+            for i, at in submit_at.items():
+                if step >= at and i not in ids:
+                    ids[i] = engine.submit(
+                        GenerationRequest(probes[i], 1, priority=0)
+                    )
+            engine.step()
+            step += 1
+            finished = engine.collect()
+            for i, seq_id in ids.items():
+                if seq_id in finished:
+                    done_step[i] = step
+        elapsed = time.perf_counter() - start
+        stats = engine.kv_stats()
+        assert stats["pages_in_use"] == 0 and stats["reserved_pages"] == 0
+        return (
+            [done_step[i] - submit_at[i] for i in range(N_PROBES)], elapsed
+        )
+
+    preempt_ttfts, preempt_s = ttft_steps(True)
+    fifo_ttfts, fifo_s = ttft_steps(False)
+    preempt_p95 = float(np.percentile(preempt_ttfts, 95))
+    fifo_p95 = float(np.percentile(fifo_ttfts, 95))
+    return {
+        "n_probes": N_PROBES,
+        "n_bulk_decodes": MAX_BATCH,
+        "bulk_new_tokens": MAX_NEW_TOKENS,
+        "kv_page_tokens": PREEMPT_PAGE_TOKENS,
+        "kv_pool_pages": pool_pages,
+        "preempt_ttft_steps": preempt_ttfts,
+        "fifo_ttft_steps": fifo_ttfts,
+        "preempt_p95_ttft_steps": round(preempt_p95, 2),
+        "fifo_p95_ttft_steps": round(fifo_p95, 2),
+        "ttft_speedup": round(fifo_p95 / preempt_p95, 2),
+        "ttft_floor": PRIORITY_TTFT_FLOOR,
+        "preempt_wall_ms": round(preempt_s * 1e3, 2),
+        "fifo_wall_ms": round(fifo_s * 1e3, 2),
+    }
+
+
+def _streaming_overhead(coach: CoachLM, pairs: list) -> dict:
+    """Sustained tok/s of streamed vs non-streamed revision traffic.
+
+    Identical requests against fresh (cold-cache) servers, best-of-2
+    per mode; the streamed side pays the per-token delivery plumbing
+    (scheduler callbacks, per-event queues) and must keep it under the
+    :data:`STREAMING_OVERHEAD_CEILING`.
+    """
+
+    def run(streamed: bool) -> tuple[float, int]:
+        best = 0.0
+        tokens = 0
+        for _ in range(2):
+            server = RevisionServer(coach, SERVING_CONFIG)
+            with server:
+                start = time.perf_counter()
+                if streamed:
+                    streams = [server.submit_stream(pair) for pair in pairs]
+                    n = 0
+                    for stream in streams:
+                        while True:
+                            event = stream.get(timeout=600.0)
+                            assert event is not None, "stream stalled"
+                            if event[0] == "tokens":
+                                n += len(event[1])
+                            elif event[0] == "done":
+                                break
+                            else:
+                                raise AssertionError(event[1])
+                else:
+                    futures = [server.submit(pair) for pair in pairs]
+                    n = sum(
+                        f.result(timeout=600.0).generated_tokens
+                        for f in futures
+                    )
+                elapsed = time.perf_counter() - start
+            tokens = n
+            best = max(best, n / elapsed)
+        return best, tokens
+
+    plain_tps, plain_tokens = run(False)
+    streamed_tps, streamed_tokens = run(True)
+    assert streamed_tokens == plain_tokens, (
+        "streaming changed the decoded token count"
+    )
+    return {
+        "n_requests": len(pairs),
+        "engine_tokens": plain_tokens,
+        "plain_tokens_per_sec": round(plain_tps, 1),
+        "streamed_tokens_per_sec": round(streamed_tps, 1),
+        "overhead_ratio": round(plain_tps / streamed_tps, 3),
+        "overhead_ceiling": STREAMING_OVERHEAD_CEILING,
+    }
+
+
+def test_priority_preemption_and_streaming_overhead(wb):
+    coach, pairs = _bench_coach(wb.scale)
+    preemption = _priority_preemption(coach)
+    streaming = _streaming_overhead(coach, pairs[:16])
+
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    payload = (
+        json.loads(out_path.read_text(encoding="utf-8"))
+        if out_path.exists()
+        else {}
+    )
+    payload["priority_preemption"] = preemption
+    payload["streaming_overhead"] = streaming
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    print_banner(
+        "preempt", "priority-tiered TTFT under saturation + streaming cost"
+    )
+    print(
+        f"TTFT p95 over {preemption['n_probes']} urgent probes into "
+        f"{preemption['n_bulk_decodes']} saturating bulk decodes: "
+        f"{preemption['fifo_p95_ttft_steps']:.0f} steps FIFO → "
+        f"{preemption['preempt_p95_ttft_steps']:.0f} steps preemptive "
+        f"({preemption['ttft_speedup']:.1f}x, floor "
+        f"{preemption['ttft_floor']:.0f}x)"
+    )
+    print(
+        f"streaming overhead: {streaming['plain_tokens_per_sec']:.0f} tok/s "
+        f"plain vs {streaming['streamed_tokens_per_sec']:.0f} tok/s streamed "
+        f"({streaming['overhead_ratio']:.2f}x of ≤"
+        f"{streaming['overhead_ceiling']:.1f}x budget)"
+    )
+
+    # The headline contract: under saturating low-priority load, urgent
+    # traffic must reach its first token >= 3x faster than FIFO would
+    # allow — that is what preemptive eviction exists for.
+    assert (
+        preemption["ttft_speedup"] >= PRIORITY_TTFT_FLOOR
+    ), payload
+    # Per-token delivery plumbing must stay near-free: the streamed run
+    # may not fall more than the ceiling behind the plain run.
+    assert (
+        streaming["plain_tokens_per_sec"]
+        <= STREAMING_OVERHEAD_CEILING * streaming["streamed_tokens_per_sec"]
+    ), payload
+
+
 # -- multi-process fleet stages --------------------------------------------------
 
 #: Minimum 2-worker speedup over 1 worker — only enforced with >= 2 CPU

@@ -17,6 +17,7 @@
 #   REPRO_FUZZ_SCENARIOS  scenario budget (CI default below)
 #   REPRO_FUZZ_PAGED      auto | on | off (the legs below pin it)
 #   REPRO_FUZZ_PREFIX     auto | on | off (radix prefix cache draw)
+#   REPRO_FUZZ_PREEMPT    auto | on | off (priority + preempt/resume draw)
 # A fuzz failure prints the exact one-scenario reproduction command.
 #
 # The fleet leg runs the seeded fault-injection harness
@@ -74,6 +75,14 @@ REPRO_FUZZ_PREFIX=on \
 REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
 REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
 python -m pytest tests/test_fuzz_parity.py -q
+
+echo "== fuzz: preemptive decode eviction forced on over paged pool (same seeds) =="
+timeout --signal=TERM --kill-after=30 "${REPRO_PREEMPT_TIMEOUT_S:-300}" \
+    env REPRO_FUZZ_PAGED=on \
+    REPRO_FUZZ_PREEMPT=on \
+    REPRO_FUZZ_SEED="${REPRO_FUZZ_SEED:-20240311}" \
+    REPRO_FUZZ_SCENARIOS="${REPRO_FUZZ_SCENARIOS:-80}" \
+    python -m pytest tests/test_fuzz_parity.py -q
 
 echo "== KV-memory regression floor (paged vs dense resident bytes) =="
 python -m pytest tests/test_decoding.py -q -k paged_memory_scales

@@ -270,6 +270,14 @@ class ServingConfig:
         tokens are identical either way.  ``None`` (the default) means
         *on whenever the pool is paged*; an explicit ``True`` requires
         ``kv_page_tokens``.
+    preemption_enabled:
+        Priority-tiered preemption: when admission is blocked on slots
+        or pages for a strictly-higher-priority arrival, the engine
+        evicts the lowest-priority active decode (O(1) block-table
+        detach on the paged pool) and resumes it later with identical
+        tokens — interactive latency degrades the bulk tier instead of
+        collapsing under it.  ``False`` restores strict
+        priority-ordered FIFO admission with no eviction.
     """
 
     max_batch: int = DEFAULT_GEN_BATCH_SIZE
@@ -283,6 +291,7 @@ class ServingConfig:
     kv_page_tokens: int | None = 64
     kv_pool_pages: int | None = None
     kv_prefix_cache: bool | None = None
+    preemption_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:

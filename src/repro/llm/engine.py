@@ -118,12 +118,16 @@ class TextEngine:
         ]
 
     # -- streaming ---------------------------------------------------------------
-    def submit(self, instruction: str, max_new_tokens: int = 48) -> int:
+    def submit(
+        self, instruction: str, max_new_tokens: int = 48, priority: int = 0
+    ) -> int:
         """Enqueue one instruction (Alpaca template); returns its sequence id.
 
         The request joins the decode fleet at the next :meth:`pump`, in
         the first free or retiring slot — it does not wait for the
-        in-flight batch to drain.
+        in-flight batch to drain.  ``priority`` orders admission (smaller
+        is more urgent) and, when the engine has preemption enabled,
+        marks which in-flight decodes a more urgent arrival may evict.
         """
         context = self.model.config.max_seq_len
         prompt = encode_truncated_instruction_prompt(
@@ -131,7 +135,8 @@ class TextEngine:
         )
         return self.engine.submit(
             GenerationRequest(
-                prompt, max_new_tokens, eos_id=self.tokenizer.specials.eos
+                prompt, max_new_tokens, eos_id=self.tokenizer.specials.eos,
+                priority=priority,
             )
         )
 

@@ -117,6 +117,8 @@ per-sequence biases, chunked vs unchunked prefill, seeded top-k).
 
 from __future__ import annotations
 
+import heapq
+
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -147,6 +149,13 @@ class GenerationRequest:
     drawn from ``rng`` — the request's private generator stream, so its
     tokens match :meth:`TransformerLM.generate` under the same seed
     regardless of how the batch around it is composed.
+
+    ``priority`` orders admission (lower value = more urgent, the same
+    convention as the serving queue): the engine's pending queue pops
+    the best ``(priority, seq_id)`` first, and under admission pressure
+    a strictly-higher-priority request may preempt the lowest-priority
+    active decode (see :meth:`BatchedEngine.preempt`).  Priorities never
+    change a sequence's tokens — only *when* they are produced.
     """
 
     prompt_ids: list[int]
@@ -156,6 +165,7 @@ class GenerationRequest:
     step_bias: Callable[[list[int], np.ndarray], None] | None = None
     top_k: int | None = None
     rng: np.random.Generator | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.logit_bias is not None and self.logit_bias.dtype != np.float32:
@@ -326,6 +336,28 @@ class SlotKVCaches:
     def release(self, slot: int) -> None:
         """Nothing to free: a refill overwrites from column zero and the
         key mask hides stale columns."""
+
+    # -- preemption (dense fallback: copy-out / copy-in) -----------------------
+    def detach_slot(self, slot: int) -> tuple:
+        """Copy ``slot``'s written K/V prefix out into private buffers.
+
+        The dense twin of the paged backend's O(1) block-table detach:
+        a preempted sequence's resident KV is copied aside so the slot
+        can be compacted away, and copied back at resume
+        (:meth:`restore_slot`).  Returns an opaque payload.
+        """
+        length = int(self.lengths[slot])
+        ks = [self.k[layer][slot, :, :length].copy() for layer in range(len(self.k))]
+        vs = [self.v[layer][slot, :, :length].copy() for layer in range(len(self.v))]
+        return ks, vs
+
+    def restore_slot(self, slot: int, payload: tuple, length: int) -> None:
+        """Copy a detached sequence's K/V back into ``slot`` (resume)."""
+        ks, vs = payload
+        for layer in range(len(self.k)):
+            self.k[layer][slot, :, :length] = ks[layer]
+            self.v[layer][slot, :, :length] = vs[layer]
+        self.lengths[slot] = length
 
     def stats(self) -> dict:
         """Occupancy/residency counters (shape-compatible with the pool's)."""
@@ -948,6 +980,42 @@ class PagedKVCaches:
                 self._drop_slot_ref(page)
         self._mirror_len[slot] = 0
 
+    # -- preemption: O(1) block-table detach / reattach --------------------------
+    def detach_table(self, slot: int) -> list[int]:
+        """Detach ``slot``'s block table for a preempted sequence.
+
+        The pages keep their slot references (they stay in
+        ``pages_in_use``; shared prefix pages stay pinned), so the
+        detached sequence's resident KV survives while its slot is
+        compacted away and reused.  Reattach with :meth:`attach_table`.
+        """
+        table = self.tables[slot]
+        self.tables[slot] = []
+        self.lengths[slot] = 0
+        self._mirror_len[slot] = 0
+        return table
+
+    def attach_table(self, slot: int, table: list[int], length: int) -> None:
+        """Reattach a detached block table to ``slot`` (resume).
+
+        The mirror is left invalid; the next forward's catch-up gather
+        rebuilds the row's contiguous prefix from the pages lazily —
+        the same path a compaction-moved row takes.
+        """
+        if self.tables[slot]:
+            raise GenerationError(
+                f"slot {slot} already holds pages — engine accounting bug"
+            )
+        self.tables[slot] = table
+        self.lengths[slot] = length
+        self._mirror_len[slot] = 0
+
+    def drop_table(self, table: list[int]) -> None:
+        """Drop the slot references of a detached table (a preempted
+        sequence was cancelled, or demoted to cold re-prefill)."""
+        for page in table:
+            self._drop_slot_ref(page)
+
     # -- compaction: O(1) block-table moves ------------------------------------
     # No K/V byte moves anywhere below: tables are relinked and the
     # affected mirror rows are invalidated — the next step re-gathers a
@@ -1498,6 +1566,29 @@ class _SlotState:
     #: Pages borrowed from the prefix cache at admission, pending
     #: attachment to the parked slot (empty once attached / when unshared).
     shared_pages: list[int] = field(default_factory=list)
+    #: Preemption state.  A preempted sequence re-enters admission with
+    #: ``resume_ids`` as its *effective prompt* (original prompt + tokens
+    #: produced so far) and ``prefilled`` pointing at its resident KV, so
+    #: the parked-prefill machinery re-feeds exactly one token — the
+    #: interrupted decode step — and nothing of the prompt is re-prefilled.
+    resume_ids: list[int] | None = None
+    #: Detached KV payload while suspended: a block table (paged) or the
+    #: copied-out K/V buffers (dense); ``None`` once reattached or when
+    #: the sequence was demoted to cold re-prefill.
+    detached: tuple | None = None
+    #: Pages to re-reserve at resume (the worst-case remainder the
+    #: preemption released back to the pool).
+    suspend_reserve: int = 0
+
+    @property
+    def feed_ids(self) -> list[int]:
+        """Tokens the prefill machinery feeds for this sequence."""
+        return self.resume_ids if self.resume_ids is not None else self.request.prompt_ids
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Admission order: best (priority, arrival) first."""
+        return (self.request.priority, self.seq_id)
 
 
 class BatchedEngine:
@@ -1585,6 +1676,7 @@ class BatchedEngine:
         kv_pool_pages: int | None = None,
         kv_prefix_cache: bool = False,
         unified_step: bool = True,
+        preemption: bool = True,
     ):
         if max_batch < 1:
             raise GenerationError(f"max_batch must be >= 1, got {max_batch}")
@@ -1622,11 +1714,19 @@ class BatchedEngine:
         self.kv_pool_pages = kv_pool_pages
         self.kv_prefix_cache = kv_prefix_cache
         self.unified_step = unified_step
+        self.preemption = preemption
         self._caches: SlotKVCaches | PagedKVCaches | None = None
         self._bias: np.ndarray | None = None
         self._slots: list[_SlotState | None] = [None] * max_batch
         self._n_active = 0
-        self._pending: deque[tuple[int, GenerationRequest]] = deque()
+        #: Pending admission heap ordered by (priority, seq_id): the
+        #: best (priority, arrival) entry admits first; within one
+        #: priority class submission order is FIFO.
+        self._pending: list[tuple[int, int, GenerationRequest]] = []
+        #: Preempted sequences waiting to resume (detached KV parked in
+        #: ``_SlotState.detached``); they compete with ``_pending`` for
+        #: admission under the same (priority, seq_id) order.
+        self._preempted: list[_SlotState] = []
         self._pending_scores: deque[tuple[int, ScoringRequest]] = deque()
         self._finished: dict[int, list[int] | SequenceScore | None] = {}
         self._next_id = 0
@@ -1645,6 +1745,17 @@ class BatchedEngine:
         #: generation sequences — the observable the resume-determinism
         #: tests pin ("a journaled-DONE pair is never re-decoded").
         self.total_generated_tokens = 0
+        #: Monotonic count of *prompt* tokens fed through a prefill
+        #: forward.  A preempted-and-resumed sequence re-feeds only its
+        #: last produced token (never a prompt position), so this stays
+        #: at Σ len(prompt) however often sequences are preempted — the
+        #: observable the zero-re-prefill tests pin.
+        self.total_prompt_tokens_prefilled = 0
+        # Preemption observability (exported under kv_stats()["preemption"]).
+        self.preemptions = 0
+        self.resumes = 0
+        self.preempted_resident_tokens = 0
+        self.stream_disconnects = 0
 
     # -- request intake ----------------------------------------------------------
     def _validate(self, request: GenerationRequest) -> None:
@@ -1668,7 +1779,7 @@ class BatchedEngine:
         self._validate(request)
         seq_id = self._next_id
         self._next_id += 1
-        self._pending.append((seq_id, request))
+        heapq.heappush(self._pending, (request.priority, seq_id, request))
         return seq_id
 
     def _validate_score(self, request: ScoringRequest) -> None:
@@ -1711,10 +1822,23 @@ class BatchedEngine:
         """
         if seq_id in self._finished:
             return False
-        for i, (sid, _request) in enumerate(self._pending):
+        for i, (_pri, sid, _request) in enumerate(self._pending):
             if sid == seq_id:
-                del self._pending[i]
+                self._pending[i] = self._pending[-1]
+                self._pending.pop()
+                heapq.heapify(self._pending)
                 self._finished[seq_id] = []
+                return True
+        for i, state in enumerate(self._preempted):
+            if state.seq_id == seq_id:
+                # A preempted sequence finishes with its tokens so far (a
+                # prefix of the full decode); its suspended KV — detached
+                # pages plus the kept share of its reservation — returns
+                # to the pool immediately.
+                del self._preempted[i]
+                self._release_suspended(state)
+                self._finished[seq_id] = list(state.produced)
+                self.total_generated_tokens += len(state.produced)
                 return True
         for i, (sid, _request) in enumerate(self._pending_scores):
             if sid == seq_id:
@@ -1748,6 +1872,176 @@ class BatchedEngine:
                 return True
         return False
 
+    # -- preemption --------------------------------------------------------------
+    def preempt(self, seq_id: int) -> bool:
+        """Evict one *active* decode; it resumes later with identical tokens.
+
+        The sequence's resident KV is detached — an O(1) block-table
+        detach on the paged pool (pages stay allocated; the worst-case
+        *unwritten* remainder of its reservation returns to the pool so
+        a blocked arrival can use it), a copy-out on dense slabs — and
+        its slot is compacted away for other work.  Resumption re-admits
+        the sequence through the parked-prefill fleet with ``prefilled``
+        pointing at its resident KV: only the last produced token is
+        re-fed (the interrupted decode step), never a prompt token, so
+        the preempted-and-resumed token stream is exactly the sequential
+        one.  Returns ``False`` for ids that are not active decodes
+        (queued, parked mid-prefill, already preempted, or finished).
+        """
+        for slot in range(self._n_active):
+            if self._slots[slot].seq_id == seq_id:
+                break
+        else:
+            return False
+        state = self._slots[slot]
+        caches = self._caches
+        resident = int(caches.lengths[slot])
+        if resident != len(state.request.prompt_ids) + len(state.produced) - 1:
+            raise GenerationError(
+                f"seq {seq_id}: resident KV {resident} disagrees with "
+                "prompt + produced - 1 — engine accounting bug"
+            )
+        if isinstance(caches, PagedKVCaches):
+            table = caches.detach_table(slot)
+            total = caches.pages_for(len(state.request.prompt_ids) + state.budget)
+            freeable = total - len(table)
+            caches.unreserve(freeable)
+            state.page_quota -= freeable
+            state.suspend_reserve = freeable
+            state.detached = ("paged", table)
+        else:
+            state.detached = ("dense", caches.detach_slot(slot))
+            state.suspend_reserve = 0
+        state.resume_ids = list(state.request.prompt_ids) + state.produced
+        state.prefilled = resident
+        if state.request.step_bias is not None:
+            self._n_hooked -= 1
+        if state.request.top_k is not None:
+            self._n_sampled -= 1
+        # Compact the fleet exactly like _retire, minus the finish: the
+        # evicted slot's KV is already detached (paged: empty table, so
+        # move()'s release(dst) is a no-op; dense: copied out above).
+        old_base = self._n_active
+        tail = self._n_active - 1
+        if slot != tail:
+            caches.move(tail, slot)
+            self._bias[slot] = self._bias[tail]
+            self._eos[slot] = self._eos[tail]
+            self._budget[slot] = self._budget[tail]
+            self._count[slot] = self._count[tail]
+            self._slots[slot] = self._slots[tail]
+        self._slots[tail] = None
+        self._n_active -= 1
+        self._shift_parked(old_base)
+        self._preempted.append(state)
+        self.preemptions += 1
+        self.preempted_resident_tokens += resident
+        return True
+
+    def preempt_victim(self, than_priority: int) -> int | None:
+        """Preempt the lowest-priority active decode *strictly* below
+        ``than_priority`` (numerically greater); returns its seq id.
+
+        The pressure valve the scheduler and the engine's own admission
+        path use: equal priorities never preempt each other, so
+        preemption only ever flows from a more urgent class to a less
+        urgent one and cannot thrash.  ``None`` when no eligible victim
+        exists (or preemption is disabled).
+        """
+        if not self.preemption:
+            return None
+        victim: _SlotState | None = None
+        for slot in range(self._n_active):
+            state = self._slots[slot]
+            if state.request.priority > than_priority and (
+                victim is None or state.sort_key > victim.sort_key
+            ):
+                victim = state
+        if victim is None:
+            return None
+        self.preempt(victim.seq_id)
+        return victim.seq_id
+
+    def note_stream_disconnect(self) -> None:
+        """Count one mid-stream client disconnect (serving observability)."""
+        self.stream_disconnects += 1
+
+    def produced_so_far(self, seq_id: int) -> list[int] | None:
+        """Snapshot of a live sequence's tokens so far (streaming reads).
+
+        Covers active, preempted and parked sequences; ``None`` for
+        queued, finished or unknown ids.  Must be called from the
+        engine-driving thread (between steps), like every other method.
+        """
+        for slot in range(self._n_active):
+            state = self._slots[slot]
+            if state is not None and state.seq_id == seq_id:
+                return list(state.produced)
+        for state in self._preempted:
+            if state.seq_id == seq_id:
+                return list(state.produced)
+        for state in self._prefilling:
+            if state.seq_id == seq_id:
+                return list(state.produced)
+        return None
+
+    def _release_suspended(self, state: _SlotState) -> None:
+        """Return a suspended sequence's KV + reservation to the pool."""
+        if state.detached is not None and state.detached[0] == "paged":
+            self._caches.drop_table(state.detached[1])
+        state.detached = None
+        if state.page_quota:
+            self._caches.unreserve(state.page_quota)
+            state.page_quota = 0
+        state.suspend_reserve = 0
+
+    def _demote_one_preempted(self) -> bool:
+        """Liveness valve: demote one suspended sequence to cold re-prefill.
+
+        With an undersized pool, the kept reservations of several
+        suspended sequences can wedge admission (nothing fits while
+        every suspended page stays covered).  Dropping the
+        lowest-priority suspended sequence's pages and reservation
+        frees real headroom; the sequence later re-prefills its prompt
+        *plus its produced tokens* — teacher-forcing its own prefix —
+        so its token stream is still exactly the sequential one, at the
+        cost of recompute.  Never triggers while normal resume can make
+        progress; returns ``False`` when nothing is demotable.
+        """
+        victim: _SlotState | None = None
+        for state in self._preempted:
+            if state.detached is not None and state.detached[0] == "paged" and (
+                victim is None or state.sort_key > victim.sort_key
+            ):
+                victim = state
+        if victim is None:
+            return False
+        self._release_suspended(victim)
+        victim.prefilled = 0
+        return True
+
+    def _admit_resume(self, state: _SlotState) -> bool:
+        """Re-reserve a preempted sequence's worst-case remainder.
+
+        Warm resumes re-reserve only the remainder their preemption
+        released; cold (demoted) resumes reserve the full quota afresh.
+        When the pool cannot cover it, a strictly-lower-priority active
+        decode is preempted to make room; with no victim left the
+        resume stays blocked (``False``) until retirements free pages.
+        """
+        caches = self._caches
+        if state.detached is None and state.prefilled == 0 and state.page_quota == 0:
+            need = caches.pages_for(len(state.request.prompt_ids) + state.budget)
+        else:
+            need = state.suspend_reserve
+        while not caches.try_reserve(need):
+            if self.preempt_victim(state.request.priority) is None:
+                return False
+        state.page_quota += need
+        state.suspend_reserve = 0
+        self.resumes += 1
+        return True
+
     @property
     def n_active(self) -> int:
         """Sequences currently decoding in KV slots."""
@@ -1779,12 +2073,18 @@ class BatchedEngine:
         )
 
     @property
+    def n_preempted(self) -> int:
+        """Preempted sequences waiting to resume."""
+        return len(self._preempted)
+
+    @property
     def has_work(self) -> bool:
         return (
             bool(self._pending)
             or bool(self._pending_scores)
             or self._n_active > 0
             or bool(self._prefilling)
+            or bool(self._preempted)
         )
 
     def kv_stats(self) -> dict:
@@ -1802,7 +2102,14 @@ class BatchedEngine:
             "n_prefilling": len(self._prefilling),
             "n_pending": len(self._pending),
             "n_pending_scores": len(self._pending_scores),
+            "n_preempted": len(self._preempted),
             "free_slots": max(self.free_capacity, 0),
+            "preemption": {
+                "preemptions": self.preemptions,
+                "resumes": self.resumes,
+                "preempted_resident_tokens": self.preempted_resident_tokens,
+                "stream_disconnects": self.stream_disconnects,
+            },
         }
         caches = self._caches
         if caches is None:
@@ -1909,49 +2216,76 @@ class BatchedEngine:
                 request.step_bias(state.produced, step)
         token = self._choose_token(request, step)
         state.produced.append(token)
-        self._count[slot] = 1
+        self._count[slot] = len(state.produced)
         return (
             request.eos_id is not None and token == request.eos_id
         ) or len(state.produced) >= state.budget
 
     # -- prefill phase -----------------------------------------------------------
     def _pop_viable(self) -> _SlotState | None:
-        """Pop the next pending request with a positive token budget.
+        """Pop the best admissible sequence: resume a preempted one or
+        admit a fresh request, whichever has the smaller ``(priority,
+        seq_id)`` key.
 
         With a paged KV pool, admission also reserves the request's
         worst-case page quota (``ceil((prompt + budget) / page)``): when
-        the pool cannot cover it, the request stays at the head of the
-        pending queue (FIFO order preserved) and ``None`` is returned —
-        retirements will free pages and a later step admits it.  A lone
-        sequence always fits (enforced at pool construction), so this
-        can never deadlock.
+        the pool cannot cover it, a strictly-lower-priority active
+        decode is preempted to make room (:meth:`preempt_victim`);
+        failing that the candidate stays queued/suspended in priority
+        order and ``None`` is returned — retirements will free pages
+        and a later step admits it.  A lone sequence always fits
+        (enforced at pool construction) and the cold-demotion valve in
+        :meth:`step` bounds suspended reservations, so this can never
+        deadlock.
 
-        With the prefix cache on, admission first consults the radix
-        index (:meth:`PagedKVCaches.admit_shared`): a hit charges only
-        the unshared suffix against the pool and returns the state
+        With the prefix cache on, fresh admission first consults the
+        radix index (:meth:`PagedKVCaches.admit_shared`): a hit charges
+        only the unshared suffix against the pool and returns the state
         pre-advanced to the first divergent token (``prefilled ==
         matched``) carrying the borrowed pages to attach at parking.
         """
         context = self.model.config.max_seq_len
-        while self._pending:
-            seq_id, request = self._pending[0]
+        while True:
+            resume_i: int | None = None
+            for i, suspended in enumerate(self._preempted):
+                if (
+                    resume_i is None
+                    or suspended.sort_key < self._preempted[resume_i].sort_key
+                ):
+                    resume_i = i
+            head = self._pending[0] if self._pending else None
+            if resume_i is not None and (
+                head is None
+                or self._preempted[resume_i].sort_key < (head[0], head[1])
+            ):
+                state = self._preempted[resume_i]
+                if not self._admit_resume(state):
+                    return None
+                # preempt_victim inside _admit_resume only appends
+                # strictly-worse entries, so the index stays valid.
+                del self._preempted[resume_i]
+                return state
+            if head is None:
+                return None
+            _priority, seq_id, request = head
             budget = min(request.max_new_tokens, context - len(request.prompt_ids))
             if budget <= 0:
-                self._pending.popleft()
+                heapq.heappop(self._pending)
                 self._finished[seq_id] = []
                 continue
             total = self._caches.pages_for(len(request.prompt_ids) + budget)
             admitted = self._caches.admit_shared(request.prompt_ids, total)
-            if admitted is None:
-                return None
+            while admitted is None:
+                if self.preempt_victim(request.priority) is None:
+                    return None
+                admitted = self._caches.admit_shared(request.prompt_ids, total)
             quota, matched, pages = admitted
-            self._pending.popleft()
+            heapq.heappop(self._pending)
             state = _SlotState(seq_id, request, budget, page_quota=quota)
             if matched:
                 state.prefilled = matched
                 state.shared_pages = pages
             return state
-        return None
 
     def _park(self, state: _SlotState) -> None:
         """Park ``state`` just past the decode fleet (contiguous block).
@@ -1959,12 +2293,22 @@ class BatchedEngine:
         A shared-prefix admission attaches its borrowed pages as the
         parked slot's block-table prefix here; the row then advances
         only its unshared suffix through the ordinary chunk machinery.
+        A warm preempted resume reattaches its detached resident KV the
+        same way — the parked row then has exactly one token left to
+        feed (the interrupted decode step), so nothing is re-prefilled.
         """
         slot = self._n_active + len(self._prefilling)
         self._prefilling.append(state)
         if state.shared_pages:
             self._caches.attach_prefix(slot, state.shared_pages, state.prefilled)
             state.shared_pages = []
+        if state.detached is not None:
+            kind, payload = state.detached
+            if kind == "paged":
+                self._caches.attach_table(slot, payload, state.prefilled)
+            else:
+                self._caches.restore_slot(slot, payload, state.prefilled)
+            state.detached = None
 
     def _ragged_prefill(
         self, states: list[_SlotState], slots: list[int]
@@ -1983,7 +2327,11 @@ class BatchedEngine:
         parity suite.
         """
         caches = self._caches
-        prompts = [state.request.prompt_ids for state in states]
+        prompts = [state.feed_ids for state in states]
+        for state in states:
+            self.total_prompt_tokens_prefilled += min(
+                len(state.feed_ids), len(state.request.prompt_ids)
+            )
         t_max = max(len(prompt) for prompt in prompts)
         n = len(prompts)
         idx = np.zeros((n, t_max), dtype=np.int64)
@@ -2041,10 +2389,10 @@ class BatchedEngine:
         if not parked:
             return []
         if self._n_active == 0:
-            ends = [len(state.request.prompt_ids) for state in parked]
+            ends = [len(state.feed_ids) for state in parked]
         else:
             ends = [
-                min(state.prefilled + chunk, len(state.request.prompt_ids))
+                min(state.prefilled + chunk, len(state.feed_ids))
                 for state in parked
             ]
         return list(zip(parked, ends))
@@ -2072,9 +2420,10 @@ class BatchedEngine:
         n = len(parked)
         idx = np.zeros((n, int(widths.max())), dtype=np.int64)
         for row, (state, end) in enumerate(plan):
-            idx[row, pads[row]:] = state.request.prompt_ids[
-                starts[row] : end
-            ]
+            idx[row, pads[row]:] = state.feed_ids[starts[row]:end]
+            self.total_prompt_tokens_prefilled += max(
+                0, min(end, len(state.request.prompt_ids)) - int(starts[row])
+            )
         logits = self.model._forward_numpy(
             idx,
             self._caches.ragged_chunk_adapters(
@@ -2103,13 +2452,13 @@ class BatchedEngine:
         parked = self._prefilling
         completed = [
             i for i, state in enumerate(parked)
-            if state.prefilled == len(state.request.prompt_ids)
+            if state.prefilled == len(state.feed_ids)
         ]
         if not completed:
             return
         remaining = [
             i for i, state in enumerate(parked)
-            if state.prefilled < len(state.request.prompt_ids)
+            if state.prefilled < len(state.feed_ids)
         ]
         base = self._n_active
         order = completed + remaining
@@ -2177,7 +2526,7 @@ class BatchedEngine:
         while progress:
             progress = False
             states: list[_SlotState] = []
-            while self._pending and (
+            while (self._pending or self._preempted) and (
                 self._n_active + len(self._prefilling)
                 + len(shared) + len(states)
                 < self.max_batch
@@ -2185,7 +2534,7 @@ class BatchedEngine:
                 state = self._pop_viable()
                 if state is None:
                     break
-                if self._prefilling or state.prefilled:
+                if self._prefilling or state.prefilled or state.resume_ids is not None:
                     shared.append(state)
                 else:
                     states.append(state)
@@ -2196,7 +2545,7 @@ class BatchedEngine:
             self._park(state)
         if self._prefilling:
             return [
-                (state, len(state.request.prompt_ids))
+                (state, len(state.feed_ids))
                 for state in self._prefilling
             ]
         return []
@@ -2235,8 +2584,11 @@ class BatchedEngine:
         for i, (state, end) in enumerate(plan):
             row = n_active + i
             s, e = int(spans[row]), int(spans[row + 1])
-            idx[0, s:e] = state.request.prompt_ids[starts[row] : end]
+            idx[0, s:e] = state.feed_ids[starts[row]:end]
             positions[0, s:e] = np.arange(starts[row], end)
+            self.total_prompt_tokens_prefilled += max(
+                0, min(end, len(state.request.prompt_ids)) - int(starts[row])
+            )
         key_mask = None
         if n_active:
             # The decode rows run as one fused masked sub-attention, so
@@ -2278,8 +2630,10 @@ class BatchedEngine:
         for b in range(n_active):
             last[b, 0] = slots[b].produced[-1]
         for i, (state, _end) in enumerate(plan):
-            last[n_active + i, 0] = state.request.prompt_ids[state.prefilled]
+            last[n_active + i, 0] = state.feed_ids[state.prefilled]
             caches.lengths[n_active + i] = state.prefilled
+            if state.prefilled < len(state.request.prompt_ids):
+                self.total_prompt_tokens_prefilled += 1
         lengths = caches.lengths[:n_rows]
         view_len = int(lengths.max()) + 1
         key_mask = np.where(
@@ -2333,7 +2687,9 @@ class BatchedEngine:
         before = len(self._finished)
         if self._pending_scores:
             self._score_admit()
-        if not (self._pending or self._n_active or self._prefilling):
+        if not (
+            self._pending or self._preempted or self._n_active or self._prefilling
+        ):
             # Pure scoring traffic: no KV state to allocate or advance.
             return len(self._finished) - before
         self._ensure_state()
@@ -2341,7 +2697,18 @@ class BatchedEngine:
         n_active = self._n_active
         n_rows = n_active + len(plan)
         if n_rows == 0:
-            return len(self._finished) - before
+            # Nothing admissible.  If suspended sequences exist, their
+            # kept reservations may be what is wedging the pool (only
+            # reachable with an undersized pool): demote the lowest-
+            # priority one to a cold re-prefill and retry admission once
+            # — repeated steps demote one at a time until something
+            # fits, so the engine can never deadlock on its own state.
+            if self._preempted and self._demote_one_preempted():
+                plan = self._admit()
+                n_active = self._n_active
+                n_rows = n_active + len(plan)
+            if n_rows == 0:
+                return len(self._finished) - before
 
         # One model pass per step: when any parked advance is wider than
         # a single token the decode rows and the chunk rows share a

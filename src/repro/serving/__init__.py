@@ -98,7 +98,7 @@ from .requests import (
     SOURCE_SHED,
 )
 from .scheduler import EngineJob, StreamingScheduler
-from .server import RevisionServer
+from .server import RevisionServer, RevisionStream
 
 __all__ = [
     "BoundedPriorityQueue",
@@ -126,6 +126,7 @@ __all__ = [
     "RevisionLRUCache",
     "RevisionResult",
     "RevisionServer",
+    "RevisionStream",
     "RunJournal",
     "ServingMetrics",
     "SOURCE_CACHE",

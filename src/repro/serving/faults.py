@@ -211,7 +211,9 @@ def write_torn_json(path: str | os.PathLike) -> None:
 # -- network-layer fault injection -------------------------------------------------
 
 #: ``ConnectionFault.kind`` values.
-NET_FAULT_KINDS = ("none", "reset", "truncate", "stall", "reject")
+NET_FAULT_KINDS = (
+    "none", "reset", "truncate", "stall", "reject", "stream_reset",
+)
 
 
 @dataclass(frozen=True)
@@ -233,6 +235,14 @@ class ConnectionFault:
       ``stall_s``; a client with a sane timeout gives up first.
     * ``reject`` — never contact the upstream: synthesize a ``503``
       with ``Retry-After: retry_after_s`` (an overload burst).
+    * ``stream_reset`` — the mid-stream disconnect: identical RST
+      machinery to ``reset``, but aimed at SSE responses
+      (``"stream": true``), where ``after_bytes`` lands between token
+      events rather than inside a one-shot JSON body.  The server must
+      notice the torn stream, cancel the sequence, and recycle its KV
+      pages — kept a distinct kind so directed tests and
+      ``REPRO_FAULT_NET_KIND`` can target streams without touching the
+      seeded draw pool (existing fuzz seeds stay aligned).
     """
 
     kind: str = "none"
@@ -482,14 +492,14 @@ class FaultyProxy:
                 data = upstream.recv(4096)
                 if not data:
                     break
-                if fault.kind in ("reset", "truncate", "stall"):
+                if fault.kind in ("reset", "truncate", "stall", "stream_reset"):
                     budget = fault.after_bytes - sent
                     if budget < len(data):
                         head = data[:max(0, budget)]
                         if head:
                             client.sendall(head)
                             sent += len(head)
-                        if fault.kind == "reset":
+                        if fault.kind in ("reset", "stream_reset"):
                             _abort_socket(client)
                         elif fault.kind == "truncate":
                             client.close()

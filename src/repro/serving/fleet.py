@@ -152,6 +152,7 @@ def _fleet_worker_main(
             kv_page_tokens=config.kv_page_tokens,
             kv_pool_pages=config.kv_pool_pages,
             kv_prefix_cache=config.kv_prefix_cache_enabled,
+            preemption=config.preemption_enabled,
         ),
         metrics,
     )
@@ -167,7 +168,8 @@ def _fleet_worker_main(
         ))
 
     def handle_score_job(
-        job_id: int, pair: InstructionPair, deadline: float | None
+        job_id: int, pair: InstructionPair, deadline: float | None,
+        priority: int = 0,
     ) -> None:
         # Mirrors RevisionServer._admit_score: two teacher-forced engine
         # jobs plus a worker-loop-local combiner latch (single-threaded
@@ -196,11 +198,11 @@ def _fleet_worker_main(
         try:
             scheduler.submit(EngineJob(
                 cond, lambda s: combine("cond", s),
-                deadline=deadline, on_expired=on_expired,
+                deadline=deadline, on_expired=on_expired, priority=priority,
             ))
             scheduler.submit(EngineJob(
                 uncond, lambda s: combine("uncond", s),
-                deadline=deadline, on_expired=on_expired,
+                deadline=deadline, on_expired=on_expired, priority=priority,
             ))
         except GenerationError:
             complete(
@@ -210,12 +212,12 @@ def _fleet_worker_main(
 
     def handle_job(
         job_id: int, pair: InstructionPair, deadline: float | None,
-        kind: str = KIND_REVISE,
+        kind: str = KIND_REVISE, priority: int = 0,
     ) -> None:
         # Mirrors RevisionServer._admit gate-for-gate, so fleet results
         # are token-for-token the single-process server's.
         if kind == KIND_SCORE:
-            handle_score_job(job_id, pair, deadline)
+            handle_score_job(job_id, pair, deadline, priority)
             return
         if threshold is not None and scorer is not None:
             report = scorer.score_pair(pair)
@@ -238,9 +240,10 @@ def _fleet_worker_main(
         def on_expired() -> None:
             complete(job_id, pair, OUTCOME_EXPIRED, SOURCE_DEADLINE, 0, False)
 
-        scheduler.submit(
-            EngineJob(request, on_done, deadline=deadline, on_expired=on_expired)
-        )
+        scheduler.submit(EngineJob(
+            request, on_done, deadline=deadline, on_expired=on_expired,
+            priority=priority,
+        ))
 
     def send(message: tuple) -> None:
         if injector is not None:
@@ -281,7 +284,10 @@ def _fleet_worker_main(
             while conn.poll(timeout):
                 message = conn.recv()
                 if message[0] == "job":
-                    handle_job(message[1], message[2], message[3], message[4])
+                    handle_job(
+                        message[1], message[2], message[3], message[4],
+                        message[5] if len(message) > 5 else 0,
+                    )
                 elif message[0] == "stop":
                     stopping = True
                 timeout = 0.0
@@ -611,8 +617,8 @@ class EngineFleet:
         snaps = [w.kv for w in self._workers if w.routable and w.kv]
         summed_keys = (
             "max_batch", "n_active", "n_prefilling", "n_pending",
-            "free_slots", "resident_kv_bytes", "total_pages", "free_pages",
-            "reserved_pages", "pages_in_use",
+            "n_preempted", "free_slots", "resident_kv_bytes", "total_pages",
+            "free_pages", "reserved_pages", "pages_in_use",
         )
         agg: dict = {
             "workers": len(snaps),
@@ -647,6 +653,19 @@ class EngineFleet:
                 else 0.0
             )
             agg["prefix_cache"] = merged
+        # Preemption counters: summed across workers, so a fleet-wide
+        # "how much decode work was evicted" reads off one dict.
+        preempt_snaps = [
+            s["preemption"] for s in snaps if s.get("preemption")
+        ]
+        if preempt_snaps:
+            agg["preemption"] = {
+                key: sum(p.get(key, 0) for p in preempt_snaps)
+                for key in (
+                    "preemptions", "resumes", "preempted_resident_tokens",
+                    "stream_disconnects",
+                )
+            }
         return agg
 
     # -- admission internals ------------------------------------------------------
@@ -955,9 +974,10 @@ class EngineFleet:
             self._jobs[job_id] = task
             worker.outstanding.add(job_id)
             try:
-                worker.conn.send(
-                    ("job", job_id, task.pair, task.deadline, task.kind)
-                )
+                worker.conn.send((
+                    "job", job_id, task.pair, task.deadline, task.kind,
+                    task.priority,
+                ))
             except (OSError, ValueError):
                 # Loss handling requeues this job with the rest.
                 self._on_worker_loss(worker)

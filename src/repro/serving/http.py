@@ -18,7 +18,15 @@ by HTTP.  The service may be a single-process
     the body exceeds ``max_body_bytes``; ``429`` with a ``Retry-After``
     header when admission control rejects; ``503`` with ``Retry-After``
     when the request was shed (overload, degraded fleet, or drain mode);
-    ``504`` when the result misses ``timeout_s``.
+    ``504`` when the result misses ``timeout_s``, or — with
+    ``Retry-After`` — when the request's own ``deadline_s`` expired in
+    the queue (the starvation guard under a saturating higher-priority
+    stream).  With ``"stream":
+    true`` the reply is instead an EOF-delimited ``text/event-stream``
+    of ``data: {json}`` events — ``tokens`` deltas as the engine
+    produces them, then one terminal ``done``/``error`` (see
+    ``docs/streaming.md``); ``501`` when the service cannot stream
+    (the multi-process fleet).
 ``POST /score``
     Same request body and error semantics; the pair is teacher-force
     scored instead of revised (IFD — see ``docs/scoring.md``).  Replies
@@ -53,7 +61,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..data.instruction_pair import InstructionPair
 from ..errors import AdmissionError, OverloadError, ServingError
-from .requests import SOURCE_SHED
+from .requests import OUTCOME_EXPIRED, SOURCE_SHED
 
 
 def _make_handler(
@@ -211,6 +219,9 @@ def _make_handler(
             except (TypeError, ValueError):
                 self._reply(400, {"error": "malformed numeric field"})
                 return
+            if not scoring and bool(blob.get("stream")):
+                self._handle_stream(pair, priority, deadline_s, timeout_s)
+                return
             try:
                 if scoring:
                     future = service.submit_score(
@@ -252,6 +263,17 @@ def _make_handler(
                     headers={"Retry-After": frontend.retry_after_header},
                 )
                 return
+            if result.outcome == OUTCOME_EXPIRED:
+                # The starvation guard fired: a saturating higher-priority
+                # stream held this request off the queue head until its
+                # deadline.  Typed, with a retry hint — never an
+                # unbounded wait.
+                self._reply(
+                    504,
+                    {"error": "deadline expired before decoding"},
+                    headers={"Retry-After": frontend.retry_after_header},
+                )
+                return
             if scoring:
                 score = result.score or {}
                 self._reply(200, {
@@ -273,6 +295,109 @@ def _make_handler(
                 "latency_s": round(result.latency_s, 6),
                 "generated_tokens": result.generated_tokens,
             })
+
+        def _handle_stream(
+            self,
+            pair: InstructionPair,
+            priority: int,
+            deadline_s: float | None,
+            timeout_s: float,
+        ) -> None:
+            """``POST /revise`` with ``"stream": true``: SSE token events.
+
+            The reply carries no ``Content-Length`` and closes the
+            connection at the end (EOF-delimited), so tokens flush to
+            the client as the engine produces them.  Events are
+            ``data: {json}\\n\\n`` lines: ``tokens`` (incremental ids),
+            then exactly one of ``done`` (the full result — a
+            preemption shows up only as a gap between token events) or
+            ``error``.  A client that disconnects mid-stream cancels
+            the engine sequence: its pages recycle and only this
+            handler thread is spent.
+            """
+            if not hasattr(service, "submit_stream"):
+                self._reply(
+                    501,
+                    {"error": "streaming is not supported by this service"},
+                )
+                return
+            try:
+                stream = service.submit_stream(
+                    pair, priority=priority, deadline_s=deadline_s
+                )
+            except OverloadError as error:
+                self._reply(
+                    503,
+                    {"error": str(error)},
+                    headers={"Retry-After": _retry_after(error.retry_after_s)},
+                )
+                return
+            except AdmissionError as error:
+                self._reply(
+                    429, {"error": str(error)}, headers={"Retry-After": "1"}
+                )
+                return
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type", "text/event-stream")
+                self.send_header("Cache-Control", "no-store")
+                self.send_header("Connection", "close")
+                self.end_headers()
+            except (ConnectionError, BrokenPipeError, TimeoutError):
+                stream.cancel()
+                self.close_connection = True
+                return
+            deadline = time.monotonic() + timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                event = stream.get(timeout=max(remaining, 0.0))
+                if event is None:
+                    stream.cancel()
+                    self._stream_event({
+                        "event": "error",
+                        "error": f"no result within {timeout_s}s",
+                    })
+                    self.close_connection = True
+                    return
+                if event[0] == "tokens":
+                    ok = self._stream_event(
+                        {"event": "tokens", "token_ids": event[1]}
+                    )
+                elif event[0] == "done":
+                    result = event[1]
+                    self._stream_event({
+                        "event": "done",
+                        "instruction": result.pair.instruction,
+                        "response": result.pair.response,
+                        "outcome": result.outcome,
+                        "source": result.source,
+                        "latency_s": round(result.latency_s, 6),
+                        "generated_tokens": result.generated_tokens,
+                    })
+                    self.close_connection = True
+                    return
+                else:
+                    self._stream_event(
+                        {"event": "error", "error": str(event[1])}
+                    )
+                    self.close_connection = True
+                    return
+                if not ok:
+                    # Mid-stream disconnect: the peer is gone, so the
+                    # sequence is cancelled and its pages recycle.
+                    stream.cancel()
+                    self.close_connection = True
+                    return
+
+        def _stream_event(self, payload: dict) -> bool:
+            """Write one SSE event; False when the peer has vanished."""
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            try:
+                self.wfile.write(b"data: " + data + b"\n\n")
+                self.wfile.flush()
+                return True
+            except (ConnectionError, BrokenPipeError, TimeoutError, OSError):
+                return False
 
     return RevisionHandler
 

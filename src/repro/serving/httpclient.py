@@ -188,6 +188,95 @@ class RevisionHTTPClient:
             f"request to {path} failed after {self.max_attempts} attempts"
         ) from last_error
 
+    # -- streaming ---------------------------------------------------------------
+    def stream_revise(self, pair: InstructionPair, priority: int = 0):
+        """Revise one pair with incremental token delivery (a generator).
+
+        Yields ``("tokens", [ids...])`` events as the server produces
+        them, then exactly one ``("done", RevisionResult)``.  A server
+        preemption of the sequence appears as a pause between token
+        events, never as an error.  Unlike :meth:`revise_pair` this is a
+        **single attempt with no retries**: a stream's side effects are
+        observable as they happen, so replaying one is not transparent —
+        transport faults and terminal ``error`` events raise
+        :class:`ServingError` and the caller decides whether the request
+        is safe to resubmit (the server's dedup cache makes a fresh
+        non-streamed retry find finished work).
+        """
+        body = json.dumps(
+            {**self._pair_payload(pair), "stream": True, "priority": priority},
+            sort_keys=True,
+        ).encode("utf-8")
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout_s
+        )
+        try:
+            try:
+                conn.request(
+                    "POST", "/revise", body,
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServingError(f"stream transport fault: {error}") from error
+            if response.status != 200:
+                raw = response.read()
+                raise ServingError(
+                    f"HTTP {response.status} from /revise (stream): "
+                    f"{raw[:200].decode('utf-8', 'replace')}"
+                )
+            for payload in self._iter_sse(response):
+                event = payload.get("event")
+                if event == "tokens":
+                    yield "tokens", list(payload.get("token_ids", []))
+                elif event == "done":
+                    revised = pair
+                    if payload.get("outcome") == "revised":
+                        revised = pair.with_text(
+                            payload["instruction"],
+                            payload["response"],
+                            Origin.COACHLM_REVISED,
+                        )
+                    yield "done", RevisionResult(
+                        pair=revised,
+                        outcome=str(payload.get("outcome", "")),
+                        source=str(payload.get("source", "")),
+                        latency_s=float(payload.get("latency_s", 0.0)),
+                        generated_tokens=int(
+                            payload.get("generated_tokens", 0)
+                        ),
+                    )
+                    return
+                else:
+                    raise ServingError(
+                        f"stream error event: {payload.get('error', '?')}"
+                    )
+            raise ServingError(
+                "stream ended without a terminal done/error event"
+            )
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _iter_sse(response):
+        """Yield decoded ``data: {json}`` SSE payloads until EOF."""
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line or not line.startswith(b"data: "):
+                    continue
+                try:
+                    yield json.loads(line[len(b"data: "):].decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as error:
+                    raise ServingError(
+                        f"corrupt stream event: {error}"
+                    ) from error
+        except (OSError, http.client.HTTPException) as error:
+            raise ServingError(f"stream transport fault: {error}") from error
+
     # -- single-pair façade ------------------------------------------------------
     def revise_pair(self, pair: InstructionPair) -> RevisionResult:
         """Revise one pair over HTTP (retrying); returns the terminal result."""

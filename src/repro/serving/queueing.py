@@ -92,6 +92,36 @@ class BoundedPriorityQueue(Generic[T]):
             self._not_empty.notify()
             return displaced
 
+    def peek_priority(self) -> int | None:
+        """Priority of the item :meth:`get` would pop next (``None`` if empty).
+
+        The server's preemption probe: when the engine has no free
+        capacity, the head priority decides whether an active decode
+        should be evicted to admit the queue head.
+        """
+        with self._lock:
+            return self._heap[0][0] if self._heap else None
+
+    def sweep(self, predicate) -> list[T]:
+        """Remove and return every queued item matching ``predicate``.
+
+        The starvation guard: a saturating high-priority stream can
+        keep a low-priority item from ever reaching the head, so the
+        server periodically sweeps items whose deadline has passed and
+        resolves them as expired (typed, with Retry-After) instead of
+        letting them wait unboundedly.  Order among survivors is
+        preserved; the heap is rebuilt once.
+        """
+        with self._lock:
+            matched: list[tuple[int, int, T]] = []
+            kept: list[tuple[int, int, T]] = []
+            for entry in self._heap:
+                (matched if predicate(entry[2]) else kept).append(entry)
+            if matched:
+                self._heap = kept
+                heapq.heapify(self._heap)
+            return [entry[2] for entry in matched]
+
     def get(self, timeout: float | None = None) -> T | None:
         """Pop the highest-priority item; ``None`` on timeout or drained-closed."""
         with self._not_empty:

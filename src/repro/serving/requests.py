@@ -57,27 +57,51 @@ class RevisionFuture:
     retry budget is spent) re-raises it from :meth:`result`.
     """
 
-    __slots__ = ("_event", "_result", "_exception")
+    __slots__ = ("_event", "_result", "_exception", "_subscribers")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: RevisionResult | None = None
         self._exception: BaseException | None = None
+        self._subscribers: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def subscribe(self, callback) -> None:
+        """Invoke ``callback`` with the result when (or if already) resolved.
+
+        The streaming hook: a :class:`RevisionStream` subscribes so that
+        *every* terminal path — engine completion, cache hit, quality
+        gate, deadline expiry, load shed — emits its ``done`` event
+        without each path knowing about streams.  Exception resolutions
+        invoke the callback with the exception instead.  Callbacks run
+        on whichever thread resolves the future.
+        """
+        if self._event.is_set():
+            callback(
+                self._exception if self._exception is not None else self._result
+            )
+        else:
+            self._subscribers.append(callback)
 
     def set_result(self, result: RevisionResult) -> None:
         if self._event.is_set():
             raise ServingError("revision future already resolved")
         self._result = result
         self._event.set()
+        for callback in self._subscribers:
+            callback(result)
+        self._subscribers = []
 
     def set_exception(self, exception: BaseException) -> None:
         if self._event.is_set():
             raise ServingError("revision future already resolved")
         self._exception = exception
         self._event.set()
+        for callback in self._subscribers:
+            callback(exception)
+        self._subscribers = []
 
     def exception(self) -> BaseException | None:
         """The resolving exception, or ``None`` (unresolved / has result)."""
@@ -111,3 +135,4 @@ class RevisionTask:
     priority: int = 0
     requeues: int = 0           #: times re-dispatched after losing a fleet worker
     kind: str = KIND_REVISE     #: ``KIND_REVISE`` or ``KIND_SCORE``
+    stream: object | None = None    #: RevisionStream for incremental delivery

@@ -53,12 +53,23 @@ class EngineJob:
     drain races to the latch, only the first transition fires its
     callback — the rest are no-ops, so a future behind ``on_done`` can
     never be double-resolved or stranded by a lost second path.
+
+    ``priority`` (lower value = more urgent) is stamped onto the engine
+    request at submit so the engine's pending heap, parked fleet, and
+    preemption policy all order by the same class.  ``on_token``
+    (optional) makes the job *streaming*: every pump delivers the
+    tokens produced since the last delivery, so a client observes
+    incremental progress — and a preemption as a stall-and-resume —
+    instead of one terminal burst.
     """
 
     request: GenerationRequest | ScoringRequest
     on_done: Callable  #: receives tokens (generation) or a SequenceScore
     deadline: float | None = None
     on_expired: Callable[[], None] | None = None
+    priority: int = 0
+    on_token: Callable[[list[int]], None] | None = None
+    _sent: int = 0
     _terminal: bool = False
 
     def resolve_done(self, tokens) -> bool:
@@ -131,11 +142,37 @@ class StreamingScheduler:
         if isinstance(job.request, ScoringRequest):
             seq_id = self.engine.submit_score(job.request)
         else:
+            job.request.priority = job.priority
             seq_id = self.engine.submit(job.request)
         self._jobs[seq_id] = job
         if job.deadline is not None:
             self._has_deadlines = True
         return seq_id
+
+    def cancel(self, seq_id: int) -> bool:
+        """Cancel a tracked job (client disconnected mid-stream).
+
+        The engine sequence is cancelled — its slot, pages, and
+        reservation recycle immediately — and the job's terminal latch
+        is sealed without firing any callback: there is nobody left to
+        deliver to.  Returns ``False`` for unknown ids.
+        """
+        job = self._jobs.pop(seq_id, None)
+        if job is None:
+            return False
+        self.engine.cancel(seq_id)
+        job._terminal = True
+        self._has_deadlines = any(
+            j.deadline is not None for j in self._jobs.values()
+        )
+        return True
+
+    def preempt_victim(self, than_priority: int) -> int | None:
+        """Evict the lowest-priority active decode strictly below
+        ``than_priority`` so a more urgent arrival can take its slot;
+        the victim resumes later with identical tokens.  ``None`` when
+        nothing qualifies (see :meth:`BatchedEngine.preempt_victim`)."""
+        return self.engine.preempt_victim(than_priority)
 
     def _expire_overdue(self) -> None:
         """Cancel in-flight jobs whose deadline passed while they waited.
@@ -188,6 +225,15 @@ class StreamingScheduler:
                 # Residue of a cancelled (expired) job this same round.
                 continue
             try:
+                if (
+                    job.on_token is not None
+                    and isinstance(tokens, list)
+                    and len(tokens) > job._sent
+                ):
+                    # Flush the final delta before the terminal event so
+                    # a streaming client sees every token exactly once.
+                    job.on_token(tokens[job._sent:])
+                    job._sent = len(tokens)
                 if job.resolve_done(tokens):
                     completed += 1
             except Exception as exc:  # noqa: BLE001 - callback-owned failure
@@ -196,6 +242,19 @@ class StreamingScheduler:
                 # first failure to the pump driver.
                 if first_error is None:
                     first_error = exc
+        for seq_id, job in self._jobs.items():
+            # Incremental delivery for still-running streaming jobs: the
+            # tokens this step produced go out now, not at completion.
+            if job.on_token is None:
+                continue
+            produced = self.engine.produced_so_far(seq_id)
+            if produced is not None and len(produced) > job._sent:
+                try:
+                    job.on_token(produced[job._sent:])
+                except Exception as exc:  # noqa: BLE001 - callback-owned
+                    if first_error is None:
+                        first_error = exc
+                job._sent = len(produced)
         if first_error is not None:
             raise first_error
         return completed

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 from ..config import ServingConfig
 from ..core.coachlm import CoachLM, RevisionOutcome
@@ -58,6 +59,94 @@ from .requests import (
 )
 from .scheduler import EngineJob, StreamingScheduler
 
+
+
+class RevisionStream:
+    """Consumer handle of one streaming revision.
+
+    The server pushes ordered events into a thread-safe queue as the
+    request progresses; the consumer (an HTTP handler, a test) pops them
+    with :meth:`get`:
+
+    * ``("tokens", [ids...])`` — tokens produced since the last event;
+    * ``("done", RevisionResult)`` — terminal, exactly once, whatever
+      path resolved the request (engine, cache, quality gate, expiry);
+    * ``("error", exception)`` — terminal, the request failed.
+
+    A preemption of the underlying sequence shows up as a *gap* between
+    token events, never as an error — and never changes the tokens.
+    :meth:`cancel` (safe from any thread, idempotent) abandons the
+    stream: the engine sequence is cancelled and its pages recycle.  No
+    terminal event follows a cancel — the consumer is the one leaving.
+    """
+
+    def __init__(self, server: "RevisionServer"):
+        self._server = server
+        self._events: deque = deque()
+        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        self._seq_id: int | None = None
+        self._cancelled = False
+        self._terminal = False
+
+    def get(self, timeout: float | None = None):
+        """Pop the next event; ``None`` when nothing arrives in time."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._events), timeout):
+                return None
+            return self._events.popleft()
+
+    def cancel(self) -> None:
+        """Abandon the stream (client disconnected); idempotent."""
+        with self._lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            seq_id = self._seq_id
+        if seq_id is not None:
+            self._server._request_stream_cancel(seq_id)
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    # -- server side -------------------------------------------------------------
+    def _push_tokens(self, token_ids: list[int]) -> None:
+        # Unlocked flag reads: both only go False->True, and a late
+        # extra event is harmless (cancel drains via the server anyway).
+        if self._terminal or self._cancelled:
+            return
+        with self._cond:
+            # Coalesce into an undelivered tokens event when the
+            # consumer is running behind: each event is "tokens produced
+            # since the last one", so merging is semantics-preserving
+            # and keeps a slow reader from being woken per decode step.
+            # No notify on this branch — a pending event means any
+            # waiter was already woken for it.
+            if self._events and self._events[-1][0] == "tokens":
+                self._events[-1][1].extend(token_ids)
+            else:
+                self._events.append(("tokens", list(token_ids)))
+                self._cond.notify()
+
+    def _push_terminal(self, result) -> None:
+        # A RevisionResult or an exception, whichever resolved the future.
+        if self._terminal or self._cancelled:
+            return
+        self._terminal = True
+        with self._cond:
+            if isinstance(result, BaseException):
+                self._events.append(("error", result))
+            else:
+                self._events.append(("done", result))
+            self._cond.notify()
+
+    def _attach(self, seq_id: int) -> bool:
+        """Record the engine sequence id; True if already cancelled."""
+        with self._lock:
+            self._seq_id = seq_id
+            return self._cancelled
 
 
 class RevisionServer:
@@ -98,6 +187,7 @@ class RevisionServer:
                 kv_page_tokens=self.config.kv_page_tokens,
                 kv_pool_pages=self.config.kv_pool_pages,
                 kv_prefix_cache=self.config.kv_prefix_cache_enabled,
+                preemption=self.config.preemption_enabled,
             ),
             self.metrics,
         )
@@ -106,6 +196,11 @@ class RevisionServer:
         self._inflight: dict[str, list[RevisionTask]] = {}
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        # Mid-stream cancels arrive from HTTP handler threads; the engine
+        # is single-driver, so they marshal through this list and the
+        # worker drains it between pumps.
+        self._cancel_lock = threading.Lock()
+        self._stream_cancels: list[int] = []
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> "RevisionServer":
@@ -202,6 +297,61 @@ class RevisionServer:
         )
         return self._submit_task(task)
 
+    def submit_stream(
+        self,
+        pair: InstructionPair,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> RevisionStream:
+        """Enqueue one pair for revision with incremental token delivery.
+
+        Returns a :class:`RevisionStream` whose events arrive as the
+        engine produces tokens — the terminal ``done`` event carries the
+        same :class:`RevisionResult` :meth:`submit` would resolve with,
+        whichever path produced it (cache hits stream no tokens, just
+        ``done``).  Streaming requests skip the in-flight dedup map (a
+        follower cannot share a leader's stream) but still read and fill
+        the result cache.  Raises :class:`AdmissionError` when the queue
+        is full.
+        """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        now = time.monotonic()
+        future = RevisionFuture()
+        stream = RevisionStream(self)
+        future.subscribe(stream._push_terminal)
+        self.metrics.record_submitted()
+        key = (
+            None
+            if self.coach.is_leakage_gated(pair)
+            else revision_key(pair, self.coach.max_new_tokens, self.coach.copy_bias)
+        )
+        task = RevisionTask(
+            pair=pair,
+            future=future,
+            cache_key=key,
+            submitted_at=now,
+            deadline=now + deadline_s if deadline_s is not None else None,
+            priority=priority,
+            stream=stream,
+        )
+        if key is not None and self.cache.capacity > 0:
+            with self._state_lock:
+                entry = self.cache.get(key)
+            if entry is not None:
+                self._resolve(
+                    future, entry.apply(pair), entry.outcome,
+                    SOURCE_CACHE, now,
+                )
+                return stream
+        self._enqueue(task)
+        return stream
+
+    def _request_stream_cancel(self, seq_id: int) -> None:
+        """Marshal a mid-stream cancel onto the worker thread."""
+        with self._cancel_lock:
+            self._stream_cancels.append(seq_id)
+
     def _submit_task(self, task: RevisionTask) -> RevisionFuture:
         """Cache / dedup / enqueue one built task (kind-agnostic)."""
         key = task.cache_key
@@ -269,9 +419,39 @@ class RevisionServer:
         scheduler = self.scheduler
         queue = self.queue
         while True:
+            # Mid-stream disconnects: cancel the abandoned sequences so
+            # their slots, pages and reservations recycle immediately.
+            if self._stream_cancels:
+                with self._cancel_lock:
+                    cancels, self._stream_cancels = self._stream_cancels, []
+                for seq_id in cancels:
+                    if scheduler.cancel(seq_id):
+                        scheduler.engine.note_stream_disconnect()
+            # Starvation guard: a saturating high-priority stream keeps
+            # low-priority items from ever reaching the queue head, so
+            # deadline misses are swept out of the *whole* queue — they
+            # expire (typed, with Retry-After at the HTTP edge) instead
+            # of waiting unboundedly.
+            if queue.depth:
+                now = time.monotonic()
+                overdue = queue.sweep(
+                    lambda t: t.deadline is not None and now > t.deadline
+                )
+                for task in overdue:
+                    promoted = self._expire_task(task)
+                    if promoted is not None:
+                        self._admit(promoted)
             # Admit queued tasks only while the engine has room: requests
             # wait under the *priority* discipline, not the engine FIFO.
-            while scheduler.free_capacity > 0:
+            # When the fleet is saturated and the queue head outranks an
+            # active decode, preempt the lowest-priority one — the
+            # interactive request takes its slot now and the bulk
+            # sequence resumes later with identical tokens.
+            while True:
+                if scheduler.free_capacity <= 0:
+                    head = queue.peek_priority()
+                    if head is None or scheduler.preempt_victim(head) is None:
+                        break
                 task = queue.get(timeout=0.0)
                 if task is None:
                     break
@@ -348,11 +528,24 @@ class RevisionServer:
             if promoted is not None:
                 self._admit(promoted)
 
-        self.scheduler.submit(
+        stream: RevisionStream | None = task.stream
+        if stream is not None and stream.cancelled:
+            # The client disconnected while the task was still queued:
+            # nobody is left to deliver to, so the engine never sees it.
+            self.scheduler.engine.note_stream_disconnect()
+            return
+        seq_id = self.scheduler.submit(
             EngineJob(
-                request, on_done, deadline=task.deadline, on_expired=on_expired
+                request, on_done, deadline=task.deadline, on_expired=on_expired,
+                priority=task.priority,
+                on_token=stream._push_tokens if stream is not None else None,
             )
         )
+        if stream is not None and seq_id is not None and stream._attach(seq_id):
+            # Cancel raced the submit: the id was unknown to the client-
+            # side cancel, so cancel here on the worker thread directly.
+            if self.scheduler.cancel(seq_id):
+                self.scheduler.engine.note_stream_disconnect()
 
     def _admit_score(self, task: RevisionTask) -> None:
         """Hand one scoring task to the scheduler as two engine jobs.
@@ -397,10 +590,12 @@ class RevisionServer:
             self.scheduler.submit(EngineJob(
                 cond, lambda s: combine("cond", s),
                 deadline=task.deadline, on_expired=on_expired,
+                priority=task.priority,
             ))
             self.scheduler.submit(EngineJob(
                 uncond, lambda s: combine("uncond", s),
                 deadline=task.deadline, on_expired=on_expired,
+                priority=task.priority,
             ))
         except GenerationError:
             self._finish(

@@ -346,6 +346,14 @@ def test_fleet_metrics_and_health_schema(coach, dataset):
     assert engine["workers"] <= 2
     for key in ("max_batch", "free_slots", "n_active"):
         assert key in engine
+    if engine["workers"]:
+        # Preemption counters merge across workers (zero-valued here).
+        assert set(engine["preemption"]) == {
+            "preemptions",
+            "resumes",
+            "preempted_resident_tokens",
+            "stream_disconnects",
+        }
     assert health["status"] in ("ok", "degraded")
     assert set(health["workers"]) == {"alive", "total", "restarts"}
     assert health["workers"]["total"] == 2

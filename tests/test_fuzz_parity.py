@@ -39,6 +39,15 @@ default leg), ``off`` forces dense, and ``auto`` (default) randomizes
 per scenario.  ``REPRO_FUZZ_PREFIX`` pins the prefix-cache draw the
 same way (``on`` applies to paged scenarios only).  ``scripts/ci.sh``
 pins all of them so CI runs a fixed, deterministic corpus.
+
+``REPRO_FUZZ_PREEMPT`` pins the preemption draw: ``on`` gives every
+scenario random request priorities plus a random mid-decode
+preempt/resume schedule (the CI preempt leg).  All preemption draws
+come from a *separate* rng stream keyed off the scenario seed, so the
+preempt legs replay byte-identical traces (prompts, arrivals, cancels)
+to the other legs — every evicted-and-resumed sequence must still match
+its sequential reference token-for-token, and drained traces must show
+zero suspended sequences and zero leaked pages, reservations, or pins.
 """
 
 from __future__ import annotations
@@ -55,6 +64,7 @@ MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20240311"))
 N_SCENARIOS = int(os.environ.get("REPRO_FUZZ_SCENARIOS", "60"))
 PAGED_MODE = os.environ.get("REPRO_FUZZ_PAGED", "auto")  # auto | on | off
 PREFIX_MODE = os.environ.get("REPRO_FUZZ_PREFIX", "auto")  # auto | on | off
+PREEMPT_MODE = os.environ.get("REPRO_FUZZ_PREEMPT", "auto")  # auto | on | off
 PAGE_SIZES = (1, 3, 16, 64)
 
 VOCAB = 131
@@ -80,6 +90,7 @@ class _FuzzRequest:
     sample_seed: int | None
     arrival_step: int
     cancel_step: int | None = None
+    priority: int = 0
 
 
 @dataclass
@@ -92,11 +103,21 @@ class _Scenario:
     kv_pool_pages: int | None = None
     kv_prefix_cache: bool = False
     unified_step: bool = True
+    preemption: bool = False
+    preempt_seed: int = 0
     requests: list[_FuzzRequest] = field(default_factory=list)
 
 
 def _draw_scenario(seed: int, context: int) -> _Scenario:
     rng = np.random.default_rng(seed)
+    # Priority/preemption draws come from a SEPARATE rng stream keyed
+    # off the scenario seed: the main stream below is untouched, so the
+    # preempt legs (REPRO_FUZZ_PREEMPT=on/off) replay the exact traces
+    # of the other legs — preemption is the only variable.
+    preempt_rng = np.random.default_rng((seed, 0x70EE))
+    preempt_coin = preempt_rng.random() < 0.5
+    preempt_seed = int(preempt_rng.integers(0, 2**31))
+    preempt = preempt_coin if PREEMPT_MODE == "auto" else PREEMPT_MODE == "on"
     # KV backend draw.  Every backend-related draw is consumed
     # unconditionally, in a fixed order, BEFORE the mode override is
     # applied: the rng stream position at the trace draws below is then
@@ -137,8 +158,13 @@ def _draw_scenario(seed: int, context: int) -> _Scenario:
         kv_pool_pages=pool_pages,
         kv_prefix_cache=prefix,
         unified_step=rng.random() < 0.75,
+        preemption=preempt,
+        preempt_seed=preempt_seed,
     )
     for i in range(int(rng.integers(1, 11))):
+        # Drawn unconditionally (stream alignment across modes), applied
+        # only on the preempt legs.
+        drawn_priority = int(preempt_rng.integers(0, 4))
         family_coin = rng.random() < 0.45
         template = templates[int(rng.integers(0, len(templates)))]
         cut = int(rng.integers(1, len(template) + 1))
@@ -165,6 +191,7 @@ def _draw_scenario(seed: int, context: int) -> _Scenario:
                 cancel_step=(
                     int(rng.integers(1, 25)) if rng.random() < 0.2 else None
                 ),
+                priority=drawn_priority if preempt else 0,
             )
         )
     return scenario
@@ -203,6 +230,11 @@ def _run_engine_trace(
         kv_prefix_cache=scenario.kv_prefix_cache,
         unified_step=scenario.unified_step,
     )
+    preempt_rng = (
+        np.random.default_rng(scenario.preempt_seed)
+        if scenario.preemption
+        else None
+    )
     seq_ids: dict[int, int] = {}
     results: dict[int, list[int]] = {}
     step = 0
@@ -222,6 +254,7 @@ def _run_engine_trace(
                         eos_id=req.eos_id,
                         top_k=req.top_k,
                         rng=rng,
+                        priority=req.priority,
                     )
                 )
             if (
@@ -231,6 +264,14 @@ def _run_engine_trace(
             ):
                 engine.cancel(seq_ids[i])
                 req.cancel_step = None  # at most one cancel per request
+        if preempt_rng is not None and preempt_rng.random() < 0.15:
+            # Evict one live sequence mid-decode; preempt() is a no-op
+            # (False) unless the victim is actively decoding, so this
+            # also fuzzes preempt-on-pending/prefilling/finished.
+            live = [i for i in seq_ids if i not in results]
+            if live:
+                victim = live[int(preempt_rng.integers(0, len(live)))]
+                engine.preempt(seq_ids[victim])
         engine.step()
         for seq_id, tokens in engine.collect().items():
             index = next(i for i, s in seq_ids.items() if s == seq_id)
@@ -239,6 +280,7 @@ def _run_engine_trace(
         guard += 1
         assert guard < 5000, "fuzz trace failed to terminate"
     stats = engine.kv_stats()
+    assert stats["n_preempted"] == 0, stats    # no sequence left suspended
     if stats["paged"]:
         # Every page and every reservation must come back once the trace
         # drains — leaks here would strangle a long-lived server.

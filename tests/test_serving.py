@@ -898,6 +898,15 @@ def test_http_metrics_schema_is_stable(coach, dataset):
     # Fault-tolerance counters exist (and stay zero) in a single process.
     assert metrics["requeued"] == 0
     assert metrics["worker_lost"] == 0
+    # Preemption observability contract: the engine section always
+    # carries the counter block, zeroed when nothing was ever evicted.
+    assert metrics["engine"]["n_preempted"] == 0
+    assert set(metrics["engine"]["preemption"]) == {
+        "preemptions",
+        "resumes",
+        "preempted_resident_tokens",
+        "stream_disconnects",
+    }
     assert metrics["duplicate_results"] == 0
     # Durability counters exist (and stay zero) on a journal-less,
     # retry-free happy path.
