@@ -175,9 +175,6 @@ def test_scoring_sequential_vs_batched(wb):
         },
         "floor": SCORING_BATCH16_FLOOR,
     }
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_scoring.json"
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-
     print_banner("scoring", "teacher-forced scoring: sequential vs batched")
     print(
         f"IFD over {N_PAIRS} pairs ({scored_tokens} scored tokens): "
@@ -190,6 +187,11 @@ def test_scoring_sequential_vs_batched(wb):
     # Perf-regression floor: one forward per sequence must keep beating
     # the per-token cached pass by a wide margin.
     assert speedup >= SCORING_BATCH16_FLOOR, payload
+
+    # Persist only after the gate passed — a failing run must never
+    # overwrite the committed baseline with its own numbers.
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_scoring.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 class _SequenceScoreShim:

@@ -339,9 +339,6 @@ def test_serving_sustains_batched_throughput(wb):
         "long_prompt_stall": stall,
         "late_arrival_admission": admission,
     }
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-
     print_banner("serving", "Poisson load through the online revision service")
     print(
         f"offline batch-{MAX_BATCH} reference: {ref_tokens_per_sec:.0f} tok/s "
@@ -394,6 +391,11 @@ def test_serving_sustains_batched_throughput(wb):
     # Under-subscribed load must have lower latency than saturation.
     light = sweep[f"{min(LOAD_MULTIPLIERS)}x"]
     assert light["p50_latency_s"] <= saturated["p50_latency_s"], payload
+
+    # Persist only after every gate above passed — a failing run must
+    # never overwrite the committed baseline with its own numbers.
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 # -- priority preemption + streaming overhead stages -----------------------------
@@ -500,45 +502,47 @@ def _priority_preemption(coach: CoachLM) -> dict:
 def _streaming_overhead(coach: CoachLM, pairs: list) -> dict:
     """Sustained tok/s of streamed vs non-streamed revision traffic.
 
-    Identical requests against fresh (cold-cache) servers, best-of-2
-    per mode; the streamed side pays the per-token delivery plumbing
-    (scheduler callbacks, per-event queues) and must keep it under the
+    Identical requests against fresh (cold-cache) servers, best-of-3
+    per mode with the modes interleaved round by round (so a transient
+    machine-load spike hits both sides, not just one); the streamed
+    side pays the per-token delivery plumbing (scheduler callbacks,
+    per-event queues) and must keep it under the
     :data:`STREAMING_OVERHEAD_CEILING`.
     """
 
-    def run(streamed: bool) -> tuple[float, int]:
-        best = 0.0
-        tokens = 0
-        for _ in range(2):
-            server = RevisionServer(coach, SERVING_CONFIG)
-            with server:
-                start = time.perf_counter()
-                if streamed:
-                    streams = [server.submit_stream(pair) for pair in pairs]
-                    n = 0
-                    for stream in streams:
-                        while True:
-                            event = stream.get(timeout=600.0)
-                            assert event is not None, "stream stalled"
-                            if event[0] == "tokens":
-                                n += len(event[1])
-                            elif event[0] == "done":
-                                break
-                            else:
-                                raise AssertionError(event[1])
-                else:
-                    futures = [server.submit(pair) for pair in pairs]
-                    n = sum(
-                        f.result(timeout=600.0).generated_tokens
-                        for f in futures
-                    )
-                elapsed = time.perf_counter() - start
-            tokens = n
-            best = max(best, n / elapsed)
-        return best, tokens
+    def run_once(streamed: bool) -> tuple[float, int]:
+        server = RevisionServer(coach, SERVING_CONFIG)
+        with server:
+            start = time.perf_counter()
+            if streamed:
+                streams = [server.submit_stream(pair) for pair in pairs]
+                n = 0
+                for stream in streams:
+                    while True:
+                        event = stream.get(timeout=600.0)
+                        assert event is not None, "stream stalled"
+                        if event[0] == "tokens":
+                            n += len(event[1])
+                        elif event[0] == "done":
+                            break
+                        else:
+                            raise AssertionError(event[1])
+            else:
+                futures = [server.submit(pair) for pair in pairs]
+                n = sum(
+                    f.result(timeout=600.0).generated_tokens
+                    for f in futures
+                )
+            elapsed = time.perf_counter() - start
+        return n / elapsed, n
 
-    plain_tps, plain_tokens = run(False)
-    streamed_tps, streamed_tokens = run(True)
+    plain_tps = streamed_tps = 0.0
+    plain_tokens = streamed_tokens = 0
+    for _ in range(3):
+        tps, plain_tokens = run_once(False)
+        plain_tps = max(plain_tps, tps)
+        tps, streamed_tokens = run_once(True)
+        streamed_tps = max(streamed_tps, tps)
     assert streamed_tokens == plain_tokens, (
         "streaming changed the decoded token count"
     )
@@ -565,7 +569,6 @@ def test_priority_preemption_and_streaming_overhead(wb):
     )
     payload["priority_preemption"] = preemption
     payload["streaming_overhead"] = streaming
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print_banner(
         "preempt", "priority-tiered TTFT under saturation + streaming cost"
@@ -597,6 +600,10 @@ def test_priority_preemption_and_streaming_overhead(wb):
         streaming["plain_tokens_per_sec"]
         <= STREAMING_OVERHEAD_CEILING * streaming["streamed_tokens_per_sec"]
     ), payload
+
+    # Persist only after the gates passed — a failing run must never
+    # overwrite the committed baseline with its own numbers.
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 # -- multi-process fleet stages --------------------------------------------------
@@ -711,7 +718,6 @@ def test_fleet_scaling_and_crash_recovery(wb):
     )
     payload["fleet_scaling"] = fleet_scaling
     payload["crash_recovery"] = recovery
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print_banner("fleet", "multi-process fleet scaling + crash recovery")
     for label, stats in scaling.items():
@@ -735,6 +741,10 @@ def test_fleet_scaling_and_crash_recovery(wb):
     if floor_enforced:
         # Two engine processes on >= 2 cores must actually scale.
         assert fleet_scaling["speedup_2w"] >= FLEET_SCALING_FLOOR, payload
+
+    # Persist only after the gate passed — a failing run must never
+    # overwrite the committed baseline with its own numbers.
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 # -- crash-safe journal stages ---------------------------------------------------
@@ -876,7 +886,6 @@ def test_resume_recovery(wb, tmp_path):
         else {}
     )
     payload["resume_recovery"] = recovery
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     print_banner("resume", "crash-safe journal overhead + resume recovery")
     print(
@@ -905,3 +914,7 @@ def test_resume_recovery(wb, tmp_path):
     assert recovery["recovered_tokens"] <= (
         RECOVERY_TAIL_FACTOR * recovery["tail_tokens"]
     ), recovery
+
+    # Persist only after the gates passed — a failing run must never
+    # overwrite the committed baseline with its own numbers.
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -548,9 +548,6 @@ def test_throughput_sequential_vs_batched(wb):
         "kv_memory": kv_memory_stage,
         "prefix_cache": prefix_stage,
     }
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
-    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-
     print_banner("throughput", "sequential vs batched decoding (tokens/sec)")
     for stage_name in ("response_generation", "revision"):
         stage = payload[stage_name]
@@ -639,3 +636,8 @@ def test_throughput_sequential_vs_batched(wb):
         prefix_stage["kv_bytes_per_live_token_ratio"]
         >= PREFIX_MEMORY_RATIO_FLOOR
     ), prefix_stage
+
+    # Persist only after every gate above passed — a failing run must
+    # never overwrite the committed baseline with its own numbers.
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
